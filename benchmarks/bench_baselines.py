@@ -1,0 +1,16 @@
+"""E12 — RQS algorithms versus ABD / fast-ABD / Paxos / PBFT-lite."""
+
+from benchmarks.conftest import report
+from repro.experiments.baselines import matches_paper, run_experiment
+
+
+def test_baseline_comparison(benchmark):
+    results = benchmark.pedantic(
+        run_experiment, rounds=3, iterations=1, warmup_rounds=1
+    )
+    report(
+        "Baselines (E12)",
+        [r.row() for r in results["storage"]]
+        + [r.row() for r in results["consensus"]],
+    )
+    assert matches_paper(results)

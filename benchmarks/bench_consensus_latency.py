@@ -1,0 +1,20 @@
+"""E8 — the consensus latency table: 2/3/4 message delays by class."""
+
+from benchmarks.conftest import report
+from repro.experiments.consensus_latency import (
+    PAPER_CLAIM,
+    matches_paper,
+    run_experiment,
+)
+
+
+def test_consensus_latency_table(benchmark):
+    rows = benchmark.pedantic(
+        run_experiment, rounds=3, iterations=1, warmup_rounds=1
+    )
+    report(
+        "Consensus latency (E8) — paper claims "
+        + ", ".join(f"class {c}: {d}" for c, d in PAPER_CLAIM.items()),
+        [row.row() for row in rows],
+    )
+    assert matches_paper(rows)

@@ -1,0 +1,33 @@
+"""E9 — Theorem 12: termination under eventual synchrony + contention."""
+
+from benchmarks.conftest import report
+from repro.analysis.consensus_check import check_consensus
+from repro.core.constructions import threshold_rqs
+from repro.consensus.system import ConsensusSystem
+from repro.experiments.stress import consensus_liveness
+
+
+def contended_run():
+    rqs = threshold_rqs(8, 3, 1, 1, 2)
+    system = ConsensusSystem(rqs, n_proposers=2, n_learners=3)
+    system.propose_at(0.0, "A", proposer_index=0)
+    system.propose_at(0.0, "B", proposer_index=1)
+    system.run(until=600.0)
+    return check_consensus(
+        system.operations(),
+        correct_learners=[l.pid for l in system.learners],
+    )
+
+
+def test_consensus_liveness(benchmark):
+    gst_outcome, contended = benchmark.pedantic(
+        lambda: (consensus_liveness(gst=40.0), contended_run()),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Consensus liveness (E9)",
+        [gst_outcome.row(), f"contended: learned={dict(contended.learned)}"],
+    )
+    assert gst_outcome.terminated and gst_outcome.agreement_ok
+    assert contended.ok

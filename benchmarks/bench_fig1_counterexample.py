@@ -1,0 +1,14 @@
+"""E1 — Figure 1: greedy 3-of-5 fast operations violate atomicity."""
+
+from benchmarks.conftest import report
+from repro.experiments.fig1 import run_experiment, run_fastabd, run_naive
+
+
+def test_fig1_counterexample(benchmark):
+    naive, fastabd = benchmark.pedantic(
+        run_experiment, rounds=3, iterations=1, warmup_rounds=1
+    )
+    report("Figure 1 (E1)", [naive.row(), fastabd.row()])
+    assert not naive.report.atomic, "the greedy algorithm must violate"
+    assert {v.rule for v in naive.report.violations} == {"read-inversion"}
+    assert fastabd.report.atomic, "the 4-of-5 algorithm must stay atomic"

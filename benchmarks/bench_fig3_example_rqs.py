@@ -1,0 +1,31 @@
+"""E3 — Figure 3: the eight-element k=1 refined quorum system."""
+
+from benchmarks.conftest import report
+from repro.core.constructions import figure3_named_quorums, figure3_rqs
+
+
+def validate():
+    rqs = figure3_rqs()
+    named = figure3_named_quorums()
+    classes = {name: rqs.quorum_class(q) for name, q in named.items()}
+    return rqs.is_valid(), classes, rqs
+
+
+def test_figure3_rqs(benchmark):
+    valid, classes, rqs = benchmark(validate)
+    named = figure3_named_quorums()
+    q, qp, q2, q1 = named["Q"], named["Q'"], named["Q2"], named["Q1"]
+    report(
+        "Figure 3 (E3)",
+        [f"{name}: class {cls}" for name, cls in sorted(classes.items())]
+        + [
+            f"|Q2∩Q'| = {len(q2 & qp)} (= 2k+1)",
+            f"|Q2∩Q1| = {len(q2 & q1)} (= 2k+1)",
+            f"|Q2∩Q∩Q1| = {len(q2 & q & q1)} (= k+1)",
+        ],
+    )
+    assert valid
+    assert classes == {"Q": 3, "Q'": 3, "Q2": 2, "Q1": 1}
+    # The caption's stated intersection cardinalities (k = 1):
+    assert len(q2 & qp) == 3 and len(q2 & q1) == 3
+    assert len(q2 & q & q1) == 2

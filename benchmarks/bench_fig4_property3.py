@@ -1,0 +1,12 @@
+"""E4 — Figure 4: the Property-3 executions under a general adversary."""
+
+from benchmarks.conftest import report
+from repro.experiments.fig4 import matches_paper, run_experiment
+
+
+def test_figure4_executions(benchmark):
+    outcome = benchmark.pedantic(
+        run_experiment, rounds=3, iterations=1, warmup_rounds=1
+    )
+    report("Figure 4 (E4)", outcome.rows())
+    assert matches_paper(outcome)

@@ -1,0 +1,23 @@
+"""E13 — load/availability ablation + RQS search cost."""
+
+from benchmarks.conftest import report
+from repro.experiments.metrics_ablation import search_cost, sweep
+
+
+def test_metrics_ablation(benchmark):
+    rows = benchmark.pedantic(
+        lambda: sweep((0.0, 0.05, 0.1, 0.2, 0.3)), rounds=1, iterations=1
+    )
+    search_rows = search_cost((4, 5, 6))
+    report(
+        "Metrics ablation (E13)",
+        [row.row() for row in rows]
+        + [f"search |S|={n}: {q} quorums, {q1} class-1" for n, q, q1 in search_rows],
+    )
+    # Shapes: class-1 quorums are bigger => more load, less availability;
+    # expected best-case latency degrades monotonically with p.
+    assert rows[0].load_class1 > rows[0].load_class3
+    for earlier, later in zip(rows, rows[1:]):
+        assert later.avail_class1 <= earlier.avail_class1
+        assert later.expected_latency >= earlier.expected_latency
+    assert all(q >= 1 for _, q, _ in search_rows)

@@ -1,0 +1,20 @@
+"""E5 — the storage latency table: 1/2/3 rounds by quorum class."""
+
+from benchmarks.conftest import report
+from repro.experiments.storage_latency import (
+    PAPER_CLAIM,
+    matches_paper,
+    run_experiment,
+)
+
+
+def test_storage_latency_table(benchmark):
+    rows = benchmark.pedantic(
+        run_experiment, rounds=3, iterations=1, warmup_rounds=1
+    )
+    report(
+        "Storage latency (E5) — paper claims "
+        + ", ".join(f"class {c}: {w}/{r}" for c, (w, r) in PAPER_CLAIM.items()),
+        [row.row() for row in rows],
+    )
+    assert matches_paper(rows)

@@ -1,0 +1,14 @@
+"""E6 — Theorems 7/8: atomicity + wait-freedom under adversity."""
+
+from benchmarks.conftest import report
+from repro.experiments.stress import run_storage_stress
+
+
+def test_storage_stress(benchmark):
+    outcomes = benchmark.pedantic(
+        lambda: run_storage_stress(range(6)),
+        rounds=1,
+        iterations=1,
+    )
+    report("Storage stress (E6)", [o.row() for o in outcomes])
+    assert all(o.ok for o in outcomes)

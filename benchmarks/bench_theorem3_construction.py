@@ -1,0 +1,25 @@
+"""E7 — Figure 8: the Theorem 3 impossibility construction."""
+
+from benchmarks.conftest import report
+from repro.core.properties import negate_property3
+from repro.experiments.theorem3 import (
+    run_experiment,
+    violation_demonstrated,
+)
+from repro.core.constructions import threshold_rqs
+
+
+def test_theorem3_construction(benchmark):
+    outcome = benchmark.pedantic(
+        run_experiment, rounds=3, iterations=1, warmup_rounds=1
+    )
+    report("Theorem 3 (E7)", outcome.rows())
+    assert violation_demonstrated(outcome)
+    # Control: the valid sibling family admits no witness at all.
+    control = threshold_rqs(8, 3, 1, 1, 2)
+    assert (
+        negate_property3(
+            control.adversary, control.qc1, control.qc2, control.quorums
+        )
+        is None
+    )

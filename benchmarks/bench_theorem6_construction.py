@@ -1,0 +1,15 @@
+"""E10 — Figure 16: the Theorem 6 impossibility construction."""
+
+from benchmarks.conftest import report
+from repro.experiments.theorem6 import (
+    run_experiment,
+    violation_demonstrated,
+)
+
+
+def test_theorem6_construction(benchmark):
+    outcome = benchmark.pedantic(
+        run_experiment, rounds=2, iterations=1, warmup_rounds=0
+    )
+    report("Theorem 6 (E10)", outcome.rows())
+    assert violation_demonstrated(outcome)

@@ -1,0 +1,18 @@
+"""E11 — tightness of the Example 5/6 size inequalities."""
+
+from benchmarks.conftest import report
+from repro.experiments.bounds import minimal_system_sizes, run_sweep
+
+
+def test_threshold_bound_tightness(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_sweep(max_n=7), rounds=1, iterations=1
+    )
+    sizes = minimal_system_sizes(4)
+    report(
+        "Threshold bounds (E11)",
+        [result.row()]
+        + [f"pbft-style minimal n for t={t}: {n} (= 3t+1)" for t, n in sizes],
+    )
+    assert result.tight
+    assert sizes == [(1, 4), (2, 7), (3, 10), (4, 13)]

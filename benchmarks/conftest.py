@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (see DESIGN.md's experiment
+index), asserts the paper-claimed shape, and reports timing through
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def report(title, rows):
+    """Print a paper-shaped block under -s / in captured output."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print(f"  {row}")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Non-IID failures: refined quorums under a general adversary structure.
+
+The paper's key modelling generalization is replacing "any k servers may
+be Byzantine" with an arbitrary subset-closed *adversary structure* —
+capturing correlated failures (same rack, same firmware, same operator).
+
+This example models a six-server deployment where:
+  * s1 and s2 share a rack (can fail together),
+  * s3 and s4 run the same firmware (can be compromised together),
+  * s2 and s4 share an operator (can be misconfigured together),
+
+i.e. exactly the Example 7 adversary of the paper.  It then:
+  1. validates the published RQS for that structure,
+  2. *discovers* an RQS automatically with the search tooling,
+  3. runs the storage algorithm through a correlated-failure scenario.
+
+Run:  python examples/general_adversary.py
+"""
+
+from repro.core import describe
+from repro.core.constructions import (
+    example7_adversary,
+    example7_named_quorums,
+    example7_rqs,
+)
+from repro.core.search import search_rqs
+from repro.storage.system import StorageSystem
+
+
+def main() -> None:
+    adversary = example7_adversary()
+    print("Adversary structure (maximal corruptible sets):")
+    for maximal in adversary.maximal_sets():
+        print(f"  {sorted(maximal)}")
+
+    print("\nThe paper's RQS for this structure (Example 7):")
+    rqs = example7_rqs()
+    print(describe(rqs))
+
+    named = example7_named_quorums()
+    q2, q2p = named["Q2"], named["Q'2"]
+    print("\nWhy Property 3 is subtle here (the Figure 4 story):")
+    b12 = frozenset({"s1", "s2"})
+    b34 = frozenset({"s3", "s4"})
+    print(f"  P3a(Q2, Q'2, {{s1,s2}}) = {rqs.p3a(q2, q2p, b12)} "
+          f"(Q2∩Q'2 minus the rack is the firmware pair — corruptible)")
+    print(f"  P3b(Q2, Q'2, {{s3,s4}}) = {rqs.p3b(q2, q2p, b34)} "
+          f"(the class-1 quorum still pins a witness: s2)")
+
+    print("\nAutomatically discovered RQS for the same adversary:")
+    found = search_rqs(adversary, min_quorum_size=4)
+    print(f"  {len(found.quorums)} quorums, {len(found.qc1)} class-1, "
+          f"valid: {found.is_valid()}")
+
+    print("\nCorrelated-failure run: s1 (rack) and s3 (firmware) die,")
+    print("leaving exactly the class-1 quorum Q1 = {s2,s4,s5,s6} alive.")
+    system = StorageSystem(rqs, n_readers=1,
+                           crash_times={"s1": 0.0, "s3": 0.0})
+    write = system.write("survives-rack-loss")
+    read = system.read()
+    print(f"  write -> {write.rounds} round(s); "
+          f"read -> {read.result!r} in {read.rounds} round(s)")
+    assert read.result == "survives-rack-loss"
+
+
+if __name__ == "__main__":
+    main()

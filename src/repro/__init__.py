@@ -1,0 +1,35 @@
+"""repro — a reproduction of "Refined Quorum Systems" (Guerraoui &
+Vukolić, PODC 2007).
+
+The library provides:
+
+* :mod:`repro.core` — refined quorum systems over general adversary
+  structures (the paper's primary contribution).
+* :mod:`repro.sim` — a deterministic discrete-event simulation substrate
+  modelling the paper's asynchronous message-passing system.
+* :mod:`repro.storage` — the optimally-resilient, best-case-optimal
+  Byzantine atomic storage algorithm (Figures 5–7) plus baselines.
+* :mod:`repro.consensus` — the RQS-based Byzantine consensus algorithm
+  (Figures 9–15) plus baselines.
+* :mod:`repro.analysis` — atomicity/linearizability/consensus checkers
+  and latency accounting.
+* :mod:`repro.experiments` — drivers regenerating every figure and claim
+  of the paper (see DESIGN.md for the experiment index).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    Adversary,
+    ExplicitAdversary,
+    RefinedQuorumSystem,
+    ThresholdAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "ExplicitAdversary",
+    "RefinedQuorumSystem",
+    "ThresholdAdversary",
+    "__version__",
+]

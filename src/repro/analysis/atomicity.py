@@ -1,0 +1,185 @@
+"""SWMR register atomicity checking.
+
+For a single-writer register whose writes carry *distinct* values, an
+operation history is atomic (linearizable against the register spec) iff
+
+1. every complete read returns ⊥ or a value some write wrote
+   (**no fabrication** — the Theorem 3 proof's ex5 violates this);
+2. a read never returns a value whose write was invoked only after the
+   read completed (**no reading the future**);
+3. if write ``w'`` strictly follows the write of the returned value and
+   ``w'`` *precedes* the read, the read is stale (**no stale reads** —
+   Figure 1's ex4 violates this);
+4. if read ``r1`` precedes read ``r2``, then ``r2`` returns a version at
+   least as new as ``r1``'s (**no read inversion**).
+
+This characterization is standard for SWMR registers; the generic
+Wing–Gong checker in :mod:`repro.analysis.linearizability` cross-checks
+it on small histories.
+
+The checker reports *all* violations rather than raising, so experiments
+that intentionally reproduce violations (E1, E7) can present them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import CheckerError
+from repro.sim.trace import OperationRecord
+from repro.storage.history import BOTTOM
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One atomicity violation, with the offending operations."""
+
+    rule: str
+    description: str
+    operations: Tuple[OperationRecord, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - reporting aid
+        return f"[{self.rule}] {self.description}"
+
+
+@dataclass
+class AtomicityReport:
+    """Checker outcome: violations plus the version assignment used."""
+
+    violations: Tuple[Violation, ...]
+    versions: Dict[int, int]  # read op_id -> version index
+
+    @property
+    def atomic(self) -> bool:
+        return not self.violations
+
+
+def check_swmr_atomicity(
+    records: Iterable[OperationRecord],
+) -> AtomicityReport:
+    """Check a SWMR history for atomicity; see the module docstring."""
+    records = list(records)
+    writes = sorted(
+        (r for r in records if r.kind == "write"),
+        key=lambda r: r.invoked_at,
+    )
+    reads = [r for r in records if r.kind == "read"]
+    violations: List[Violation] = []
+
+    _require_sequential_writer(writes)
+    version_of_value = _version_map(writes)
+
+    read_versions: Dict[int, int] = {}
+    for read in reads:
+        if not read.complete:
+            continue
+        value = read.result
+        if value is BOTTOM:
+            read_versions[read.op_id] = 0
+            continue
+        if value not in version_of_value:
+            violations.append(
+                Violation(
+                    "fabrication",
+                    f"read by {read.process} returned {value!r}, "
+                    "which no write wrote",
+                    (read,),
+                )
+            )
+            continue
+        read_versions[read.op_id] = version_of_value[value]
+
+    # Rule 2: no reading the future.
+    for read in reads:
+        if not read.complete or read.op_id not in read_versions:
+            continue
+        version = read_versions[read.op_id]
+        if version == 0:
+            continue
+        write = writes[version - 1]
+        # Strict comparison: operations touching at a single instant are
+        # concurrent (precedence is response < invocation), so a read
+        # completing exactly when the write is invoked may still return
+        # it — the Wing-Gong checker cross-validates this boundary.
+        if write.invoked_at > read.completed_at:
+            violations.append(
+                Violation(
+                    "future-read",
+                    f"read by {read.process} returned the value of a "
+                    "write invoked only after the read completed",
+                    (read, write),
+                )
+            )
+
+    # Rule 3: no stale reads w.r.t. preceding writes.
+    for read in reads:
+        if not read.complete or read.op_id not in read_versions:
+            continue
+        version = read_versions[read.op_id]
+        for index, write in enumerate(writes, start=1):
+            if index > version and write.precedes(read):
+                violations.append(
+                    Violation(
+                        "stale-read",
+                        f"read by {read.process} returned version "
+                        f"{version} although write #{index} "
+                        f"({write.value!r}) completed before it started",
+                        (read, write),
+                    )
+                )
+
+    # Rule 4: no read inversion.
+    complete_reads = [
+        r for r in reads if r.complete and r.op_id in read_versions
+    ]
+    for first in complete_reads:
+        for second in complete_reads:
+            if first.precedes(second):
+                if read_versions[second.op_id] < read_versions[first.op_id]:
+                    violations.append(
+                        Violation(
+                            "read-inversion",
+                            f"read by {second.process} returned an older "
+                            f"version than the preceding read by "
+                            f"{first.process}",
+                            (first, second),
+                        )
+                    )
+
+    return AtomicityReport(tuple(violations), read_versions)
+
+
+def assert_atomic(records: Iterable[OperationRecord]) -> AtomicityReport:
+    """Raise :class:`~repro.errors.CheckerError` unless atomic."""
+    report = check_swmr_atomicity(records)
+    if not report.atomic:
+        lines = "\n".join(str(v) for v in report.violations)
+        raise CheckerError(f"history is not atomic:\n{lines}")
+    return report
+
+
+def _require_sequential_writer(writes: Sequence[OperationRecord]) -> None:
+    for earlier, later in zip(writes, writes[1:]):
+        earlier_end = (
+            earlier.completed_at if earlier.complete else float("inf")
+        )
+        if later.invoked_at < earlier_end:
+            raise CheckerError(
+                "writer invoked overlapping writes; SWMR histories "
+                "require a sequential writer"
+            )
+
+
+def _version_map(writes: Sequence[OperationRecord]) -> Dict[Any, int]:
+    mapping: Dict[Any, int] = {}
+    for index, write in enumerate(writes, start=1):
+        if write.value in mapping:
+            raise CheckerError(
+                f"duplicate written value {write.value!r}; the checker "
+                "requires distinct write values"
+            )
+        if write.value is BOTTOM:
+            raise CheckerError("⊥ is outside the write domain")
+        mapping[write.value] = index
+    return mapping

@@ -1,0 +1,88 @@
+"""Latency accounting: rounds (storage) and message delays (consensus).
+
+Storage operations self-report their round count (the protocol counts
+rounds as it runs).  For consensus, message-delay latency is derived from
+wall-clock simulated time under a uniform per-hop delay ``Δ``:
+``delays = (t_learn − t_propose) / Δ`` — exact when every link has the
+same latency, which is how the best-case benches are configured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.trace import OperationRecord
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Aggregated latency numbers for one operation kind."""
+
+    kind: str
+    count: int
+    min_rounds: Optional[int]
+    max_rounds: Optional[int]
+    mean_rounds: Optional[float]
+    min_time: Optional[float]
+    max_time: Optional[float]
+
+    def row(self) -> str:
+        return (
+            f"{self.kind:<8} n={self.count:<4} "
+            f"rounds[min/mean/max]={self.min_rounds}/"
+            f"{self.mean_rounds}/{self.max_rounds} "
+            f"time[min/max]={self.min_time}/{self.max_time}"
+        )
+
+
+def summarize_rounds(
+    records: Iterable[OperationRecord], kind: str
+) -> LatencySummary:
+    """Aggregate the self-reported round counts of completed operations."""
+    done = [r for r in records if r.kind == kind and r.complete]
+    if not done:
+        return LatencySummary(kind, 0, None, None, None, None, None)
+    rounds = [r.rounds for r in done]
+    times = [r.completed_at - r.invoked_at for r in done]
+    return LatencySummary(
+        kind=kind,
+        count=len(done),
+        min_rounds=min(rounds),
+        max_rounds=max(rounds),
+        mean_rounds=round(mean(rounds), 3),
+        min_time=min(times),
+        max_time=max(times),
+    )
+
+
+def message_delays(
+    learn_record: OperationRecord, propose_time: float, delta: float
+) -> float:
+    """Message-delay latency of one learn event under uniform ``Δ``."""
+    if not learn_record.complete:
+        raise ValueError("learner has not learned")
+    return (learn_record.completed_at - propose_time) / delta
+
+
+def learner_delays(
+    records: Iterable[OperationRecord],
+    propose_time: float,
+    delta: float,
+) -> Dict[Hashable, float]:
+    """Message delays for every completed learn record in a trace."""
+    out: Dict[Hashable, float] = {}
+    for record in records:
+        if record.kind == "learn" and record.complete:
+            out[record.process] = message_delays(record, propose_time, delta)
+    return out
+
+
+def worst_learner_delay(
+    records: Iterable[OperationRecord],
+    propose_time: float,
+    delta: float,
+) -> Optional[float]:
+    delays = learner_delays(records, propose_time, delta)
+    return max(delays.values()) if delays else None

@@ -1,0 +1,111 @@
+"""A generic Wing–Gong linearizability checker for register histories.
+
+Exponential in the worst case — intended for the small histories produced
+by scripted experiments and for cross-validating the specialized SWMR
+checker of :mod:`repro.analysis.atomicity` in property-based tests.
+
+The sequential specification is a read/write register initialized to ⊥:
+``write(v)`` always succeeds and sets the state; ``read()`` returns the
+current state.  Incomplete (pending) operations may either be dropped or
+take effect — both possibilities are explored, per the standard
+definition of linearizability for histories with pending invocations.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.sim.trace import OperationRecord
+from repro.storage.history import BOTTOM
+
+
+class _Op:
+    __slots__ = ("index", "kind", "value", "result", "start", "end", "pending")
+
+    def __init__(self, index, kind, value, result, start, end, pending):
+        self.index = index
+        self.kind = kind
+        self.value = value
+        self.result = result
+        self.start = start
+        self.end = end
+        self.pending = pending
+
+
+def is_linearizable(records: Iterable[OperationRecord]) -> bool:
+    """Decide linearizability of a register history.
+
+    Pending reads are ignored (they impose no constraint); pending writes
+    may or may not take effect and are explored both ways.
+    """
+    ops: List[_Op] = []
+    for record in records:
+        pending = not record.complete
+        if record.kind == "read" and pending:
+            continue  # a pending read constrains nothing
+        end = record.completed_at if record.complete else float("inf")
+        ops.append(
+            _Op(
+                len(ops),
+                record.kind,
+                record.value,
+                record.result,
+                record.invoked_at,
+                end,
+                pending,
+            )
+        )
+
+    n = len(ops)
+    if n == 0:
+        return True
+    full_mask = (1 << n) - 1
+
+    # precedence: op i must linearize before op j if i.end < j.start
+    @lru_cache(maxsize=None)
+    def explore(done_mask: int, state_key: Any) -> bool:
+        if done_mask == full_mask:
+            return True
+        for op in ops:
+            bit = 1 << op.index
+            if done_mask & bit:
+                continue
+            # op is eligible iff every operation that *precedes* it is done
+            eligible = True
+            for other in ops:
+                other_bit = 1 << other.index
+                if done_mask & other_bit or other.index == op.index:
+                    continue
+                if other.end < op.start:
+                    eligible = False
+                    break
+            if not eligible:
+                continue
+            if op.kind == "write":
+                if explore(done_mask | bit, op.value):
+                    return True
+                if op.pending:
+                    # a pending write may also never take effect: skip it
+                    if explore(done_mask | bit, state_key):
+                        return True
+            elif op.kind == "read":
+                current = BOTTOM if state_key is _INIT else state_key
+                if op.result == current or (
+                    op.result is BOTTOM and current is BOTTOM
+                ):
+                    if explore(done_mask | bit, state_key):
+                        return True
+        return False
+
+    result = explore(0, _INIT)
+    explore.cache_clear()
+    return result
+
+
+class _InitSentinel:
+    def __repr__(self) -> str:
+        return "<init>"
+
+
+_INIT = _InitSentinel()

@@ -1,0 +1,95 @@
+"""SWMR register *regularity* checking (Lamport's regular semantics).
+
+A complete read of a regular register must return
+
+* a value whose write is concurrent with the read, **or**
+* the value of the last write that precedes the read (⊥ if none).
+
+Compared to atomicity this drops the no-read-inversion rule: two
+non-overlapping reads may see versions in either order, as long as each
+individually respects the writes around it.  Fabrication and stale
+reads are still violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.atomicity import Violation, _require_sequential_writer, _version_map
+from repro.sim.trace import OperationRecord
+from repro.storage.history import BOTTOM
+
+
+@dataclass
+class RegularityReport:
+    violations: Tuple[Violation, ...]
+    versions: Dict[int, int]
+
+    @property
+    def regular(self) -> bool:
+        return not self.violations
+
+
+def check_swmr_regularity(
+    records: Iterable[OperationRecord],
+) -> RegularityReport:
+    """Check a SWMR history for regularity (see module docstring)."""
+    records = list(records)
+    writes = sorted(
+        (r for r in records if r.kind == "write"),
+        key=lambda r: r.invoked_at,
+    )
+    _require_sequential_writer(writes)
+    version_of_value = _version_map(writes)
+    violations: List[Violation] = []
+    versions: Dict[int, int] = {}
+
+    for read in records:
+        if read.kind != "read" or not read.complete:
+            continue
+        value = read.result
+        if value is BOTTOM:
+            version = 0
+        elif value in version_of_value:
+            version = version_of_value[value]
+        else:
+            violations.append(
+                Violation(
+                    "fabrication",
+                    f"read by {read.process} returned {value!r}, "
+                    "which no write wrote",
+                    (read,),
+                )
+            )
+            continue
+        versions[read.op_id] = version
+
+        # Lower bound: the last write preceding the read.
+        floor = 0
+        for index, write in enumerate(writes, start=1):
+            if write.precedes(read):
+                floor = index
+        if version < floor:
+            violations.append(
+                Violation(
+                    "stale-read",
+                    f"read by {read.process} returned version {version} "
+                    f"but write #{floor} already completed before it",
+                    (read,),
+                )
+            )
+        # Upper bound: a write invoked before the read completes.
+        if version > 0:
+            write = writes[version - 1]
+            if write.invoked_at > read.completed_at:
+                violations.append(
+                    Violation(
+                        "future-read",
+                        f"read by {read.process} returned a value whose "
+                        "write started only after the read completed",
+                        (read, write),
+                    )
+                )
+
+    return RegularityReport(tuple(violations), versions)

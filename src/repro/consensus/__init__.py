@@ -1,0 +1,45 @@
+"""The RQS-based Byzantine consensus algorithm (Figures 9-15) plus
+baselines (crash Paxos, PBFT-lite)."""
+
+from repro.consensus.acceptor import INIT_VIEW, Acceptor
+from repro.consensus.choose import ChooseResult, choose
+from repro.consensus.decisions import DecisionTracker
+from repro.consensus.learner import Learner
+from repro.consensus.messages import (
+    AckData,
+    Decision,
+    DecisionPull,
+    NewView,
+    NewViewAck,
+    Prepare,
+    SignAck,
+    SignReq,
+    Sync,
+    Update,
+    ViewChange,
+)
+from repro.consensus.proposer import EquivocatingProposer, Proposer
+from repro.consensus.system import ConsensusSystem
+
+__all__ = [
+    "INIT_VIEW",
+    "Acceptor",
+    "ChooseResult",
+    "choose",
+    "DecisionTracker",
+    "Learner",
+    "AckData",
+    "Decision",
+    "DecisionPull",
+    "NewView",
+    "NewViewAck",
+    "Prepare",
+    "SignAck",
+    "SignReq",
+    "Sync",
+    "Update",
+    "ViewChange",
+    "EquivocatingProposer",
+    "Proposer",
+    "ConsensusSystem",
+]

@@ -1,0 +1,376 @@
+"""The consensus acceptor (Figures 10, 12, 14, 15).
+
+One class implements the Locking-module acceptor (prepare/update cascade,
+consult phase) and the Election-module acceptor (suspect timers and
+``view_change`` certificates).  All handlers are event-driven; the only
+multi-message interaction — gathering ``sign_ack`` signatures before
+answering a ``new_view`` — is tracked with an explicit pending record.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.rqs import RefinedQuorumSystem
+from repro.crypto.signatures import SignatureService, Signed
+from repro.sim.network import Message
+from repro.sim.process import Process
+from repro.consensus.choose import choose as run_choose
+from repro.consensus.decisions import DecisionTracker
+from repro.consensus.messages import (
+    AckData,
+    Decision,
+    DecisionPull,
+    NewView,
+    NewViewAck,
+    Prepare,
+    SignAck,
+    SignReq,
+    Sync,
+    Update,
+    ViewChange,
+    update_statement,
+)
+from repro.consensus.validate import (
+    validate_new_view_ack,
+    validate_view_proof,
+    view_change_statement,
+)
+
+INIT_VIEW = 0
+
+AcceptorId = Hashable
+QuorumId = FrozenSet[AcceptorId]
+
+
+class _PendingNewViewAck:
+    """Bookkeeping for one outstanding new_view reply (lines 23-27)."""
+
+    def __init__(self, proposer: Hashable, view: int, needed: Set[Tuple[int, int]]):
+        self.proposer = proposer
+        self.view = view
+        self.needed = needed
+        self.collected: Dict[Tuple[int, int], Dict[Hashable, Signed]] = {
+            key: {} for key in needed
+        }
+
+
+class Acceptor(Process):
+    """A benign consensus acceptor."""
+
+    def __init__(
+        self,
+        pid: AcceptorId,
+        rqs: RefinedQuorumSystem,
+        proposers: Sequence[Hashable],
+        learners: Sequence[Hashable],
+        service: SignatureService,
+        delta: float = 1.0,
+        max_views: int = 30,
+    ):
+        super().__init__(pid)
+        self.rqs = rqs
+        self.proposers = tuple(proposers)
+        self.learners = tuple(learners)
+        self.service = service
+        self.delta = delta
+
+        # -- Locking-module state (Figure 15 initialization) --
+        self.view = INIT_VIEW
+        self.prep: Any = None
+        self.prep_view: Set[int] = set()
+        self.update: Dict[int, Any] = {1: None, 2: None}
+        self.update_view: Dict[int, Set[int]] = {1: set(), 2: set()}
+        self.update_q: Dict[Tuple[int, int], Set[QuorumId]] = {}
+        self.update_proof: Dict[Tuple[int, int], Tuple[Signed, ...]] = {}
+        self.old: Set[Tuple] = set()
+        self.decided: Optional[Any] = None
+
+        # update-message sender bookkeeping: (step, value, view) -> senders
+        self._update_senders: Dict[Tuple[int, Any, int], Set[AcceptorId]] = {}
+        self._decisions = DecisionTracker(rqs)
+        self._pending_nva: Optional[_PendingNewViewAck] = None
+
+        # -- Election-module state (Figure 14) --
+        self.suspect_timeout = 5.0 * delta
+        self.next_view = INIT_VIEW
+        self.max_views = max_views
+        self._timer_armed = False
+        self._timer_stopped = False
+        self._timer_generation = 0
+        self._decision_senders: Dict[Any, Set[Hashable]] = {}
+
+    # -- helpers -----------------------------------------------------------------
+
+    def leader_of(self, view: int) -> Hashable:
+        return self.proposers[view % len(self.proposers)]
+
+    def _broadcast_update(self, update: Update) -> None:
+        self.old.add(update_statement(update.step, update.value, update.view))
+        for target in sorted(self.rqs.ground_set, key=repr):
+            self.send(target, update)
+        for learner in self.learners:
+            self.send(learner, update)
+        # The paper's model delivers a process's broadcast to itself too.
+        self._handle_update(self.pid, update)
+
+    # -- dispatch -------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, Prepare):
+            self._handle_prepare(message.src, payload)
+        elif isinstance(payload, Update):
+            self._handle_update(message.src, payload)
+        elif isinstance(payload, NewView):
+            self._handle_new_view(message.src, payload)
+        elif isinstance(payload, SignReq):
+            self._handle_sign_req(message.src, payload)
+        elif isinstance(payload, SignAck):
+            self._handle_sign_ack(message.src, payload)
+        elif isinstance(payload, Decision):
+            self._handle_decision(message.src, payload)
+        elif isinstance(payload, DecisionPull):
+            self._handle_decision_pull(message.src)
+        elif isinstance(payload, Sync):
+            self._arm_suspect_timer()
+
+    # -- prepare (lines 31-33) ---------------------------------------------------------
+
+    def _handle_prepare(self, src: Hashable, prepare: Prepare) -> None:
+        if prepare.view == INIT_VIEW:
+            self._arm_suspect_timer()
+        if prepare.view != self.view:
+            return
+        if not all(w < self.view for w in self.prep_view):
+            return
+        if self.view != INIT_VIEW:
+            if src != self.leader_of(self.view):
+                return
+            if not self._prepare_proof_ok(prepare):
+                return
+        value = prepare.value
+        if self.prep == value:
+            self.prep_view.add(self.view)
+        else:
+            self.prep = value
+            self.prep_view = {self.view}
+        self._broadcast_update(Update(1, value, self.view, None))
+
+    def _prepare_proof_ok(self, prepare: Prepare) -> bool:
+        """Re-validate ``vProof`` and check ``v`` against ``choose()``."""
+        if prepare.v_proof is None or prepare.quorum is None:
+            return False
+        if prepare.quorum not in set(self.rqs.quorums):
+            return False
+        v_proof: Dict[AcceptorId, AckData] = {}
+        for ack in prepare.v_proof:
+            sender = ack.signature.signer
+            if not validate_new_view_ack(
+                self.service, self.rqs, sender, ack, prepare.view
+            ):
+                return False
+            v_proof[sender] = ack.body
+        if not prepare.quorum <= set(v_proof):
+            return False
+        result = run_choose(
+            self.rqs, prepare.value, v_proof, prepare.quorum
+        )
+        return (not result.abort) and result.value == prepare.value
+
+    # -- update cascade (lines 34-38) -----------------------------------------------------
+
+    def _handle_update(self, src: AcceptorId, update: Update) -> None:
+        if src not in self.rqs.ground_set:
+            return
+        decided = self._decisions.record(src, update)
+        if decided is not None:
+            self._decide(decided)
+        if update.step not in (1, 2):
+            return
+        key = (update.step, update.value, update.view)
+        self._update_senders.setdefault(key, set()).add(src)
+        if (
+            update.value != self.prep
+            or update.view != self.view
+            or self.view not in self.prep_view
+        ):
+            return
+        senders = self._update_senders[key]
+        step, value = update.step, update.value
+        for quorum in self.rqs.quorums:
+            if not quorum <= senders:
+                continue
+            self._trigger_update(step, value, quorum)
+
+    def _trigger_update(self, step: int, value: Any, quorum: QuorumId) -> None:
+        """Lines 34-38 for one triggering quorum ``Q``."""
+        if self.update[step] == value:
+            self.update_view[step].add(self.view)
+        else:
+            self.update[step] = value
+            self.update_view[step] = {self.view}
+            for view_key in [k for k in self.update_q if k[0] == step]:
+                del self.update_q[view_key]
+            for view_key in [k for k in self.update_proof if k[0] == step]:
+                del self.update_proof[view_key]
+        stored = self.update_q.setdefault((step, self.view), set())
+        fire = (
+            (step == 1 and quorum not in stored)
+            or (step == 2 and not stored)
+        )
+        if fire:
+            stored.add(quorum)
+            self._broadcast_update(
+                Update(step + 1, value, self.view, quorum)
+            )
+
+    # -- deciding (lines 51-53 + Figure 14 line 7, line 40) ---------------------------------
+
+    def _decide(self, value: Any) -> None:
+        if self.decided is not None:
+            return
+        self.decided = value
+        for target in sorted(self.rqs.ground_set, key=repr):
+            self.send(target, Decision(value))
+        self._record_decision(self.pid, value)
+
+    def _handle_decision(self, src: Hashable, decision: Decision) -> None:
+        self._record_decision(src, decision.value)
+
+    def _record_decision(self, src: Hashable, value: Any) -> None:
+        senders = self._decision_senders.setdefault(value, set())
+        senders.add(src)
+        acceptor_senders = senders & set(self.rqs.ground_set)
+        if any(q <= acceptor_senders for q in self.rqs.quorums):
+            self._stop_suspect_timer()
+
+    def _handle_decision_pull(self, src: Hashable) -> None:
+        if self.decided is not None:
+            self.send(src, Decision(self.decided))
+
+    # -- consult phase (lines 21-29) ------------------------------------------------------
+
+    def _handle_new_view(self, src: Hashable, new_view: NewView) -> None:
+        if new_view.view <= self.view:
+            return
+        if src != self.leader_of(new_view.view):
+            return
+        if not validate_view_proof(
+            self.service, self.rqs, new_view.view, new_view.view_proof
+        ):
+            return
+        self.view = new_view.view
+        needed = {
+            (step, w)
+            for step in (1, 2)
+            for w in self.update_view[step]
+            if not self.update_proof.get((step, w))
+        }
+        self._pending_nva = _PendingNewViewAck(src, new_view.view, needed)
+        if not needed:
+            self._send_new_view_ack()
+            return
+        for step, w in sorted(needed, key=repr):
+            quorums = self.update_q.get((step, w))
+            targets = (
+                sorted(next(iter(quorums)), key=repr)
+                if quorums
+                else sorted(self.rqs.ground_set, key=repr)
+            )
+            for target in targets:
+                self.send(target, SignReq(self.update[step], w, step))
+            # An acceptor can sign its own statement immediately.
+            if self.pid in set(targets):
+                self._handle_sign_req(self.pid, SignReq(self.update[step], w, step))
+
+    def _handle_sign_req(self, src: Hashable, request: SignReq) -> None:
+        statement = update_statement(request.step, request.value, request.view)
+        if statement in self.old:
+            signed = self.service.sign(self.pid, statement)
+            if src == self.pid:
+                self._handle_sign_ack(self.pid, SignAck(signed))
+            else:
+                self.send(src, SignAck(signed))
+
+    def _handle_sign_ack(self, src: Hashable, ack: SignAck) -> None:
+        pending = self._pending_nva
+        if pending is None:
+            return
+        signed = ack.signature
+        if signed.signer != src or not self.service.verify(signed):
+            return
+        content = signed.content
+        for step, w in list(pending.needed):
+            statement = update_statement(step, self.update[step], w)
+            if content != statement:
+                continue
+            bucket = pending.collected[(step, w)]
+            bucket[src] = signed
+            if self.rqs.is_basic(set(bucket)):
+                self.update_proof[(step, w)] = tuple(
+                    bucket[s] for s in sorted(bucket, key=repr)
+                )
+                pending.needed.discard((step, w))
+        if not pending.needed and pending.view == self.view:
+            self._send_new_view_ack()
+
+    def _send_new_view_ack(self) -> None:
+        pending = self._pending_nva
+        if pending is None:
+            return
+        self._pending_nva = None
+        body = AckData(
+            view=self.view,
+            prep=self.prep,
+            prep_view=frozenset(self.prep_view),
+            update=dict(self.update),
+            update_view={
+                step: frozenset(views)
+                for step, views in self.update_view.items()
+            },
+            update_q={
+                key: tuple(sorted(values, key=repr))
+                for key, values in self.update_q.items()
+            },
+            update_proof=dict(self.update_proof),
+        )
+        signature = self.service.sign(self.pid, body.canonical())
+        self.send(pending.proposer, NewViewAck(body, signature))
+
+    # -- election module (Figure 14, acceptor side) -------------------------------------------
+
+    def _arm_suspect_timer(self) -> None:
+        if self._timer_armed or self._timer_stopped:
+            return
+        self._timer_armed = True
+        self._schedule_suspect()
+
+    def _schedule_suspect(self) -> None:
+        generation = self._timer_generation
+        self.sim.call_later(
+            self.suspect_timeout, lambda: self._suspect_fired(generation)
+        )
+
+    def _suspect_fired(self, generation: int) -> None:
+        if (
+            generation != self._timer_generation
+            or self._timer_stopped
+            or self.crashed
+        ):
+            return
+        self._timer_generation += 1
+        self.suspect_timeout *= 2.0
+        self.next_view += 1
+        if self.next_view > self.max_views:
+            return  # simulation bound, not part of the protocol
+        leader = self.leader_of(self.next_view)
+        signed = self.service.sign(
+            self.pid, view_change_statement(self.next_view)
+        )
+        self.send(leader, ViewChange(self.next_view, signed))
+        self._schedule_suspect()
+
+    def _stop_suspect_timer(self) -> None:
+        self._timer_stopped = True
+        self._timer_generation += 1

@@ -1,0 +1,238 @@
+"""The ``choose()`` function and its predicates (Figure 13).
+
+``choose`` is "the heart of the algorithm": given the array ``vProof`` of
+``new_view_ack`` bodies from a quorum ``Q``, it either picks the unique
+value that may have been decided in an earlier view, aborts (which proves
+``Q`` contains a Byzantine acceptor — the proposer then waits for a
+different quorum), or falls through to the proposer's own value when
+nothing is locked.
+
+Predicates (paper lines in brackets):
+
+* ``Cand2(v, w)`` [1] — some class-1 quorum minus an adversary set
+  uniformly reports having *prepared* ``v`` in ``w``
+  (evidence that ``v`` may have been Decided-2 in ``w``).
+* ``C3 / Cand3(v, w, char)`` [2-3] — some class-2 quorum minus an
+  adversary set uniformly reports having *1-updated* ``v`` in ``w`` with
+  that quorum, under ``P3a`` (``char='a'``) or ``P3b`` (``char='b'``)
+  (evidence for Decided-3).
+* ``Valid3(v, w, char)`` [4] — every Cand3-witnessing quorum's acceptors
+  are consistent about having prepared ``v`` in ``w``.
+* ``Cand4(v, w)`` [5] — some acceptor reports having *2-updated* ``v``
+  in ``w`` (evidence for Decided-4; backed by signatures during ack
+  validation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.core.rqs import RefinedQuorumSystem
+from repro.consensus.messages import AckData
+
+AcceptorId = Hashable
+QuorumId = FrozenSet[AcceptorId]
+VProof = Dict[AcceptorId, AckData]
+
+
+class ChooseResult(Tuple):
+    """``(value, abort)`` — tuple subclass for readable reprs."""
+
+    def __new__(cls, value: Any, abort: bool):
+        return super().__new__(cls, (value, abort))
+
+    @property
+    def value(self) -> Any:
+        return self[0]
+
+    @property
+    def abort(self) -> bool:
+        return self[1]
+
+
+def cand2(rqs: RefinedQuorumSystem, v_proof: VProof, quorum: QuorumId, v: Any, w: int) -> bool:
+    """Line 1: ``∃Q1 ∈ QC1, ∃B ∈ B`` with every acceptor of
+    ``(Q1 ∩ Q) \\ B`` reporting ``Prep = v`` and ``w ∈ Prepview``.
+
+    The minimal witness ``B`` is the set of non-conforming acceptors of
+    ``Q1 ∩ Q``, so membership of that set in ``B`` is the whole test.
+    """
+    for q1 in rqs.qc1:
+        base = q1 & quorum
+        nonconforming = {
+            a
+            for a in base
+            if not _prepared(v_proof, a, v, w)
+        }
+        if rqs.adversary.contains(nonconforming):
+            return True
+    return False
+
+
+def _prepared(v_proof: VProof, acceptor: AcceptorId, v: Any, w: int) -> bool:
+    ack = v_proof.get(acceptor)
+    return ack is not None and ack.prep == v and w in ack.prep_view
+
+
+def _one_updated_with(
+    v_proof: VProof, acceptor: AcceptorId, v: Any, w: int, q2: QuorumId
+) -> bool:
+    ack = v_proof.get(acceptor)
+    return (
+        ack is not None
+        and ack.update.get(1) == v
+        and w in ack.update_view.get(1, frozenset())
+        and q2 in ack.update_q_of(1, w)
+    )
+
+
+def c3(
+    rqs: RefinedQuorumSystem,
+    v_proof: VProof,
+    quorum: QuorumId,
+    v: Any,
+    w: int,
+    char: str,
+    q2: QuorumId,
+) -> bool:
+    """Line 2 for a fixed ``Q2``: is there ``B ∈ B`` with ``P3char`` such
+    that all of ``(Q2 ∩ Q) \\ B`` 1-updated ``v`` in ``w`` with ``Q2``?
+
+    Both P3a and P3b are anti-monotone in ``B`` and any witness must
+    cover the non-conforming acceptors, so the minimal ``B`` decides.
+    """
+    base = q2 & quorum
+    nonconforming = frozenset(
+        a for a in base if not _one_updated_with(v_proof, a, v, w, q2)
+    )
+    if not rqs.adversary.contains(nonconforming):
+        return False
+    if char == "a":
+        return rqs.p3a(q2, quorum, nonconforming)
+    if char == "b":
+        return rqs.p3b(q2, quorum, nonconforming)
+    raise ValueError(f"char must be 'a' or 'b', got {char!r}")
+
+
+def cand3(
+    rqs: RefinedQuorumSystem,
+    v_proof: VProof,
+    quorum: QuorumId,
+    v: Any,
+    w: int,
+    char: str,
+) -> bool:
+    """Line 3: ``∃Q2 ∈ QC2, ∃B ∈ B: C3(v, w, char, Q2, B)``."""
+    return any(
+        c3(rqs, v_proof, quorum, v, w, char, q2) for q2 in rqs.qc2
+    )
+
+
+def valid3(
+    rqs: RefinedQuorumSystem,
+    v_proof: VProof,
+    quorum: QuorumId,
+    v: Any,
+    w: int,
+    char: str,
+) -> bool:
+    """Line 4: every C3-witnessing ``Q2`` is internally consistent —
+    each of its acceptors either prepared ``v`` in ``w`` or has only
+    higher views in its ``Prepview``."""
+    for q2 in rqs.qc2:
+        if not c3(rqs, v_proof, quorum, v, w, char, q2):
+            continue
+        for acceptor in q2 & quorum:
+            ack = v_proof.get(acceptor)
+            if ack is None:
+                continue
+            prepared_here = ack.prep == v and w in ack.prep_view
+            only_higher = all(w_prime > w for w_prime in ack.prep_view)
+            if not (prepared_here or only_higher):
+                return False
+    return True
+
+
+def cand4(v_proof: VProof, quorum: QuorumId, v: Any, w: int) -> bool:
+    """Line 5: some acceptor of ``Q`` reports having 2-updated ``v`` in
+    ``w`` (its ack carries the signature proof, checked at validation)."""
+    for acceptor in quorum:
+        ack = v_proof.get(acceptor)
+        if (
+            ack is not None
+            and ack.update.get(2) == v
+            and w in ack.update_view.get(2, frozenset())
+        ):
+            return True
+    return False
+
+
+def _candidates(
+    rqs: RefinedQuorumSystem, v_proof: VProof, quorum: QuorumId
+) -> List[Tuple[Any, int, str]]:
+    """All ``(v, w, origin)`` for which some candidate predicate holds.
+
+    ``origin ∈ {"cand2", "cand3a", "cand3b", "cand4"}``.  The candidate
+    universe is every (value, view) mentioned in any ack field.
+    """
+    pairs: Set[Tuple[Any, int]] = set()
+    for ack in v_proof.values():
+        if ack.prep is not None:
+            for w in ack.prep_view:
+                pairs.add((ack.prep, w))
+        for step in (1, 2):
+            value = ack.update.get(step)
+            if value is not None:
+                for w in ack.update_view.get(step, frozenset()):
+                    pairs.add((value, w))
+    found: List[Tuple[Any, int, str]] = []
+    for v, w in pairs:
+        if cand2(rqs, v_proof, quorum, v, w):
+            found.append((v, w, "cand2"))
+        if cand3(rqs, v_proof, quorum, v, w, "a"):
+            found.append((v, w, "cand3a"))
+        if cand3(rqs, v_proof, quorum, v, w, "b"):
+            found.append((v, w, "cand3b"))
+        if cand4(v_proof, quorum, v, w):
+            found.append((v, w, "cand4"))
+    return found
+
+
+def choose(
+    rqs: RefinedQuorumSystem,
+    default_value: Any,
+    v_proof: VProof,
+    quorum: QuorumId,
+) -> ChooseResult:
+    """``choose(v', vProof, Q)`` (Figure 13 lines 10-21)."""
+    found = _candidates(rqs, v_proof, quorum)
+    if not found:
+        return ChooseResult(default_value, False)   # line 21
+
+    view_max = max(w for _, w, _ in found)           # line 12
+    at_max = [(v, origin) for v, w, origin in found if w == view_max]
+
+    # Line 13-14: Cand3(·, 'a') or Cand4 → that value, unconditionally.
+    for v, origin in at_max:
+        if origin in ("cand3a", "cand4"):
+            return ChooseResult(v, False)
+
+    # Line 15-16: two distinct Cand3(·, 'b') values → abort.
+    b_values = {v for v, origin in at_max if origin == "cand3b"}
+    if len(b_values) >= 2:
+        return ChooseResult(default_value, True)
+
+    # Line 17-19: a single Cand3(·, 'b') value → Valid3 gate.
+    if b_values:
+        (v,) = b_values
+        if valid3(rqs, v_proof, quorum, v, view_max, "b"):
+            return ChooseResult(v, False)
+        return ChooseResult(default_value, True)
+
+    # Line 20: fall back to a Cand2 value.
+    for v, origin in at_max:
+        if origin == "cand2":
+            return ChooseResult(v, False)
+
+    # Unreachable: found was non-empty at view_max.
+    raise AssertionError("candidate bookkeeping is inconsistent")

@@ -1,0 +1,54 @@
+"""Decision detection shared by acceptors and learners (Figure 15, 51-53).
+
+Every acceptor and learner decides a value ``v`` in view ``w`` upon
+receiving
+
+* the same ``update1⟨v, w, ∗⟩`` from a class-1 quorum (2 message delays),
+* the same ``update2⟨v, w, Q2⟩`` from the class-2 quorum ``Q2`` itself
+  (note the payload quorum id must equal the sender quorum), or
+* the same ``update3⟨v, w, ∗⟩`` from any quorum (4 message delays).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, Optional, Set, Tuple
+
+from repro.core.rqs import RefinedQuorumSystem
+from repro.consensus.messages import Update
+
+AcceptorId = Hashable
+QuorumId = FrozenSet[AcceptorId]
+
+
+class DecisionTracker:
+    """Accumulates update messages and fires the decide rules."""
+
+    def __init__(self, rqs: RefinedQuorumSystem):
+        self.rqs = rqs
+        # (step, value, view) -> senders, payload quorum ignored (steps 1, 3)
+        self._senders: Dict[Tuple[int, Any, int], Set[AcceptorId]] = {}
+        # (value, view, payload quorum) -> senders (step 2 exact-match rule)
+        self._senders2: Dict[Tuple[Any, int, QuorumId], Set[AcceptorId]] = {}
+
+    def record(self, sender: AcceptorId, update: Update) -> Optional[Any]:
+        """Feed one update message; return the decided value, if any."""
+        key = (update.step, update.value, update.view)
+        self._senders.setdefault(key, set()).add(sender)
+        if update.step == 2 and update.quorum is not None:
+            key2 = (update.value, update.view, update.quorum)
+            self._senders2.setdefault(key2, set()).add(sender)
+        return self._check(update)
+
+    def _check(self, update: Update) -> Optional[Any]:
+        senders = self._senders[(update.step, update.value, update.view)]
+        if update.step == 1:
+            if any(q1 <= senders for q1 in self.rqs.qc1):
+                return update.value
+        elif update.step == 2 and update.quorum is not None:
+            exact = self._senders2[(update.value, update.view, update.quorum)]
+            if update.quorum in set(self.rqs.qc2) and update.quorum <= exact:
+                return update.value
+        elif update.step == 3:
+            if any(q <= senders for q in self.rqs.quorums):
+                return update.value
+        return None

@@ -1,0 +1,90 @@
+"""The consensus learner (Figure 15, lines 51-53, 60, 101-103).
+
+A learner decides via the same three update rules as acceptors, learns as
+soon as it decides, and additionally learns upon receiving ``decision``
+messages from a basic subset of acceptors.  While unlearned it
+periodically pulls decisions from acceptors (bounded in simulation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional, Set
+
+from repro.core.rqs import RefinedQuorumSystem
+from repro.sim.network import Message
+from repro.sim.process import Process
+from repro.sim.trace import OperationRecord, Trace
+from repro.consensus.decisions import DecisionTracker
+from repro.consensus.messages import Decision, DecisionPull, Update
+
+
+class Learner(Process):
+    """A benign learner."""
+
+    def __init__(
+        self,
+        pid: Hashable,
+        rqs: RefinedQuorumSystem,
+        trace: Trace,
+        delta: float = 1.0,
+        pull_interval: float = 10.0,
+        max_pulls: int = 50,
+    ):
+        super().__init__(pid)
+        self.rqs = rqs
+        self.trace = trace
+        self.learned: Optional[Any] = None
+        self.learned_at: Optional[float] = None
+        self._decisions = DecisionTracker(rqs)
+        self._decision_senders: Dict[Any, Set[Hashable]] = {}
+        self._pull_interval = pull_interval
+        self._pulls_left = max_pulls
+        self._pull_armed = False
+        self._record: Optional[OperationRecord] = None
+
+    def bind(self, network):  # type: ignore[override]
+        bound = super().bind(network)
+        self._record = self.trace.begin("learn", self.pid, self.sim.now)
+        return bound
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, Update):
+            self._arm_pulls()
+            if message.src in self.rqs.ground_set:
+                decided = self._decisions.record(message.src, payload)
+                if decided is not None:
+                    self._learn(decided)
+        elif isinstance(payload, Decision):
+            self._arm_pulls()
+            if message.src in self.rqs.ground_set:
+                senders = self._decision_senders.setdefault(
+                    payload.value, set()
+                )
+                senders.add(message.src)
+                if self.rqs.is_basic(senders):
+                    self._learn(payload.value)
+
+    def _learn(self, value: Any) -> None:
+        if self.learned is not None:
+            return
+        self.learned = value
+        self.learned_at = self.sim.now
+        if self._record is not None:
+            self.trace.complete(self._record, self.sim.now, value)
+
+    # -- decision pulling (lines 102-103; bounded for simulation) -------------
+
+    def _arm_pulls(self) -> None:
+        if self._pull_armed or self.learned is not None:
+            return
+        self._pull_armed = True
+        self.sim.call_later(self._pull_interval, self._pull)
+
+    def _pull(self) -> None:
+        if self.learned is not None or self.crashed or self._pulls_left <= 0:
+            return
+        self._pulls_left -= 1
+        for acceptor in sorted(self.rqs.ground_set, key=repr):
+            self.send(acceptor, DecisionPull())
+        self.sim.call_later(self._pull_interval, self._pull)

@@ -1,0 +1,203 @@
+"""Single-decree crash Paxos baseline (Lamport's synod protocol).
+
+Crash-failure model, majority quorums.  A proposer runs Phase 1
+(``prepare``/``promise``) then Phase 2 (``accept``/``accepted``);
+learners learn when a majority of acceptors accepted the same
+(ballot, value).  With the classic message flow a value is learned four
+message delays after a propose (prepare → promise → accept → accepted),
+versus two for the RQS algorithm under a class-1 quorum — the baseline
+row of experiment E12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.sim.network import Message, Network, Rule
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+from repro.sim.tasks import WaitUntil
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class PaxPrepare:
+    ballot: int
+
+
+@dataclass(frozen=True)
+class PaxPromise:
+    ballot: int
+    accepted_ballot: int
+    accepted_value: Any
+
+
+@dataclass(frozen=True)
+class PaxAccept:
+    ballot: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class PaxAccepted:
+    ballot: int
+    value: Any
+
+
+class PaxosAcceptor(Process):
+    def __init__(self, pid: Hashable, learners: Tuple[Hashable, ...]):
+        super().__init__(pid)
+        self.learners = learners
+        self.promised = -1
+        self.accepted_ballot = -1
+        self.accepted_value: Any = None
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, PaxPrepare):
+            if payload.ballot > self.promised:
+                self.promised = payload.ballot
+                self.send(
+                    message.src,
+                    PaxPromise(
+                        payload.ballot,
+                        self.accepted_ballot,
+                        self.accepted_value,
+                    ),
+                )
+        elif isinstance(payload, PaxAccept):
+            if payload.ballot >= self.promised:
+                self.promised = payload.ballot
+                self.accepted_ballot = payload.ballot
+                self.accepted_value = payload.value
+                accepted = PaxAccepted(payload.ballot, payload.value)
+                self.send(message.src, accepted)
+                for learner in self.learners:
+                    self.send(learner, accepted)
+
+
+class PaxosProposer(Process):
+    def __init__(
+        self,
+        pid: Hashable,
+        acceptors: Tuple[Hashable, ...],
+        trace: Trace,
+        ballot_base: int,
+        ballot_stride: int,
+    ):
+        super().__init__(pid)
+        self.acceptors = acceptors
+        self.trace = trace
+        self.majority = len(acceptors) // 2 + 1
+        self.ballot = ballot_base
+        self.stride = ballot_stride
+        self._promises: Dict[int, Dict[Hashable, PaxPromise]] = {}
+        self._accepted: Dict[int, Set[Hashable]] = {}
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, PaxPromise):
+            self._promises.setdefault(payload.ballot, {})[message.src] = payload
+        elif isinstance(payload, PaxAccepted):
+            self._accepted.setdefault(payload.ballot, set()).add(message.src)
+
+    def propose(self, value: Any):
+        record = self.trace.begin("propose", self.pid, self.sim.now, value)
+        while True:
+            self.ballot += self.stride
+            ballot = self.ballot
+            for acceptor in self.acceptors:
+                self.send(acceptor, PaxPrepare(ballot))
+            yield WaitUntil(
+                lambda: len(self._promises.get(ballot, {})) >= self.majority,
+                f"paxos phase1 b={ballot}",
+            )
+            promises = self._promises[ballot].values()
+            prior = max(promises, key=lambda p: p.accepted_ballot)
+            chosen = (
+                prior.accepted_value
+                if prior.accepted_ballot >= 0
+                else value
+            )
+            for acceptor in self.acceptors:
+                self.send(acceptor, PaxAccept(ballot, chosen))
+            yield WaitUntil(
+                lambda: len(self._accepted.get(ballot, ())) >= self.majority,
+                f"paxos phase2 b={ballot}",
+            )
+            self.trace.complete(record, self.sim.now, chosen)
+            return record
+
+
+class PaxosLearner(Process):
+    def __init__(self, pid: Hashable, n_acceptors: int, trace: Trace):
+        super().__init__(pid)
+        self.majority = n_acceptors // 2 + 1
+        self.trace = trace
+        self.learned: Any = None
+        self.learned_at: Optional[float] = None
+        self._accepted: Dict[Tuple[int, Any], Set[Hashable]] = {}
+        self._record = None
+
+    def bind(self, network):  # type: ignore[override]
+        bound = super().bind(network)
+        self._record = self.trace.begin("learn", self.pid, self.sim.now)
+        return bound
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, PaxAccepted) and self.learned is None:
+            key = (payload.ballot, payload.value)
+            senders = self._accepted.setdefault(key, set())
+            senders.add(message.src)
+            if len(senders) >= self.majority:
+                self.learned = payload.value
+                self.learned_at = self.sim.now
+                self.trace.complete(self._record, self.sim.now, payload.value)
+
+
+class PaxosSystem:
+    """Wired single-decree Paxos deployment."""
+
+    def __init__(
+        self,
+        n_acceptors: int = 5,
+        n_proposers: int = 2,
+        n_learners: int = 3,
+        delta: float = 1.0,
+        rules: Optional[List[Rule]] = None,
+    ):
+        self.sim = Simulator()
+        self.network = Network(self.sim, delta=delta, rules=list(rules or []))
+        self.trace = Trace()
+        self.delta = delta
+        acceptor_ids = tuple(range(1, n_acceptors + 1))
+        learner_ids = tuple(f"l{i + 1}" for i in range(n_learners))
+        self.acceptors = {
+            aid: PaxosAcceptor(aid, learner_ids).bind(self.network)
+            for aid in acceptor_ids
+        }
+        self.proposers = [
+            PaxosProposer(
+                f"p{i + 1}", acceptor_ids, self.trace,
+                ballot_base=i, ballot_stride=n_proposers,
+            ).bind(self.network)
+            for i in range(n_proposers)
+        ]
+        self.learners = [
+            PaxosLearner(lid, n_acceptors, self.trace).bind(self.network)
+            for lid in learner_ids
+        ]
+
+    def run_best_case(self, value: Any, horizon: float = 60.0):
+        self.sim.spawn(self.proposers[0].propose(value), "paxos propose")
+        self.sim.run(until=horizon)
+        return {
+            learner.pid: (
+                None
+                if learner.learned_at is None
+                else learner.learned_at / self.delta
+            )
+            for learner in self.learners
+        }

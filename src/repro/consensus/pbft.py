@@ -1,0 +1,181 @@
+"""PBFT-lite single-shot baseline (Castro–Liskov normal case).
+
+``n = 3f + 1`` acceptors ("replicas"), a fixed primary.  Normal-case flow
+for one decision: the proposer's request reaches the primary, which sends
+``pre-prepare``; replicas exchange ``prepare`` then ``commit``; a learner
+learns on ``f + 1`` matching ``committed`` notifications.
+
+Message-delay count to learners from the propose:
+request(1) → pre-prepare(2) → prepare(3) → commit(4) → committed(5) for
+non-primary replicas; with the usual "reply after commit" shortcut the
+first replies land 5Δ after the propose — never better than the RQS
+algorithm's 2Δ best case and strictly worse than its 4Δ worst best-case.
+View changes are not implemented (this baseline only measures the
+fault-free fast path of E12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.sim.network import Message, Network, Rule
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class Request:
+    value: Any
+
+
+@dataclass(frozen=True)
+class PrePrepare:
+    view: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class BftPrepare:
+    view: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Commit:
+    view: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Committed:
+    view: int
+    value: Any
+
+
+class PbftReplica(Process):
+    def __init__(
+        self,
+        pid: Hashable,
+        replicas: Tuple[Hashable, ...],
+        learners: Tuple[Hashable, ...],
+        f: int,
+        primary: Hashable,
+    ):
+        super().__init__(pid)
+        self.replicas = replicas
+        self.learners = learners
+        self.f = f
+        self.primary = primary
+        self.pre_prepared: Optional[Any] = None
+        self.prepared = False
+        self.committed_local = False
+        self._prepares: Dict[Any, Set[Hashable]] = {}
+        self._commits: Dict[Any, Set[Hashable]] = {}
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, Request) and self.pid == self.primary:
+            if self.pre_prepared is None:
+                self.pre_prepared = payload.value
+                for replica in self.replicas:
+                    self.send(replica, PrePrepare(0, payload.value))
+        elif isinstance(payload, PrePrepare):
+            if message.src == self.primary and self.pre_prepared is None:
+                self.pre_prepared = payload.value
+                for replica in self.replicas:
+                    self.send(replica, BftPrepare(0, payload.value))
+        elif isinstance(payload, BftPrepare):
+            senders = self._prepares.setdefault(payload.value, set())
+            senders.add(message.src)
+            # prepared: pre-prepare + 2f matching prepares
+            if (
+                not self.prepared
+                and self.pre_prepared == payload.value
+                and len(senders) >= 2 * self.f
+            ):
+                self.prepared = True
+                for replica in self.replicas:
+                    self.send(replica, Commit(0, payload.value))
+        elif isinstance(payload, Commit):
+            senders = self._commits.setdefault(payload.value, set())
+            senders.add(message.src)
+            # committed-local: 2f + 1 matching commits
+            if (
+                not self.committed_local
+                and len(senders) >= 2 * self.f + 1
+            ):
+                self.committed_local = True
+                for learner in self.learners:
+                    self.send(learner, Committed(0, payload.value))
+
+
+class PbftLearner(Process):
+    def __init__(self, pid: Hashable, f: int, trace: Trace):
+        super().__init__(pid)
+        self.f = f
+        self.trace = trace
+        self.learned: Any = None
+        self.learned_at: Optional[float] = None
+        self._committed: Dict[Any, Set[Hashable]] = {}
+        self._record = None
+
+    def bind(self, network):  # type: ignore[override]
+        bound = super().bind(network)
+        self._record = self.trace.begin("learn", self.pid, self.sim.now)
+        return bound
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, Committed) and self.learned is None:
+            senders = self._committed.setdefault(payload.value, set())
+            senders.add(message.src)
+            if len(senders) >= self.f + 1:
+                self.learned = payload.value
+                self.learned_at = self.sim.now
+                self.trace.complete(self._record, self.sim.now, payload.value)
+
+
+class PbftSystem:
+    """Wired PBFT-lite deployment (fault-free fast path only)."""
+
+    def __init__(
+        self,
+        f: int = 1,
+        n_learners: int = 3,
+        delta: float = 1.0,
+        rules: Optional[List[Rule]] = None,
+    ):
+        self.sim = Simulator()
+        self.network = Network(self.sim, delta=delta, rules=list(rules or []))
+        self.trace = Trace()
+        self.delta = delta
+        self.f = f
+        n = 3 * f + 1
+        replica_ids = tuple(range(1, n + 1))
+        learner_ids = tuple(f"l{i + 1}" for i in range(n_learners))
+        self.replicas = {
+            rid: PbftReplica(
+                rid, replica_ids, learner_ids, f, primary=replica_ids[0]
+            ).bind(self.network)
+            for rid in replica_ids
+        }
+        self.learners = [
+            PbftLearner(lid, f, self.trace).bind(self.network)
+            for lid in learner_ids
+        ]
+        self.client = Process("client").bind(self.network)
+
+    def run_best_case(self, value: Any, horizon: float = 60.0):
+        """Client sends the request to the primary at t=0."""
+        self.client.send(1, Request(value))
+        self.sim.run(until=horizon)
+        return {
+            learner.pid: (
+                None
+                if learner.learned_at is None
+                else learner.learned_at / self.delta
+            )
+            for learner in self.learners
+        }

@@ -1,0 +1,53 @@
+"""Core refined-quorum-system abstractions (the paper's contribution).
+
+Public surface:
+
+* :class:`~repro.core.adversary.Adversary` and its two implementations,
+  :class:`~repro.core.adversary.ThresholdAdversary` (``B_k``) and
+  :class:`~repro.core.adversary.ExplicitAdversary`.
+* :class:`~repro.core.rqs.RefinedQuorumSystem` — Definition 2 with full
+  validation and witness extraction.
+* :mod:`~repro.core.constructions` — every example of Section 2.2.
+* :mod:`~repro.core.search` — RQS discovery for a given adversary.
+* :mod:`~repro.core.metrics` — load/availability (Section 6 directions).
+"""
+
+from repro.core.adversary import (
+    Adversary,
+    ExplicitAdversary,
+    ThresholdAdversary,
+    as_subset,
+)
+from repro.core.asymmetric import AsymmetricRQS, threshold_asymmetric
+from repro.core.rqs import RefinedQuorumSystem, describe
+from repro.core.properties import (
+    P1Witness,
+    P2Witness,
+    P3Witness,
+    check_property1,
+    check_property2,
+    check_property3,
+    negate_property3,
+    p3a,
+    p3b,
+)
+
+__all__ = [
+    "Adversary",
+    "ExplicitAdversary",
+    "ThresholdAdversary",
+    "AsymmetricRQS",
+    "threshold_asymmetric",
+    "RefinedQuorumSystem",
+    "describe",
+    "as_subset",
+    "P1Witness",
+    "P2Witness",
+    "P3Witness",
+    "check_property1",
+    "check_property2",
+    "check_property3",
+    "negate_property3",
+    "p3a",
+    "p3b",
+]

@@ -1,0 +1,224 @@
+"""Adversary structures (Definition 1 of the paper).
+
+An *adversary structure* ``B`` for a ground set ``S`` is a family of subsets
+of ``S`` that is closed under taking subsets: if ``B`` can be corrupted, so
+can every subset of ``B``.  The elements of ``B`` are the sets of processes
+that may simultaneously be Byzantine in a single execution.
+
+Two concrete representations are provided:
+
+* :class:`ThresholdAdversary` — the classical ``B_k`` structure containing
+  every subset of cardinality at most ``k``.  Membership is O(1).
+* :class:`ExplicitAdversary` — an arbitrary structure represented by its
+  *maximal* elements; membership reduces to a subset check against the
+  maximal sets.
+
+Both expose the same small interface (:class:`Adversary`), which is all the
+rest of the library relies on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from itertools import combinations
+from typing import AbstractSet, FrozenSet, Hashable, Iterable, Iterator, Tuple
+
+from repro.errors import AdversaryError
+
+Element = Hashable
+Subset = FrozenSet[Element]
+
+
+def as_subset(elements: Iterable[Element]) -> Subset:
+    """Normalize any iterable of elements into a ``frozenset``."""
+    return frozenset(elements)
+
+
+class Adversary(ABC):
+    """Abstract adversary structure over a ground set ``S``.
+
+    Subclasses must implement :meth:`contains` (membership of a subset in
+    ``B``) and :meth:`maximal_sets` (the antichain of maximal elements).
+    Everything else is derived.
+    """
+
+    def __init__(self, ground_set: Iterable[Element]):
+        self._ground = as_subset(ground_set)
+        if not self._ground:
+            raise AdversaryError("ground set must be non-empty")
+
+    @property
+    def ground_set(self) -> Subset:
+        """The set ``S`` the structure is defined over."""
+        return self._ground
+
+    @abstractmethod
+    def contains(self, subset: Iterable[Element]) -> bool:
+        """Return ``True`` iff ``subset`` is an element of ``B``."""
+
+    @abstractmethod
+    def maximal_sets(self) -> Tuple[Subset, ...]:
+        """Return the maximal elements of ``B`` (an antichain).
+
+        The empty structure ``B = {∅}`` is represented by ``(frozenset(),)``.
+        """
+
+    # -- derived operations -------------------------------------------------
+
+    def __contains__(self, subset: AbstractSet[Element]) -> bool:
+        return self.contains(subset)
+
+    def is_basic(self, subset: Iterable[Element]) -> bool:
+        """Definition 5: ``subset`` is *basic* iff it is **not** in ``B``.
+
+        A basic subset contains at least one benign process in every
+        execution (Lemma 1 / Lemma 17 of the paper).
+        """
+        return not self.contains(subset)
+
+    def is_large(self, subset: Iterable[Element]) -> bool:
+        """Definition 5: ``subset`` is *large* iff it is not covered by the
+        union of any two elements of ``B``.
+
+        A large subset always contains a basic subset of benign processes
+        (Lemma 2 / Lemma 18 of the paper).
+        """
+        target = as_subset(subset)
+        maxima = self.maximal_sets()
+        for b1 in maxima:
+            remainder = target - b1
+            # target ⊆ b1 ∪ b2  ⇔  (target \ b1) ⊆ b2 for some b2 ∈ B.
+            if self.contains(remainder):
+                return False
+        return True
+
+    def enumerate(self) -> Iterator[Subset]:
+        """Yield every element of ``B`` (exponential; small sets only)."""
+        seen = set()
+        for maximal in self.maximal_sets():
+            for size in range(len(maximal) + 1):
+                for combo in combinations(sorted(maximal, key=repr), size):
+                    candidate = frozenset(combo)
+                    if candidate not in seen:
+                        seen.add(candidate)
+                        yield candidate
+
+    def restricted_to(self, subset: Iterable[Element]) -> "ExplicitAdversary":
+        """The induced structure on a sub-universe ``subset`` of ``S``."""
+        universe = as_subset(subset)
+        if not universe <= self._ground:
+            raise AdversaryError("restriction target is not a subset of S")
+        maxima = tuple(
+            frozenset(m & universe) for m in self.maximal_sets()
+        )
+        return ExplicitAdversary(universe, maxima)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        maxima = sorted(tuple(sorted(map(repr, m))) for m in self.maximal_sets())
+        return f"{type(self).__name__}(|S|={len(self._ground)}, maxima={maxima})"
+
+
+class ThresholdAdversary(Adversary):
+    """The ``k``-bounded threshold adversary ``B_k``.
+
+    Contains every subset of ``S`` of cardinality at most ``k``.  ``k = 0``
+    yields the crash-only structure ``B = {∅}``.
+    """
+
+    def __init__(self, ground_set: Iterable[Element], k: int):
+        super().__init__(ground_set)
+        if k < 0:
+            raise AdversaryError(f"threshold k must be >= 0, got {k}")
+        if k > len(self._ground):
+            raise AdversaryError(
+                f"threshold k={k} exceeds |S|={len(self._ground)}"
+            )
+        self._k = k
+
+    @property
+    def k(self) -> int:
+        """The corruption threshold."""
+        return self._k
+
+    def contains(self, subset: Iterable[Element]) -> bool:
+        target = as_subset(subset)
+        if not target <= self._ground:
+            return False
+        return len(target) <= self._k
+
+    def maximal_sets(self) -> Tuple[Subset, ...]:
+        if self._k == 0:
+            return (frozenset(),)
+        ordered = sorted(self._ground, key=repr)
+        return tuple(
+            frozenset(combo) for combo in combinations(ordered, self._k)
+        )
+
+    def is_large(self, subset: Iterable[Element]) -> bool:
+        # For B_k, "not covered by a union of two elements" is simply a
+        # cardinality check: |subset| > 2k.
+        target = as_subset(subset)
+        return len(target) > 2 * self._k
+
+    def is_basic(self, subset: Iterable[Element]) -> bool:
+        target = as_subset(subset)
+        if not target <= self._ground:
+            return True
+        return len(target) > self._k
+
+
+class ExplicitAdversary(Adversary):
+    """An adversary structure given by an explicit collection of sets.
+
+    The constructor accepts *any* family of subsets; it keeps only the
+    maximal ones (the structure is the downward closure of those).  Passing
+    an empty family yields ``B = {∅}`` — the crash-only adversary, which the
+    paper writes as ``B = {∅}`` in Example 2.
+    """
+
+    def __init__(
+        self,
+        ground_set: Iterable[Element],
+        corruptible: Iterable[Iterable[Element]] = (),
+    ):
+        super().__init__(ground_set)
+        sets = [as_subset(c) for c in corruptible]
+        for candidate in sets:
+            if not candidate <= self._ground:
+                raise AdversaryError(
+                    f"corruptible set {set(candidate)!r} not within S"
+                )
+        self._maxima = _maximal_antichain(sets)
+
+    def contains(self, subset: Iterable[Element]) -> bool:
+        target = as_subset(subset)
+        if not target <= self._ground:
+            return False
+        return any(target <= maximal for maximal in self._maxima)
+
+    def maximal_sets(self) -> Tuple[Subset, ...]:
+        return self._maxima
+
+    @classmethod
+    def from_threshold(
+        cls, ground_set: Iterable[Element], k: int
+    ) -> "ExplicitAdversary":
+        """Materialize ``B_k`` explicitly (useful for cross-checking)."""
+        threshold = ThresholdAdversary(ground_set, k)
+        return cls(threshold.ground_set, threshold.maximal_sets())
+
+
+def _maximal_antichain(sets: Iterable[Subset]) -> Tuple[Subset, ...]:
+    """Reduce a family of sets to its maximal antichain.
+
+    The empty family reduces to ``(frozenset(),)`` so the downward closure
+    is ``{∅}`` rather than the (illegal) empty structure.
+    """
+    unique = sorted(set(sets), key=len, reverse=True)
+    maxima: list[Subset] = []
+    for candidate in unique:
+        if not any(candidate < kept or candidate == kept for kept in maxima):
+            maxima.append(candidate)
+    if not maxima:
+        maxima = [frozenset()]
+    return tuple(maxima)

@@ -1,0 +1,131 @@
+"""Load and availability of quorum systems (Naor–Wool style).
+
+The paper's concluding section lists "the load and availability of RQS"
+as an open research direction; these metrics power the ablation bench
+(experiment E13 in DESIGN.md).
+
+* **Load** (:func:`system_load`): the minimum over access strategies of
+  the maximum access probability of any element.  We compute the exact
+  LP-free bound for threshold systems and a best-effort strategy for
+  explicit families (uniform over a minimum-cardinality cover is used as
+  the strategy; for the symmetric threshold systems this is optimal and
+  equals ``(n − i) / n`` for ``Q_i`` families).
+* **Availability** (:func:`failure_probability`): the probability that no
+  quorum is fully alive when each element fails independently with
+  probability ``p`` — computed exactly by inclusion–exclusion for small
+  families, or by enumeration over the ``2^n`` failure patterns when the
+  family is large but the universe is small.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Hashable, Sequence, Tuple
+
+from repro.core.adversary import as_subset
+from repro.core.rqs import RefinedQuorumSystem
+
+Subset = FrozenSet[Hashable]
+
+
+def uniform_strategy(quorums: Sequence[Subset]) -> Dict[Subset, float]:
+    """The uniform access strategy over a quorum family."""
+    if not quorums:
+        raise ValueError("need at least one quorum")
+    weight = 1.0 / len(quorums)
+    return {q: weight for q in quorums}
+
+
+def strategy_load(
+    quorums: Sequence[Subset], strategy: Dict[Subset, float]
+) -> float:
+    """The load induced by ``strategy``: max over elements of the summed
+    probability of quorums containing that element."""
+    ground = set()
+    for quorum in quorums:
+        ground |= quorum
+    per_element = {e: 0.0 for e in ground}
+    for quorum, weight in strategy.items():
+        for element in quorum:
+            per_element[element] += weight
+    return max(per_element.values())
+
+
+def system_load(rqs: RefinedQuorumSystem, cls: int = 3) -> float:
+    """Load of the class-``cls`` quorum family under the best of a small
+    set of candidate strategies.
+
+    For symmetric (threshold) families the minimum-cardinality-uniform
+    strategy is optimal: every minimal quorum has ``n − i`` elements and
+    the load is ``(n − i)/n``.  For irregular explicit families this is a
+    (reported) upper bound on the true LP optimum.
+    """
+    family = rqs.class_quorums(cls)
+    if not family:
+        raise ValueError(f"class {cls} has no quorums")
+    minimal_size = min(len(q) for q in family)
+    minimal = [q for q in family if len(q) == minimal_size]
+    candidates = [uniform_strategy(minimal), uniform_strategy(list(family))]
+    return min(strategy_load(family, s) for s in candidates)
+
+
+def failure_probability(
+    rqs: RefinedQuorumSystem, p: float, cls: int = 3
+) -> float:
+    """Probability that *no* class-``cls`` quorum is fully alive when each
+    server fails independently with probability ``p``.
+
+    Exact, via enumeration of failure patterns restricted to the union of
+    the family (elements outside every quorum are irrelevant).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"failure probability must be in [0,1], got {p}")
+    family = rqs.class_quorums(cls)
+    if not family:
+        raise ValueError(f"class {cls} has no quorums")
+    relevant = sorted(set().union(*family), key=repr)
+    n = len(relevant)
+    dead_probability = 0.0
+    # Enumerate alive-subsets of the relevant universe.
+    for alive_size in range(n + 1):
+        for alive in combinations(relevant, alive_size):
+            alive_set = frozenset(alive)
+            if any(q <= alive_set for q in family):
+                continue
+            weight = (1 - p) ** alive_size * p ** (n - alive_size)
+            dead_probability += weight
+    return dead_probability
+
+
+def availability(rqs: RefinedQuorumSystem, p: float, cls: int = 3) -> float:
+    """``1 − failure_probability`` — chance some class-``cls`` quorum is
+    fully alive under i.i.d. element failure probability ``p``."""
+    return 1.0 - failure_probability(rqs, p, cls)
+
+
+def best_case_latency_profile(
+    rqs: RefinedQuorumSystem, p: float, latencies: Tuple[int, int, int]
+) -> float:
+    """Expected best-case latency when each server is up with prob. 1−p.
+
+    ``latencies = (l1, l2, l3)`` are the class-1/2/3 best-case latencies
+    (e.g. rounds ``(1, 2, 3)`` for storage, message delays ``(2, 3, 4)``
+    for consensus).  The expectation conditions on *some* quorum being
+    alive; returns ``float('inf')`` when even class 3 is never available.
+    """
+    l1, l2, l3 = latencies
+    a1 = availability(rqs, p, cls=1) if rqs.qc1 else 0.0
+    a2 = availability(rqs, p, cls=2) if rqs.qc2 else 0.0
+    a3 = availability(rqs, p, cls=3)
+    if a3 == 0.0:
+        return float("inf")
+    # P(best available class is 1/2/3):
+    p1 = a1
+    p2 = max(a2 - a1, 0.0)
+    p3 = max(a3 - a2, 0.0)
+    return (p1 * l1 + p2 * l2 + p3 * l3) / a3
+
+
+def as_quorum_family(quorums: Sequence) -> Tuple[Subset, ...]:
+    """Convenience normalizer used by benches."""
+    return tuple(as_subset(q) for q in quorums)

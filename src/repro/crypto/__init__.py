@@ -1,0 +1,5 @@
+"""Simulated cryptographic primitives (unforgeable signatures)."""
+
+from repro.crypto.signatures import SignatureService, Signed
+
+__all__ = ["SignatureService", "Signed"]

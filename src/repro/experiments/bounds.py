@@ -1,0 +1,106 @@
+"""Experiment E11 — tightness of the Example 5/6 inequalities.
+
+The paper gives closed-form conditions for the threshold family
+``RQS = Q_t``, ``QC2 = Q_r``, ``QC1 = Q_q`` under ``B_k``:
+
+* Property 1  ⇔  ``n > 2t + k``
+* Property 2  ⇔  ``n > t + 2k + 2q``
+* Property 3  ⇔  ``n > t + r + k + min(k, q)``
+
+This sweep brute-force-validates every parameter point and reports any
+mismatch between the formulas and the explicit property checks — there
+must be none, in *both* directions (the conditions are necessary and
+sufficient, i.e. tight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.core.constructions import (
+    threshold_rqs,
+    threshold_rqs_predicted_properties,
+    threshold_rqs_predicted_valid,
+)
+
+
+@dataclass
+class SweepResult:
+    points: int
+    mismatches: List[Tuple[int, int, int, int, int]]
+    boundary_points: int  # points exactly at a validity boundary
+
+    @property
+    def tight(self) -> bool:
+        return not self.mismatches
+
+    def row(self) -> str:
+        return (
+            f"swept {self.points} parameter points, "
+            f"{self.boundary_points} on the boundary, "
+            f"{len(self.mismatches)} formula mismatches"
+        )
+
+
+def parameter_space(max_n: int) -> Iterator[Tuple[int, int, int, int, int]]:
+    for n in range(3, max_n + 1):
+        for t in range(1, n):
+            for k in range(0, t + 1):
+                for q in range(0, t + 1):
+                    for r in range(q, t + 1):
+                        yield n, t, k, q, r
+
+
+def run_sweep(max_n: int = 7) -> SweepResult:
+    points = 0
+    boundary = 0
+    mismatches: List[Tuple[int, int, int, int, int]] = []
+    for n, t, k, q, r in parameter_space(max_n):
+        points += 1
+        rqs = threshold_rqs(n, t, k, q, r, validate=False)
+        violation = rqs.first_violation()
+        actual = (
+            _actual_properties(rqs)
+            if violation is not None
+            else (True, True, True)
+        )
+        predicted = threshold_rqs_predicted_properties(n, t, k, q, r)
+        if actual != predicted:
+            mismatches.append((n, t, k, q, r))
+        if _on_boundary(n, t, k, q, r):
+            boundary += 1
+    return SweepResult(points, mismatches, boundary)
+
+
+def _actual_properties(rqs) -> Tuple[bool, bool, bool]:
+    from repro.core import properties as props
+
+    p1 = props.check_property1(rqs.adversary, rqs.quorums) is None
+    p2 = props.check_property2(rqs.adversary, rqs.qc1, rqs.quorums) is None
+    p3 = (
+        props.check_property3(rqs.adversary, rqs.qc1, rqs.qc2, rqs.quorums)
+        is None
+    )
+    return (p1, p2, p3)
+
+
+def _on_boundary(n: int, t: int, k: int, q: int, r: int) -> bool:
+    """Exactly one short of validity on at least one property — the
+    points that prove necessity."""
+    return (
+        n == 2 * t + k + 1
+        or n == t + 2 * k + 2 * q + 1
+        or n == t + r + k + min(k, q) + 1
+    )
+
+
+def minimal_system_sizes(max_t: int = 4) -> List[Tuple[int, int]]:
+    """The PBFT-style instantiation sizes: smallest n for q=0, r=k=t."""
+    rows = []
+    for t in range(1, max_t + 1):
+        n = 3 * t + 1
+        assert threshold_rqs_predicted_valid(n, t, t, 0, t)
+        assert not threshold_rqs_predicted_valid(n - 1, t, t, 0, t)
+        rows.append((t, n))
+    return rows

@@ -1,0 +1,84 @@
+"""Experiment E8 — the consensus latency table (Section 4.2).
+
+The paper's claim: in best-case executions (single correct proposer,
+synchrony) all correct learners learn in
+
+======================  ====================
+available quorum class  learn (msg delays)
+======================  ====================
+1                       2
+2                       3
+3                       4
+======================  ====================
+
+and the availability of a class-3 quorum is anyway required for
+liveness.  We run the Example 6 instance ``n=8, t=3, k=1, q=1, r=2``
+over a uniform-Δ network and crash acceptors so exactly a class-1/2/3
+quorum of correct acceptors remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.consensus_check import check_consensus
+from repro.core.constructions import threshold_rqs
+from repro.core.rqs import RefinedQuorumSystem
+from repro.consensus.system import ConsensusSystem
+
+
+@dataclass
+class ConsensusLatencyRow:
+    quorum_class: int
+    delays: Dict[object, Optional[float]]
+    agreed: bool
+
+    @property
+    def worst_delay(self) -> Optional[float]:
+        values = [d for d in self.delays.values() if d is not None]
+        return max(values) if len(values) == len(self.delays) else None
+
+    def row(self) -> str:
+        return (
+            f"class {self.quorum_class}: learners learn in "
+            f"{self.worst_delay} message delays "
+            f"({'agreement ok' if self.agreed else 'DISAGREEMENT'})"
+        )
+
+
+def default_rqs() -> RefinedQuorumSystem:
+    return threshold_rqs(8, 3, 1, 1, 2)
+
+
+_CRASHES = {1: 0, 2: 2, 3: 3}
+
+
+def measure(quorum_class: int, value: str = "V") -> ConsensusLatencyRow:
+    rqs = default_rqs()
+    crash_times = {
+        sid: 0.0 for sid in range(1, _CRASHES[quorum_class] + 1)
+    }
+    system = ConsensusSystem(
+        rqs, n_proposers=2, n_learners=3, crash_times=crash_times
+    )
+    delays = system.run_best_case(value)
+    report = check_consensus(
+        system.operations(),
+        correct_learners=[l.pid for l in system.learners],
+    )
+    return ConsensusLatencyRow(quorum_class, delays, report.ok)
+
+
+def run_experiment() -> List[ConsensusLatencyRow]:
+    return [measure(cls) for cls in (1, 2, 3)]
+
+
+PAPER_CLAIM = {1: 2.0, 2: 3.0, 3: 4.0}
+
+
+def matches_paper(rows: Sequence[ConsensusLatencyRow]) -> bool:
+    return all(
+        row.worst_delay == PAPER_CLAIM[row.quorum_class] and row.agreed
+        for row in rows
+    )

@@ -1,0 +1,116 @@
+"""Experiment E1 — Figure 1: the atomicity-violation counterexample.
+
+The paper opens with 5 servers and ``t = 2`` crash failures and shows
+that *any* algorithm greedily completing operations in one round after
+hearing from ``n − t = 3`` servers violates atomicity.  We replay the
+composed schedule of executions ex3+ex4 against the greedy algorithm of
+:mod:`repro.storage.naive`:
+
+1. ``wr = write(v)`` is invoked but its messages reach **only server 3**
+   (the write is incomplete, as in ex3).
+2. Reader ``r1`` reads; its messages to servers 1 and 2 are delayed, so
+   it hears from ``Q2 = {3, 4, 5}`` and greedily returns ``v``.
+3. Servers 3 and 5 crash (ex4).
+4. Reader ``r2`` reads; it hears from ``Q3 = {1, 2, 4}`` — none of which
+   ever saw ``v`` — and returns ⊥, *inverting* ``r1``'s read.
+
+The atomicity checker must flag the read inversion.  The same schedule
+against the Section 1.2 algorithm (4-server fast quorums,
+:mod:`repro.storage.fastabd`) stays atomic — that contrast is the whole
+point of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.analysis.atomicity import AtomicityReport, check_swmr_atomicity
+from repro.sim.network import hold_rule
+from repro.storage.fastabd import FastAbdSystem, FRead
+from repro.storage.naive import NaiveSystem, NRead
+
+
+@dataclass
+class Fig1Outcome:
+    """What each algorithm did under the Figure 1 schedule."""
+
+    algorithm: str
+    r1_value: object
+    r1_rounds: int
+    r2_value: object
+    r2_rounds: int
+    report: AtomicityReport
+
+    def row(self) -> str:
+        status = "ATOMIC" if self.report.atomic else "VIOLATION"
+        rules = ",".join(sorted({v.rule for v in self.report.violations}))
+        return (
+            f"{self.algorithm:<22} r1→{self.r1_value!r:<6} "
+            f"r2→{self.r2_value!r:<6} {status}"
+            + (f" ({rules})" if rules else "")
+        )
+
+
+def _schedule_rules(read_message_type):
+    """The adversarial message schedule shared by both algorithms."""
+    return [
+        # The write is incomplete: only server 3 ever receives it.
+        hold_rule(
+            src={"writer"}, dst={1, 2, 4, 5}, label="wr reaches only s3"
+        ),
+        # r1's *first-round read* messages to servers 1, 2 are delayed.
+        hold_rule(
+            src={"reader1"},
+            dst={1, 2},
+            payload_predicate=lambda p: isinstance(p, read_message_type),
+            label="r1 cannot reach s1, s2",
+        ),
+    ]
+
+
+def run_naive() -> Fig1Outcome:
+    """The greedy 3-of-5 algorithm under the Figure 1 schedule."""
+    system = NaiveSystem(n=5, t=2, n_readers=2, rules=_schedule_rules(NRead))
+    system.write_task = system.sim.spawn(
+        system.writer.write("v"), "wr(v) [incomplete]"
+    )
+    r1_task = system.sim.spawn(system.readers[0].read(), "r1.read()")
+    system.sim.run(until=10.0)
+    assert r1_task.done(), "r1 should complete from {3,4,5}"
+    system.servers[3].crash()
+    system.servers[5].crash()
+    r2_task = system.sim.spawn(system.readers[1].read(), "r2.read()")
+    system.sim.run(until=20.0)
+    assert r2_task.done(), "r2 should complete from {1,2,4}"
+    report = check_swmr_atomicity(system.trace.records)
+    r1, r2 = r1_task.result, r2_task.result
+    return Fig1Outcome(
+        "naive (3-of-5 fast)",
+        r1.result, r1.rounds, r2.result, r2.rounds, report,
+    )
+
+
+def run_fastabd() -> Fig1Outcome:
+    """The Section 1.2 algorithm (4-of-5 fast) under the same schedule."""
+    system = FastAbdSystem(n_readers=2, rules=_schedule_rules(FRead))
+    system.sim.spawn(system.writer.write("v"), "wr(v) [incomplete]")
+    r1_task = system.sim.spawn(system.readers[0].read(), "r1.read()")
+    system.sim.run(until=20.0)
+    assert r1_task.done(), "r1 should complete (2 rounds via writeback)"
+    system.servers[3].crash()
+    system.servers[5].crash()
+    r2_task = system.sim.spawn(system.readers[1].read(), "r2.read()")
+    system.sim.run(until=40.0)
+    assert r2_task.done(), "r2 should complete from {1,2,4}"
+    report = check_swmr_atomicity(system.trace.records)
+    r1, r2 = r1_task.result, r2_task.result
+    return Fig1Outcome(
+        "section-1.2 (4-of-5)",
+        r1.result, r1.rounds, r2.result, r2.rounds, report,
+    )
+
+
+def run_experiment() -> Tuple[Fig1Outcome, Fig1Outcome]:
+    """Both rows of the E1 exhibit: (naive violates, fast-ABD doesn't)."""
+    return run_naive(), run_fastabd()

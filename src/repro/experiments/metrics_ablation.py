@@ -1,0 +1,84 @@
+"""Experiment E13 — load/availability ablation (Section 6 directions).
+
+The paper lists "the load and availability of RQS" as an open direction.
+This ablation quantifies the price of fast quorum classes on the
+Example 6 threshold family: class-1 quorums are larger, so they carry a
+higher load and die sooner as the per-server failure probability grows —
+the crossover where the *expected best-case latency* of the refined
+system stops improving on a flat (class-3 only) system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.constructions import threshold_rqs
+from repro.core.metrics import (
+    availability,
+    best_case_latency_profile,
+    system_load,
+)
+from repro.core.rqs import RefinedQuorumSystem
+from repro.core.search import search_rqs
+from repro.core.adversary import ExplicitAdversary, ThresholdAdversary
+
+
+@dataclass
+class MetricsRow:
+    p: float
+    load_class1: float
+    load_class3: float
+    avail_class1: float
+    avail_class2: float
+    avail_class3: float
+    expected_latency: float
+
+    def row(self) -> str:
+        return (
+            f"p={self.p:.2f}  load(QC1)={self.load_class1:.3f} "
+            f"load(RQS)={self.load_class3:.3f}  "
+            f"avail 1/2/3={self.avail_class1:.3f}/"
+            f"{self.avail_class2:.3f}/{self.avail_class3:.3f}  "
+            f"E[rounds]={self.expected_latency:.3f}"
+        )
+
+
+def default_rqs() -> RefinedQuorumSystem:
+    return threshold_rqs(8, 3, 1, 1, 2)
+
+
+def sweep(
+    probabilities: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3),
+    latencies: Tuple[int, int, int] = (1, 2, 3),
+) -> List[MetricsRow]:
+    rqs = default_rqs()
+    rows = []
+    for p in probabilities:
+        rows.append(
+            MetricsRow(
+                p=p,
+                load_class1=system_load(rqs, cls=1),
+                load_class3=system_load(rqs, cls=3),
+                avail_class1=availability(rqs, p, cls=1),
+                avail_class2=availability(rqs, p, cls=2),
+                avail_class3=availability(rqs, p, cls=3),
+                expected_latency=best_case_latency_profile(rqs, p, latencies),
+            )
+        )
+    return rows
+
+
+def search_cost(sizes: Sequence[int] = (4, 5, 6)) -> List[Tuple[int, int, int]]:
+    """RQS discovery for general adversaries: (``|S|``, quorums found,
+    class-1 quorums found) per universe size."""
+    rows = []
+    for n in sizes:
+        servers = tuple(range(1, n + 1))
+        # a lightly-irregular adversary: one "fragile pair" plus singletons
+        adversary = ExplicitAdversary(
+            servers, [{1, 2}] + [{i} for i in servers]
+        )
+        rqs = search_rqs(adversary, min_quorum_size=max(2, n - 2))
+        rows.append((n, len(rqs.quorums), len(rqs.qc1)))
+    return rows

@@ -1,0 +1,180 @@
+"""Experiment E7 — Figure 8: the Theorem 3 impossibility construction.
+
+Theorem 3: no ``(Q(3), B)``-atomic storage can be both ``(1, Q(1))``-fast
+and ``(2, Q(2))``-fast when Property 3 fails.  We mechanize the proof's
+executions against the *real* RQS storage algorithm configured with a
+quorum family that satisfies Properties 1-2 but **violates Property 3**
+(the Example 6 instance ``n=8, t=3, k=1, q=1, r=3``:
+``n > 2t+k`` ✓, ``n > t+2k+2q`` ✓, but ``n = t+r+k+min(k,q)`` ✗).
+
+From a concrete negation witness ``(Q1, Q2, Q, B'1, B2)`` with
+``Q2∩Q \\ B'1 = B2 ∈ B`` and ``Q1∩Q2∩Q \\ B'1 = ∅`` we stage:
+
+* **ex''2** — ``wr1 = write(v1)`` reaches ``Q2`` in round 1 but only
+  ``Q1 ∩ Q2`` in round 2, then the writer crashes; reader ``r1``
+  (cut off from ``S \\ Q1``) returns ``v1`` in **one round** — the
+  fast path any ``(1,Q(1))``-fast algorithm must take.
+* **ex4** — the Byzantine set ``B1`` wipes its state to σ0; reader
+  ``r2`` (cut off from ``S \\ Q``) completes, and whatever it returns is
+  wrong: ``v1`` would be fabricated in the indistinguishable **ex5**
+  (where nothing was ever written and ``B2`` forges σ1), while ⊥ inverts
+  ``r1``'s read in ex4.
+
+The driver runs ex''2+ex4 *and* ex5, asserts the two runs are
+indistinguishable to ``r2`` (same output), and reports the atomicity
+violation the checker finds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.analysis.atomicity import AtomicityReport, check_swmr_atomicity
+from repro.core.constructions import threshold_rqs
+from repro.core.properties import P3Witness, negate_property3
+from repro.core.rqs import RefinedQuorumSystem
+from repro.sim.network import hold_rule
+from repro.storage.history import History
+from repro.storage.messages import WR
+from repro.storage.server import ForgetfulServer
+from repro.storage.system import StorageSystem
+
+
+def broken_rqs() -> RefinedQuorumSystem:
+    """Properties 1-2 hold, Property 3 fails (checked by the caller)."""
+    return threshold_rqs(8, 3, 1, 1, 3, validate=False)
+
+
+def find_witness(rqs: RefinedQuorumSystem) -> P3Witness:
+    witness = negate_property3(
+        rqs.adversary, rqs.qc1, rqs.qc2, rqs.quorums
+    )
+    if witness is None:
+        raise AssertionError("expected a P3 violation witness")
+    return witness
+
+
+@dataclass
+class Theorem3Outcome:
+    witness: P3Witness
+    r1_value: object
+    r1_rounds: int
+    ex4_r2_value: object
+    ex5_r2_value: object
+    indistinguishable: bool
+    report: AtomicityReport
+
+    def rows(self) -> Tuple[str, ...]:
+        rules = ",".join(sorted({v.rule for v in self.report.violations}))
+        return (
+            f"witness: {self.witness.describe()}",
+            f"ex''2: rd1 -> {self.r1_value!r} in {self.r1_rounds} round(s)",
+            f"ex4:   rd2 -> {self.ex4_r2_value!r}",
+            f"ex5:   rd2 -> {self.ex5_r2_value!r} "
+            f"(indistinguishable: {self.indistinguishable})",
+            f"checker: "
+            f"{'VIOLATION (' + rules + ')' if not self.report.atomic else 'atomic?!'}",
+        )
+
+
+def _stage(rqs, witness: P3Witness, with_write: bool):
+    """Build the staged system for ex''2+ex4 (with_write) or ex5."""
+    servers = rqs.ground_set
+    q1 = witness.q1 if witness.q1 is not None else frozenset()
+    q2, q = witness.q2, witness.q
+    b1, b2 = witness.b1, witness.b2
+    forge_time = 8.0
+
+    def round2(payload) -> bool:
+        return isinstance(payload, WR) and payload.rnd >= 2
+
+    rules = [
+        # wr1 round 1 reaches only Q2; round 2 reaches only Q1 ∩ Q2.
+        hold_rule(src={"writer"}, dst=servers - q2, label="wr misses S\\Q2"),
+        hold_rule(
+            src={"writer"},
+            dst=q2 - q1,
+            payload_predicate=round2,
+            label="wr round2 misses Q2\\Q1",
+        ),
+        # r1 only talks to Q1; r2 only hears from Q.
+        hold_rule(src={"reader1"}, dst=servers - q1, label="r1 ⊆ Q1"),
+        hold_rule(src=servers - q, dst={"reader2"}, label="r2 hears only Q"),
+    ]
+    factories = {}
+    if with_write:
+        # ex4: B1 forges σ0 (forgets everything) before rd2.
+        for sid in b1:
+            factories[sid] = (
+                lambda pid: ForgetfulServer(pid, forge_time, None)
+            )
+    else:
+        # ex5: B2 forges σ1 (pretends wr1's round 1 reached it).
+        sigma1 = History()
+        sigma1.store(1, 1, "v1", frozenset())
+        view = sigma1.snapshot()
+        for sid in b2:
+            factories[sid] = (
+                lambda pid: ForgetfulServer(pid, forge_time, view)
+            )
+    return StorageSystem(
+        rqs, n_readers=2, rules=rules, server_factories=factories
+    )
+
+
+def run_with_write(rqs, witness: P3Witness):
+    """ex''2 + ex4."""
+    system = _stage(rqs, witness, with_write=True)
+    system.sim.spawn(system.writer.write("v1"), "wr1 [crashes]")
+    system.writer.schedule_crash(2.5)  # after round-2 sends at 2Δ
+    system.sim.run(until=4.0)
+    r1_task = system.sim.spawn(system.readers[0].read(), "rd1")
+    system.sim.run(until=8.0)
+    assert r1_task.done(), "rd1 must be fast through Q1"
+    r1 = r1_task.result
+    r2_task = system.sim.spawn(system.readers[1].read(), "rd2 (ex4)")
+    system.sim.run(until=60.0)
+    assert r2_task.done(), "rd2 must complete through Q"
+    report = check_swmr_atomicity(system.operations())
+    return r1, r2_task.result, report
+
+
+def run_without_write(rqs, witness: P3Witness):
+    """ex5: nothing is written; B2 fabricates wr1's round 1."""
+    system = _stage(rqs, witness, with_write=False)
+    system.sim.run(until=8.5)   # let the forgery trigger
+    r2_task = system.sim.spawn(system.readers[1].read(), "rd2 (ex5)")
+    system.sim.run(until=60.0)
+    assert r2_task.done(), "rd2 must complete through Q"
+    return r2_task.result
+
+
+def run_experiment() -> Theorem3Outcome:
+    rqs = broken_rqs()
+    witness = find_witness(rqs)
+    r1, ex4_r2, report = run_with_write(rqs, witness)
+    ex5_r2 = run_without_write(rqs, witness)
+    return Theorem3Outcome(
+        witness=witness,
+        r1_value=r1.result,
+        r1_rounds=r1.rounds,
+        ex4_r2_value=ex4_r2.result,
+        ex5_r2_value=ex5_r2.result,
+        indistinguishable=(ex4_r2.result == ex5_r2.result),
+        report=report,
+    )
+
+
+def violation_demonstrated(outcome: Theorem3Outcome) -> bool:
+    """The construction succeeds iff r1 was fast and atomicity broke.
+
+    Whatever rd2 returns, one execution is wrong: ``v1`` fabricates in
+    ex5, ⊥ inverts rd1 in ex4; the checker catches the realized one.
+    """
+    return (
+        outcome.r1_rounds == 1
+        and outcome.r1_value == "v1"
+        and outcome.indistinguishable
+        and not outcome.report.atomic
+    )

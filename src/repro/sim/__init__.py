@@ -1,0 +1,41 @@
+"""Deterministic discrete-event simulation substrate.
+
+The executable instance of the paper's system model: processes as
+automata, point-to-point channels, synchrony as a bound ``Δ`` on message
+delay, asynchrony as messages held in transit, crash and Byzantine
+failures.
+"""
+
+from repro.sim.simulator import Simulator
+from repro.sim.tasks import Sleep, Task, WaitUntil
+from repro.sim.network import (
+    DROP,
+    HOLD,
+    Message,
+    Network,
+    Rule,
+    delay_rule,
+    drop_rule,
+    hold_rule,
+)
+from repro.sim.process import ByzantineProcess, Process
+from repro.sim.trace import OperationRecord, Trace
+
+__all__ = [
+    "Simulator",
+    "Sleep",
+    "Task",
+    "WaitUntil",
+    "Message",
+    "Network",
+    "Rule",
+    "HOLD",
+    "DROP",
+    "delay_rule",
+    "drop_rule",
+    "hold_rule",
+    "ByzantineProcess",
+    "Process",
+    "OperationRecord",
+    "Trace",
+]

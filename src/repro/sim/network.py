@@ -1,0 +1,258 @@
+"""Point-to-point message transport with scriptable timing.
+
+The paper's model (Section 3.1) has reliable point-to-point channels, an
+asynchronous system that may be synchronous during intervals (all
+messages between correct processes delivered within ``Δ``), and — for
+consensus — lossy channels with eventual synchrony after ``GST``.
+
+This module models all of that with a single mechanism: a network holds a
+*default* latency and an ordered list of :class:`Rule` overrides.  Each
+rule matches messages by sender/receiver/payload/send-time and either
+delays them by a fixed amount, holds them **in transit forever** (the
+asynchrony device used by every indistinguishability proof), or drops
+them (lossy channels before GST).  The first matching rule wins.
+
+Held messages are recorded (:attr:`Network.in_transit`) so experiments
+can assert what the adversary withheld, and can later be *released* to
+model "delayed until after round K" schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Hashable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.simulator import Simulator
+
+ProcessId = Hashable
+
+
+@dataclass
+class Message:
+    """A message in flight (or delivered, or held)."""
+
+    src: ProcessId
+    dst: ProcessId
+    payload: Any
+    send_time: float
+    deliver_time: Optional[float] = None
+    held: bool = False
+    dropped: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "held" if self.held else "dropped" if self.dropped
+            else f"@{self.deliver_time}"
+        )
+        return f"Message({self.src}->{self.dst}, {self.payload!r}, {state})"
+
+
+#: Sentinel outcomes for rules.
+HOLD = "hold"
+DROP = "drop"
+
+
+@dataclass
+class Rule:
+    """A latency override.
+
+    Matches when every provided criterion holds:
+
+    * ``src`` / ``dst`` — sets of process ids (``None`` = any),
+    * ``after`` / ``until`` — send-time window ``[after, until)``,
+    * ``payload_predicate`` — arbitrary predicate on the payload.
+
+    ``action`` is a float delay, :data:`HOLD` (in transit forever, until
+    released), or :data:`DROP` (lost; consensus-model channels only).
+    """
+
+    action: Any
+    src: Optional[FrozenSet[ProcessId]] = None
+    dst: Optional[FrozenSet[ProcessId]] = None
+    after: float = float("-inf")
+    until: float = float("inf")
+    payload_predicate: Optional[Callable[[Any], bool]] = None
+    label: str = ""
+
+    def matches(self, src: ProcessId, dst: ProcessId, payload: Any, time: float) -> bool:
+        if self.src is not None and src not in self.src:
+            return False
+        if self.dst is not None and dst not in self.dst:
+            return False
+        if not (self.after <= time < self.until):
+            return False
+        if self.payload_predicate is not None and not self.payload_predicate(payload):
+            return False
+        return True
+
+
+def hold_rule(
+    src: Optional[Any] = None,
+    dst: Optional[Any] = None,
+    after: float = float("-inf"),
+    until: float = float("inf"),
+    payload_predicate: Optional[Callable[[Any], bool]] = None,
+    label: str = "",
+) -> Rule:
+    """A rule keeping matching messages in transit (asynchrony device)."""
+    return Rule(
+        HOLD,
+        src=frozenset(src) if src is not None else None,
+        dst=frozenset(dst) if dst is not None else None,
+        after=after,
+        until=until,
+        payload_predicate=payload_predicate,
+        label=label,
+    )
+
+
+def delay_rule(
+    delay: float,
+    src: Optional[Any] = None,
+    dst: Optional[Any] = None,
+    after: float = float("-inf"),
+    until: float = float("inf"),
+    payload_predicate: Optional[Callable[[Any], bool]] = None,
+    label: str = "",
+) -> Rule:
+    """A rule applying a fixed delay to matching messages."""
+    return Rule(
+        float(delay),
+        src=frozenset(src) if src is not None else None,
+        dst=frozenset(dst) if dst is not None else None,
+        after=after,
+        until=until,
+        payload_predicate=payload_predicate,
+        label=label,
+    )
+
+
+def drop_rule(
+    src: Optional[Any] = None,
+    dst: Optional[Any] = None,
+    after: float = float("-inf"),
+    until: float = float("inf"),
+    payload_predicate: Optional[Callable[[Any], bool]] = None,
+    label: str = "",
+) -> Rule:
+    """A rule losing matching messages (consensus lossy-channel model)."""
+    return Rule(
+        DROP,
+        src=frozenset(src) if src is not None else None,
+        dst=frozenset(dst) if dst is not None else None,
+        after=after,
+        until=until,
+        payload_predicate=payload_predicate,
+        label=label,
+    )
+
+
+class Network:
+    """The message transport shared by all processes of an execution."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delta: float = 1.0,
+        rules: Optional[List[Rule]] = None,
+    ):
+        if delta <= 0:
+            raise SimulationError(f"Δ must be positive, got {delta}")
+        self.sim = sim
+        self.delta = delta
+        self.rules: List[Rule] = list(rules or [])
+        self._processes: Dict[ProcessId, "object"] = {}
+        self.log: List[Message] = []
+        self.in_transit: List[Message] = []
+        self.dropped: List[Message] = []
+
+    # -- wiring ---------------------------------------------------------------
+
+    def register(self, process: Any) -> None:
+        """Attach a process (anything with ``.pid`` and ``.receive``)."""
+        pid = process.pid
+        if pid in self._processes:
+            raise SimulationError(f"duplicate process id {pid!r}")
+        self._processes[pid] = process
+
+    def process(self, pid: ProcessId) -> Any:
+        return self._processes[pid]
+
+    @property
+    def process_ids(self):
+        return tuple(self._processes)
+
+    def add_rule(self, rule: Rule) -> None:
+        """Prepend a rule (later-added rules take precedence)."""
+        self.rules.insert(0, rule)
+
+    # -- transport --------------------------------------------------------------
+
+    def send(self, src: ProcessId, dst: ProcessId, payload: Any) -> Message:
+        """Send ``payload`` from ``src`` to ``dst``; returns the record."""
+        if dst not in self._processes:
+            raise SimulationError(f"unknown destination {dst!r}")
+        message = Message(src, dst, payload, send_time=self.sim.now)
+        self.log.append(message)
+        action = self._resolve(message)
+        if action == HOLD:
+            message.held = True
+            self.in_transit.append(message)
+            return message
+        if action == DROP:
+            message.dropped = True
+            self.dropped.append(message)
+            return message
+        self._schedule_delivery(message, float(action))
+        return message
+
+    def _resolve(self, message: Message) -> Any:
+        for rule in self.rules:
+            if rule.matches(
+                message.src, message.dst, message.payload, message.send_time
+            ):
+                return rule.action
+        return self.delta
+
+    def _schedule_delivery(self, message: Message, delay: float) -> None:
+        message.deliver_time = self.sim.now + delay
+        self.sim.call_at(
+            message.deliver_time, lambda m=message: self._deliver(m)
+        )
+
+    def _deliver(self, message: Message) -> None:
+        receiver = self._processes.get(message.dst)
+        if receiver is None:
+            return
+        receiver.receive(message)
+
+    # -- adversarial schedule control ---------------------------------------------
+
+    def release_held(
+        self,
+        predicate: Optional[Callable[[Message], bool]] = None,
+        delay: float = 0.0,
+    ) -> int:
+        """Deliver held messages matching ``predicate`` after ``delay``.
+
+        Returns the number of messages released.  Used by proof replays
+        that delay messages "until after round K" and then let them land.
+        """
+        released = 0
+        remaining: List[Message] = []
+        for message in self.in_transit:
+            if predicate is None or predicate(message):
+                message.held = False
+                self._schedule_delivery(message, delay)
+                released += 1
+            else:
+                remaining.append(message)
+        self.in_transit = remaining
+        return released
+
+    def messages_between(
+        self, src: ProcessId, dst: ProcessId
+    ) -> List[Message]:
+        """All logged messages from ``src`` to ``dst`` (any state)."""
+        return [m for m in self.log if m.src == src and m.dst == dst]

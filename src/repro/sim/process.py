@@ -1,0 +1,128 @@
+"""Process base classes: benign, crash-faulty and Byzantine processes.
+
+Processes follow the paper's model (Section 3.1):
+
+* a **benign** process follows its automaton; it may *crash* and then
+  takes no further steps (neither receives nor sends);
+* a **Byzantine** process can deviate arbitrarily — modelled by a
+  :class:`~repro.sim.byzantine.ByzantineBehavior` strategy that
+  intercepts deliveries and may inject arbitrary messages.
+
+A process is bound to a :class:`~repro.sim.network.Network` before the
+simulation starts; sending before binding is a configuration error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.network import Message, Network
+
+
+class Process:
+    """A deterministic automaton attached to the network."""
+
+    def __init__(self, pid: Hashable):
+        self.pid = pid
+        self.network: Optional[Network] = None
+        self.crashed = False
+        self.crash_time: Optional[float] = None
+        self.delivered: List[Message] = []
+
+    # -- wiring ---------------------------------------------------------------
+
+    def bind(self, network: Network) -> "Process":
+        self.network = network
+        network.register(self)
+        return self
+
+    @property
+    def sim(self):
+        if self.network is None:
+            raise SimulationError(f"process {self.pid!r} is not bound")
+        return self.network.sim
+
+    # -- fault injection --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Stop taking steps from now on (crash failure)."""
+        if not self.crashed:
+            self.crashed = True
+            self.crash_time = self.sim.now
+
+    def schedule_crash(self, time: float) -> None:
+        """Crash at absolute simulated ``time``."""
+        self.sim.call_at(time, self.crash)
+
+    @property
+    def benign(self) -> bool:
+        """Correct or crash-faulty (never Byzantine). Overridden below."""
+        return True
+
+    # -- messaging -----------------------------------------------------------------
+
+    def send(self, dst: Hashable, payload: Any) -> None:
+        """Send unless crashed (crashed processes take no steps)."""
+        if self.crashed:
+            return
+        if self.network is None:
+            raise SimulationError(f"process {self.pid!r} is not bound")
+        self.network.send(self.pid, dst, payload)
+
+    def send_all(self, destinations, payload: Any) -> None:
+        for dst in destinations:
+            self.send(dst, payload)
+
+    def receive(self, message: Message) -> None:
+        """Network entry point; drops deliveries to crashed processes."""
+        if self.crashed:
+            return
+        self.delivered.append(message)
+        self.on_message(message)
+
+    def on_message(self, message: Message) -> None:
+        """Protocol handler; subclasses override."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else "up"
+        return f"{type(self).__name__}({self.pid!r}, {state})"
+
+
+class ByzantineProcess(Process):
+    """A process controlled by a Byzantine behaviour strategy.
+
+    The strategy receives every delivery and full control of the outgoing
+    interface; by default (no strategy) the process is *silent* —
+    indistinguishable from a crash at time 0, which is the weakest
+    Byzantine behaviour and a useful default for resilience tests.
+    """
+
+    def __init__(self, pid: Hashable, behavior: Optional[Any] = None):
+        super().__init__(pid)
+        self.behavior = behavior
+        if behavior is not None:
+            behavior.attach(self)
+
+    def bind(self, network: Network) -> "Process":
+        bound = super().bind(network)
+        if self.behavior is not None:
+            self.behavior.on_bind(self)
+        return bound
+
+    @property
+    def benign(self) -> bool:
+        return False
+
+    def receive(self, message: Message) -> None:
+        if self.crashed:
+            return
+        self.delivered.append(message)
+        if self.behavior is not None:
+            self.behavior.on_message(self, message)
+
+    def inject(self, dst: Hashable, payload: Any) -> None:
+        """Send an arbitrary (possibly forged) message."""
+        if self.network is None:
+            raise SimulationError(f"process {self.pid!r} is not bound")
+        self.network.send(self.pid, dst, payload)

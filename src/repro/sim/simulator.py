@@ -1,0 +1,161 @@
+"""The deterministic discrete-event simulator.
+
+The simulator owns a priority queue of timed callbacks and a set of
+*parked* tasks blocked on :class:`~repro.sim.tasks.WaitUntil` predicates.
+After every processed event it re-polls parked tasks to a fixpoint, so a
+message delivery that satisfies a "received acks from some quorum"
+predicate wakes the corresponding client in the same instant — matching
+the paper's assumption that local computation takes negligible time.
+
+Determinism: events at equal times execute in insertion order (a
+monotonic sequence number breaks ties), and parked tasks are polled in
+spawn order.  Given the same schedule and seeds, runs are bit-for-bit
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.tasks import Effect, Sleep, Task, WaitUntil
+
+
+class Simulator:
+    """Event loop for simulated distributed executions."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._parked: List[Task] = []
+        self._tasks: List[Task] = []
+        self._events_processed = 0
+
+    # -- scheduling ----------------------------------------------------------
+
+    def call_at(self, time: float, action: Callable[[], None]) -> None:
+        """Run ``action()`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: {time} < now={self.now}"
+            )
+        heapq.heappush(self._queue, (time, self._seq, action))
+        self._seq += 1
+
+    def call_later(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action()`` after ``delay`` simulated time units."""
+        self.call_at(self.now + delay, action)
+
+    # -- tasks -----------------------------------------------------------------
+
+    def spawn(
+        self, coro: Generator[Effect, Any, Any], name: str = ""
+    ) -> Task:
+        """Start a protocol coroutine; it runs until its first block."""
+        task = Task(coro, name=name)
+        self._tasks.append(task)
+        self._advance(task)
+        return task
+
+    def _advance(self, task: Task) -> None:
+        """Step ``task`` until it blocks (Sleep/WaitUntil) or finishes."""
+        effect = task.step(None)
+        while effect is not None:
+            if isinstance(effect, Sleep):
+                self.call_later(
+                    effect.duration, lambda t=task: self._advance(t)
+                )
+                return
+            if isinstance(effect, WaitUntil):
+                if effect.predicate():
+                    effect = task.step(None)
+                    continue
+                self._parked.append(task)
+                return
+            raise SimulationError(f"unknown effect yielded: {effect!r}")
+
+    def _poll_parked(self) -> None:
+        """Wake every parked task whose predicate now holds (to fixpoint).
+
+        Waking a task may change process state or park new tasks, so the
+        scan repeats until a full pass makes no progress.
+        """
+        progressed = True
+        while progressed:
+            progressed = False
+            waiting = self._parked
+            self._parked = []
+            for task in waiting:
+                effect = task.waiting_on
+                assert isinstance(effect, WaitUntil)
+                if effect.predicate():
+                    progressed = True
+                    task.waiting_on = None
+                    self._advance(task)  # may re-park into self._parked
+                else:
+                    self._parked.append(task)
+
+    # -- running ------------------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 1_000_000,
+    ) -> None:
+        """Process events until the queue drains or ``until`` is reached.
+
+        When the queue runs dry before ``until``, the clock still advances
+        to exactly ``until`` so follow-up scheduling stays consistent.
+        """
+        while self._queue:
+            time = self._queue[0][0]
+            if until is not None and time > until:
+                break
+            self.now = time
+            # Process *every* event scheduled at this instant before
+            # waking tasks: this models the paper's atomic receive substep
+            # (a process receives the full set of available messages in
+            # one step), and avoids spurious wake-ups between deliveries
+            # that happen "at the same time".
+            while self._queue and self._queue[0][0] == time:
+                _, _, action = heapq.heappop(self._queue)
+                action()
+                self._events_processed += 1
+                if self._events_processed > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; livelock suspected"
+                    )
+            self._poll_parked()
+        if until is not None and self.now < until:
+            self.now = until
+            self._poll_parked()
+
+    def run_to_completion(
+        self, strict: bool = True, max_events: int = 1_000_000
+    ) -> None:
+        """Drain the queue; with ``strict`` raise if tasks remain blocked.
+
+        In an asynchronous execution it is legitimate for operations to
+        block forever (no correct quorum); pass ``strict=False`` there and
+        inspect :meth:`blocked_tasks`.
+        """
+        self.run(until=None, max_events=max_events)
+        if strict and self.blocked_tasks():
+            names = [t.name for t in self.blocked_tasks()]
+            raise DeadlockError(
+                f"event queue drained with blocked tasks: {names}"
+            )
+
+    # -- introspection ----------------------------------------------------------
+
+    def blocked_tasks(self) -> Tuple[Task, ...]:
+        return tuple(self._parked)
+
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed

@@ -1,0 +1,112 @@
+"""Generator-coroutine tasks and their blocking effects.
+
+Protocol code in this library is written as Python generators that
+``yield`` *effects* to the simulator, so that algorithm implementations
+read like the paper's pseudocode::
+
+    def write(self, value):
+        self.ts += 1
+        yield from self.round(1)
+        if self.acked_class1_quorum():
+            return "OK"
+        ...
+
+Supported effects:
+
+* :class:`Sleep` — resume after a fixed amount of simulated time (used
+  for the ``2Δ`` timeouts of the storage algorithm and the exponential
+  ``suspectTimeout`` of the election module).
+* :class:`WaitUntil` — park until a zero-argument predicate becomes true.
+  Predicates are re-evaluated by the simulator after every processed
+  event, which keeps algorithm code free of explicit wake-up plumbing.
+
+A task finishes when its generator returns; the returned value is stored
+in :attr:`Task.result`.  Tasks can wait on each other via
+``WaitUntil(other.done)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+
+class Effect:
+    """Base class for objects protocol coroutines may ``yield``."""
+
+
+class Sleep(Effect):
+    """Resume the task after ``duration`` simulated time units."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise ValueError(f"sleep duration must be >= 0, got {duration}")
+        self.duration = duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sleep({self.duration})"
+
+
+class WaitUntil(Effect):
+    """Park the task until ``predicate()`` is true.
+
+    The predicate must be cheap and side-effect free: it is re-evaluated
+    after every simulator event until it holds.
+    """
+
+    __slots__ = ("predicate", "label")
+
+    def __init__(self, predicate: Callable[[], bool], label: str = ""):
+        self.predicate = predicate
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WaitUntil({self.label or self.predicate!r})"
+
+
+class Task:
+    """A running protocol coroutine.
+
+    Created via :meth:`repro.sim.simulator.Simulator.spawn`; not
+    instantiated directly by user code.
+    """
+
+    def __init__(self, coro: Generator[Effect, Any, Any], name: str = ""):
+        self._coro = coro
+        self.name = name or repr(coro)
+        self.finished = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.waiting_on: Optional[Effect] = None
+
+    def done(self) -> bool:
+        """True when the coroutine has returned (usable as a predicate)."""
+        return self.finished
+
+    def step(self, value: Any = None) -> Optional[Effect]:
+        """Advance the coroutine; return the next effect or ``None`` if done.
+
+        Exceptions escaping the coroutine are stored in :attr:`error` and
+        re-raised — simulations should be loud about protocol bugs.
+        """
+        if self.finished:
+            return None
+        try:
+            effect = self._coro.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.waiting_on = None
+            return None
+        except BaseException as exc:
+            self.finished = True
+            self.error = exc
+            self.waiting_on = None
+            raise
+        self.waiting_on = effect
+        return effect
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.finished else f"waiting on {self.waiting_on!r}"
+        return f"Task({self.name}, {state})"

@@ -1,0 +1,88 @@
+"""Execution traces: operation records and latency accounting inputs.
+
+Protocols append :class:`OperationRecord` entries to a shared
+:class:`Trace` as operations are invoked and complete.  The analysis
+package consumes these records to check atomicity/agreement and to count
+rounds / message delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+
+@dataclass
+class OperationRecord:
+    """A single high-level operation (read / write / propose / learn)."""
+
+    op_id: int
+    kind: str                      # "write" | "read" | "propose" | "learn"
+    process: Hashable              # invoking client / learner
+    invoked_at: float
+    value: Any = None              # written value / proposal / learned value
+    completed_at: Optional[float] = None
+    result: Any = None             # read result / decision
+    rounds: int = 0                # communication round-trips used
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None
+
+    def overlaps(self, other: "OperationRecord") -> bool:
+        """Real-time concurrency (operation intervals intersect)."""
+        self_end = self.completed_at if self.complete else float("inf")
+        other_end = other.completed_at if other.complete else float("inf")
+        return self.invoked_at <= other_end and other.invoked_at <= self_end
+
+    def precedes(self, other: "OperationRecord") -> bool:
+        """Definition of precedence: completes before the other is invoked."""
+        return self.complete and self.completed_at < other.invoked_at
+
+
+class Trace:
+    """Append-only log of operation records for one execution."""
+
+    def __init__(self):
+        self._records: List[OperationRecord] = []
+        self._next_id = 0
+
+    def begin(
+        self, kind: str, process: Hashable, time: float, value: Any = None
+    ) -> OperationRecord:
+        record = OperationRecord(
+            op_id=self._next_id,
+            kind=kind,
+            process=process,
+            invoked_at=time,
+            value=value,
+        )
+        self._next_id += 1
+        self._records.append(record)
+        return record
+
+    def complete(
+        self,
+        record: OperationRecord,
+        time: float,
+        result: Any = None,
+        rounds: int = 0,
+    ) -> OperationRecord:
+        record.completed_at = time
+        record.result = result
+        record.rounds = rounds
+        return record
+
+    @property
+    def records(self) -> Tuple[OperationRecord, ...]:
+        return tuple(self._records)
+
+    def of_kind(self, kind: str) -> Tuple[OperationRecord, ...]:
+        return tuple(r for r in self._records if r.kind == kind)
+
+    def completed(self) -> Tuple[OperationRecord, ...]:
+        return tuple(r for r in self._records if r.complete)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,38 @@
+"""The RQS-based Byzantine atomic storage algorithm (Figures 5-7)
+plus baselines (ABD, the Section 1.2 fast variant, the broken Figure 1
+algorithm)."""
+
+from repro.storage.history import BOTTOM, History, HistoryView, Pair
+from repro.storage.messages import RD, RdAck, WR, WrAck
+from repro.storage.predicates import ReadState
+from repro.storage.reader import StorageReader
+from repro.storage.server import (
+    FabricatingServer,
+    ForgetfulServer,
+    SilentServer,
+    StorageServer,
+)
+from repro.storage.regular import RegularReader, RegularStorageSystem
+from repro.storage.system import StorageSystem
+from repro.storage.writer import StorageWriter
+
+__all__ = [
+    "BOTTOM",
+    "History",
+    "HistoryView",
+    "Pair",
+    "RD",
+    "RdAck",
+    "WR",
+    "WrAck",
+    "ReadState",
+    "StorageReader",
+    "StorageServer",
+    "SilentServer",
+    "FabricatingServer",
+    "ForgetfulServer",
+    "RegularReader",
+    "RegularStorageSystem",
+    "StorageSystem",
+    "StorageWriter",
+]

@@ -1,0 +1,173 @@
+"""The classic ABD atomic storage baseline (Attiya–Bar-Noy–Dolev).
+
+Crash-failure model, majority quorums.  Writes take one round; reads take
+two rounds **always** (collect + write-back) — the paper's motivating
+observation is that no optimally-resilient atomic storage can make both
+reads and writes single-round in all cases [11], and ABD is the canonical
+two-round-read baseline the RQS algorithm is compared against
+(experiment E12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.sim.network import Message, Rule
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+from repro.sim.network import Network
+from repro.sim.tasks import WaitUntil
+from repro.sim.trace import OperationRecord, Trace
+from repro.storage.history import BOTTOM, Pair
+
+
+@dataclass(frozen=True)
+class AbdWrite:
+    ts: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class AbdWriteAck:
+    ts: int
+
+
+@dataclass(frozen=True)
+class AbdRead:
+    read_no: int
+
+
+@dataclass(frozen=True)
+class AbdReadAck:
+    read_no: int
+    pair: Pair
+
+
+class AbdServer(Process):
+    """Stores the highest-timestamped pair it has seen."""
+
+    def __init__(self, pid: Hashable):
+        super().__init__(pid)
+        self.pair = Pair(0, BOTTOM)
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, AbdWrite):
+            if payload.ts > self.pair.ts:
+                self.pair = Pair(payload.ts, payload.value)
+            self.send(message.src, AbdWriteAck(payload.ts))
+        elif isinstance(payload, AbdRead):
+            self.send(message.src, AbdReadAck(payload.read_no, self.pair))
+
+
+class AbdWriter(Process):
+    def __init__(self, pid: Hashable, servers: Tuple[Hashable, ...], trace: Trace):
+        super().__init__(pid)
+        self.servers = servers
+        self.trace = trace
+        self.majority = len(servers) // 2 + 1
+        self.ts = 0
+        self._acks: Dict[int, Set[Hashable]] = {}
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, AbdWriteAck):
+            self._acks.setdefault(payload.ts, set()).add(message.src)
+
+    def write(self, value: Any):
+        record = self.trace.begin("write", self.pid, self.sim.now, value)
+        self.ts += 1
+        ts = self.ts
+        for server in self.servers:
+            self.send(server, AbdWrite(ts, value))
+        yield WaitUntil(
+            lambda: len(self._acks.get(ts, ())) >= self.majority,
+            f"abd write ts={ts}",
+        )
+        self.trace.complete(record, self.sim.now, "OK", rounds=1)
+        return record
+
+
+class AbdReader(Process):
+    def __init__(self, pid: Hashable, servers: Tuple[Hashable, ...], trace: Trace):
+        super().__init__(pid)
+        self.servers = servers
+        self.trace = trace
+        self.majority = len(servers) // 2 + 1
+        self.read_no = 0
+        self._pairs: Dict[int, Dict[Hashable, Pair]] = {}
+        self._wb_acks: Dict[int, Set[Hashable]] = {}
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, AbdReadAck):
+            self._pairs.setdefault(payload.read_no, {})[message.src] = payload.pair
+        elif isinstance(payload, AbdWriteAck):
+            self._wb_acks.setdefault(payload.ts, set()).add(message.src)
+
+    def read(self):
+        record = self.trace.begin("read", self.pid, self.sim.now)
+        self.read_no += 1
+        number = self.read_no
+        for server in self.servers:
+            self.send(server, AbdRead(number))
+        yield WaitUntil(
+            lambda: len(self._pairs.get(number, {})) >= self.majority,
+            f"abd read#{number} collect",
+        )
+        best = max(self._pairs[number].values(), key=lambda p: p.ts)
+        # Write-back round (unconditional — the cost RQS avoids).
+        for server in self.servers:
+            self.send(server, AbdWrite(best.ts, best.val))
+        yield WaitUntil(
+            lambda: len(self._wb_acks.get(best.ts, ())) >= self.majority,
+            f"abd read#{number} writeback",
+        )
+        self.trace.complete(record, self.sim.now, best.val, rounds=2)
+        return record
+
+
+class AbdSystem:
+    """Wired ABD deployment mirroring :class:`StorageSystem`'s surface."""
+
+    def __init__(
+        self,
+        n: int = 5,
+        n_readers: int = 2,
+        delta: float = 1.0,
+        crash_times: Optional[Dict[Hashable, float]] = None,
+        rules: Optional[List[Rule]] = None,
+    ):
+        self.sim = Simulator()
+        self.network = Network(self.sim, delta=delta, rules=list(rules or []))
+        self.trace = Trace()
+        server_ids = tuple(range(1, n + 1))
+        self.servers = {
+            sid: AbdServer(sid).bind(self.network) for sid in server_ids
+        }
+        for sid, time in (crash_times or {}).items():
+            self.servers[sid].schedule_crash(time)
+        self.writer = AbdWriter("writer", server_ids, self.trace)
+        self.writer.bind(self.network)
+        self.readers = [
+            AbdReader(f"reader{i + 1}", server_ids, self.trace).bind(
+                self.network
+            )
+            for i in range(n_readers)
+        ]
+
+    def write(self, value: Any) -> OperationRecord:
+        task = self.sim.spawn(self.writer.write(value), f"write({value!r})")
+        self.sim.run_to_completion(strict=False)
+        if not task.done():
+            raise TimeoutError("abd write blocked")
+        return task.result
+
+    def read(self, reader_index: int = 0) -> OperationRecord:
+        reader = self.readers[reader_index]
+        task = self.sim.spawn(reader.read(), f"{reader.pid}.read()")
+        self.sim.run_to_completion(strict=False)
+        if not task.done():
+            raise TimeoutError("abd read blocked")
+        return task.result

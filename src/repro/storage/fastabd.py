@@ -1,0 +1,240 @@
+"""The Section 1.2 fast variant of ABD (the paper's motivating example).
+
+Five servers, ``t = 2`` crash failures, no Byzantine behaviour.  Servers
+keep **two** slots, ``pw`` (pre-write) and ``w`` (write):
+
+* ``write(v)``: round 1 writes ``⟨ts, v⟩`` into every server's ``pw`` and
+  waits ``2Δ`` for acks.  If **4** servers (a class-1 quorum) acked, the
+  write completes in one round.  Otherwise round 2 writes ``⟨ts, v⟩``
+  into ``w`` and completes on ``n − t = 3`` acks.
+* ``read()``: round 1 collects ``(pw, w)`` from ``n − t = 3`` servers
+  (waiting out ``2Δ`` to hear from more).  The pair ``cmax`` with the
+  highest timestamp is selected; the read returns after round 1 iff
+  ``cmax`` was seen in at least 3 ``pw`` fields or in *some* ``w`` field.
+  Otherwise round 2 writes ``cmax`` back into ``pw`` at 3 servers.
+
+The correctness hinges on ``Q'1 ∩ Q'2 ∩ Q3 ≠ ∅`` for 4-element fast
+quorums (Figure 2(b)); :mod:`repro.storage.naive` shows what happens with
+3-element fast quorums instead (Figure 1 / Figure 2(a)).
+
+The implementation is parameterized by ``(n, t, fast)`` with the paper's
+instance as defaults (``n=5, t=2, fast=4``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.sim.network import Message, Network, Rule
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+from repro.sim.tasks import WaitUntil
+from repro.sim.trace import OperationRecord, Trace
+from repro.storage.history import BOTTOM, Pair
+
+
+@dataclass(frozen=True)
+class FWrite:
+    """Write ``pair`` into ``slot`` (``"pw"`` or ``"w"``)."""
+
+    ts: int
+    value: Any
+    slot: str
+
+
+@dataclass(frozen=True)
+class FWriteAck:
+    ts: int
+    slot: str
+
+
+@dataclass(frozen=True)
+class FRead:
+    read_no: int
+
+
+@dataclass(frozen=True)
+class FReadAck:
+    read_no: int
+    pw: Pair
+    w: Pair
+
+
+class FastAbdServer(Process):
+    """Keeps the two timestamp/value variables ``pw`` and ``w``."""
+
+    def __init__(self, pid: Hashable):
+        super().__init__(pid)
+        self.pw = Pair(0, BOTTOM)
+        self.w = Pair(0, BOTTOM)
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, FWrite):
+            pair = Pair(payload.ts, payload.value)
+            if payload.slot == "pw" and payload.ts > self.pw.ts:
+                self.pw = pair
+            elif payload.slot == "w" and payload.ts > self.w.ts:
+                self.w = pair
+            self.send(message.src, FWriteAck(payload.ts, payload.slot))
+        elif isinstance(payload, FRead):
+            self.send(message.src, FReadAck(payload.read_no, self.pw, self.w))
+
+
+class FastAbdWriter(Process):
+    def __init__(
+        self,
+        pid: Hashable,
+        servers: Tuple[Hashable, ...],
+        trace: Trace,
+        t: int,
+        fast: int,
+        delta: float = 1.0,
+    ):
+        super().__init__(pid)
+        self.servers = servers
+        self.trace = trace
+        self.slow = len(servers) - t
+        self.fast = fast
+        self.timeout = 2.0 * delta
+        self.ts = 0
+        self._acks: Dict[Tuple[int, str], Set[Hashable]] = {}
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, FWriteAck):
+            key = (payload.ts, payload.slot)
+            self._acks.setdefault(key, set()).add(message.src)
+
+    def write(self, value: Any):
+        record = self.trace.begin("write", self.pid, self.sim.now, value)
+        self.ts += 1
+        ts = self.ts
+        for server in self.servers:
+            self.send(server, FWrite(ts, value, "pw"))
+        deadline = self.sim.now + self.timeout
+        self.sim.call_at(deadline, lambda: None)
+        yield WaitUntil(
+            lambda: self.sim.now >= deadline
+            and len(self._acks.get((ts, "pw"), ())) >= self.slow,
+            f"fast-write ts={ts} round 1",
+        )
+        if len(self._acks.get((ts, "pw"), ())) >= self.fast:
+            self.trace.complete(record, self.sim.now, "OK", rounds=1)
+            return record
+        for server in self.servers:
+            self.send(server, FWrite(ts, value, "w"))
+        yield WaitUntil(
+            lambda: len(self._acks.get((ts, "w"), ())) >= self.slow,
+            f"fast-write ts={ts} round 2",
+        )
+        self.trace.complete(record, self.sim.now, "OK", rounds=2)
+        return record
+
+
+class FastAbdReader(Process):
+    def __init__(
+        self,
+        pid: Hashable,
+        servers: Tuple[Hashable, ...],
+        trace: Trace,
+        t: int,
+        delta: float = 1.0,
+    ):
+        super().__init__(pid)
+        self.servers = servers
+        self.trace = trace
+        self.slow = len(servers) - t
+        self.timeout = 2.0 * delta
+        self.read_no = 0
+        self._acks: Dict[int, Dict[Hashable, FReadAck]] = {}
+        self._wb_acks: Dict[Tuple[int, str], Set[Hashable]] = {}
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, FReadAck):
+            self._acks.setdefault(payload.read_no, {})[message.src] = payload
+        elif isinstance(payload, FWriteAck):
+            key = (payload.ts, payload.slot)
+            self._wb_acks.setdefault(key, set()).add(message.src)
+
+    def read(self):
+        record = self.trace.begin("read", self.pid, self.sim.now)
+        self.read_no += 1
+        number = self.read_no
+        for server in self.servers:
+            self.send(server, FRead(number))
+        deadline = self.sim.now + self.timeout
+        self.sim.call_at(deadline, lambda: None)
+        yield WaitUntil(
+            lambda: self.sim.now >= deadline
+            and len(self._acks.get(number, {})) >= self.slow,
+            f"fast-read#{number} round 1",
+        )
+        replies = self._acks[number]
+        pairs = [a.pw for a in replies.values()] + [a.w for a in replies.values()]
+        cmax = max(pairs, key=lambda p: p.ts)
+        pw_confirms = sum(1 for a in replies.values() if a.pw == cmax)
+        w_confirms = sum(1 for a in replies.values() if a.w == cmax)
+        if pw_confirms >= self.slow or w_confirms >= 1:
+            self.trace.complete(record, self.sim.now, cmax.val, rounds=1)
+            return record
+        # Round 2: write back cmax into pw fields.
+        for server in self.servers:
+            self.send(server, FWrite(cmax.ts, cmax.val, "pw"))
+        yield WaitUntil(
+            lambda: len(self._wb_acks.get((cmax.ts, "pw"), ())) >= self.slow,
+            f"fast-read#{number} writeback",
+        )
+        self.trace.complete(record, self.sim.now, cmax.val, rounds=2)
+        return record
+
+
+class FastAbdSystem:
+    """The paper's Section 1.2 deployment (defaults ``n=5, t=2, fast=4``)."""
+
+    def __init__(
+        self,
+        n: int = 5,
+        t: int = 2,
+        fast: int = 4,
+        n_readers: int = 2,
+        delta: float = 1.0,
+        crash_times: Optional[Dict[Hashable, float]] = None,
+        rules: Optional[List[Rule]] = None,
+    ):
+        self.sim = Simulator()
+        self.network = Network(self.sim, delta=delta, rules=list(rules or []))
+        self.trace = Trace()
+        server_ids = tuple(range(1, n + 1))
+        self.servers = {
+            sid: FastAbdServer(sid).bind(self.network) for sid in server_ids
+        }
+        for sid, time in (crash_times or {}).items():
+            self.servers[sid].schedule_crash(time)
+        self.writer = FastAbdWriter(
+            "writer", server_ids, self.trace, t=t, fast=fast, delta=delta
+        )
+        self.writer.bind(self.network)
+        self.readers = [
+            FastAbdReader(
+                f"reader{i + 1}", server_ids, self.trace, t=t, delta=delta
+            ).bind(self.network)
+            for i in range(n_readers)
+        ]
+
+    def write(self, value: Any) -> OperationRecord:
+        task = self.sim.spawn(self.writer.write(value), f"write({value!r})")
+        self.sim.run_to_completion(strict=False)
+        if not task.done():
+            raise TimeoutError("fast-abd write blocked")
+        return task.result
+
+    def read(self, reader_index: int = 0) -> OperationRecord:
+        reader = self.readers[reader_index]
+        task = self.sim.spawn(reader.read(), f"{reader.pid}.read()")
+        self.sim.run_to_completion(strict=False)
+        if not task.done():
+            raise TimeoutError("fast-abd read blocked")
+        return task.result

@@ -1,0 +1,141 @@
+"""Timestamp/value pairs and the per-server history matrix (Figure 6).
+
+Every server stores, for each timestamp ``ts`` and round slot
+``rnd ∈ {1, 2, 3}``, an entry ``⟨pair, sets⟩`` where ``pair`` is a
+timestamp/value pair and ``sets`` is a set of class-2 quorum ids.  The
+paper's servers keep the entire history of the shared variable (a
+deliberate simplification it discusses in Section 5); we do the same.
+
+``⊥`` (the initial storage value, outside the write domain) is the
+:data:`BOTTOM` singleton, and the initial pair is ``⟨0, ⊥⟩``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, Iterator, NamedTuple, Tuple
+
+QuorumId = FrozenSet[Hashable]
+
+
+class _Bottom:
+    """The out-of-domain initial value ``⊥`` (singleton)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+
+BOTTOM = _Bottom()
+
+
+class Pair(NamedTuple):
+    """A timestamp/value pair ``⟨ts, val⟩``."""
+
+    ts: int
+    val: Any
+
+
+INITIAL_PAIR = Pair(0, BOTTOM)
+
+
+class Entry(NamedTuple):
+    """One ``history[ts, rnd]`` cell: a pair plus class-2 quorum ids."""
+
+    pair: Pair
+    sets: FrozenSet[QuorumId]
+
+
+INITIAL_ENTRY = Entry(INITIAL_PAIR, frozenset())
+
+
+class History:
+    """The mutable server-side history matrix.
+
+    Cells default to :data:`INITIAL_ENTRY`; only written cells are
+    materialized.  Snapshots are cheap immutable dicts suitable for
+    shipping inside ``rd_ack`` messages.
+    """
+
+    def __init__(self):
+        self._cells: Dict[Tuple[int, int], Entry] = {}
+
+    def get(self, ts: int, rnd: int) -> Entry:
+        return self._cells.get((ts, rnd), INITIAL_ENTRY)
+
+    def store(self, ts: int, rnd: int, value: Any, sets: FrozenSet[QuorumId]) -> None:
+        """Apply a ``wr⟨ts, v, QC'2, rnd⟩`` message (Figure 6, lines 3-6).
+
+        For every slot ``m ≤ rnd``: if the cell is untouched or already
+        holds ``⟨ts, v⟩``, set its pair; additionally, at ``m = rnd``,
+        union in the received quorum-id set.
+        """
+        pair = Pair(ts, value)
+        for m in range(1, rnd + 1):
+            current = self.get(ts, m)
+            if current == INITIAL_ENTRY or current.pair == pair:
+                new_sets = current.sets
+                if m == rnd:
+                    new_sets = current.sets | sets
+                self._cells[(ts, m)] = Entry(pair, new_sets)
+        # Per Figure 6 a server acks regardless of whether the condition
+        # in line 4 let it update; the caller sends the ack.
+
+    def snapshot(self) -> "HistoryView":
+        return HistoryView(dict(self._cells))
+
+    def overwrite(self, other: "HistoryView") -> None:
+        """Replace all cells (Byzantine state forging only)."""
+        self._cells = dict(other._cells)
+
+    def clear(self) -> None:
+        """Reset to the initial state σ0 (Byzantine state forging only)."""
+        self._cells.clear()
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+
+class HistoryView:
+    """An immutable snapshot of a server history (reader-side)."""
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, cells: Dict[Tuple[int, int], Entry]):
+        self._cells = cells
+
+    def get(self, ts: int, rnd: int) -> Entry:
+        return self._cells.get((ts, rnd), INITIAL_ENTRY)
+
+    def pairs(self) -> Iterator[Pair]:
+        """All distinct pairs readable in slots 1 and 2 (plus ⟨0, ⊥⟩)."""
+        seen = {INITIAL_PAIR}
+        yield INITIAL_PAIR
+        for (ts, rnd), entry in self._cells.items():
+            if rnd in (1, 2) and entry.pair not in seen:
+                seen.add(entry.pair)
+                yield entry.pair
+
+    def max_timestamp(self) -> int:
+        """Highest timestamp present in slots 1 or 2 (0 when untouched)."""
+        best = 0
+        for (ts, rnd), entry in self._cells.items():
+            if rnd in (1, 2) and entry.pair.ts > best:
+                best = entry.pair.ts
+        return best
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HistoryView):
+            return NotImplemented
+        return self._cells == other._cells
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HistoryView({len(self._cells)} cells)"
+
+
+EMPTY_VIEW = HistoryView({})

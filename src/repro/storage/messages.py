@@ -1,0 +1,55 @@
+"""Wire messages of the atomic storage algorithm (Figures 5-7).
+
+All messages are immutable dataclasses.  ``WR``/``WrAck`` implement the
+write protocol (also used by reader write-backs); ``RD``/``RdAck``
+implement the read protocol.  Reader messages carry ``(reader, read_no)``
+so acks from different operations of the same reader never mix (the
+paper's ``read_no``, line 21 of Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Hashable
+
+from repro.storage.history import HistoryView
+
+QuorumId = FrozenSet[Hashable]
+
+
+@dataclass(frozen=True)
+class WR:
+    """``wr⟨ts, v, QC'2, rnd⟩`` — write round ``rnd`` (Figure 5, line 10)."""
+
+    ts: int
+    value: Any
+    qc2_ids: FrozenSet[QuorumId]
+    rnd: int
+
+
+@dataclass(frozen=True)
+class WrAck:
+    """``wr_ack⟨ts, rnd⟩`` (Figure 6, line 7)."""
+
+    ts: int
+    rnd: int
+
+
+@dataclass(frozen=True)
+class RD:
+    """``rd⟨read_no, rnd⟩`` (Figure 7, line 25)."""
+
+    read_no: int
+    rnd: int
+
+
+@dataclass(frozen=True)
+class RdAck:
+    """``rd_ack⟨read_no, rnd, history⟩`` (Figure 6, line 9).
+
+    ``history`` is a full snapshot of the server's history matrix.
+    """
+
+    read_no: int
+    rnd: int
+    history: HistoryView

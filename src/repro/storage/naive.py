@@ -1,0 +1,157 @@
+"""The *broken* greedy algorithm of Figure 1 (for the E1 counterexample).
+
+This algorithm expedites every operation in a single round as soon as
+``n − t`` servers respond — exactly the behaviour the paper proves
+incorrect when the fast quorums are only 3-of-5 (``Q1 ∩ Q2 ∩ Q3 = ∅``,
+Figure 2(a)):
+
+* ``write(v)``: send ``⟨ts, v⟩`` to all; complete on ``n − t`` acks.
+* ``read()``: collect pairs from ``n − t`` servers; return the
+  highest-timestamped pair immediately — **no write-back**.
+
+Kept deliberately faithful to the counterexample: with scripted message
+schedules the four executions of Figure 1 drive it into returning a
+value that a later read can no longer see (stale read in ex4), which the
+atomicity checker flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.sim.network import Message, Network, Rule
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+from repro.sim.tasks import WaitUntil
+from repro.sim.trace import OperationRecord, Trace
+from repro.storage.history import BOTTOM, Pair
+
+
+@dataclass(frozen=True)
+class NWrite:
+    ts: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class NWriteAck:
+    ts: int
+
+
+@dataclass(frozen=True)
+class NRead:
+    read_no: int
+
+
+@dataclass(frozen=True)
+class NReadAck:
+    read_no: int
+    pair: Pair
+
+
+class NaiveServer(Process):
+    def __init__(self, pid: Hashable):
+        super().__init__(pid)
+        self.pair = Pair(0, BOTTOM)
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, NWrite):
+            if payload.ts > self.pair.ts:
+                self.pair = Pair(payload.ts, payload.value)
+            self.send(message.src, NWriteAck(payload.ts))
+        elif isinstance(payload, NRead):
+            self.send(message.src, NReadAck(payload.read_no, self.pair))
+
+
+class NaiveWriter(Process):
+    def __init__(
+        self, pid: Hashable, servers: Tuple[Hashable, ...], trace: Trace, t: int
+    ):
+        super().__init__(pid)
+        self.servers = servers
+        self.trace = trace
+        self.quorum = len(servers) - t
+        self.ts = 0
+        self._acks: Dict[int, Set[Hashable]] = {}
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, NWriteAck):
+            self._acks.setdefault(payload.ts, set()).add(message.src)
+
+    def write(self, value: Any):
+        record = self.trace.begin("write", self.pid, self.sim.now, value)
+        self.ts += 1
+        ts = self.ts
+        for server in self.servers:
+            self.send(server, NWrite(ts, value))
+        yield WaitUntil(
+            lambda: len(self._acks.get(ts, ())) >= self.quorum,
+            f"naive write ts={ts}",
+        )
+        self.trace.complete(record, self.sim.now, "OK", rounds=1)
+        return record
+
+
+class NaiveReader(Process):
+    def __init__(
+        self, pid: Hashable, servers: Tuple[Hashable, ...], trace: Trace, t: int
+    ):
+        super().__init__(pid)
+        self.servers = servers
+        self.trace = trace
+        self.quorum = len(servers) - t
+        self.read_no = 0
+        self._acks: Dict[int, Dict[Hashable, Pair]] = {}
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, NReadAck):
+            self._acks.setdefault(payload.read_no, {})[message.src] = payload.pair
+
+    def read(self):
+        record = self.trace.begin("read", self.pid, self.sim.now)
+        self.read_no += 1
+        number = self.read_no
+        for server in self.servers:
+            self.send(server, NRead(number))
+        yield WaitUntil(
+            lambda: len(self._acks.get(number, {})) >= self.quorum,
+            f"naive read#{number}",
+        )
+        best = max(self._acks[number].values(), key=lambda p: p.ts)
+        self.trace.complete(record, self.sim.now, best.val, rounds=1)
+        return record
+
+
+class NaiveSystem:
+    """The Figure 1 deployment: 5 servers, t=2, greedy 3-server fast ops."""
+
+    def __init__(
+        self,
+        n: int = 5,
+        t: int = 2,
+        n_readers: int = 2,
+        delta: float = 1.0,
+        crash_times: Optional[Dict[Hashable, float]] = None,
+        rules: Optional[List[Rule]] = None,
+    ):
+        self.sim = Simulator()
+        self.network = Network(self.sim, delta=delta, rules=list(rules or []))
+        self.trace = Trace()
+        server_ids = tuple(range(1, n + 1))
+        self.servers = {
+            sid: NaiveServer(sid).bind(self.network) for sid in server_ids
+        }
+        for sid, time in (crash_times or {}).items():
+            self.servers[sid].schedule_crash(time)
+        self.writer = NaiveWriter("writer", server_ids, self.trace, t=t)
+        self.writer.bind(self.network)
+        self.readers = [
+            NaiveReader(f"reader{i + 1}", server_ids, self.trace, t=t).bind(
+                self.network
+            )
+            for i in range(n_readers)
+        ]

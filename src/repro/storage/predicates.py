@@ -1,0 +1,224 @@
+"""Reader-side predicates of the storage algorithm (Figure 7, lines 1-9).
+
+The reader accumulates per-server history snapshots (``view``) and the
+set of servers that answered at least one ``rd`` message (from which the
+``Responded`` quorum set derives).  All predicates are pure functions of
+that state, bundled in :class:`ReadState` so the reader coroutine stays
+close to the paper's pseudocode.
+
+Predicate catalogue (paper line numbers in brackets):
+
+* ``valid1(c, Q)`` [3] — a basic subset of ``Q`` reports ``c`` in slot 1.
+* ``valid2(c, Q)`` [4] — some server of ``Q`` reports ``c`` in slot 2.
+* ``valid3(c, Q)`` [5] — some class-2 quorum ``Q2`` and ``B ∈ B`` with
+  ``P3b(Q2, Q, B)`` such that every server in ``Q2 ∩ Q \\ B`` reports
+  ``c`` in slot 1 *with quorum id* ``Q2``.
+* ``invalid(c)`` [6] — some responded quorum satisfies none of the
+  above, or ``c.ts`` exceeds ``highest_ts``.
+* ``read(c, i)`` [7], ``safe(c)`` [8], ``highCand(c)`` [9].
+* ``BCD(c, 1, R)`` / ``BCD(c, 2, R)`` [1-2] — the best-case detector.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.core.rqs import RefinedQuorumSystem
+from repro.storage.history import EMPTY_VIEW, HistoryView, Pair
+
+ServerId = Hashable
+QuorumId = FrozenSet[ServerId]
+
+
+class ReadState:
+    """The predicate-relevant state of one read operation."""
+
+    def __init__(self, rqs: RefinedQuorumSystem):
+        self.rqs = rqs
+        self.view: Dict[ServerId, HistoryView] = {}
+        self.acked_by_round: Dict[int, Set[ServerId]] = {}
+        self.qc2_responded: Tuple[QuorumId, ...] = ()   # QC'2 (line 30-31)
+        self.highest_ts: int = 0                        # (line 29)
+
+    # -- state updates ---------------------------------------------------------
+
+    def record_ack(self, server: ServerId, rnd: int, history: HistoryView) -> None:
+        """Apply a ``rd_ack`` (Figure 7, lines 50-53)."""
+        self.view[server] = history
+        self.acked_by_round.setdefault(rnd, set()).add(server)
+
+    def responded_servers(self) -> Set[ServerId]:
+        """Servers that answered at least one ``rd`` of this read."""
+        return set(self.view)
+
+    def responded_quorums(self) -> Tuple[QuorumId, ...]:
+        """The ``Responded`` set (lines 52-53): fully-answering quorums."""
+        got = self.responded_servers()
+        return tuple(q for q in self.rqs.quorums if q <= got)
+
+    def round_responders(self, rnd: int) -> Set[ServerId]:
+        return set(self.acked_by_round.get(rnd, ()))
+
+    def freeze_round1(self) -> None:
+        """End-of-round-1 bookkeeping (lines 27-32): fix ``highest_ts``
+        and record the class-2 quorums that responded in round 1."""
+        self.highest_ts = max(
+            (view.max_timestamp() for view in self.view.values()), default=0
+        )
+        round1 = self.round_responders(1)
+        self.qc2_responded = tuple(
+            q2 for q2 in self.rqs.qc2 if q2 <= round1
+        )
+
+    # -- low-level lookups --------------------------------------------------------
+
+    def entry(self, server: ServerId, ts: int, rnd: int):
+        return self.view.get(server, EMPTY_VIEW).get(ts, rnd)
+
+    def read_pred(self, c: Pair, server: ServerId) -> bool:
+        """``read(c, i)`` (line 7): ``c`` in slot 1 or 2 of the snapshot."""
+        return (
+            self.entry(server, c.ts, 1).pair == c
+            or self.entry(server, c.ts, 2).pair == c
+        )
+
+    def observed_pairs(self) -> List[Pair]:
+        """All candidate pairs: anything readable from any snapshot."""
+        seen: Set[Pair] = set()
+        for view in self.view.values():
+            seen.update(view.pairs())
+        return sorted(seen, key=lambda p: p.ts)
+
+    # -- validity predicates ---------------------------------------------------------
+
+    def valid1(self, c: Pair, quorum: QuorumId) -> bool:
+        """Line 3: a basic ``T ⊆ Q`` stores ``c`` in slot 1.
+
+        The maximal candidate ``T`` suffices: supersets of basic sets are
+        basic (the adversary is subset-closed).
+        """
+        holders = {
+            s for s in quorum if self.entry(s, c.ts, 1).pair == c
+        }
+        return self.rqs.is_basic(holders) if holders else False
+
+    def valid2(self, c: Pair, quorum: QuorumId) -> bool:
+        """Line 4: some server of ``Q`` stores ``c`` in slot 2."""
+        return any(
+            self.entry(s, c.ts, 2).pair == c for s in quorum
+        )
+
+    def valid3(self, c: Pair, quorum: QuorumId) -> bool:
+        """Line 5: ∃ Q2 ∈ QC2, ∃ B ∈ B with P3b(Q2, Q, B) such that every
+        server of ``Q2 ∩ Q \\ B`` stores ``c`` in slot 1 with id ``Q2``.
+
+        For a fixed ``Q2`` the minimal witness ``B`` is the set of
+        non-conforming servers of ``Q2 ∩ Q`` (any valid ``B`` must cover
+        it, and P3b is anti-monotone in ``B``), so only that ``B`` needs
+        checking.
+        """
+        for q2 in self.rqs.qc2:
+            base = q2 & quorum
+            conforming = {
+                s
+                for s in base
+                if self.entry(s, c.ts, 1).pair == c
+                and q2 in self.entry(s, c.ts, 1).sets
+            }
+            b = frozenset(base - conforming)
+            if not self.rqs.adversary.contains(b):
+                continue
+            if self.rqs.p3b(q2, quorum, b):
+                return True
+        return False
+
+    def invalid(self, c: Pair) -> bool:
+        """Line 6."""
+        if c.ts > self.highest_ts:
+            return True
+        for quorum in self.responded_quorums():
+            if not (
+                self.valid1(c, quorum)
+                or self.valid2(c, quorum)
+                or self.valid3(c, quorum)
+            ):
+                return True
+        return False
+
+    def safe(self, c: Pair) -> bool:
+        """Line 8: a basic subset of servers confirms ``c``.
+
+        ``⟨0, ⊥⟩`` is readable from every snapshot by construction (empty
+        cells report the initial entry), so the initial value is safe as
+        soon as a basic subset has answered.
+        """
+        readers = {s for s in self.view if self.read_pred(c, s)}
+        return bool(readers) and self.rqs.is_basic(readers)
+
+    def high_cand(self, c: Pair) -> bool:
+        """Line 9: every readable pair with a higher timestamp is invalid."""
+        for candidate in self.observed_pairs():
+            if candidate.ts > c.ts and not self.invalid(candidate):
+                return False
+        return True
+
+    def candidates(self) -> List[Pair]:
+        """Line 33: ``C = {c | safe(c) ∧ highCand(c)}``."""
+        return [
+            c
+            for c in self.observed_pairs()
+            if self.safe(c) and self.high_cand(c)
+        ]
+
+    def select(self) -> Optional[Pair]:
+        """Line 35: the candidate with the highest timestamp, or ``None``."""
+        candidates = self.candidates()
+        if not candidates:
+            return None
+        return max(candidates, key=lambda p: p.ts)
+
+    # -- best-case detector ------------------------------------------------------------
+
+    def bcd1(self, c: Pair, big_r: int) -> bool:
+        """``BCD(c, 1, R)`` (line 1).
+
+        Holds iff there are a class-1 quorum ``Q1`` and a class-``R``
+        quorum ``QR`` such that every server of ``Q1 ∩ QR`` reports
+        ``⟨c, ·⟩`` in slot ``R`` — and, when ``R = 2``, reports ``QR``
+        among its slot-2 quorum ids.  (We allow per-server id sets; the
+        paper's single shared ``Set`` is the uncontended special case.)
+        """
+        for q1 in self.rqs.qc1:
+            for qr in self.rqs.class_quorums(big_r):
+                intersection = q1 & qr
+                if not intersection:
+                    continue
+                ok = True
+                for s in intersection:
+                    entry = self.entry(s, c.ts, big_r)
+                    if entry.pair != c:
+                        ok = False
+                        break
+                    if big_r == 2 and qr not in entry.sets:
+                        ok = False
+                        break
+                if ok:
+                    return True
+        return False
+
+    def bcd2(self, c: Pair, big_r: int) -> Tuple[QuorumId, ...]:
+        """``BCD(c, 2, R)`` (line 2): the class-2 quorums of ``QC'2`` that
+        are "confirmed" through some class-``R`` quorum."""
+        result = []
+        for q2 in self.qc2_responded:
+            for qr in self.rqs.class_quorums(big_r):
+                intersection = qr & q2
+                if not intersection:
+                    continue
+                if all(
+                    self.entry(s, c.ts, big_r).pair == c
+                    for s in intersection
+                ):
+                    result.append(q2)
+                    break
+        return tuple(result)

@@ -1,0 +1,165 @@
+"""The storage reader (Figure 7).
+
+A read has two parts:
+
+1. **Regular part** (lines 20-35): rounds of ``rd`` messages until the
+   candidate set ``C = {c | safe(c) ∧ highCand(c)}`` is non-empty; the
+   highest-timestamped candidate ``csel`` is selected.  Round 1
+   additionally waits out the ``2Δ`` timer, fixes ``highest_ts`` and
+   records the responding class-2 quorums ``QC'2``.
+2. **Atomicity part** (lines 40-49): a write-back orchestrated by the
+   best-case detector ``BCD``:
+
+   * ``BCD(csel, 1, ·)`` holds in round 1 → return immediately
+     (1-round read);
+   * ``BCD(csel, 2, R)`` non-empty for ``R ∈ {2,3}`` → one round-2
+     write-back (2-round read);
+   * ``BCD(csel, 2, 1)`` non-empty → a round-1 write-back carrying those
+     class-2 quorum ids; if one of them fully acks within ``2Δ`` the read
+     returns (2 rounds), else a round-2 write-back completes it
+     (3 rounds);
+   * otherwise → round-1 then round-2 write-backs (read_rnd + 2 rounds).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, Optional, Set, Tuple
+
+from repro.core.rqs import RefinedQuorumSystem
+from repro.sim.network import Message
+from repro.sim.process import Process
+from repro.sim.tasks import WaitUntil
+from repro.sim.trace import Trace
+from repro.storage.history import Pair
+from repro.storage.messages import RD, RdAck, WR, WrAck
+from repro.storage.predicates import ReadState
+
+QuorumId = FrozenSet[Hashable]
+
+
+class StorageReader(Process):
+    """A reader client (any number of them may exist)."""
+
+    def __init__(
+        self,
+        pid: Hashable,
+        rqs: RefinedQuorumSystem,
+        trace: Optional[Trace] = None,
+        delta: float = 1.0,
+    ):
+        super().__init__(pid)
+        self.rqs = rqs
+        self.trace = trace if trace is not None else Trace()
+        self.timeout = 2.0 * delta
+        self.read_no = 0
+        self._state: Optional[ReadState] = None
+        self._current_read_no = -1
+        self._wb_acks: Dict[Tuple[int, int], Set[Hashable]] = {}
+
+    # -- network ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, RdAck):
+            if payload.read_no == self._current_read_no and self._state is not None:
+                self._state.record_ack(message.src, payload.rnd, payload.history)
+        elif isinstance(payload, WrAck):
+            key = (payload.ts, payload.rnd)
+            self._wb_acks.setdefault(key, set()).add(message.src)
+
+    # -- protocol -------------------------------------------------------------------
+
+    def read(self):
+        """Coroutine implementing ``read()`` — spawn on the simulator.
+
+        Returns the operation's record; ``record.result`` is the value.
+        """
+        record = self.trace.begin("read", self.pid, self.sim.now)
+        self.read_no += 1
+        self._current_read_no = self.read_no
+        self._wb_acks = {}
+        state = ReadState(self.rqs)
+        self._state = state
+
+        # -- part 1: regular read (lines 20-35) --
+        read_rnd = 0
+        csel: Optional[Pair] = None
+        while True:
+            read_rnd += 1
+            deadline = self.sim.now + self.timeout if read_rnd == 1 else None
+            if deadline is not None:
+                self.sim.call_at(deadline, lambda: None)
+            for server in sorted(self.rqs.ground_set, key=repr):
+                self.send(server, RD(self.read_no, read_rnd))
+
+            rnd = read_rnd
+
+            def round_quorum() -> bool:
+                acked = state.round_responders(rnd)
+                return any(q <= acked for q in self.rqs.quorums)
+
+            yield WaitUntil(round_quorum, f"read#{self.read_no} round {rnd}")
+            if read_rnd == 1:
+                yield WaitUntil(
+                    lambda: self.sim.now >= deadline,
+                    f"read#{self.read_no} round-1 timer",
+                )
+                state.freeze_round1()
+            candidates = state.candidates()
+            if candidates:
+                csel = max(candidates, key=lambda p: p.ts)
+                break
+
+        # -- part 2: BCD-orchestrated write-back (lines 40-49) --
+        assert csel is not None
+        if read_rnd == 1 and any(state.bcd1(csel, r) for r in (1, 2, 3)):
+            self.trace.complete(record, self.sim.now, csel.val, rounds=1)
+            return record
+
+        x1 = state.bcd2(csel, 1)
+        x23 = state.bcd2(csel, 2) + state.bcd2(csel, 3)
+        if read_rnd == 1 and (x1 or x23):
+            if x23:
+                # Line 42: the writer already stored csel at a full quorum;
+                # one round-2 write-back finishes the read in 2 rounds.
+                yield from self._writeback(2, csel, frozenset())
+                self.trace.complete(record, self.sim.now, csel.val, rounds=2)
+                return record
+            # Lines 43-47: round-1 write-back carrying the confirmed
+            # class-2 quorum ids, with a 2Δ window to finish fast.
+            wb_deadline = self.sim.now + self.timeout
+            self.sim.call_at(wb_deadline, lambda: None)
+            yield from self._writeback(1, csel, frozenset(x1))
+            yield WaitUntil(
+                lambda: self.sim.now >= wb_deadline,
+                f"read#{self.read_no} writeback timer",
+            )
+            acked = self._wb_acks.get((csel.ts, 1), set())
+            if any(q2 <= acked for q2 in x1):
+                self.trace.complete(record, self.sim.now, csel.val, rounds=2)
+                return record
+            yield from self._writeback(2, csel, frozenset())
+            self.trace.complete(record, self.sim.now, csel.val, rounds=3)
+            return record
+
+        # Line 49: full two-round write-back.
+        yield from self._writeback(1, csel, frozenset())
+        yield from self._writeback(2, csel, frozenset())
+        self.trace.complete(
+            record, self.sim.now, csel.val, rounds=read_rnd + 2
+        )
+        return record
+
+    def _writeback(self, rnd: int, c: Pair, qc2_ids: FrozenSet[QuorumId]):
+        """``writeback(round, c, Set)`` (lines 60-62): write ``c`` back to
+        all servers and await a quorum of acks."""
+        for server in sorted(self.rqs.ground_set, key=repr):
+            self.send(server, WR(c.ts, c.val, qc2_ids, rnd))
+
+        def quorum_acked() -> bool:
+            acked = self._wb_acks.get((c.ts, rnd), set())
+            return any(q <= acked for q in self.rqs.quorums)
+
+        yield WaitUntil(
+            quorum_acked, f"read#{self.read_no} writeback round {rnd}"
+        )

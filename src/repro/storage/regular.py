@@ -1,0 +1,107 @@
+"""Regular (non-atomic) storage — a Section 6 extension.
+
+The paper's concluding section observes that for *regular* semantics
+(Lamport's weaker register: a read not concurrent with any write returns
+the last written value; a concurrent read may also return a concurrently
+written value) Properties 1 and 3a of RQS suffice — the class-1
+machinery and the atomicity write-back exist only to prevent the read
+inversions that regularity permits.
+
+:class:`RegularReader` is the first part of the Figure 7 reader (lines
+20-35) with **no write-back at all**: it returns ``csel`` as soon as the
+candidate set is non-empty.  Consequences, demonstrated by the tests:
+
+* synchronous uncontended reads are **always single-round** — even when
+  only a class-3 quorum is correct (faster than the atomic reader);
+* the resulting histories are regular but can exhibit read inversion
+  (which :func:`repro.analysis.regularity.check_swmr_regularity`
+  accepts and the atomicity checker rejects).
+
+Writes are the unchanged three-round Figure 5 writer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional, Sequence
+
+from repro.core.rqs import RefinedQuorumSystem
+from repro.sim.network import Rule
+from repro.sim.tasks import WaitUntil
+from repro.sim.trace import OperationRecord, Trace
+from repro.storage.messages import RD
+from repro.storage.predicates import ReadState
+from repro.storage.reader import StorageReader
+from repro.storage.system import StorageSystem
+
+
+class RegularReader(StorageReader):
+    """A reader providing regular (not atomic) semantics."""
+
+    def read(self):
+        record = self.trace.begin("read", self.pid, self.sim.now)
+        self.read_no += 1
+        self._current_read_no = self.read_no
+        state = ReadState(self.rqs)
+        self._state = state
+
+        read_rnd = 0
+        while True:
+            read_rnd += 1
+            deadline = self.sim.now + self.timeout if read_rnd == 1 else None
+            if deadline is not None:
+                self.sim.call_at(deadline, lambda: None)
+            for server in sorted(self.rqs.ground_set, key=repr):
+                self.send(server, RD(self.read_no, read_rnd))
+
+            rnd = read_rnd
+
+            def round_quorum() -> bool:
+                acked = state.round_responders(rnd)
+                return any(q <= acked for q in self.rqs.quorums)
+
+            yield WaitUntil(
+                round_quorum, f"regular-read#{self.read_no} round {rnd}"
+            )
+            if read_rnd == 1:
+                yield WaitUntil(
+                    lambda: self.sim.now >= deadline,
+                    f"regular-read#{self.read_no} round-1 timer",
+                )
+                state.freeze_round1()
+            candidates = state.candidates()
+            if candidates:
+                csel = max(candidates, key=lambda p: p.ts)
+                break
+
+        # Regular semantics: no write-back, return immediately.
+        self.trace.complete(record, self.sim.now, csel.val, rounds=read_rnd)
+        return record
+
+
+class RegularStorageSystem(StorageSystem):
+    """A :class:`StorageSystem` whose readers are regular readers."""
+
+    def __init__(
+        self,
+        rqs: RefinedQuorumSystem,
+        n_readers: int = 2,
+        delta: float = 1.0,
+        server_factories: Optional[Dict[Hashable, Any]] = None,
+        crash_times: Optional[Dict[Hashable, float]] = None,
+        rules: Optional[Sequence[Rule]] = None,
+    ):
+        super().__init__(
+            rqs,
+            n_readers=0,
+            delta=delta,
+            server_factories=server_factories,
+            crash_times=crash_times,
+            rules=rules,
+        )
+        self.readers = []
+        for index in range(n_readers):
+            reader = RegularReader(
+                f"reader{index + 1}", rqs, self.trace, delta=delta
+            )
+            reader.bind(self.network)
+            self.readers.append(reader)

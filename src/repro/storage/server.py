@@ -1,0 +1,117 @@
+"""The storage server automaton (Figure 6) and Byzantine variants.
+
+A benign server keeps a :class:`~repro.storage.history.History` matrix,
+applies ``wr`` messages to it and answers ``rd`` messages with a full
+snapshot.  Per the round-based model, a server replies to each client
+message before processing any other message — which is automatic here
+because handling is synchronous within a delivery event.
+
+Byzantine variants used by tests and proof replays:
+
+* :class:`SilentServer` — never answers (crash-equivalent).
+* :class:`FabricatingServer` — answers reads with a forged history
+  advertising an arbitrary high-timestamp value (the fabrication attack
+  that the reader's ``safe`` predicate must defeat).
+* :class:`ForgetfulServer` — behaves correctly but "forgets": at a
+  trigger time its history is rolled back to a given snapshot (used for
+  the σ0/σ1 forgeries of Figure 4 and the Theorem 3 proof replay).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional
+
+from repro.sim.network import Message
+from repro.sim.process import Process
+from repro.storage.history import History, HistoryView, Pair
+from repro.storage.messages import RD, RdAck, WR, WrAck
+
+
+class StorageServer(Process):
+    """A benign storage server."""
+
+    def __init__(self, pid: Hashable):
+        super().__init__(pid)
+        self.history = History()
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, WR):
+            self.handle_write(message.src, payload)
+        elif isinstance(payload, RD):
+            self.handle_read(message.src, payload)
+
+    # Handlers are separate methods so Byzantine variants can reuse or
+    # selectively override them.
+
+    def handle_write(self, client: Hashable, wr: WR) -> None:
+        self.history.store(wr.ts, wr.rnd, wr.value, wr.qc2_ids)
+        self.send(client, WrAck(wr.ts, wr.rnd))
+
+    def handle_read(self, client: Hashable, rd: RD) -> None:
+        self.send(client, RdAck(rd.read_no, rd.rnd, self.history.snapshot()))
+
+
+class SilentServer(StorageServer):
+    """Byzantine: ignores every message."""
+
+    benign = False
+
+    def on_message(self, message: Message) -> None:
+        return
+
+
+class FabricatingServer(StorageServer):
+    """Byzantine: advertises a fabricated pair in every read reply.
+
+    The forged history claims ``⟨forged_ts, forged_value⟩`` was stored in
+    slots 1 and 2.  A single such server must never cause a reader to
+    return the fabricated value (``safe`` requires a basic subset of
+    confirmations).
+    """
+
+    benign = False
+
+    def __init__(self, pid: Hashable, forged_ts: int, forged_value: Any):
+        super().__init__(pid)
+        self.forged_ts = forged_ts
+        self.forged_value = forged_value
+
+    def handle_read(self, client: Hashable, rd: RD) -> None:
+        forged = History()
+        forged.store(self.forged_ts, 2, self.forged_value, frozenset())
+        self.send(client, RdAck(rd.read_no, rd.rnd, forged.snapshot()))
+
+
+class ForgetfulServer(StorageServer):
+    """Byzantine: rolls its state back to ``forged_state`` at a set time.
+
+    Before the trigger it is indistinguishable from a benign server.
+    ``forged_state=None`` rolls back to the initial state σ0.
+    """
+
+    benign = False
+
+    def __init__(
+        self,
+        pid: Hashable,
+        trigger_time: float,
+        forged_state: Optional[HistoryView] = None,
+    ):
+        super().__init__(pid)
+        self.trigger_time = trigger_time
+        self.forged_state = forged_state
+        self._armed = False
+
+    def bind(self, network):  # type: ignore[override]
+        bound = super().bind(network)
+        if not self._armed:
+            self._armed = True
+            self.sim.call_at(self.trigger_time, self._forge)
+        return bound
+
+    def _forge(self) -> None:
+        if self.forged_state is None:
+            self.history.clear()
+        else:
+            self.history.overwrite(self.forged_state)

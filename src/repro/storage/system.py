@@ -1,0 +1,182 @@
+"""End-to-end wiring for storage executions.
+
+:class:`StorageSystem` assembles a simulator, a network, an RQS, servers
+(benign or Byzantine, with optional crash schedules), one writer and any
+number of readers, and exposes convenience drivers for scripted and
+randomized workloads.  All operations are recorded in a shared
+:class:`~repro.sim.trace.Trace` consumed by the checkers.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.rqs import RefinedQuorumSystem
+from repro.sim.network import Network, Rule
+from repro.sim.simulator import Simulator
+from repro.sim.trace import OperationRecord, Trace
+from repro.storage.reader import StorageReader
+from repro.storage.server import StorageServer
+from repro.storage.writer import StorageWriter
+
+ServerFactory = Callable[[Hashable], StorageServer]
+
+
+class StorageSystem:
+    """A fully wired storage deployment over a simulated network."""
+
+    def __init__(
+        self,
+        rqs: RefinedQuorumSystem,
+        n_readers: int = 2,
+        delta: float = 1.0,
+        server_factories: Optional[Dict[Hashable, ServerFactory]] = None,
+        crash_times: Optional[Dict[Hashable, float]] = None,
+        rules: Optional[Sequence[Rule]] = None,
+    ):
+        self.rqs = rqs
+        self.delta = delta
+        self.sim = Simulator()
+        self.network = Network(self.sim, delta=delta, rules=list(rules or []))
+        self.trace = Trace()
+
+        self.servers: Dict[Hashable, StorageServer] = {}
+        factories = server_factories or {}
+        for sid in sorted(rqs.ground_set, key=repr):
+            factory = factories.get(sid, StorageServer)
+            server = factory(sid)
+            server.bind(self.network)
+            self.servers[sid] = server
+        for sid, time in (crash_times or {}).items():
+            self.servers[sid].schedule_crash(time)
+
+        self.writer = StorageWriter("writer", rqs, self.trace, delta=delta)
+        self.writer.bind(self.network)
+        self.readers: List[StorageReader] = []
+        for index in range(n_readers):
+            reader = StorageReader(
+                f"reader{index + 1}", rqs, self.trace, delta=delta
+            )
+            reader.bind(self.network)
+            self.readers.append(reader)
+
+    # -- scripted drivers ------------------------------------------------------
+
+    def write_at(self, time: float, value: Any):
+        """Schedule a write invocation; returns the spawned task holder."""
+        holder: Dict[str, Any] = {}
+
+        def start() -> None:
+            holder["task"] = self.sim.spawn(
+                self.writer.write(value), f"write({value!r})@{time}"
+            )
+
+        self.sim.call_at(time, start)
+        return holder
+
+    def read_at(self, time: float, reader_index: int = 0):
+        """Schedule a read invocation on the given reader."""
+        holder: Dict[str, Any] = {}
+        reader = self.readers[reader_index]
+
+        def start() -> None:
+            holder["task"] = self.sim.spawn(
+                reader.read(), f"{reader.pid}.read()@{time}"
+            )
+
+        self.sim.call_at(time, start)
+        return holder
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    def run_to_completion(self, strict: bool = False) -> None:
+        self.sim.run_to_completion(strict=strict)
+
+    # -- synchronous convenience API (examples / quickstart) ----------------------
+
+    def write(self, value: Any) -> OperationRecord:
+        """Invoke a write now and run the simulation until it completes."""
+        task = self.sim.spawn(self.writer.write(value), f"write({value!r})")
+        self.sim.run_to_completion(strict=False)
+        if not task.done():
+            raise TimeoutError("write blocked: no responsive quorum")
+        return task.result
+
+    def read(self, reader_index: int = 0) -> OperationRecord:
+        """Invoke a read now and run the simulation until it completes."""
+        reader = self.readers[reader_index]
+        task = self.sim.spawn(reader.read(), f"{reader.pid}.read()")
+        self.sim.run_to_completion(strict=False)
+        if not task.done():
+            raise TimeoutError("read blocked: no responsive quorum")
+        return task.result
+
+    # -- randomized workload -------------------------------------------------------
+
+    def random_workload(
+        self,
+        n_writes: int,
+        n_reads: int,
+        horizon: float,
+        seed: int = 0,
+    ) -> None:
+        """Schedule a random mix of operations over ``[0, horizon)``.
+
+        Per the paper's model no client invokes an operation before its
+        previous one completed, so each client runs its operations
+        sequentially: an operation scheduled for time ``t`` starts at
+        ``max(t, previous completion)``.  Writes carry sequential integer
+        values (easy to order-check); reads are spread over the readers.
+        Deterministic per seed.
+        """
+        rng = random.Random(seed)
+        write_times = sorted(rng.uniform(0.0, horizon) for _ in range(n_writes))
+        self.sim.spawn(
+            self._sequential_ops(
+                [
+                    (time, self.writer.write, (value,))
+                    for value, time in enumerate(write_times, start=1)
+                ]
+            ),
+            "writer-workload",
+        )
+        per_reader: Dict[int, List[float]] = {}
+        for index in range(n_reads):
+            reader_index = index % max(len(self.readers), 1)
+            per_reader.setdefault(reader_index, []).append(
+                rng.uniform(0.0, horizon)
+            )
+        for reader_index, times in per_reader.items():
+            reader = self.readers[reader_index]
+            self.sim.spawn(
+                self._sequential_ops(
+                    [(time, reader.read, ()) for time in sorted(times)]
+                ),
+                f"{reader.pid}-workload",
+            )
+
+    def _sequential_ops(self, schedule):
+        """Driver coroutine: run operations one after the other, starting
+        each no earlier than its scheduled time."""
+        from repro.sim.tasks import WaitUntil
+
+        for time, factory, args in schedule:
+            start = time
+
+            def reached(start=start) -> bool:
+                return self.sim.now >= start
+
+            if self.sim.now < start:
+                self.sim.call_at(start, lambda: None)
+                yield WaitUntil(reached, f"start@{start}")
+            yield from factory(*args)
+
+    # -- reporting -----------------------------------------------------------------
+
+    def operations(self) -> Tuple[OperationRecord, ...]:
+        return self.trace.records
+
+    def completed_operations(self) -> Tuple[OperationRecord, ...]:
+        return self.trace.completed()

@@ -1,0 +1,116 @@
+"""The storage writer (Figure 5).
+
+A write takes at most three rounds:
+
+1. Round 1 writes ``⟨ts, v⟩`` to slot 1 of all servers and waits for both
+   a quorum of acks **and** the ``2Δ`` timer — the extra wait lets a
+   class-1 quorum assemble, in which case the write returns immediately.
+2. Otherwise the class-2 quorums that fully acked round 1 are remembered
+   in ``QC'2`` and round 2 writes to slot 2 carrying those quorum ids.
+   If some quorum of ``QC'2`` acks round 2, the write returns.
+3. Otherwise round 3 writes to slot 3 and returns on any quorum of acks
+   (no timer: nothing faster can be detected any more).
+
+The writer is single (SWMR storage) and its timestamps are monotonically
+increasing across writes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, Optional, Set, Tuple
+
+from repro.core.rqs import RefinedQuorumSystem
+from repro.sim.network import Message
+from repro.sim.process import Process
+from repro.sim.tasks import WaitUntil
+from repro.sim.trace import Trace
+from repro.storage.messages import WR, WrAck
+
+QuorumId = FrozenSet[Hashable]
+
+
+class StorageWriter(Process):
+    """The unique writer client."""
+
+    def __init__(
+        self,
+        pid: Hashable,
+        rqs: RefinedQuorumSystem,
+        trace: Optional[Trace] = None,
+        delta: float = 1.0,
+    ):
+        super().__init__(pid)
+        self.rqs = rqs
+        self.trace = trace if trace is not None else Trace()
+        self.timeout = 2.0 * delta
+        self.ts = 0
+        self._acks: Dict[Tuple[int, int], Set[Hashable]] = {}
+
+    # -- network ---------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, WrAck):
+            key = (payload.ts, payload.rnd)
+            self._acks.setdefault(key, set()).add(message.src)
+
+    def acks(self, ts: int, rnd: int) -> Set[Hashable]:
+        return self._acks.setdefault((ts, rnd), set())
+
+    # -- protocol ----------------------------------------------------------------
+
+    def write(self, value: Any):
+        """Coroutine implementing ``write(v)`` — spawn on the simulator.
+
+        Returns the operation's :class:`~repro.sim.trace.OperationRecord`.
+        """
+        record = self.trace.begin("write", self.pid, self.sim.now, value)
+        self.ts += 1
+        ts = self.ts
+
+        # Round 1 (Figure 5 lines 2-3).
+        yield from self._round(ts, value, frozenset(), 1)
+        if self._acked_quorum(ts, 1, cls=1) is not None:
+            self.trace.complete(record, self.sim.now, "OK", rounds=1)
+            return record
+
+        # Lines 4-5: remember fully-acking class-2 quorums.
+        round1 = self.acks(ts, 1)
+        qc2_prime = frozenset(
+            q2 for q2 in self.rqs.qc2 if q2 <= round1
+        )
+
+        # Round 2 (lines 6-7).
+        yield from self._round(ts, value, qc2_prime, 2)
+        round2 = self.acks(ts, 2)
+        if any(q2 <= round2 for q2 in qc2_prime):
+            self.trace.complete(record, self.sim.now, "OK", rounds=2)
+            return record
+
+        # Round 3 (lines 8-9).
+        yield from self._round(ts, value, frozenset(), 3)
+        self.trace.complete(record, self.sim.now, "OK", rounds=3)
+        return record
+
+    def _round(self, ts: int, value: Any, qc2_prime: FrozenSet[QuorumId], rnd: int):
+        """``round(i)`` (Figure 5 lines 10-12): send to all servers, then
+        wait for a quorum of acks and (rounds 1-2) the 2Δ timer."""
+        for server in sorted(self.rqs.ground_set, key=repr):
+            self.send(server, WR(ts, value, qc2_prime, rnd))
+        deadline = self.sim.now + self.timeout if rnd < 3 else self.sim.now
+        if rnd < 3:
+            # Ensure parked-task predicates are re-polled when the timer
+            # expires even if no message arrives at that instant.
+            self.sim.call_at(deadline, lambda: None)
+
+        def ready() -> bool:
+            if self.sim.now < deadline:
+                return False
+            acked = self.acks(ts, rnd)
+            return any(q <= acked for q in self.rqs.quorums)
+
+        yield WaitUntil(ready, f"write ts={ts} round {rnd}")
+
+    def _acked_quorum(self, ts: int, rnd: int, cls: int):
+        acked = self.acks(ts, rnd)
+        return self.rqs.some_responding_quorum(acked, cls=cls)

@@ -1,0 +1,61 @@
+"""Tests for the consensus verdicts."""
+
+import pytest
+
+from repro.analysis.consensus_check import assert_consensus, check_consensus
+from repro.errors import AgreementViolation, ValidityViolation
+from repro.sim.trace import Trace
+
+
+def make_trace(proposals, learns):
+    trace = Trace()
+    for value in proposals:
+        record = trace.begin("propose", "p", 0.0, value)
+        trace.complete(record, 1.0, "proposed")
+    for learner, value in learns:
+        record = trace.begin("learn", learner, 0.0)
+        trace.complete(record, 2.0, value)
+    return trace.records
+
+
+def test_clean_execution():
+    records = make_trace(["v"], [("l1", "v"), ("l2", "v")])
+    report = check_consensus(records, correct_learners=["l1", "l2"])
+    assert report.ok and report.learned == {"l1": "v", "l2": "v"}
+
+
+def test_agreement_violation():
+    records = make_trace(["a", "b"], [("l1", "a"), ("l2", "b")])
+    report = check_consensus(records)
+    assert not report.agreement_ok
+    with pytest.raises(AgreementViolation):
+        assert_consensus(records)
+
+
+def test_validity_violation():
+    records = make_trace(["a"], [("l1", "ghost")])
+    report = check_consensus(records)
+    assert not report.validity_ok
+    with pytest.raises(ValidityViolation):
+        assert_consensus(records)
+
+
+def test_byzantine_learners_excluded():
+    records = make_trace(["a"], [("l1", "a"), ("evil", "b")])
+    report = check_consensus(records, benign_learners=["l1"])
+    assert report.ok is False or report.agreement_ok  # evil filtered
+    assert report.learned == {"l1": "a"}
+
+
+def test_termination_tracking():
+    records = make_trace(["a"], [("l1", "a")])
+    report = check_consensus(records, correct_learners=["l1", "l2"])
+    assert report.unterminated == ("l2",)
+    with pytest.raises(AssertionError):
+        assert_consensus(records, correct_learners=["l1", "l2"])
+
+
+def test_byzantine_proposers_disable_validity():
+    records = make_trace(["a"], [("l1", "ghost")])
+    report = check_consensus(records, all_proposers_benign=False)
+    assert report.validity_ok

@@ -1,0 +1,49 @@
+"""Tests for latency accounting."""
+
+import pytest
+
+from repro.analysis.latency import (
+    learner_delays,
+    message_delays,
+    summarize_rounds,
+    worst_learner_delay,
+)
+from repro.sim.trace import Trace
+
+
+def test_summarize_rounds():
+    trace = Trace()
+    for rounds, duration in ((1, 2.0), (2, 4.0), (3, 6.0)):
+        record = trace.begin("write", "w", 0.0, rounds)
+        trace.complete(record, duration, "OK", rounds=rounds)
+    summary = summarize_rounds(trace.records, "write")
+    assert summary.count == 3
+    assert (summary.min_rounds, summary.max_rounds) == (1, 3)
+    assert summary.mean_rounds == 2.0
+    assert "write" in summary.row()
+
+
+def test_summarize_empty_kind():
+    summary = summarize_rounds([], "read")
+    assert summary.count == 0 and summary.mean_rounds is None
+
+
+def test_message_delays():
+    trace = Trace()
+    record = trace.begin("learn", "l1", 0.0)
+    trace.complete(record, 6.0, "v")
+    assert message_delays(record, propose_time=0.0, delta=2.0) == 3.0
+    pending = trace.begin("learn", "l2", 0.0)
+    with pytest.raises(ValueError):
+        message_delays(pending, 0.0, 1.0)
+
+
+def test_learner_delays_and_worst():
+    trace = Trace()
+    for learner, done in (("l1", 2.0), ("l2", 4.0)):
+        record = trace.begin("learn", learner, 0.0)
+        trace.complete(record, done, "v")
+    delays = learner_delays(trace.records, 0.0, 1.0)
+    assert delays == {"l1": 2.0, "l2": 4.0}
+    assert worst_learner_delay(trace.records, 0.0, 1.0) == 4.0
+    assert worst_learner_delay([], 0.0, 1.0) is None

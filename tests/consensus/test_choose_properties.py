@@ -1,0 +1,101 @@
+"""Property-based safety tests for choose() (the Lemma 25/26 core)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.constructions import threshold_rqs
+from repro.consensus.choose import choose
+from repro.consensus.messages import AckData
+
+RQS = threshold_rqs(7, 2, 1, 0, 1)
+ACCEPTORS = tuple(sorted(RQS.ground_set))
+Q1 = next(iter(RQS.qc1))            # the full set (q=0)
+Q2 = next(q for q in RQS.qc2 if len(q) == 6)
+
+
+def fresh():
+    return AckData(
+        view=1, prep=None, prep_view=frozenset(),
+        update={1: None, 2: None},
+        update_view={1: frozenset(), 2: frozenset()},
+        update_q={}, update_proof={},
+    )
+
+
+def prepared(value, w=0):
+    return AckData(
+        view=1, prep=value, prep_view=frozenset({w}),
+        update={1: None, 2: None},
+        update_view={1: frozenset(), 2: frozenset()},
+        update_q={}, update_proof={},
+    )
+
+
+def one_updated(value, w=0, quorum=None):
+    quorum = quorum if quorum is not None else Q2
+    return AckData(
+        view=1, prep=value, prep_view=frozenset({w}),
+        update={1: value, 2: None},
+        update_view={1: frozenset({w}), 2: frozenset()},
+        update_q={(1, w): (quorum,)}, update_proof={},
+    )
+
+
+quorum_indices = st.sets(
+    st.integers(0, len(ACCEPTORS) - 1), min_size=5, max_size=7
+)
+liar_choice = st.integers(0, 6)
+
+
+@given(indices=quorum_indices, liar=liar_choice)
+@settings(max_examples=80, deadline=None)
+def test_decided2_value_survives_one_liar(indices, liar):
+    """Value v prepared at the class-1 quorum (Decided-2 evidence);
+    one Byzantine acceptor reports fresh state.  choose() must never
+    return a different value without aborting."""
+    quorum = frozenset(ACCEPTORS[i] for i in indices)
+    if not any(q <= quorum for q in RQS.quorums):
+        return
+    consult = next(q for q in RQS.quorums if q <= quorum)
+    liar_id = ACCEPTORS[liar % len(ACCEPTORS)]
+    v_proof = {}
+    for acceptor in consult:
+        if acceptor == liar_id:
+            v_proof[acceptor] = fresh()
+        else:
+            v_proof[acceptor] = prepared("decided")
+    result = choose(RQS, "intruder", v_proof, consult)
+    assert result.abort or result.value == "decided"
+
+
+@given(indices=quorum_indices, liar=liar_choice)
+@settings(max_examples=80, deadline=None)
+def test_decided3_value_survives_one_liar(indices, liar):
+    """Value v 1-updated at the class-2 quorum Q2 (Decided-3 evidence);
+    one member of Q2 lies.  choose() must return v or abort."""
+    quorum = frozenset(ACCEPTORS[i] for i in indices)
+    if not any(q <= quorum for q in RQS.quorums):
+        return
+    consult = next(q for q in RQS.quorums if q <= quorum)
+    liar_id = ACCEPTORS[liar % len(ACCEPTORS)]
+    v_proof = {}
+    for acceptor in consult:
+        if acceptor == liar_id:
+            v_proof[acceptor] = fresh()
+        elif acceptor in Q2:
+            v_proof[acceptor] = one_updated("decided")
+        else:
+            v_proof[acceptor] = fresh()
+    result = choose(RQS, "intruder", v_proof, consult)
+    assert result.abort or result.value == "decided"
+
+
+@given(indices=quorum_indices)
+@settings(max_examples=50, deadline=None)
+def test_fresh_states_yield_default(indices):
+    quorum = frozenset(ACCEPTORS[i] for i in indices)
+    if not any(q <= quorum for q in RQS.quorums):
+        return
+    consult = next(q for q in RQS.quorums if q <= quorum)
+    v_proof = {a: fresh() for a in consult}
+    result = choose(RQS, "mine", v_proof, consult)
+    assert (result.value, result.abort) == ("mine", False)

@@ -1,0 +1,58 @@
+"""Tests for the three decide rules (Figure 15 lines 51-53)."""
+
+from repro.core.constructions import threshold_rqs
+from repro.consensus.decisions import DecisionTracker
+from repro.consensus.messages import Update
+
+RQS = threshold_rqs(8, 3, 1, 1, 2)
+Q1 = next(iter(RQS.qc1))                              # 7 acceptors
+Q2 = next(q for q in RQS.qc2 if len(q) == 6)          # class-2
+Q3 = next(q for q in RQS.quorums if len(q) == 5)      # class-3
+
+
+def test_decide2_on_class1_quorum_of_update1():
+    tracker = DecisionTracker(RQS)
+    decided = None
+    for sender in Q1:
+        decided = tracker.record(sender, Update(1, "v", 0, None))
+    assert decided == "v"
+
+
+def test_no_decide2_below_class1():
+    tracker = DecisionTracker(RQS)
+    for sender in Q3:
+        assert tracker.record(sender, Update(1, "v", 0, None)) is None
+
+
+def test_decide3_requires_matching_payload_quorum():
+    tracker = DecisionTracker(RQS)
+    decided = None
+    for sender in Q2:
+        decided = tracker.record(sender, Update(2, "v", 0, Q2))
+    assert decided == "v"
+
+
+def test_decide3_senders_must_equal_payload_quorum():
+    """update2 messages carrying quorum X only count toward X itself."""
+    tracker = DecisionTracker(RQS)
+    other = next(q for q in RQS.qc2 if q != Q2 and len(q) == 6)
+    for sender in Q2:
+        assert tracker.record(sender, Update(2, "v", 0, other)) is None
+
+
+def test_decide4_on_any_quorum_of_update3():
+    tracker = DecisionTracker(RQS)
+    decided = None
+    for sender in Q3:
+        decided = tracker.record(sender, Update(3, "v", 0, Q3))
+    assert decided == "v"
+
+
+def test_views_and_values_do_not_mix():
+    tracker = DecisionTracker(RQS)
+    senders = list(Q1)
+    for sender in senders[:4]:
+        tracker.record(sender, Update(1, "v", 0, None))
+    for sender in senders[4:]:
+        assert tracker.record(sender, Update(1, "v", 1, None)) is None
+        assert tracker.record(sender, Update(1, "w", 0, None)) is None

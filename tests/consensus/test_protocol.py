@@ -1,0 +1,115 @@
+"""End-to-end tests for the RQS consensus protocol (Figures 9-15)."""
+
+import pytest
+
+from repro.analysis.consensus_check import check_consensus
+from repro.core.constructions import pbft_style_rqs, threshold_rqs
+from repro.sim.network import drop_rule
+from repro.consensus.acceptor import Acceptor
+from repro.consensus.proposer import EquivocatingProposer
+from repro.consensus.system import ConsensusSystem
+
+RQS = threshold_rqs(8, 3, 1, 1, 2)
+
+
+class SilentAcceptor(Acceptor):
+    benign = False
+
+    def on_message(self, message):
+        return
+
+
+class TestBestCase:
+    def test_class1_two_delays(self):
+        system = ConsensusSystem(RQS)
+        delays = system.run_best_case("V")
+        assert all(d == 2.0 for d in delays.values())
+        assert set(system.learned_values().values()) == {"V"}
+
+    def test_class2_three_delays(self):
+        system = ConsensusSystem(RQS, crash_times={1: 0.0, 2: 0.0})
+        delays = system.run_best_case("V")
+        assert all(d == 3.0 for d in delays.values())
+
+    def test_class3_four_delays(self):
+        system = ConsensusSystem(RQS, crash_times={1: 0.0, 2: 0.0, 3: 0.0})
+        delays = system.run_best_case("V")
+        assert all(d == 4.0 for d in delays.values())
+
+    def test_pbft_style_instance(self):
+        system = ConsensusSystem(pbft_style_rqs(1))
+        delays = system.run_best_case("V")
+        assert all(d == 2.0 for d in delays.values())
+
+    def test_acceptors_decide_too(self):
+        system = ConsensusSystem(RQS)
+        system.run_best_case("V")
+        decided = [a.decided for a in system.acceptors.values()]
+        assert all(value == "V" for value in decided)
+
+
+class TestFaults:
+    def test_silent_byzantine_acceptor(self):
+        system = ConsensusSystem(
+            RQS, acceptor_factories={8: SilentAcceptor}
+        )
+        delays = system.run_best_case("V")
+        assert set(system.learned_values().values()) == {"V"}
+        assert all(d is not None for d in delays.values())
+
+    def test_byzantine_equivocating_proposer_recovered(self):
+        system = ConsensusSystem(
+            RQS,
+            n_proposers=2,
+            proposer_factories={0: EquivocatingProposer},
+        )
+        system.propose_at(0.0, "EVIL", proposer_index=0)
+        system.propose_at(1.0, "GOOD", proposer_index=1)
+        system.run(until=600.0)
+        learned = system.learned_values()
+        assert len(learned) == 3
+        assert len(set(learned.values())) == 1
+
+    def test_contention_resolved_by_view_change(self):
+        system = ConsensusSystem(RQS, n_proposers=2)
+        system.propose_at(0.0, "A", proposer_index=0)
+        system.propose_at(0.0, "B", proposer_index=1)
+        system.run(until=600.0)
+        report = check_consensus(
+            system.operations(),
+            correct_learners=[l.pid for l in system.learners],
+        )
+        assert report.ok
+
+    def test_crashed_initial_leader_failover(self):
+        system = ConsensusSystem(RQS, n_proposers=2)
+        system.propose_at(0.0, "A", proposer_index=0)
+        system.proposers[1].value = "B"
+        # p1 crashes right after its prepare is sent
+        system.process("p1").schedule_crash(0.5)
+        system.run(until=600.0)
+        learned = system.learned_values()
+        assert len(learned) == 3 and len(set(learned.values())) == 1
+
+    def test_max_acceptor_crashes_tolerated(self):
+        system = ConsensusSystem(
+            RQS, crash_times={1: 0.0, 2: 0.0, 3: 0.0}
+        )
+        system.run_best_case("V")
+        assert set(system.learned_values().values()) == {"V"}
+
+
+class TestEventualSynchrony:
+    def test_termination_after_gst(self):
+        from repro.experiments.stress import consensus_liveness
+
+        outcome = consensus_liveness(gst=30.0, horizon=1500.0)
+        assert outcome.terminated and outcome.agreement_ok
+
+    def test_validity_under_contention(self):
+        system = ConsensusSystem(RQS, n_proposers=2)
+        system.propose_at(0.0, "A", proposer_index=0)
+        system.propose_at(0.0, "B", proposer_index=1)
+        system.run(until=600.0)
+        values = set(system.learned_values().values())
+        assert values and values <= {"A", "B"}

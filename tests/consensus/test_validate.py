@@ -1,0 +1,113 @@
+"""Tests for authenticated-artifact validation."""
+
+from repro.core.constructions import threshold_rqs
+from repro.crypto.signatures import SignatureService, Signed
+from repro.consensus.messages import (
+    AckData,
+    NewViewAck,
+    ViewChange,
+    update_statement,
+)
+from repro.consensus.validate import (
+    validate_new_view_ack,
+    validate_view_proof,
+    view_change_statement,
+)
+
+RQS = threshold_rqs(8, 3, 1, 1, 2)
+
+
+def make_ack(service, signer, view=1, with_update=False, proof_signers=()):
+    update = {1: None, 2: None}
+    update_view = {1: frozenset(), 2: frozenset()}
+    update_proof = {}
+    if with_update:
+        update[1] = "v"
+        update_view[1] = frozenset({0})
+        proof = tuple(
+            service.sign(s, update_statement(1, "v", 0))
+            for s in proof_signers
+        )
+        update_proof[(1, 0)] = proof
+    body = AckData(
+        view=view,
+        prep="v" if with_update else None,
+        prep_view=frozenset({0}) if with_update else frozenset(),
+        update=update,
+        update_view=update_view,
+        update_q={(1, 0): (frozenset(range(1, 7)),)} if with_update else {},
+        update_proof=update_proof,
+    )
+    return NewViewAck(body, service.sign(signer, body.canonical()))
+
+
+def test_valid_plain_ack():
+    service = SignatureService()
+    ack = make_ack(service, 1)
+    assert validate_new_view_ack(service, RQS, 1, ack, 1)
+
+
+def test_wrong_view_rejected():
+    service = SignatureService()
+    ack = make_ack(service, 1, view=2)
+    assert not validate_new_view_ack(service, RQS, 1, ack, 1)
+
+
+def test_wrong_sender_rejected():
+    service = SignatureService()
+    ack = make_ack(service, 1)
+    assert not validate_new_view_ack(service, RQS, 2, ack, 1)
+
+
+def test_forged_body_signature_rejected():
+    service = SignatureService()
+    ack = make_ack(service, 1)
+    forged = NewViewAck(ack.body, Signed(1, ("something", "else")))
+    assert not validate_new_view_ack(service, RQS, 1, forged, 1)
+
+
+def test_update_claims_need_basic_proof():
+    service = SignatureService()
+    # two signers: basic for k=1
+    good = make_ack(service, 1, with_update=True, proof_signers=(2, 3))
+    assert validate_new_view_ack(service, RQS, 1, good, 1)
+    # one signer: within the adversary -> rejected
+    bad = make_ack(service, 4, with_update=True, proof_signers=(2,))
+    assert not validate_new_view_ack(service, RQS, 4, bad, 1)
+
+
+def test_update_claims_need_genuine_signatures():
+    service = SignatureService()
+    ack = make_ack(service, 1, with_update=True, proof_signers=(2, 3))
+    # splice in a forged proof signature
+    forged_proof = (Signed(2, update_statement(1, "v", 0)),
+                    Signed(9, update_statement(1, "v", 0)))
+    body = AckData(
+        view=ack.body.view,
+        prep=ack.body.prep,
+        prep_view=ack.body.prep_view,
+        update=ack.body.update,
+        update_view=ack.body.update_view,
+        update_q=ack.body.update_q,
+        update_proof={(1, 0): forged_proof},
+    )
+    spliced = NewViewAck(body, service.sign(1, body.canonical()))
+    assert not validate_new_view_ack(service, RQS, 1, spliced, 1)
+
+
+def test_view_proof_requires_quorum():
+    service = SignatureService()
+
+    def change(signer, view=1):
+        return ViewChange(
+            view, service.sign(signer, view_change_statement(view))
+        )
+
+    quorum = next(iter(RQS.quorums))
+    proof = [change(a) for a in quorum]
+    assert validate_view_proof(service, RQS, 1, proof)
+    assert not validate_view_proof(service, RQS, 1, proof[:3])
+    assert not validate_view_proof(service, RQS, 1, None)
+    # wrong view in the statement
+    mismatched = [change(a, view=2) for a in quorum]
+    assert not validate_view_proof(service, RQS, 1, mismatched)

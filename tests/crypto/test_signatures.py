@@ -1,0 +1,52 @@
+"""Tests for the simulated signature oracle."""
+
+import pytest
+
+from repro.crypto.signatures import SignatureService, Signed
+from repro.errors import ProtocolError
+
+
+def test_sign_then_verify():
+    service = SignatureService()
+    signature = service.sign("alice", ("msg", 1))
+    assert service.verify(signature)
+
+
+def test_forged_signature_fails():
+    service = SignatureService()
+    forged = Signed("alice", ("msg", 1))
+    assert not service.verify(forged)
+
+
+def test_replay_verifies():
+    """Byzantine processes may replay signatures they saw — like real
+    crypto, a genuine signature stays valid."""
+    service = SignatureService()
+    original = service.sign("alice", "content")
+    replayed = Signed("alice", "content")
+    assert service.verify(replayed)
+
+
+def test_signer_identity_is_bound():
+    service = SignatureService()
+    service.sign("alice", "content")
+    assert not service.verify(Signed("bob", "content"))
+
+
+def test_unhashable_content_is_canonicalized():
+    service = SignatureService()
+    content = {"view": 1, "values": [1, 2, {3}]}
+    signature = service.sign("alice", content)
+    assert service.verify(signature)
+    same = service.verify(Signed("alice", {"values": [1, 2, {3}], "view": 1}))
+    assert same
+
+
+def test_verify_all_and_require():
+    service = SignatureService()
+    good = service.sign("a", 1)
+    bad = Signed("b", 2)
+    assert service.verify_all([good])
+    assert not service.verify_all([good, bad])
+    with pytest.raises(ProtocolError):
+        service.require(bad)

@@ -1,0 +1,104 @@
+"""Tests asserting every experiment driver reproduces its paper claim."""
+
+import pytest
+
+from repro.experiments import (
+    baselines,
+    bounds,
+    consensus_latency,
+    fig1,
+    fig4,
+    metrics_ablation,
+    storage_latency,
+    stress,
+    theorem3,
+    theorem6,
+)
+
+
+class TestFig1:
+    def test_naive_violates(self):
+        outcome = fig1.run_naive()
+        assert not outcome.report.atomic
+        assert outcome.r1_value == "v" and outcome.r1_rounds == 1
+
+    def test_fastabd_survives_same_schedule(self):
+        outcome = fig1.run_fastabd()
+        assert outcome.report.atomic
+        assert outcome.r2_value == "v"
+
+
+class TestFig4:
+    def test_matches_paper(self):
+        outcome = fig4.run_experiment()
+        assert fig4.matches_paper(outcome)
+
+
+class TestStorageLatency:
+    def test_table_matches(self):
+        rows = storage_latency.run_experiment()
+        assert storage_latency.matches_paper(rows)
+
+
+class TestConsensusLatency:
+    def test_table_matches(self):
+        rows = consensus_latency.run_experiment()
+        assert consensus_latency.matches_paper(rows)
+
+
+class TestTheorem3:
+    def test_violation_demonstrated(self):
+        outcome = theorem3.run_experiment()
+        assert theorem3.violation_demonstrated(outcome)
+
+    def test_broken_rqs_fails_only_p3(self):
+        rqs = theorem3.broken_rqs()
+        names = [name for name, _ in rqs.violations()]
+        assert names == ["P3"]
+
+
+class TestTheorem6:
+    def test_violation_demonstrated(self):
+        outcome = theorem6.run_experiment()
+        assert theorem6.violation_demonstrated(outcome)
+
+    def test_choose_exhibit(self):
+        broken_value, valid_value = theorem6.run_choose_exhibit()
+        assert broken_value == 0 and valid_value == 1
+
+
+class TestBounds:
+    def test_sweep_tight_small(self):
+        result = bounds.run_sweep(max_n=6)
+        assert result.tight and result.points > 300
+
+    def test_minimal_sizes(self):
+        assert bounds.minimal_system_sizes(2) == [(1, 4), (2, 7)]
+
+
+class TestBaselines:
+    def test_comparison_matches(self):
+        results = baselines.run_experiment()
+        assert baselines.matches_paper(results)
+
+
+class TestStress:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_storage_stress(self, seed):
+        outcome = stress.storage_stress(seed)
+        assert outcome.ok
+
+    def test_consensus_liveness(self):
+        outcome = stress.consensus_liveness(gst=30.0, horizon=1500.0)
+        assert outcome.terminated and outcome.agreement_ok
+
+
+class TestMetricsAblation:
+    def test_shapes(self):
+        rows = metrics_ablation.sweep((0.0, 0.1, 0.2))
+        assert rows[0].expected_latency == pytest.approx(1.0)
+        assert rows[-1].avail_class1 < rows[0].avail_class1
+
+    def test_search(self):
+        results = metrics_ablation.search_cost((4, 5))
+        assert all(quorums >= 1 for _, quorums, _ in results)

@@ -1,0 +1,118 @@
+"""Tests for the network transport and rule engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.network import (
+    Network,
+    delay_rule,
+    drop_rule,
+    hold_rule,
+)
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+
+class Sink(Process):
+    def __init__(self, pid):
+        super().__init__(pid)
+        self.seen = []
+
+    def on_message(self, message):
+        self.seen.append((message.payload, self.sim.now))
+
+
+def make_net(rules=None, delta=1.0):
+    sim = Simulator()
+    net = Network(sim, delta=delta, rules=rules)
+    a = Sink("a").bind(net)
+    b = Sink("b").bind(net)
+    return sim, net, a, b
+
+
+class TestTransport:
+    def test_default_delta_delivery(self):
+        sim, net, a, b = make_net()
+        net.send("a", "b", "hi")
+        sim.run_to_completion()
+        assert b.seen == [("hi", 1.0)]
+
+    def test_rejects_unknown_destination(self):
+        sim, net, a, b = make_net()
+        with pytest.raises(SimulationError):
+            net.send("a", "zz", "hi")
+
+    def test_duplicate_registration_rejected(self):
+        sim, net, a, b = make_net()
+        with pytest.raises(SimulationError):
+            Sink("a").bind(net)
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(SimulationError):
+            Network(Simulator(), delta=0.0)
+
+    def test_messages_between(self):
+        sim, net, a, b = make_net()
+        net.send("a", "b", 1)
+        net.send("b", "a", 2)
+        net.send("a", "b", 3)
+        assert [m.payload for m in net.messages_between("a", "b")] == [1, 3]
+
+
+class TestRules:
+    def test_delay_rule(self):
+        sim, net, a, b = make_net([delay_rule(5.0, src={"a"})])
+        net.send("a", "b", "slow")
+        sim.run_to_completion()
+        assert b.seen == [("slow", 5.0)]
+
+    def test_drop_rule(self):
+        sim, net, a, b = make_net([drop_rule(dst={"b"})])
+        message = net.send("a", "b", "lost")
+        sim.run_to_completion()
+        assert message.dropped and b.seen == []
+        assert net.dropped == [message]
+
+    def test_hold_and_release(self):
+        sim, net, a, b = make_net([hold_rule(dst={"b"})])
+        message = net.send("a", "b", "held")
+        sim.run_to_completion()
+        assert message.held and b.seen == []
+        released = net.release_held()
+        assert released == 1
+        sim.run_to_completion()
+        assert b.seen == [("held", 0.0)]
+
+    def test_release_with_predicate(self):
+        sim, net, a, b = make_net([hold_rule(dst={"b"})])
+        net.send("a", "b", "one")
+        net.send("a", "b", "two")
+        released = net.release_held(lambda m: m.payload == "two")
+        assert released == 1
+        sim.run_to_completion()
+        assert [p for p, _ in b.seen] == ["two"]
+        assert len(net.in_transit) == 1
+
+    def test_time_window_rules(self):
+        sim, net, a, b = make_net([drop_rule(after=0.0, until=5.0)])
+        net.send("a", "b", "early")
+        sim.run(until=6.0)
+        net.send("a", "b", "late")
+        sim.run_to_completion()
+        assert [p for p, _ in b.seen] == ["late"]
+
+    def test_payload_predicate(self):
+        sim, net, a, b = make_net(
+            [hold_rule(payload_predicate=lambda p: p == "secret")]
+        )
+        net.send("a", "b", "secret")
+        net.send("a", "b", "public")
+        sim.run_to_completion()
+        assert [p for p, _ in b.seen] == ["public"]
+
+    def test_later_rules_take_precedence(self):
+        sim, net, a, b = make_net([delay_rule(5.0)])
+        net.add_rule(delay_rule(2.0))
+        net.send("a", "b", "x")
+        sim.run_to_completion()
+        assert b.seen == [("x", 2.0)]

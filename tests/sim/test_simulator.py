@@ -1,0 +1,200 @@
+"""Tests for the discrete-event simulator kernel."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.simulator import Simulator
+from repro.sim.tasks import Sleep, WaitUntil
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_at(2.0, lambda: order.append("b"))
+        sim.call_at(1.0, lambda: order.append("a"))
+        sim.call_at(3.0, lambda: order.append("c"))
+        sim.run_to_completion()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for tag in ("x", "y", "z"):
+            sim.call_at(1.0, lambda t=tag: order.append(t))
+        sim.run_to_completion()
+        assert order == ["x", "y", "z"]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.call_at(1.0, lambda: None)
+        sim.run_to_completion()
+        with pytest.raises(SimulationError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_run_until_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_run_until_defers_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(10.0, lambda: fired.append(True))
+        sim.run(until=5.0)
+        assert not fired
+        sim.run(until=15.0)
+        assert fired
+
+
+class TestTasks:
+    def test_sleep_advances_time(self):
+        sim = Simulator()
+        times = []
+
+        def coro():
+            times.append(sim.now)
+            yield Sleep(3.0)
+            times.append(sim.now)
+            return "done"
+
+        task = sim.spawn(coro())
+        sim.run_to_completion()
+        assert task.done() and task.result == "done"
+        assert times == [0.0, 3.0]
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            Sleep(-1.0)
+
+    def test_wait_until_parks_and_wakes(self):
+        sim = Simulator()
+        box = {"ready": False}
+
+        def coro():
+            yield WaitUntil(lambda: box["ready"], "box")
+            return sim.now
+
+        task = sim.spawn(coro())
+        sim.call_at(4.0, lambda: box.update(ready=True))
+        sim.run_to_completion()
+        assert task.result == 4.0
+
+    def test_immediately_true_predicate_does_not_park(self):
+        sim = Simulator()
+
+        def coro():
+            yield WaitUntil(lambda: True)
+            return "fast"
+
+        task = sim.spawn(coro())
+        assert task.done() and task.result == "fast"
+
+    def test_chained_wakeups_same_instant(self):
+        """A task waking can satisfy another parked task immediately."""
+        sim = Simulator()
+        state = {"a": False, "b": False}
+
+        def first():
+            yield WaitUntil(lambda: state["a"])
+            state["b"] = True
+
+        def second():
+            yield WaitUntil(lambda: state["b"])
+            return sim.now
+
+        sim.spawn(first())
+        task = sim.spawn(second())
+        sim.call_at(2.0, lambda: state.update(a=True))
+        sim.run_to_completion()
+        assert task.result == 2.0
+
+    def test_same_time_events_batch_before_wakeup(self):
+        """All deliveries at one instant are visible to woken tasks
+        (the paper's atomic receive substep)."""
+        sim = Simulator()
+        inbox = []
+
+        def coro():
+            yield WaitUntil(lambda: len(inbox) >= 1)
+            return len(inbox)
+
+        task = sim.spawn(coro())
+        for item in range(5):
+            sim.call_at(1.0, lambda i=item: inbox.append(i))
+        sim.run_to_completion()
+        assert task.result == 5
+
+    def test_task_exception_propagates(self):
+        sim = Simulator()
+
+        def coro():
+            yield Sleep(1.0)
+            raise RuntimeError("boom")
+
+        task = sim.spawn(coro())
+        with pytest.raises(RuntimeError):
+            sim.run_to_completion()
+        assert isinstance(task.error, RuntimeError)
+
+    def test_strict_completion_detects_blocked_tasks(self):
+        sim = Simulator()
+
+        def coro():
+            yield WaitUntil(lambda: False, "never")
+
+        sim.spawn(coro())
+        with pytest.raises(DeadlockError):
+            sim.run_to_completion(strict=True)
+
+    def test_nonstrict_completion_reports_blocked(self):
+        sim = Simulator()
+
+        def coro():
+            yield WaitUntil(lambda: False, "never")
+
+        sim.spawn(coro())
+        sim.run_to_completion(strict=False)
+        assert len(sim.blocked_tasks()) == 1
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.call_later(0.0, rearm)
+
+        sim.call_at(0.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_unknown_effect_rejected(self):
+        sim = Simulator()
+
+        def coro():
+            yield "not an effect"
+
+        with pytest.raises(SimulationError):
+            sim.spawn(coro())
+
+
+def test_determinism_identical_runs():
+    """Two identical schedules produce identical event interleavings."""
+
+    def run_once():
+        sim = Simulator()
+        log = []
+
+        def worker(name, delay):
+            yield Sleep(delay)
+            log.append((name, sim.now))
+            yield Sleep(delay)
+            log.append((name, sim.now))
+
+        sim.spawn(worker("a", 1.5))
+        sim.spawn(worker("b", 1.5))
+        sim.spawn(worker("c", 2.0))
+        sim.run_to_completion()
+        return log
+
+    assert run_once() == run_once()

@@ -1,0 +1,42 @@
+"""Tests for operation traces."""
+
+from repro.sim.trace import Trace
+
+
+def test_begin_complete_roundtrip():
+    trace = Trace()
+    record = trace.begin("write", "w", 1.0, value="v")
+    assert not record.complete
+    trace.complete(record, 3.0, result="OK", rounds=2)
+    assert record.complete and record.rounds == 2
+    assert trace.completed() == (record,)
+
+
+def test_precedence_and_overlap():
+    trace = Trace()
+    first = trace.begin("write", "w", 0.0)
+    trace.complete(first, 1.0)
+    second = trace.begin("read", "r", 2.0)
+    trace.complete(second, 3.0)
+    assert first.precedes(second)
+    assert not second.precedes(first)
+    assert not first.overlaps(second)
+    third = trace.begin("read", "r2", 2.5)
+    assert second.overlaps(third)
+
+
+def test_incomplete_operations_overlap_everything_later():
+    trace = Trace()
+    pending = trace.begin("write", "w", 0.0)
+    later = trace.begin("read", "r", 100.0)
+    assert pending.overlaps(later)
+    assert not pending.precedes(later)
+
+
+def test_of_kind_filter():
+    trace = Trace()
+    trace.begin("write", "w", 0.0)
+    trace.begin("read", "r", 0.0)
+    assert len(trace.of_kind("write")) == 1
+    assert len(trace) == 2
+    assert all(r.kind == "read" for r in trace.of_kind("read"))

@@ -1,0 +1,157 @@
+"""Tests for the reader-side predicates (Figure 7 lines 1-9)."""
+
+from repro.core.constructions import example7_rqs, threshold_rqs
+from repro.storage.history import History, Pair
+from repro.storage.predicates import ReadState
+
+
+def snapshot_with(ts, rnd, value, quorums=frozenset()):
+    history = History()
+    history.store(ts, rnd, value, quorums)
+    return history.snapshot()
+
+
+def empty_snapshot():
+    return History().snapshot()
+
+
+class TestValid1:
+    def test_holds_with_basic_holder_set(self):
+        rqs = threshold_rqs(5, 1, 1, 0, 1)
+        state = ReadState(rqs)
+        c = Pair(1, "v")
+        for server in (1, 2):
+            state.record_ack(server, 1, snapshot_with(1, 1, "v"))
+        quorum = frozenset({1, 2, 3, 4})
+        assert state.valid1(c, quorum)
+
+    def test_fails_with_corruptible_holder_set(self):
+        rqs = threshold_rqs(5, 1, 1, 0, 1)
+        state = ReadState(rqs)
+        c = Pair(1, "v")
+        state.record_ack(1, 1, snapshot_with(1, 1, "v"))  # one holder ∈ B1
+        assert not state.valid1(c, frozenset({1, 2, 3, 4}))
+
+
+class TestValid2:
+    def test_single_slot2_holder_suffices(self):
+        rqs = threshold_rqs(5, 1, 1, 0, 1)
+        state = ReadState(rqs)
+        state.record_ack(3, 1, snapshot_with(1, 2, "v"))
+        assert state.valid2(Pair(1, "v"), frozenset({3, 4, 5}))
+        assert not state.valid2(Pair(1, "v"), frozenset({4, 5}))
+
+
+class TestValid3:
+    def test_example7_p3b_scenario(self):
+        """The Figure 4 ex5 situation: {s3,s4} hold c with Q2's id,
+        {s1,s2} lie; P3b makes it valid."""
+        rqs = example7_rqs()
+        q2 = frozenset({"s1", "s2", "s3", "s4", "s5"})
+        q2p = frozenset({"s1", "s2", "s3", "s4", "s6"})
+        state = ReadState(rqs)
+        c = Pair(1, 1)
+        for server in ("s3", "s4"):
+            state.record_ack(
+                server, 1, snapshot_with(1, 1, 1, frozenset({q2}))
+            )
+        for server in ("s1", "s2", "s6"):
+            state.record_ack(server, 1, empty_snapshot())
+        assert state.valid3(c, q2p)
+
+    def test_fails_without_quorum_ids(self):
+        rqs = example7_rqs()
+        q2p = frozenset({"s1", "s2", "s3", "s4", "s6"})
+        state = ReadState(rqs)
+        for server in ("s3", "s4"):
+            state.record_ack(server, 1, snapshot_with(1, 1, 1))  # no ids
+        for server in ("s1", "s2", "s6"):
+            state.record_ack(server, 1, empty_snapshot())
+        assert not state.valid3(Pair(1, 1), q2p)
+
+
+class TestSafetyPredicates:
+    def test_safe_requires_basic_confirmations(self):
+        rqs = threshold_rqs(5, 1, 1, 0, 1)
+        state = ReadState(rqs)
+        state.record_ack(1, 1, snapshot_with(9, 1, "fake"))
+        assert not state.safe(Pair(9, "fake"))
+        state.record_ack(2, 1, snapshot_with(9, 1, "fake"))
+        assert state.safe(Pair(9, "fake"))
+
+    def test_bottom_is_always_readable(self):
+        rqs = threshold_rqs(5, 1, 1, 0, 1)
+        state = ReadState(rqs)
+        for server in (1, 2):
+            state.record_ack(server, 1, empty_snapshot())
+        assert state.safe(Pair(0, state.entry(1, 0, 1).pair.val))
+
+    def test_invalid_by_highest_ts(self):
+        rqs = threshold_rqs(5, 1, 1, 0, 1)
+        state = ReadState(rqs)
+        for server in (1, 2, 3, 4):
+            state.record_ack(server, 1, empty_snapshot())
+        state.freeze_round1()
+        assert state.highest_ts == 0
+        assert state.invalid(Pair(5, "future"))
+
+    def test_candidate_selection_prefers_high_timestamp(self):
+        rqs = threshold_rqs(5, 1, 1, 0, 1)
+        state = ReadState(rqs)
+        for server in (1, 2, 3, 4, 5):
+            history = History()
+            history.store(1, 2, "old", frozenset())
+            history.store(2, 2, "new", frozenset())
+            state.record_ack(server, 1, history.snapshot())
+        state.freeze_round1()
+        assert state.select() == Pair(2, "new")
+
+
+class TestBcd:
+    def test_bcd1_requires_class1_intersections(self):
+        rqs = threshold_rqs(8, 3, 1, 1, 2)
+        state = ReadState(rqs)
+        c = Pair(1, "v")
+        # 6 holders: Q1∩Q1' can be covered (8 - 2q = 6) -> holds.
+        for server in range(3, 9):
+            state.record_ack(server, 1, snapshot_with(1, 1, "v"))
+        assert state.bcd1(c, 1)
+        # with only 5 holders it must fail
+        fresh = ReadState(rqs)
+        for server in range(4, 9):
+            fresh.record_ack(server, 1, snapshot_with(1, 1, "v"))
+        assert not fresh.bcd1(c, 1)
+
+    def test_bcd1_r2_needs_quorum_id(self):
+        rqs = threshold_rqs(8, 3, 1, 1, 2)
+        c = Pair(1, "v")
+        qr = frozenset(range(3, 9))  # a class-2 quorum (6 elements)
+        with_ids = ReadState(rqs)
+        without_ids = ReadState(rqs)
+        for server in range(3, 9):
+            with_ids.record_ack(
+                server, 1, snapshot_with(1, 2, "v", frozenset({qr}))
+            )
+            without_ids.record_ack(server, 1, snapshot_with(1, 2, "v"))
+        assert with_ids.bcd1(c, 2)
+        assert not without_ids.bcd1(c, 2)
+
+    def test_bcd2_returns_confirmed_class2_quorums(self):
+        rqs = threshold_rqs(8, 3, 1, 1, 2)
+        state = ReadState(rqs)
+        c = Pair(1, "v")
+        for server in range(2, 9):
+            state.record_ack(server, 1, snapshot_with(1, 1, "v"))
+        state.freeze_round1()
+        confirmed = state.bcd2(c, 1)
+        assert confirmed
+        assert all(q in set(rqs.qc2) for q in confirmed)
+
+    def test_bcd2_empty_without_round1_class2_quorum(self):
+        rqs = threshold_rqs(8, 3, 1, 1, 2)
+        state = ReadState(rqs)
+        c = Pair(1, "v")
+        for server in range(4, 9):  # only 5 responders: no class-2 quorum
+            state.record_ack(server, 1, snapshot_with(1, 1, "v"))
+        state.freeze_round1()
+        assert state.bcd2(c, 1) == ()

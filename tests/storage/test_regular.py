@@ -1,0 +1,117 @@
+"""Tests for the regular-semantics storage extension."""
+
+import pytest
+
+from repro.analysis.atomicity import check_swmr_atomicity
+from repro.analysis.regularity import check_swmr_regularity
+from repro.core.constructions import threshold_rqs
+from repro.sim.network import hold_rule
+from repro.storage.history import BOTTOM
+from repro.storage.regular import RegularStorageSystem
+
+
+class TestRegularReads:
+    def test_single_round_even_on_class3_quorum(self):
+        """Without the atomicity write-back, uncontended synchronous
+        reads are single-round regardless of the quorum class."""
+        rqs = threshold_rqs(8, 3, 1, 1, 2)
+        system = RegularStorageSystem(
+            rqs, n_readers=1,
+            crash_times={1: 0.0, 2: 0.0, 3: 0.0},   # class-3 only
+        )
+        write = system.write("v")
+        read = system.read()
+        assert write.rounds == 3
+        assert (read.result, read.rounds) == ("v", 1)
+
+    def test_initial_read(self):
+        rqs = threshold_rqs(5, 1, 1, 0, 1)
+        system = RegularStorageSystem(rqs, n_readers=1)
+        record = system.read()
+        assert record.result is BOTTOM and record.rounds == 1
+
+    def test_sequential_history_regular_and_atomic(self):
+        rqs = threshold_rqs(5, 1, 1, 0, 1)
+        system = RegularStorageSystem(rqs, n_readers=2)
+        system.write("a")
+        system.read(0)
+        system.write("b")
+        system.read(1)
+        assert check_swmr_regularity(system.operations()).regular
+        assert check_swmr_atomicity(system.operations()).atomic
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_workloads_regular(self, seed):
+        rqs = threshold_rqs(5, 1, 1, 0, 1)
+        system = RegularStorageSystem(rqs, n_readers=3)
+        system.random_workload(5, 9, horizon=40.0, seed=seed)
+        system.run_to_completion()
+        report = check_swmr_regularity(system.operations())
+        assert report.regular, report.violations
+
+    def test_read_inversion_possible_but_still_regular(self):
+        """The Figure-4-style schedule that forces the atomic reader
+        into a 2-round write-back lets the regular reader return in one
+        round; a subsequent degraded reader may then invert — regular
+        but not atomic."""
+        rqs = threshold_rqs(8, 3, 1, 1, 2)
+        system = RegularStorageSystem(
+            rqs,
+            n_readers=2,
+            rules=[
+                hold_rule(src={"writer"}, dst={1, 2, 3}),
+                hold_rule(src={"reader2"}, dst={4, 5, 6}),
+            ],
+        )
+        # Incomplete write reaching only {4..8}.
+        system.sim.spawn(system.writer.write("v"), "incomplete write")
+        system.writer.schedule_crash(1.5)
+        system.sim.run(until=4.0)
+        r1 = system.sim.spawn(system.readers[0].read(), "r1")
+        system.sim.run(until=10.0)
+        assert r1.done() and r1.result.result == "v"
+        # r2 reads only from {1,2,3,7,8}: it may miss the value.
+        r2 = system.sim.spawn(system.readers[1].read(), "r2")
+        system.sim.run(until=30.0)
+        assert r2.done()
+        regularity = check_swmr_regularity(system.operations())
+        assert regularity.regular
+        if r2.result.result is BOTTOM:
+            # inversion realized: atomicity must reject what
+            # regularity accepts
+            atomicity = check_swmr_atomicity(system.operations())
+            assert not atomicity.atomic
+
+
+class TestRegularityChecker:
+    def test_rejects_fabrication(self):
+        from repro.sim.trace import Trace
+
+        trace = Trace()
+        record = trace.begin("read", "r", 0.0)
+        trace.complete(record, 1.0, "ghost")
+        report = check_swmr_regularity(trace.records)
+        assert not report.regular
+
+    def test_rejects_stale_read(self):
+        from repro.sim.trace import Trace
+
+        trace = Trace()
+        w = trace.begin("write", "w", 0.0, "a")
+        trace.complete(w, 1.0, "OK")
+        r = trace.begin("read", "r", 2.0)
+        trace.complete(r, 3.0, BOTTOM)
+        assert not check_swmr_regularity(trace.records).regular
+
+    def test_accepts_read_inversion(self):
+        from repro.sim.trace import Trace
+
+        trace = Trace()
+        w = trace.begin("write", "w", 0.0, "a")
+        trace.complete(w, 100.0, "OK")          # concurrent with both
+        r1 = trace.begin("read", "r1", 1.0)
+        trace.complete(r1, 2.0, "a")
+        r2 = trace.begin("read", "r2", 3.0)
+        trace.complete(r2, 4.0, BOTTOM)
+        assert check_swmr_regularity(trace.records).regular
+        assert not check_swmr_atomicity(trace.records).atomic

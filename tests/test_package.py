@@ -1,0 +1,22 @@
+"""Package-level smoke tests."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_top_level_exports():
+    assert repro.RefinedQuorumSystem is not None
+    assert repro.ThresholdAdversary is not None
+
+
+def test_subpackages_import():
+    import repro.analysis
+    import repro.consensus
+    import repro.core
+    import repro.crypto
+    import repro.experiments.fig1
+    import repro.sim
+    import repro.storage
