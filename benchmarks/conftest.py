@@ -1,6 +1,6 @@
 """Shared helpers for the benchmark harness.
 
-Every bench regenerates one paper artifact (see DESIGN.md's experiment
+Every bench regenerates one paper artifact (see the README's experiment
 index), asserts the paper-claimed shape, and reports timing through
 pytest-benchmark.  Run with::
 

@@ -2,7 +2,7 @@
 """Byzantine consensus scenario: state-machine replication front-end.
 
 Models the paper's consensus framework (proposers / acceptors /
-learners) under three regimes:
+learners) under three regimes, each a declarative scenario spec:
 
   1. best case — one correct proposer, synchrony: learners learn in
      2 message delays through a class-1 quorum;
@@ -14,49 +14,61 @@ learners) under three regimes:
 Run:  python examples/byzantine_consensus.py
 """
 
-from repro.analysis.consensus_check import check_consensus
-from repro.core.constructions import threshold_rqs
-from repro.consensus.proposer import EquivocatingProposer
-from repro.consensus.system import ConsensusSystem
+from repro.scenarios import (
+    PROPOSER,
+    ByzantineRole,
+    FaultPlan,
+    Propose,
+    ScenarioSpec,
+    run,
+)
 
 
-def regime_best_case(rqs) -> None:
+def regime_best_case() -> None:
     print("1. Best case (single proposer, full synchrony):")
-    system = ConsensusSystem(rqs, n_proposers=2, n_learners=3)
-    delays = system.run_best_case(("put", "x", 1))
-    for learner, delay in sorted(delays.items()):
+    result = run(ScenarioSpec(
+        protocol="rqs-consensus",
+        rqs="example6",
+        workload=(Propose(0.0, ("put", "x", 1)),),
+        horizon=60.0,
+    ))
+    for learner, delay in sorted(result.learner_delays.items()):
         print(f"   {learner}: learned in {delay} message delays")
 
 
-def regime_contention(rqs) -> None:
+def regime_contention() -> None:
     print("\n2. Contention (two proposers race):")
-    system = ConsensusSystem(rqs, n_proposers=2, n_learners=3)
-    system.propose_at(0.0, "cmd-A", proposer_index=0)
-    system.propose_at(0.0, "cmd-B", proposer_index=1)
-    system.run(until=600.0)
-    learned = system.learned_values()
-    print(f"   learned: {learned}")
-    report = check_consensus(
-        system.operations(),
-        correct_learners=[l.pid for l in system.learners],
-    )
+    result = run(ScenarioSpec(
+        protocol="rqs-consensus",
+        rqs="example6",
+        workload=(
+            Propose(0.0, "cmd-A", proposer=0),
+            Propose(0.0, "cmd-B", proposer=1),
+        ),
+        horizon=600.0,
+    ))
+    print(f"   learned: {result.learned}")
+    report = result.consensus
     print(f"   agreement: {'OK' if report.agreement_ok else 'VIOLATED'}, "
           f"validity: {'OK' if report.validity_ok else 'VIOLATED'}")
     assert report.ok
 
 
-def regime_byzantine_proposer(rqs) -> None:
+def regime_byzantine_proposer() -> None:
     print("\n3. Byzantine proposer equivocates (A to half, B to half):")
-    system = ConsensusSystem(
-        rqs,
-        n_proposers=2,
-        n_learners=3,
-        proposer_factories={0: EquivocatingProposer},
-    )
-    system.propose_at(0.0, "EVIL", proposer_index=0)
-    system.propose_at(1.0, "GOOD", proposer_index=1)
-    system.run(until=600.0)
-    learned = system.learned_values()
+    result = run(ScenarioSpec(
+        protocol="rqs-consensus",
+        rqs="example6",
+        faults=FaultPlan(
+            byzantine=(ByzantineRole(0, "equivocating", role=PROPOSER),),
+        ),
+        workload=(
+            Propose(0.0, "EVIL", proposer=0),
+            Propose(1.0, "GOOD", proposer=1),
+        ),
+        horizon=600.0,
+    ))
+    learned = result.learned
     values = set(learned.values())
     print(f"   learned: {learned}")
     print(f"   single decision despite equivocation: {len(values) == 1}")
@@ -64,10 +76,9 @@ def regime_byzantine_proposer(rqs) -> None:
 
 
 def main() -> None:
-    rqs = threshold_rqs(n=8, t=3, k=1, q=1, r=2)
-    regime_best_case(rqs)
-    regime_contention(rqs)
-    regime_byzantine_proposer(rqs)
+    regime_best_case()
+    regime_contention()
+    regime_byzantine_proposer()
 
 
 if __name__ == "__main__":

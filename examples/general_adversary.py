@@ -13,7 +13,8 @@ This example models a six-server deployment where:
 i.e. exactly the Example 7 adversary of the paper.  It then:
   1. validates the published RQS for that structure,
   2. *discovers* an RQS automatically with the search tooling,
-  3. runs the storage algorithm through a correlated-failure scenario.
+  3. runs the storage algorithm through a correlated-failure scenario
+     (a declarative spec over the RQS name "example7").
 
 Run:  python examples/general_adversary.py
 """
@@ -22,10 +23,17 @@ from repro.core import describe
 from repro.core.constructions import (
     example7_adversary,
     example7_named_quorums,
-    example7_rqs,
 )
 from repro.core.search import search_rqs
-from repro.storage.system import StorageSystem
+from repro.scenarios import (
+    FaultPlan,
+    Read,
+    ScenarioSpec,
+    Write,
+    crashes,
+    resolve_rqs,
+    run,
+)
 
 
 def main() -> None:
@@ -35,7 +43,7 @@ def main() -> None:
         print(f"  {sorted(maximal)}")
 
     print("\nThe paper's RQS for this structure (Example 7):")
-    rqs = example7_rqs()
+    rqs = resolve_rqs("example7")
     print(describe(rqs))
 
     named = example7_named_quorums()
@@ -55,10 +63,14 @@ def main() -> None:
 
     print("\nCorrelated-failure run: s1 (rack) and s3 (firmware) die,")
     print("leaving exactly the class-1 quorum Q1 = {s2,s4,s5,s6} alive.")
-    system = StorageSystem(rqs, n_readers=1,
-                           crash_times={"s1": 0.0, "s3": 0.0})
-    write = system.write("survives-rack-loss")
-    read = system.read()
+    result = run(ScenarioSpec(
+        protocol="rqs-storage",
+        rqs="example7",
+        readers=1,
+        faults=FaultPlan(crashes=crashes({"s1": 0.0, "s3": 0.0})),
+        workload=(Write(0.0, "survives-rack-loss"), Read(5.0)),
+    ))
+    write, read = result.write(), result.read()
     print(f"  write -> {write.rounds} round(s); "
           f"read -> {read.result!r} in {read.rounds} round(s)")
     assert read.result == "survives-rack-loss"

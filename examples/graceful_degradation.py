@@ -8,46 +8,62 @@ class of the quorum that happens to be available:
   storage:    1 round   -> 2 rounds  -> 3 rounds
   consensus:  2 delays  -> 3 delays  -> 4 delays
 
-This example walks one deployment down the staircase, crashing servers
-between steps, and prints the measured latency at each step next to the
-paper's claim.
+This example walks one deployment down the staircase — every step is the
+same scenario spec with a different crash schedule — and prints the
+measured latency at each step next to the paper's claim.
 
 Run:  python examples/graceful_degradation.py
 """
 
-from repro.core.constructions import threshold_rqs
-from repro.sim.network import hold_rule
-from repro.consensus.system import ConsensusSystem
-from repro.storage.system import StorageSystem
+from repro.scenarios import (
+    Crash,
+    FaultPlan,
+    Hold,
+    Propose,
+    Read,
+    ScenarioSpec,
+    Write,
+    crashes,
+    run,
+)
 
 
 def storage_staircase() -> None:
     print("Storage staircase (n=8, t=3, k=1, q=1, r=2):")
-    for crashes, claim in ((1, 1), (2, 2), (3, 3)):
-        rqs = threshold_rqs(8, 3, 1, 1, 2)
-        system = StorageSystem(
-            rqs,
-            n_readers=1,
-            crash_times={sid: 0.0 for sid in range(1, crashes + 1)},
-        )
-        record = system.write(f"v{crashes}")
+    for n_crashes, claim in ((1, 1), (2, 2), (3, 3)):
+        result = run(ScenarioSpec(
+            protocol="rqs-storage",
+            rqs="example6",
+            readers=1,
+            faults=FaultPlan(
+                crashes=crashes(
+                    {sid: 0.0 for sid in range(1, n_crashes + 1)}
+                )
+            ),
+            workload=(Write(0.0, f"v{n_crashes}"),),
+        ))
+        record = result.write()
         cls = ("class-1", "class-2", "class-3")[claim - 1]
-        print(f"  {crashes} crashed ({cls} quorum left): "
+        print(f"  {n_crashes} crashed ({cls} quorum left): "
               f"write took {record.rounds} round(s), paper claims {claim}")
         assert record.rounds == claim
 
     print("\nRead staircase (after a 1-round write that missed server 1):")
     for extra, claim in ((0, 1), (2, 2), (3, 3)):
-        rqs = threshold_rqs(8, 3, 1, 1, 2)
-        system = StorageSystem(
-            rqs,
-            n_readers=1,
-            rules=[hold_rule(src={"writer"}, dst={1})],
-        )
-        system.write("v")
-        for sid in range(2, 2 + extra):
-            system.servers[sid].crash()
-        record = system.read()
+        result = run(ScenarioSpec(
+            protocol="rqs-storage",
+            rqs="example6",
+            readers=1,
+            faults=FaultPlan(
+                # the write completes at 2Δ; crash before the read starts.
+                crashes=tuple(
+                    Crash(sid, 5.0) for sid in range(2, 2 + extra)
+                ),
+                asynchrony=(Hold(src=("writer",), dst=(1,)),),
+            ),
+            workload=(Write(0.0, "v"), Read(5.0)),
+        ))
+        record = result.read()
         print(f"  {extra + 1} servers unavailable to the reader: "
               f"read took {record.rounds} round(s), paper claims {claim}")
         assert record.rounds == claim
@@ -55,15 +71,20 @@ def storage_staircase() -> None:
 
 def consensus_staircase() -> None:
     print("\nConsensus staircase (same RQS):")
-    for crashes, claim in ((0, 2.0), (2, 3.0), (3, 4.0)):
-        rqs = threshold_rqs(8, 3, 1, 1, 2)
-        system = ConsensusSystem(
-            rqs,
-            crash_times={sid: 0.0 for sid in range(1, crashes + 1)},
-        )
-        delays = system.run_best_case("v")
-        worst = max(delays.values())
-        print(f"  {crashes} crashed: learners learn in {worst} "
+    for n_crashes, claim in ((0, 2.0), (2, 3.0), (3, 4.0)):
+        result = run(ScenarioSpec(
+            protocol="rqs-consensus",
+            rqs="example6",
+            faults=FaultPlan(
+                crashes=crashes(
+                    {sid: 0.0 for sid in range(1, n_crashes + 1)}
+                )
+            ),
+            workload=(Propose(0.0, "v"),),
+            horizon=60.0,
+        ))
+        worst = result.worst_learner_delay
+        print(f"  {n_crashes} crashed: learners learn in {worst} "
               f"message delays, paper claims {claim}")
         assert worst == claim
 

@@ -1,24 +1,32 @@
 #!/usr/bin/env python3
 """Quickstart: refined quorum systems in five minutes.
 
-Builds an RQS, validates its properties, runs the Byzantine atomic
-storage and the consensus algorithm over it, and shows the best-case
+Builds an RQS, validates its properties, then runs the Byzantine atomic
+storage and the consensus algorithm over it through the unified scenario
+API — one declarative spec per execution — and shows the best-case
 latencies the paper promises (1 round / 2 message delays with a class-1
 quorum).
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import describe
 from repro.core.constructions import threshold_rqs
-from repro.consensus.system import ConsensusSystem
-from repro.storage.system import StorageSystem
+from repro.scenarios import (
+    FaultPlan,
+    Propose,
+    Read,
+    ScenarioSpec,
+    Write,
+    crashes,
+    run,
+)
 
 
 def main() -> None:
     # 1. A refined quorum system: 8 servers, tolerating t=3 unresponsive
     #    servers of which k=1 may be Byzantine.  Quorums miss at most 3
     #    servers; class-2 quorums miss at most 2; class-1 at most 1.
+    #    (The scenario layer also knows this instance as rqs="example6".)
     rqs = threshold_rqs(n=8, t=3, k=1, q=1, r=2)
     print("A refined quorum system (Example 6 of the paper):")
     print(f"  |S|={len(rqs.ground_set)}  |RQS|={len(rqs.quorums)}  "
@@ -28,25 +36,40 @@ def main() -> None:
     # 2. Atomic storage over the RQS: single-round reads and writes when
     #    a class-1 quorum of correct servers responds.
     print("\nAtomic storage (Figures 5-7):")
-    storage = StorageSystem(rqs, n_readers=2)
-    write = storage.write("hello rqs")
-    read = storage.read()
+    result = run(ScenarioSpec(
+        protocol="rqs-storage",
+        rqs=rqs,
+        readers=2,
+        workload=(Write(0.0, "hello rqs"), Read(5.0)),
+    ))
+    write, read = result.write(), result.read()
     print(f"  write('hello rqs') -> {write.rounds} round(s)")
     print(f"  read() -> {read.result!r} in {read.rounds} round(s)")
+    print(f"  atomic: {result.atomicity.atomic}")
 
     # 3. Crash two servers: the system degrades gracefully to 2 rounds.
-    storage.servers[1].crash()
-    storage.servers[2].crash()
-    write2 = storage.write("degraded")
-    print(f"  after 2 crashes: write -> {write2.rounds} round(s)")
+    degraded = run(ScenarioSpec(
+        protocol="rqs-storage",
+        rqs=rqs,
+        readers=1,
+        faults=FaultPlan(crashes=crashes({1: 0.0, 2: 0.0})),
+        workload=(Write(0.0, "degraded"),),
+    ))
+    print(f"  after 2 crashes: write -> {degraded.write().rounds} round(s)")
 
     # 4. Consensus over the same RQS: learners learn in 2 message delays
     #    with a class-1 quorum (3 with class 2, 4 with class 3).
     print("\nConsensus (Figures 9-15):")
-    consensus = ConsensusSystem(rqs, n_proposers=2, n_learners=3)
-    delays = consensus.run_best_case("decided-value")
-    for learner, delay in sorted(delays.items()):
-        print(f"  {learner} learned {consensus.learned_values()[learner]!r} "
+    consensus = run(ScenarioSpec(
+        protocol="rqs-consensus",
+        rqs=rqs,
+        proposers=2,
+        learners=3,
+        workload=(Propose(0.0, "decided-value"),),
+        horizon=60.0,
+    ))
+    for learner, delay in sorted(consensus.learner_delays.items()):
+        print(f"  {learner} learned {consensus.learned[learner]!r} "
               f"in {delay} message delays")
 
 

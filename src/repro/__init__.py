@@ -13,11 +13,17 @@ The library provides:
   (Figures 9–15) plus baselines.
 * :mod:`repro.analysis` — atomicity/linearizability/consensus checkers
   and latency accounting.
+* :mod:`repro.scenarios` — the unified declarative scenario layer: a
+  :class:`~repro.scenarios.ScenarioSpec` plus ``run(spec)`` is the
+  public way to execute any protocol under any fault schedule.
 * :mod:`repro.experiments` — drivers regenerating every figure and claim
-  of the paper (see DESIGN.md for the experiment index).
+  of the paper (see the experiment index in the top-level README.md).
+
+All executions go through :mod:`repro.scenarios`: build a spec, call
+``run``, read verdicts off the :class:`~repro.scenarios.RunResult`.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core import (
     Adversary,
@@ -25,11 +31,37 @@ from repro.core import (
     RefinedQuorumSystem,
     ThresholdAdversary,
 )
+from repro.scenarios import (
+    ByzantineRole,
+    Crash,
+    FaultPlan,
+    Propose,
+    RandomMix,
+    Read,
+    RunResult,
+    ScenarioSpec,
+    Write,
+    available_protocols,
+    register_protocol,
+    run,
+)
 
 __all__ = [
     "Adversary",
+    "ByzantineRole",
+    "Crash",
     "ExplicitAdversary",
+    "FaultPlan",
+    "Propose",
+    "RandomMix",
+    "Read",
     "RefinedQuorumSystem",
+    "RunResult",
+    "ScenarioSpec",
     "ThresholdAdversary",
+    "Write",
     "__version__",
+    "available_protocols",
+    "register_protocol",
+    "run",
 ]

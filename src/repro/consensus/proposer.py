@@ -148,6 +148,12 @@ class Proposer(Process):
             self.send(acceptor, Sync())
             self.send(acceptor, DecisionPull())
 
+    def resync(self) -> None:
+        """Re-send the post-propose Sync/DecisionPull (a client
+        retransmitting over lossy pre-GST channels; the scenario layer's
+        ``Resync`` workload op)."""
+        self._post_propose_sync()
+
     def _propose_in_current_view(self):
         view = self.view
         if view != INIT_VIEW:

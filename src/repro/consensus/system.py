@@ -4,6 +4,11 @@
 over a simulated network and exposes scenario drivers: best-case
 single-proposer runs, contended runs, Byzantine acceptors/proposers and
 pre-GST asynchrony (via network rules).
+
+This class is the thin wiring behind the ``"rqs-consensus"`` protocol of
+:mod:`repro.scenarios` — prefer building a
+:class:`~repro.scenarios.ScenarioSpec` and calling
+:func:`repro.scenarios.run` over instantiating it directly.
 """
 
 from __future__ import annotations

@@ -2,7 +2,7 @@
 
 The paper's concluding section lists "the load and availability of RQS"
 as an open research direction; these metrics power the ablation bench
-(experiment E13 in DESIGN.md).
+(experiment E13 in the README index).
 
 * **Load** (:func:`system_load`): the minimum over access strategies of
   the maximum access probability of any element.  We compute the exact

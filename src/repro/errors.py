@@ -51,6 +51,14 @@ class ProtocolError(ReproError):
     """A protocol implementation observed an impossible condition."""
 
 
+class ScenarioError(ReproError):
+    """A scenario specification is malformed or unsupported."""
+
+
+class UnknownProtocolError(ScenarioError):
+    """A scenario names a protocol id that was never registered."""
+
+
 class CheckerError(ReproError):
     """A correctness checker was fed a malformed history."""
 

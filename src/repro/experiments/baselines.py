@@ -25,6 +25,9 @@ PBFT-lite               5
 The paper's "who wins" shape: the RQS storage matches fast-ABD where it
 applies and halves ABD's read latency; the RQS consensus beats PBFT's
 fault-free path by up to 2.5× and never loses to it.
+
+Every row is one :class:`~repro.scenarios.ScenarioSpec` — the same
+workload literal, swapped across protocols.
 """
 
 from __future__ import annotations
@@ -32,13 +35,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.constructions import pbft_style_rqs, threshold_rqs
-from repro.consensus.paxos import PaxosSystem
-from repro.consensus.pbft import PbftSystem
-from repro.consensus.system import ConsensusSystem
-from repro.storage.abd import AbdSystem
-from repro.storage.fastabd import FastAbdSystem
-from repro.storage.system import StorageSystem
+from repro.scenarios import (
+    FaultPlan,
+    Propose,
+    Read,
+    ScenarioSpec,
+    Write,
+    crashes,
+    run,
+)
 
 
 @dataclass
@@ -63,44 +68,58 @@ class ConsensusRow:
         return f"{self.algorithm:<24} learn={self.learn_delays} delays"
 
 
+_STORAGE_WORKLOAD = (Write(0.0, "v"), Read(10.0))
+
+
 def storage_rows() -> List[StorageRow]:
     rows: List[StorageRow] = []
-
-    rqs_system = StorageSystem(threshold_rqs(8, 3, 1, 1, 2), n_readers=1)
-    write = rqs_system.write("v")
-    read = rqs_system.read()
-    rows.append(StorageRow("RQS storage (class 1)", write.rounds, read.rounds))
-
-    fast = FastAbdSystem(n_readers=1)
-    write = fast.write("v")
-    read = fast.read()
-    rows.append(StorageRow("section-1.2 fast-ABD", write.rounds, read.rounds))
-
-    abd = AbdSystem(n=5, n_readers=1)
-    write = abd.write("v")
-    read = abd.read()
-    rows.append(StorageRow("ABD", write.rounds, read.rounds))
+    specs = (
+        ("RQS storage (class 1)",
+         ScenarioSpec(protocol="rqs-storage", rqs="example6", readers=1,
+                      workload=_STORAGE_WORKLOAD)),
+        ("section-1.2 fast-ABD",
+         ScenarioSpec(protocol="fastabd", readers=1,
+                      workload=_STORAGE_WORKLOAD)),
+        ("ABD",
+         ScenarioSpec(protocol="abd", readers=1,
+                      workload=_STORAGE_WORKLOAD)),
+    )
+    for name, spec in specs:
+        result = run(spec)
+        rows.append(
+            StorageRow(name, result.write().rounds, result.read().rounds)
+        )
     return rows
 
 
 def consensus_rows() -> List[ConsensusRow]:
     rows: List[ConsensusRow] = []
-    rqs = threshold_rqs(8, 3, 1, 1, 2)
-    for cls, crashes in ((1, 0), (2, 2), (3, 3)):
-        system = ConsensusSystem(
-            rqs, crash_times={sid: 0.0 for sid in range(1, crashes + 1)}
-        )
-        delays = system.run_best_case("v")
-        worst = max(d for d in delays.values())
-        rows.append(ConsensusRow(f"RQS consensus (class {cls})", worst))
+    for cls, n_crashes in ((1, 0), (2, 2), (3, 3)):
+        result = run(ScenarioSpec(
+            protocol="rqs-consensus",
+            rqs="example6",
+            faults=FaultPlan(
+                crashes=crashes(
+                    {sid: 0.0 for sid in range(1, n_crashes + 1)}
+                )
+            ),
+            workload=(Propose(0.0, "v"),),
+            horizon=60.0,
+        ))
+        rows.append(ConsensusRow(
+            f"RQS consensus (class {cls})", result.worst_learner_delay
+        ))
 
-    paxos = PaxosSystem(n_acceptors=5)
-    delays = paxos.run_best_case("v")
-    rows.append(ConsensusRow("crash Paxos", max(delays.values())))
-
-    pbft = PbftSystem(f=1)
-    delays = pbft.run_best_case("v")
-    rows.append(ConsensusRow("PBFT-lite", max(delays.values())))
+    for name, spec in (
+        ("crash Paxos",
+         ScenarioSpec(protocol="paxos", params={"n_acceptors": 5},
+                      workload=(Propose(0.0, "v"),), horizon=60.0)),
+        ("PBFT-lite",
+         ScenarioSpec(protocol="pbft", params={"f": 1},
+                      workload=(Propose(0.0, "v"),), horizon=60.0)),
+    ):
+        result = run(spec)
+        rows.append(ConsensusRow(name, result.worst_learner_delay))
     return rows
 
 

@@ -22,10 +22,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.consensus_check import check_consensus
-from repro.core.constructions import threshold_rqs
-from repro.core.rqs import RefinedQuorumSystem
-from repro.consensus.system import ConsensusSystem
+from repro.scenarios import (
+    FaultPlan,
+    Propose,
+    ScenarioSpec,
+    crashes,
+    run,
+)
+
+DEFAULT_RQS = "example6"
 
 
 @dataclass
@@ -47,27 +52,27 @@ class ConsensusLatencyRow:
         )
 
 
-def default_rqs() -> RefinedQuorumSystem:
-    return threshold_rqs(8, 3, 1, 1, 2)
-
-
 _CRASHES = {1: 0, 2: 2, 3: 3}
 
 
 def measure(quorum_class: int, value: str = "V") -> ConsensusLatencyRow:
-    rqs = default_rqs()
-    crash_times = {
-        sid: 0.0 for sid in range(1, _CRASHES[quorum_class] + 1)
-    }
-    system = ConsensusSystem(
-        rqs, n_proposers=2, n_learners=3, crash_times=crash_times
+    spec = ScenarioSpec(
+        protocol="rqs-consensus",
+        rqs=DEFAULT_RQS,
+        proposers=2,
+        learners=3,
+        faults=FaultPlan(
+            crashes=crashes(
+                {sid: 0.0 for sid in range(1, _CRASHES[quorum_class] + 1)}
+            )
+        ),
+        workload=(Propose(0.0, value),),
+        horizon=60.0,
     )
-    delays = system.run_best_case(value)
-    report = check_consensus(
-        system.operations(),
-        correct_learners=[l.pid for l in system.learners],
+    result = run(spec)
+    return ConsensusLatencyRow(
+        quorum_class, result.learner_delays, result.consensus.ok
     )
-    return ConsensusLatencyRow(quorum_class, delays, report.ok)
 
 
 def run_experiment() -> List[ConsensusLatencyRow]:

@@ -15,9 +15,10 @@ composed schedule of executions ex3+ex4 against the greedy algorithm of
    ever saw ``v`` — and returns ⊥, *inverting* ``r1``'s read.
 
 The atomicity checker must flag the read inversion.  The same schedule
-against the Section 1.2 algorithm (4-server fast quorums,
-:mod:`repro.storage.fastabd`) stays atomic — that contrast is the whole
-point of Figure 2.
+against the Section 1.2 algorithm (4-server fast quorums, the
+``"fastabd"`` protocol) stays atomic — that contrast is the whole point
+of Figure 2.  Both replays are the *same* scenario spec with the
+protocol id swapped.
 """
 
 from __future__ import annotations
@@ -25,10 +26,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-from repro.analysis.atomicity import AtomicityReport, check_swmr_atomicity
-from repro.sim.network import hold_rule
-from repro.storage.fastabd import FastAbdSystem, FRead
-from repro.storage.naive import NaiveSystem, NRead
+from repro.analysis.atomicity import AtomicityReport
+from repro.scenarios import (
+    Crash,
+    FaultPlan,
+    Hold,
+    Read,
+    ScenarioSpec,
+    Write,
+    run,
+)
+from repro.storage.fastabd import FRead
+from repro.storage.naive import NRead
 
 
 @dataclass
@@ -52,63 +61,52 @@ class Fig1Outcome:
         )
 
 
-def _schedule_rules(read_message_type):
-    """The adversarial message schedule shared by both algorithms."""
-    return [
-        # The write is incomplete: only server 3 ever receives it.
-        hold_rule(
-            src={"writer"}, dst={1, 2, 4, 5}, label="wr reaches only s3"
+def _schedule(protocol: str, read_message_type, horizon: float) -> ScenarioSpec:
+    """The adversarial Figure 1 schedule, parameterized by protocol."""
+    return ScenarioSpec(
+        protocol=protocol,
+        readers=2,
+        faults=FaultPlan(
+            # ex4: servers 3 and 5 crash after r1's read completed.
+            crashes=(Crash(3, 10.0), Crash(5, 10.0)),
+            asynchrony=(
+                # The write is incomplete: only server 3 ever receives it.
+                Hold(src=("writer",), dst=(1, 2, 4, 5),
+                     label="wr reaches only s3"),
+                # r1's *first-round read* messages to servers 1, 2 delayed.
+                Hold(src=("reader1",), dst=(1, 2),
+                     payload=lambda p: isinstance(p, read_message_type),
+                     label="r1 cannot reach s1, s2"),
+            ),
         ),
-        # r1's *first-round read* messages to servers 1, 2 are delayed.
-        hold_rule(
-            src={"reader1"},
-            dst={1, 2},
-            payload_predicate=lambda p: isinstance(p, read_message_type),
-            label="r1 cannot reach s1, s2",
+        workload=(
+            Write(0.0, "v"),          # never completes (blocked quorum)
+            Read(0.0, reader=0),      # r1, before the crashes
+            Read(10.0, reader=1),     # r2, after the crashes
         ),
-    ]
+        horizon=horizon,
+    )
+
+
+def _outcome(label: str, result) -> Fig1Outcome:
+    r1, r2 = result.reads[0], result.reads[1]
+    assert r1.complete, "r1 should complete from {3,4,5}"
+    assert r2.complete, "r2 should complete from {1,2,4}"
+    return Fig1Outcome(
+        label, r1.result, r1.rounds, r2.result, r2.rounds, result.atomicity
+    )
 
 
 def run_naive() -> Fig1Outcome:
     """The greedy 3-of-5 algorithm under the Figure 1 schedule."""
-    system = NaiveSystem(n=5, t=2, n_readers=2, rules=_schedule_rules(NRead))
-    system.write_task = system.sim.spawn(
-        system.writer.write("v"), "wr(v) [incomplete]"
-    )
-    r1_task = system.sim.spawn(system.readers[0].read(), "r1.read()")
-    system.sim.run(until=10.0)
-    assert r1_task.done(), "r1 should complete from {3,4,5}"
-    system.servers[3].crash()
-    system.servers[5].crash()
-    r2_task = system.sim.spawn(system.readers[1].read(), "r2.read()")
-    system.sim.run(until=20.0)
-    assert r2_task.done(), "r2 should complete from {1,2,4}"
-    report = check_swmr_atomicity(system.trace.records)
-    r1, r2 = r1_task.result, r2_task.result
-    return Fig1Outcome(
-        "naive (3-of-5 fast)",
-        r1.result, r1.rounds, r2.result, r2.rounds, report,
-    )
+    result = run(_schedule("naive", NRead, horizon=20.0))
+    return _outcome("naive (3-of-5 fast)", result)
 
 
 def run_fastabd() -> Fig1Outcome:
     """The Section 1.2 algorithm (4-of-5 fast) under the same schedule."""
-    system = FastAbdSystem(n_readers=2, rules=_schedule_rules(FRead))
-    system.sim.spawn(system.writer.write("v"), "wr(v) [incomplete]")
-    r1_task = system.sim.spawn(system.readers[0].read(), "r1.read()")
-    system.sim.run(until=20.0)
-    assert r1_task.done(), "r1 should complete (2 rounds via writeback)"
-    system.servers[3].crash()
-    system.servers[5].crash()
-    r2_task = system.sim.spawn(system.readers[1].read(), "r2.read()")
-    system.sim.run(until=40.0)
-    assert r2_task.done(), "r2 should complete from {1,2,4}"
-    report = check_swmr_atomicity(system.trace.records)
-    r1, r2 = r1_task.result, r2_task.result
-    return Fig1Outcome(
-        "section-1.2 (4-of-5)",
-        r1.result, r1.rounds, r2.result, r2.rounds, report,
-    )
+    result = run(_schedule("fastabd", FRead, horizon=40.0))
+    return _outcome("section-1.2 (4-of-5)", result)
 
 
 def run_experiment() -> Tuple[Fig1Outcome, Fig1Outcome]:

@@ -8,7 +8,7 @@ figure's executions against the real RQS storage algorithm:
 * **ex1** — s1 and s3 are down; a synchronous uncontended ``write(1)``
   completes in a single round through the class-1 quorum ``Q1``.
 * **ex2/ex3** — the write reaches only ``{s1..s5}`` and is incomplete
-  (the writer stops before round 2); reader ``r1`` can only reach
+  (the writer crashes before round 2); reader ``r1`` can only reach
   ``Q2 = {s1..s5}`` and must return 1 after **2 rounds** (the
   sophisticated round-1 write-back carrying ``Q2``'s id).
 * **ex4/ex5** — afterwards ``s5`` crashes and the Byzantine pair
@@ -18,45 +18,27 @@ figure's executions against the real RQS storage algorithm:
   *only because* ``P3b(Q2, Q'2, B34)`` holds: the class-1 quorum
   witness ``s2 ∈ Q1 ∩ Q2 ∩ Q'2 \\ B34`` pins the value.
 
-The run asserts the figure's outcomes and that the history is atomic.
+Both stages are declarative scenario specs over the RQS name
+``"example7"``; the run asserts the figure's outcomes and that the
+history is atomic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
-from repro.analysis.atomicity import AtomicityReport, check_swmr_atomicity
-from repro.core.constructions import example7_named_quorums, example7_rqs
-from repro.sim.network import hold_rule
-from repro.storage.history import Entry
-from repro.storage.server import StorageServer
-from repro.storage.system import StorageSystem
-
-
-class SetForgettingServer(StorageServer):
-    """Byzantine server that, at ``trigger_time``, erases the class-2
-    quorum ids stored in its history (it "forgets round 2 of rd" while
-    keeping the pairs — the ex4 behaviour of Figure 4)."""
-
-    benign = False
-
-    def __init__(self, pid, trigger_time: float):
-        super().__init__(pid)
-        self.trigger_time = trigger_time
-        self._armed = False
-
-    def bind(self, network):  # type: ignore[override]
-        bound = super().bind(network)
-        if not self._armed:
-            self._armed = True
-            self.sim.call_at(self.trigger_time, self._forget_sets)
-        return bound
-
-    def _forget_sets(self) -> None:
-        cells = self.history._cells
-        for key, entry in list(cells.items()):
-            cells[key] = Entry(entry.pair, frozenset())
+from repro.analysis.atomicity import AtomicityReport
+from repro.scenarios import (
+    ByzantineRole,
+    Crash,
+    FaultPlan,
+    Hold,
+    Read,
+    ScenarioSpec,
+    Write,
+    run,
+)
 
 
 @dataclass
@@ -81,52 +63,52 @@ class Fig4Outcome:
 
 def run_ex1() -> int:
     """ex1: write(1) with s1, s3 down completes in one round."""
-    rqs = example7_rqs()
-    system = StorageSystem(
-        rqs, n_readers=1, crash_times={"s1": 0.0, "s3": 0.0}
-    )
-    record = system.write(1)
-    return record.rounds
+    result = run(ScenarioSpec(
+        protocol="rqs-storage",
+        rqs="example7",
+        readers=1,
+        faults=FaultPlan(crashes=(Crash("s1", 0.0), Crash("s3", 0.0))),
+        workload=(Write(0.0, 1),),
+    ))
+    return result.write().rounds
 
 
-def run_ex3_ex4() -> Tuple[object, int, object, int, AtomicityReport]:
-    """The composed ex3 → ex4 schedule of Figure 4."""
-    rqs = example7_rqs()
+def run_ex3_ex4():
+    """The composed ex3 → ex4 schedule of Figure 4 as one scenario."""
     forgery_time = 12.0
-    system = StorageSystem(
-        rqs,
-        n_readers=2,
-        rules=[
-            # The slow write never reaches s6 (ex3).
-            hold_rule(src={"writer"}, dst={"s6"}, label="wr misses s6"),
-            # r1 only communicates with Q2 = {s1..s5}.
-            hold_rule(src={"reader1"}, dst={"s6"}, label="r1 misses s6"),
-        ],
-        server_factories={
-            "s1": lambda pid: SetForgettingServer(pid, forgery_time),
-            "s2": lambda pid: SetForgettingServer(pid, forgery_time),
-        },
-    )
-    # Incomplete write: the writer stops after its first round.
-    system.sim.spawn(system.writer.write(1), "wr(1) [incomplete]")
-    system.writer.schedule_crash(1.9)   # before its round 2 starts at 2Δ
-    system.sim.run(until=2.0)
-
-    # ex3: r1 reads through Q2 and must return 1 in two rounds.
-    r1_task = system.sim.spawn(system.readers[0].read(), "rd by r1")
-    system.sim.run(until=forgery_time)
-    assert r1_task.done(), "rd must complete through Q2"
-    r1 = r1_task.result
-
-    # ex4: s5 crashes, {s1, s2} forget the write-back's quorum ids.
-    system.servers["s5"].crash()
-    r2_task = system.sim.spawn(system.readers[1].read(), "rd' by r2")
-    system.sim.run(until=60.0)
-    assert r2_task.done(), "rd' must complete through Q'2"
-    r2 = r2_task.result
-
-    report = check_swmr_atomicity(system.operations())
-    return r1.result, r1.rounds, r2.result, r2.rounds, report
+    result = run(ScenarioSpec(
+        protocol="rqs-storage",
+        rqs="example7",
+        readers=2,
+        faults=FaultPlan(
+            crashes=(
+                # Incomplete write: the writer dies before round 2 at 2Δ.
+                Crash("writer", 1.9),
+                # ex4: s5 crashes once r1's read has completed.
+                Crash("s5", forgery_time),
+            ),
+            byzantine=(
+                ByzantineRole("s1", "forget-qc2-ids", at=forgery_time),
+                ByzantineRole("s2", "forget-qc2-ids", at=forgery_time),
+            ),
+            asynchrony=(
+                # The slow write never reaches s6 (ex3).
+                Hold(src=("writer",), dst=("s6",), label="wr misses s6"),
+                # r1 only communicates with Q2 = {s1..s5}.
+                Hold(src=("reader1",), dst=("s6",), label="r1 misses s6"),
+            ),
+        ),
+        workload=(
+            Write(0.0, 1),             # never completes (writer crashes)
+            Read(2.0, reader=0),       # ex3: rd through Q2
+            Read(forgery_time, reader=1),  # ex4: rd' through Q'2
+        ),
+        horizon=60.0,
+    ))
+    r1, r2 = result.reads[0], result.reads[1]
+    assert r1.complete, "rd must complete through Q2"
+    assert r2.complete, "rd' must complete through Q'2"
+    return r1.result, r1.rounds, r2.result, r2.rounds, result.atomicity
 
 
 def run_experiment() -> Fig4Outcome:

@@ -20,19 +20,27 @@ with a fully-replicated completed write our reads finish in one round
 regardless, which is sound but uninformative), with servers crashed
 after the write so the reader sees a class-1 / class-2 / class-3 quorum.
 
-The default system is the Example 6 instance ``n=8, t=3, k=1, q=1, r=2``.
+The default system is the Example 6 instance ``n=8, t=3, k=1, q=1, r=2``
+(the scenario RQS name ``"example6"``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.analysis.atomicity import check_swmr_atomicity
-from repro.core.constructions import threshold_rqs
-from repro.core.rqs import RefinedQuorumSystem
-from repro.sim.network import hold_rule
-from repro.storage.system import StorageSystem
+from repro.scenarios import (
+    Crash,
+    FaultPlan,
+    Hold,
+    Read,
+    ScenarioSpec,
+    Write,
+    crashes,
+    run,
+)
+
+DEFAULT_RQS = "example6"
 
 
 @dataclass
@@ -50,19 +58,22 @@ class LatencyRow:
         )
 
 
-def default_rqs() -> RefinedQuorumSystem:
-    return threshold_rqs(8, 3, 1, 1, 2)
-
-
 def measure_write(crash_count: int) -> Tuple[int, bool]:
     """Write latency with ``crash_count`` servers down from the start."""
-    rqs = default_rqs()
-    crash_times = {sid: 0.0 for sid in range(1, crash_count + 1)}
-    system = StorageSystem(rqs, n_readers=1, crash_times=crash_times)
-    record = system.write("value")
-    read = system.read()
-    atomic = check_swmr_atomicity(system.operations()).atomic
-    return record.rounds, atomic and read.result == "value"
+    spec = ScenarioSpec(
+        protocol="rqs-storage",
+        rqs=DEFAULT_RQS,
+        readers=1,
+        faults=FaultPlan(
+            crashes=crashes({sid: 0.0 for sid in range(1, crash_count + 1)})
+        ),
+        # The write completes within 3 two-Δ rounds; read well after.
+        workload=(Write(0.0, "value"), Read(10.0)),
+    )
+    result = run(spec)
+    record, read = result.write(), result.read()
+    ok = result.atomicity.atomic and read.result == "value"
+    return record.rounds, ok
 
 
 def measure_read(crash_count: int) -> Tuple[int, bool]:
@@ -72,19 +83,26 @@ def measure_read(crash_count: int) -> Tuple[int, bool]:
     completes via the class-1 quorum ``{2..8}``; then ``crash_count``
     servers (2, 3, ...) crash before the read.
     """
-    rqs = default_rqs()
-    system = StorageSystem(
-        rqs,
-        n_readers=1,
-        rules=[hold_rule(src={"writer"}, dst={1}, label="wr misses s1")],
+    spec = ScenarioSpec(
+        protocol="rqs-storage",
+        rqs=DEFAULT_RQS,
+        readers=1,
+        faults=FaultPlan(
+            # The write finishes at 2Δ; crash just before the read starts.
+            crashes=tuple(
+                Crash(sid, 5.0) for sid in range(2, 2 + crash_count)
+            ),
+            asynchrony=(
+                Hold(src=("writer",), dst=(1,), label="wr misses s1"),
+            ),
+        ),
+        workload=(Write(0.0, "value"), Read(5.0)),
     )
-    write_record = system.write("value")
+    result = run(spec)
+    write_record, record = result.write(), result.read()
     assert write_record.rounds == 1, "setup: the write must be 1-round"
-    for sid in range(2, 2 + crash_count):
-        system.servers[sid].crash()
-    record = system.read()
-    atomic = check_swmr_atomicity(system.operations()).atomic
-    return record.rounds, atomic and record.result == "value"
+    ok = result.atomicity.atomic and record.result == "value"
+    return record.rounds, ok
 
 
 #: servers to crash so the *best correct quorum* has the given class

@@ -7,20 +7,29 @@
 * :func:`consensus_liveness` (E9, Theorem 12): eventual synchrony — the
   network drops everything until GST, after which view changes elect a
   correct leader and every correct learner learns.
+
+Both are single scenario specs: the stress mix is a seeded
+:class:`~repro.scenarios.RandomMix` literal, the pre-GST regime is a
+:func:`~repro.scenarios.lossy_until_gst` fault schedule.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
-from repro.analysis.atomicity import AtomicityReport, check_swmr_atomicity
-from repro.analysis.consensus_check import check_consensus
-from repro.core.constructions import threshold_rqs
-from repro.sim.network import drop_rule
-from repro.storage.server import FabricatingServer, SilentServer
-from repro.storage.system import StorageSystem
-from repro.consensus.system import ConsensusSystem
+from repro.analysis.atomicity import AtomicityReport
+from repro.scenarios import (
+    ByzantineRole,
+    Crash,
+    FaultPlan,
+    Propose,
+    RandomMix,
+    Resync,
+    ScenarioSpec,
+    lossy_until_gst,
+    run,
+)
 
 
 @dataclass
@@ -54,27 +63,26 @@ def storage_stress(
     are tolerated; we inject one fabricating Byzantine server and one
     mid-run crash, which still leaves a correct (class-3) quorum.
     """
-    rqs = threshold_rqs(7, 2, 2, 0, 2)
-    factories = (
-        {7: lambda pid: FabricatingServer(pid, 999, "EVIL")}
-        if byzantine
-        else {}
-    )
-    crash_times = {6: 25.0} if crash else {}
-    system = StorageSystem(
-        rqs,
-        n_readers=3,
-        server_factories=factories,
-        crash_times=crash_times,
-    )
-    system.random_workload(n_writes, n_reads, horizon=60.0, seed=seed)
-    system.run_to_completion()
-    report = check_swmr_atomicity(system.operations())
+    result = run(ScenarioSpec(
+        protocol="rqs-storage",
+        rqs="threshold:7,2,2,0,2",
+        readers=3,
+        faults=FaultPlan(
+            crashes=(Crash(6, 25.0),) if crash else (),
+            byzantine=(
+                (ByzantineRole(7, "fabricating",
+                               params={"ts": 999, "value": "EVIL"}),)
+                if byzantine else ()
+            ),
+        ),
+        workload=(RandomMix(n_writes, n_reads, horizon=60.0),),
+        seed=seed,
+    ))
     return StressOutcome(
         seed=seed,
-        operations=len(system.operations()),
-        completed=len(system.completed_operations()),
-        report=report,
+        operations=len(result.records),
+        completed=len(result.completed),
+        report=result.atomicity,
     )
 
 
@@ -103,31 +111,26 @@ def consensus_liveness(gst: float = 40.0, horizon: float = 2000.0) -> LivenessOu
     messages are received by GST or lost — we realize the "lost" case).
     The proposal itself is re-driven by the election module: after GST
     suspect timers fire, a view change elects a leader whose consult
-    phase completes, and every correct learner learns.
+    phase completes, and every correct learner learns.  The initial
+    prepare is lost pre-GST, and a real deployment's clients would
+    retransmit; the Sync message of lines 101-103 plays that role but is
+    also dropped pre-GST, so the workload re-sends it periodically.
     """
-    rqs = threshold_rqs(8, 3, 1, 1, 2)
-    system = ConsensusSystem(
-        rqs,
-        n_proposers=2,
-        n_learners=3,
-        rules=[drop_rule(until=gst, label="lossy until GST")],
-        sync_delay=5.0,
-    )
-    # Arm acceptor timers directly: the initial prepare is lost pre-GST,
-    # and a real deployment's clients would retransmit; the Sync message
-    # of lines 101-103 plays that role but is also dropped pre-GST, so
-    # the proposer re-sends it periodically here.
-    system.propose_at(0.0, "V", proposer_index=0)
-    for when in range(10, int(gst) + 30, 10):
-        system.sim.call_at(
-            float(when), system.proposers[0]._post_propose_sync
-        )
-    system.run(until=horizon)
-    learned = {l.pid: l.learned for l in system.learners}
-    report = check_consensus(
-        system.operations(),
-        correct_learners=[l.pid for l in system.learners],
-    )
+    result = run(ScenarioSpec(
+        protocol="rqs-consensus",
+        rqs="example6",
+        proposers=2,
+        learners=3,
+        faults=FaultPlan(asynchrony=(lossy_until_gst(gst),)),
+        workload=(Propose(0.0, "V"),) + tuple(
+            Resync(float(when), proposer=0)
+            for when in range(10, int(gst) + 30, 10)
+        ),
+        horizon=horizon,
+        params={"sync_delay": 5.0},
+    ))
+    learned = {l.pid: l.learned for l in result.system.learners}
+    report = result.consensus
     return LivenessOutcome(
         gst=gst,
         learned=learned,

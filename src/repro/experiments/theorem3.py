@@ -20,7 +20,8 @@ From a concrete negation witness ``(Q1, Q2, Q, B'1, B2)`` with
   (where nothing was ever written and ``B2`` forges σ1), while ⊥ inverts
   ``r1``'s read in ex4.
 
-The driver runs ex''2+ex4 *and* ex5, asserts the two runs are
+The driver runs ex''2+ex4 *and* ex5 — two scenario specs differing only
+in workload and forged state — asserts the two runs are
 indistinguishable to ``r2`` (same output), and reports the atomicity
 violation the checker finds.
 """
@@ -28,22 +29,31 @@ violation the checker finds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Tuple
+from typing import Tuple
 
-from repro.analysis.atomicity import AtomicityReport, check_swmr_atomicity
-from repro.core.constructions import threshold_rqs
+from repro.analysis.atomicity import AtomicityReport
 from repro.core.properties import P3Witness, negate_property3
 from repro.core.rqs import RefinedQuorumSystem
-from repro.sim.network import hold_rule
+from repro.scenarios import (
+    ByzantineRole,
+    Crash,
+    FaultPlan,
+    Hold,
+    Read,
+    ScenarioSpec,
+    Write,
+    resolve_rqs,
+    run,
+)
 from repro.storage.history import History
 from repro.storage.messages import WR
-from repro.storage.server import ForgetfulServer
-from repro.storage.system import StorageSystem
+
+BROKEN_RQS = "example6-broken-p3"
 
 
 def broken_rqs() -> RefinedQuorumSystem:
     """Properties 1-2 hold, Property 3 fails (checked by the caller)."""
-    return threshold_rqs(8, 3, 1, 1, 3, validate=False)
+    return resolve_rqs(BROKEN_RQS)
 
 
 def find_witness(rqs: RefinedQuorumSystem) -> P3Witness:
@@ -78,76 +88,87 @@ class Theorem3Outcome:
         )
 
 
-def _stage(rqs, witness: P3Witness, with_write: bool):
-    """Build the staged system for ex''2+ex4 (with_write) or ex5."""
+FORGE_TIME = 8.0
+
+
+def _staged_faults(rqs, witness: P3Witness, with_write: bool) -> FaultPlan:
+    """The fault plan for ex''2+ex4 (``with_write``) or ex5."""
     servers = rqs.ground_set
     q1 = witness.q1 if witness.q1 is not None else frozenset()
     q2, q = witness.q2, witness.q
     b1, b2 = witness.b1, witness.b2
-    forge_time = 8.0
 
     def round2(payload) -> bool:
         return isinstance(payload, WR) and payload.rnd >= 2
 
-    rules = [
+    asynchrony = (
         # wr1 round 1 reaches only Q2; round 2 reaches only Q1 ∩ Q2.
-        hold_rule(src={"writer"}, dst=servers - q2, label="wr misses S\\Q2"),
-        hold_rule(
-            src={"writer"},
-            dst=q2 - q1,
-            payload_predicate=round2,
-            label="wr round2 misses Q2\\Q1",
-        ),
+        Hold(src=("writer",), dst=tuple(servers - q2),
+             label="wr misses S\\Q2"),
+        Hold(src=("writer",), dst=tuple(q2 - q1), payload=round2,
+             label="wr round2 misses Q2\\Q1"),
         # r1 only talks to Q1; r2 only hears from Q.
-        hold_rule(src={"reader1"}, dst=servers - q1, label="r1 ⊆ Q1"),
-        hold_rule(src=servers - q, dst={"reader2"}, label="r2 hears only Q"),
-    ]
-    factories = {}
+        Hold(src=("reader1",), dst=tuple(servers - q1), label="r1 ⊆ Q1"),
+        Hold(src=tuple(servers - q), dst=("reader2",),
+             label="r2 hears only Q"),
+    )
     if with_write:
         # ex4: B1 forges σ0 (forgets everything) before rd2.
-        for sid in b1:
-            factories[sid] = (
-                lambda pid: ForgetfulServer(pid, forge_time, None)
-            )
+        byzantine = tuple(
+            ByzantineRole(sid, "forgetful", at=FORGE_TIME,
+                          params={"state": None})
+            for sid in sorted(b1, key=repr)
+        )
+        crashes = (Crash("writer", 2.5),)  # after round-2 sends at 2Δ
     else:
         # ex5: B2 forges σ1 (pretends wr1's round 1 reached it).
         sigma1 = History()
         sigma1.store(1, 1, "v1", frozenset())
         view = sigma1.snapshot()
-        for sid in b2:
-            factories[sid] = (
-                lambda pid: ForgetfulServer(pid, forge_time, view)
-            )
-    return StorageSystem(
-        rqs, n_readers=2, rules=rules, server_factories=factories
+        byzantine = tuple(
+            ByzantineRole(sid, "forgetful", at=FORGE_TIME,
+                          params={"state": view})
+            for sid in sorted(b2, key=repr)
+        )
+        crashes = ()
+    return FaultPlan(
+        crashes=crashes, byzantine=byzantine, asynchrony=asynchrony
     )
 
 
 def run_with_write(rqs, witness: P3Witness):
     """ex''2 + ex4."""
-    system = _stage(rqs, witness, with_write=True)
-    system.sim.spawn(system.writer.write("v1"), "wr1 [crashes]")
-    system.writer.schedule_crash(2.5)  # after round-2 sends at 2Δ
-    system.sim.run(until=4.0)
-    r1_task = system.sim.spawn(system.readers[0].read(), "rd1")
-    system.sim.run(until=8.0)
-    assert r1_task.done(), "rd1 must be fast through Q1"
-    r1 = r1_task.result
-    r2_task = system.sim.spawn(system.readers[1].read(), "rd2 (ex4)")
-    system.sim.run(until=60.0)
-    assert r2_task.done(), "rd2 must complete through Q"
-    report = check_swmr_atomicity(system.operations())
-    return r1, r2_task.result, report
+    result = run(ScenarioSpec(
+        protocol="rqs-storage",
+        rqs=rqs,
+        readers=2,
+        faults=_staged_faults(rqs, witness, with_write=True),
+        workload=(
+            Write(0.0, "v1"),              # wr1, crashes mid-write
+            Read(4.0, reader=0),           # rd1, fast through Q1
+            Read(FORGE_TIME, reader=1),    # rd2, after B1's forgery
+        ),
+        horizon=60.0,
+    ))
+    r1, r2 = result.reads[0], result.reads[1]
+    assert r1.complete, "rd1 must be fast through Q1"
+    assert r2.complete, "rd2 must complete through Q"
+    return r1, r2, result.atomicity
 
 
 def run_without_write(rqs, witness: P3Witness):
     """ex5: nothing is written; B2 fabricates wr1's round 1."""
-    system = _stage(rqs, witness, with_write=False)
-    system.sim.run(until=8.5)   # let the forgery trigger
-    r2_task = system.sim.spawn(system.readers[1].read(), "rd2 (ex5)")
-    system.sim.run(until=60.0)
-    assert r2_task.done(), "rd2 must complete through Q"
-    return r2_task.result
+    result = run(ScenarioSpec(
+        protocol="rqs-storage",
+        rqs=rqs,
+        readers=2,
+        faults=_staged_faults(rqs, witness, with_write=False),
+        workload=(Read(FORGE_TIME + 0.5, reader=1),),  # after the forgery
+        horizon=60.0,
+    ))
+    r2 = result.reads[0]
+    assert r2.complete, "rd2 must complete through Q"
+    return r2
 
 
 def run_experiment() -> Theorem3Outcome:

@@ -33,24 +33,30 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Tuple
 
-from repro.analysis.consensus_check import check_consensus
-from repro.core.constructions import threshold_rqs
 from repro.core.properties import P3Witness, negate_property3
 from repro.core.rqs import RefinedQuorumSystem
-from repro.sim.network import hold_rule
+from repro.scenarios import (
+    ACCEPTOR,
+    ByzantineRole,
+    FaultPlan,
+    Hold,
+    Propose,
+    ScenarioSpec,
+    resolve_rqs,
+    run,
+)
 from repro.consensus.acceptor import Acceptor
 from repro.consensus.choose import choose
 from repro.consensus.messages import AckData, Decision, NewViewAck, Update
-from repro.consensus.system import ConsensusSystem
 
 
 def broken_rqs() -> RefinedQuorumSystem:
     """P1 and P2 hold, P3 fails (``n = t + r + k + min(k, q)``)."""
-    return threshold_rqs(8, 3, 1, 1, 3, validate=False)
+    return resolve_rqs("example6-broken-p3")
 
 
 def valid_rqs() -> RefinedQuorumSystem:
-    return threshold_rqs(8, 3, 1, 1, 2)
+    return resolve_rqs("example6")
 
 
 def find_witness(rqs: RefinedQuorumSystem) -> P3Witness:
@@ -121,50 +127,47 @@ def run_end_to_end() -> Tuple[P3Witness, Dict[object, object], bool]:
     def later_step_update(payload) -> bool:
         return isinstance(payload, Update) and payload.step >= 2
 
-    rules = [
+    asynchrony = (
         # p1's messages reach only Q2 (prepare, sync, pulls).
-        hold_rule(src={"p1"}, dst=servers - q2, label="p1 only reaches Q2"),
+        Hold(src=("p1",), dst=tuple(servers - q2),
+             label="p1 only reaches Q2"),
         # view-0 updates / value-1 decisions never escape Q2 ∪ {l1}.
-        hold_rule(
-            src=q2,
-            dst=(servers - q2) | {"l2", "l3", "p1", "p2"},
-            payload_predicate=view0_contagion,
-            label="view-0 contagion contained",
-        ),
+        Hold(src=tuple(q2),
+             dst=tuple((servers - q2) | {"l2", "l3", "p1", "p2"}),
+             payload=view0_contagion,
+             label="view-0 contagion contained"),
         # value-1 decisions are held everywhere (timers must keep running).
-        hold_rule(
-            src=q2,
-            payload_predicate=lambda p: isinstance(p, Decision)
-            and p.value == 1,
-            label="decision(1) held",
-        ),
+        Hold(src=tuple(q2),
+             payload=lambda p: isinstance(p, Decision) and p.value == 1,
+             label="decision(1) held"),
         # B2 never sees step-2/3 updates (so it cannot 2-update).
-        hold_rule(
-            dst=b2,
-            payload_predicate=later_step_update,
-            label="B2 starved of update2/3",
-        ),
+        Hold(dst=tuple(b2), payload=later_step_update,
+             label="B2 starved of update2/3"),
         # p2's consult must see exactly the witness quorum Q.
-        hold_rule(
-            src=servers - q,
-            dst={"p2"},
-            payload_predicate=lambda p: isinstance(p, NewViewAck),
-            label="p2 hears acks only from Q",
-        ),
-    ]
-    system = ConsensusSystem(
-        rqs,
-        n_proposers=2,
-        n_learners=3,
-        rules=rules,
-        acceptor_factories={sid: LyingAcceptor for sid in b1},
+        Hold(src=tuple(servers - q), dst=("p2",),
+             payload=lambda p: isinstance(p, NewViewAck),
+             label="p2 hears acks only from Q"),
     )
-    system.proposers[1].value = 0   # p2 will propose 0 when elected
-    system.propose_at(0.0, 1, proposer_index=0)
-    system.run(until=120.0)
-    learned = {l.pid: l.learned for l in system.learners}
-    report = check_consensus(
-        system.operations(), benign_learners=[l.pid for l in system.learners]
+    result = run(ScenarioSpec(
+        protocol="rqs-consensus",
+        rqs=rqs,
+        proposers=2,
+        learners=3,
+        faults=FaultPlan(
+            byzantine=tuple(
+                ByzantineRole(sid, role=ACCEPTOR, factory=LyingAcceptor)
+                for sid in sorted(b1, key=repr)
+            ),
+            asynchrony=asynchrony,
+        ),
+        workload=(Propose(0.0, 1, proposer=0),),
+        horizon=120.0,
+        # p2 will propose 0 when elected for view 1.
+        params={"proposer_values": {1: 0}},
+    ))
+    learned = {l.pid: l.learned for l in result.system.learners}
+    report = result.check_consensus(
+        benign_learners=[l.pid for l in result.system.learners]
     )
     return witness, learned, report.agreement_ok
 

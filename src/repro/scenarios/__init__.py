@@ -1,0 +1,94 @@
+"""The unified scenario layer — the public way to run any execution.
+
+One declarative :class:`ScenarioSpec` describes protocol, quorum system,
+clients, synchrony bound, fault plan, workload and seed; :func:`run`
+executes it and returns a :class:`RunResult` with the trace, latency
+metrics and lazy correctness verdicts.  Every protocol in the repository
+is registered here:
+
+``rqs-storage`` · ``abd`` · ``fastabd`` · ``naive`` ·
+``rqs-consensus`` · ``paxos`` · ``pbft``
+
+Quickstart::
+
+    from repro.scenarios import ScenarioSpec, Write, Read, run
+
+    result = run(ScenarioSpec(
+        protocol="rqs-storage",
+        rqs="example6",                  # threshold_rqs(8, 3, 1, 1, 2)
+        readers=1,
+        workload=(Write(0.0, "hello"), Read(5.0)),
+    ))
+    assert result.read().result == "hello"
+    assert result.atomicity.atomic
+
+Invariant: all executions go through this layer — experiment drivers and
+examples build a spec instead of wiring Simulator/Network by hand.
+"""
+
+from repro.scenarios.faults import (
+    ACCEPTOR,
+    PROPOSER,
+    SERVER,
+    ByzantineRole,
+    Crash,
+    Delay,
+    Drop,
+    FaultPlan,
+    Hold,
+    Partition,
+    crashes,
+    lossy_until_gst,
+)
+from repro.scenarios.registry import (
+    available_protocols,
+    get_protocol,
+    register_protocol,
+)
+from repro.scenarios.result import RunResult
+from repro.scenarios.runner import run
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    named_rqs,
+    register_rqs,
+    resolve_rqs,
+)
+from repro.scenarios.workloads import (
+    Propose,
+    RandomMix,
+    Read,
+    Resync,
+    Write,
+)
+
+# Importing the adapters registers every built-in protocol.
+from repro.scenarios import adapters as _adapters  # noqa: F401
+
+__all__ = [
+    "ACCEPTOR",
+    "PROPOSER",
+    "SERVER",
+    "ByzantineRole",
+    "Crash",
+    "Delay",
+    "Drop",
+    "FaultPlan",
+    "Hold",
+    "Partition",
+    "Propose",
+    "RandomMix",
+    "Read",
+    "Resync",
+    "RunResult",
+    "ScenarioSpec",
+    "Write",
+    "available_protocols",
+    "crashes",
+    "get_protocol",
+    "lossy_until_gst",
+    "named_rqs",
+    "register_protocol",
+    "register_rqs",
+    "resolve_rqs",
+    "run",
+]

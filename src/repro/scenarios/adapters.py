@@ -1,0 +1,450 @@
+"""Protocol adapters: the bridge from a declarative spec to a wired system.
+
+Each registered adapter knows how to build one protocol's deployment
+(reusing the thin system facades in :mod:`repro.storage` and
+:mod:`repro.consensus`), apply a :class:`~repro.scenarios.faults.FaultPlan`
+to it, and schedule a declarative workload on it.  The scenario runner
+only ever talks to the uniform adapter surface:
+
+* ``build(spec)`` — wire processes, network rules and Byzantine roles;
+* ``apply_faults(spec)`` — schedule every crash (clients included);
+* ``schedule(spec)`` — translate workload literals into client drivers;
+* ``execute(spec)`` — run to the horizon or to completion.
+
+Crashes are applied before workload operations are scheduled, so a crash
+and an operation at the same simulated instant resolve crash-first —
+matching the hand-driven schedules the experiment modules used to build.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Tuple
+
+from repro.errors import ScenarioError
+from repro.scenarios.faults import ACCEPTOR, PROPOSER, SERVER, ByzantineRole
+from repro.scenarios.registry import register_protocol
+from repro.scenarios.workloads import (
+    Propose,
+    RandomMix,
+    Read,
+    Resync,
+    Write,
+    expand_random_mix,
+)
+from repro.sim.tasks import sequential_ops
+from repro.consensus.proposer import EquivocatingProposer
+from repro.consensus.system import ConsensusSystem
+from repro.consensus.paxos import PaxosSystem
+from repro.consensus.pbft import PbftSystem, Request
+from repro.storage.abd import AbdSystem
+from repro.storage.fastabd import FastAbdSystem
+from repro.storage.naive import NaiveSystem
+from repro.storage.server import (
+    FabricatingServer,
+    ForgetfulServer,
+    QuorumForgettingServer,
+    SilentServer,
+)
+from repro.storage.system import StorageSystem
+
+
+class ProtocolAdapter:
+    """Uniform surface over one wired protocol deployment."""
+
+    kind: str = ""            # "storage" | "consensus"
+    protocol_id: str = ""     # set by register_protocol
+
+    def __init__(self, system: Any):
+        self.system = system
+
+    # -- uniform access -------------------------------------------------------
+
+    @property
+    def sim(self):
+        return self.system.sim
+
+    @property
+    def network(self):
+        return self.system.network
+
+    @property
+    def trace(self):
+        return self.system.trace
+
+    def learner_pids(self) -> Tuple[Hashable, ...]:
+        return ()
+
+    def correct_learner_pids(self) -> Tuple[Hashable, ...]:
+        return self.learner_pids()
+
+    # -- lifecycle hooks ------------------------------------------------------
+
+    @classmethod
+    def build(cls, spec) -> "ProtocolAdapter":
+        raise NotImplementedError
+
+    def apply_faults(self, spec) -> None:
+        """Schedule every crash in the plan (servers and clients alike)
+        and the healing of finitely-windowed partitions."""
+        for crash in spec.faults.crashes:
+            try:
+                process = self.network.process(crash.process)
+            except KeyError:
+                raise ScenarioError(
+                    f"crash target {crash.process!r} is not a process of "
+                    f"protocol {self.protocol_id!r}"
+                )
+            process.schedule_crash(crash.at)
+        for partition in spec.faults.partitions:
+            if partition.until < float("inf"):
+                self.sim.call_at(
+                    partition.until,
+                    lambda p=partition: self.network.release_held(
+                        p.crossed_by
+                    ),
+                )
+
+    def schedule(self, spec) -> None:
+        raise NotImplementedError
+
+    def execute(self, spec) -> None:
+        if spec.horizon is None:
+            self.sim.run_to_completion(strict=spec.strict)
+        else:
+            self.sim.run(until=spec.horizon)
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _sequential_ops(
+        self,
+        schedule: List[Tuple[float, Callable[..., Any], tuple]],
+    ):
+        """One client's operations back to back (shared driver; the
+        paper's well-formedness rule)."""
+        return sequential_ops(self.sim, schedule)
+
+
+def _unsupported_roles(adapter: ProtocolAdapter, spec) -> None:
+    if spec.faults.byzantine:
+        raise ScenarioError(
+            f"protocol {adapter.protocol_id!r} does not support "
+            f"Byzantine role assignments"
+        )
+
+
+# -- storage ------------------------------------------------------------------
+
+_STORAGE_BEHAVIORS = ("silent", "fabricating", "forgetful", "forget-qc2-ids")
+
+
+def _storage_server_factory(role: ByzantineRole) -> Callable[[Hashable], Any]:
+    if role.factory is not None:
+        return role.factory
+    if role.behavior == "silent":
+        return SilentServer
+    if role.behavior == "fabricating":
+        try:
+            ts, value = role.params["ts"], role.params["value"]
+        except KeyError as missing:
+            raise ScenarioError(
+                f"fabricating role for {role.process!r} needs "
+                f"params={{'ts': ..., 'value': ...}}; missing {missing}"
+            )
+        return lambda pid: FabricatingServer(pid, ts, value)
+    if role.behavior == "forgetful":
+        state = role.params.get("state")
+        return lambda pid, at=role.at: ForgetfulServer(pid, at, state)
+    if role.behavior == "forget-qc2-ids":
+        return lambda pid, at=role.at: QuorumForgettingServer(pid, at)
+    raise ScenarioError(
+        f"unknown storage Byzantine behavior {role.behavior!r}; "
+        f"built-ins: {', '.join(_STORAGE_BEHAVIORS)} (or pass factory=...)"
+    )
+
+
+class StorageAdapter(ProtocolAdapter):
+    """Shared scheduling for every read/write register protocol."""
+
+    kind = "storage"
+
+    def schedule(self, spec) -> None:
+        writer_ops: List[Tuple[float, Any]] = []
+        per_reader: Dict[int, List[float]] = {}
+        next_value = 1
+        for op in spec.workload:
+            if isinstance(op, Write):
+                writer_ops.append((op.at, op.value))
+                if isinstance(op.value, int):
+                    next_value = max(next_value, op.value + 1)
+            elif isinstance(op, Read):
+                per_reader.setdefault(op.reader, []).append(op.at)
+            elif isinstance(op, RandomMix):
+                writes, reads = expand_random_mix(
+                    op, len(self.system.readers), spec.seed,
+                    first_value=next_value,
+                )
+                next_value += op.writes
+                writer_ops.extend((w.at, w.value) for w in writes)
+                for reader, ops in reads.items():
+                    per_reader.setdefault(reader, []).extend(
+                        r.at for r in ops
+                    )
+            else:
+                raise ScenarioError(
+                    f"storage protocol {self.protocol_id!r} cannot run "
+                    f"workload op {op!r}"
+                )
+        if writer_ops:
+            writer = self.system.writer
+            writer_ops.sort(key=lambda pair: pair[0])
+            self.sim.spawn(
+                self._sequential_ops(
+                    [(at, writer.write, (value,)) for at, value in writer_ops]
+                ),
+                "writer-workload",
+            )
+        for index in sorted(per_reader):
+            try:
+                reader = self.system.readers[index]
+            except IndexError:
+                raise ScenarioError(
+                    f"workload reads from reader {index} but the spec "
+                    f"only has {len(self.system.readers)} readers"
+                )
+            times = sorted(per_reader[index])
+            self.sim.spawn(
+                self._sequential_ops([(at, reader.read, ()) for at in times]),
+                f"{reader.pid}-workload",
+            )
+
+
+@register_protocol("rqs-storage")
+class RqsStorageAdapter(StorageAdapter):
+    """The paper's Byzantine atomic storage (Figures 5-7) over any RQS."""
+
+    @classmethod
+    def build(cls, spec) -> "RqsStorageAdapter":
+        rqs = spec.resolved_rqs()
+        if rqs is None:
+            raise ScenarioError("rqs-storage requires a quorum system")
+        factories = {
+            role.process: _storage_server_factory(role)
+            for role in spec.faults.byzantine_for(SERVER)
+        }
+        system = StorageSystem(
+            rqs,
+            n_readers=spec.readers,
+            delta=spec.delta,
+            server_factories=factories,
+            rules=spec.faults.rules(),
+        )
+        return cls(system)
+
+
+@register_protocol("abd")
+class AbdAdapter(StorageAdapter):
+    """Classic ABD baseline (crash model, 2-round reads)."""
+
+    @classmethod
+    def build(cls, spec) -> "AbdAdapter":
+        system = AbdSystem(
+            n=spec.param("n", 5),
+            n_readers=spec.readers,
+            delta=spec.delta,
+            rules=spec.faults.rules(),
+        )
+        adapter = cls(system)
+        _unsupported_roles(adapter, spec)
+        return adapter
+
+
+@register_protocol("fastabd")
+class FastAbdAdapter(StorageAdapter):
+    """The Section 1.2 fast-ABD variant (4-of-5 fast quorums)."""
+
+    @classmethod
+    def build(cls, spec) -> "FastAbdAdapter":
+        system = FastAbdSystem(
+            n=spec.param("n", 5),
+            t=spec.param("t", 2),
+            fast=spec.param("fast", 4),
+            n_readers=spec.readers,
+            delta=spec.delta,
+            rules=spec.faults.rules(),
+        )
+        adapter = cls(system)
+        _unsupported_roles(adapter, spec)
+        return adapter
+
+
+@register_protocol("naive")
+class NaiveAdapter(StorageAdapter):
+    """The broken greedy 3-of-5 algorithm of Figure 1 (counterexamples)."""
+
+    @classmethod
+    def build(cls, spec) -> "NaiveAdapter":
+        system = NaiveSystem(
+            n=spec.param("n", 5),
+            t=spec.param("t", 2),
+            n_readers=spec.readers,
+            delta=spec.delta,
+            rules=spec.faults.rules(),
+        )
+        adapter = cls(system)
+        _unsupported_roles(adapter, spec)
+        return adapter
+
+
+# -- consensus ----------------------------------------------------------------
+
+class ConsensusAdapter(ProtocolAdapter):
+    """Shared scheduling for proposer/acceptor/learner protocols."""
+
+    kind = "consensus"
+
+    def learner_pids(self) -> Tuple[Hashable, ...]:
+        return tuple(learner.pid for learner in self.system.learners)
+
+    def correct_learner_pids(self) -> Tuple[Hashable, ...]:
+        crashed = {c.process for c in getattr(self, "_spec_crashes", ())}
+        return tuple(
+            pid for pid in self.learner_pids() if pid not in crashed
+        )
+
+    def apply_faults(self, spec) -> None:
+        self._spec_crashes = spec.faults.crashes
+        super().apply_faults(spec)
+
+    def schedule(self, spec) -> None:
+        for op in spec.workload:
+            if isinstance(op, Propose):
+                self._schedule_propose(op)
+            elif isinstance(op, Resync):
+                self._schedule_resync(op)
+            else:
+                raise ScenarioError(
+                    f"consensus protocol {self.protocol_id!r} cannot run "
+                    f"workload op {op!r}"
+                )
+
+    def _proposer(self, index: int):
+        try:
+            return self.system.proposers[index]
+        except IndexError:
+            raise ScenarioError(
+                f"workload addresses proposer {index} but the spec only "
+                f"has {len(self.system.proposers)} proposers"
+            )
+
+    def _schedule_propose(self, op: Propose) -> None:
+        proposer = self._proposer(op.proposer)
+
+        def start() -> None:
+            self.sim.spawn(
+                proposer.propose(op.value),
+                f"{proposer.pid}.propose({op.value!r})",
+            )
+
+        self.sim.call_at(op.at, start)
+
+    def _schedule_resync(self, op: Resync) -> None:
+        proposer = self._proposer(op.proposer)
+        self.sim.call_at(op.at, proposer.resync)
+
+
+@register_protocol("rqs-consensus")
+class RqsConsensusAdapter(ConsensusAdapter):
+    """The paper's RQS-based Byzantine consensus (Figures 9-15)."""
+
+    @classmethod
+    def build(cls, spec) -> "RqsConsensusAdapter":
+        rqs = spec.resolved_rqs()
+        if rqs is None:
+            raise ScenarioError("rqs-consensus requires a quorum system")
+        acceptor_factories: Dict[Hashable, Any] = {}
+        for role in spec.faults.byzantine_for(ACCEPTOR):
+            if role.factory is None:
+                raise ScenarioError(
+                    f"acceptor Byzantine role {role.behavior!r} has no "
+                    f"built-in; pass factory=... (an Acceptor subclass)"
+                )
+            acceptor_factories[role.process] = role.factory
+        proposer_factories: Dict[int, Any] = {}
+        for role in spec.faults.byzantine_for(PROPOSER):
+            if role.factory is not None:
+                proposer_factories[role.process] = role.factory
+            elif role.behavior == "equivocating":
+                proposer_factories[role.process] = EquivocatingProposer
+            else:
+                raise ScenarioError(
+                    f"unknown proposer Byzantine behavior "
+                    f"{role.behavior!r}; built-ins: equivocating"
+                )
+        system = ConsensusSystem(
+            rqs,
+            n_proposers=spec.proposers,
+            n_learners=spec.learners,
+            delta=spec.delta,
+            acceptor_factories=acceptor_factories,
+            proposer_factories=proposer_factories,
+            rules=spec.faults.rules(),
+            sync_delay=spec.param("sync_delay", 10.0),
+        )
+        for index, value in dict(
+            spec.param("proposer_values", {})
+        ).items():
+            system.proposers[index].value = value
+        return cls(system)
+
+
+@register_protocol("paxos")
+class PaxosAdapter(ConsensusAdapter):
+    """Single-decree crash Paxos baseline."""
+
+    @classmethod
+    def build(cls, spec) -> "PaxosAdapter":
+        system = PaxosSystem(
+            n_acceptors=spec.param("n_acceptors", 5),
+            n_proposers=spec.proposers,
+            n_learners=spec.learners,
+            delta=spec.delta,
+            rules=spec.faults.rules(),
+        )
+        adapter = cls(system)
+        _unsupported_roles(adapter, spec)
+        return adapter
+
+
+@register_protocol("pbft")
+class PbftAdapter(ConsensusAdapter):
+    """PBFT-lite baseline (fault-free normal case, fixed primary)."""
+
+    @classmethod
+    def build(cls, spec) -> "PbftAdapter":
+        system = PbftSystem(
+            f=spec.param("f", 1),
+            n_learners=spec.learners,
+            delta=spec.delta,
+            rules=spec.faults.rules(),
+        )
+        adapter = cls(system)
+        _unsupported_roles(adapter, spec)
+        return adapter
+
+    def _schedule_propose(self, op: Propose) -> None:
+        # PBFT has no proposer processes: the client's request to the
+        # primary plays the propose role; record it for latency origin.
+        system = self.system
+        primary = min(system.replicas)
+
+        def start() -> None:
+            record = self.trace.begin(
+                "propose", system.client.pid, self.sim.now, op.value
+            )
+            system.client.send(primary, Request(op.value))
+            self.trace.complete(record, self.sim.now, "requested")
+
+        self.sim.call_at(op.at, start)
+
+    def _schedule_resync(self, op: Resync) -> None:
+        raise ScenarioError("pbft has no resync operation")

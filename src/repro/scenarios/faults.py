@@ -1,0 +1,226 @@
+"""Composable fault schedules for scenario specifications.
+
+A :class:`FaultPlan` declares *everything the adversary does* in one
+execution: crash times, Byzantine role assignments, network partitions
+and asynchrony rules (message holds / drops / extra delays, including
+the pre-GST lossy-channel regime of the consensus model).  Each
+ingredient is a small frozen dataclass, so plans compose by tuple
+concatenation and print as readable literals.
+
+The plan is purely declarative: adapters in
+:mod:`repro.scenarios.adapters` translate it into network
+:class:`~repro.sim.network.Rule` objects, ``schedule_crash`` calls and
+Byzantine process factories when the system is wired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.sim.network import Rule, delay_rule, drop_rule, hold_rule
+
+ProcessId = Hashable
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Process ``process`` crashes at absolute simulated time ``at``.
+
+    The target may be a server/acceptor id or a client id such as
+    ``"writer"``, ``"reader1"`` or ``"p2"`` — anything registered on the
+    network.
+    """
+
+    process: ProcessId
+    at: float = 0.0
+
+
+#: Role selectors for :class:`ByzantineRole`.
+SERVER = "server"
+ACCEPTOR = "acceptor"
+PROPOSER = "proposer"
+
+
+@dataclass(frozen=True)
+class ByzantineRole:
+    """Assign a Byzantine behaviour to one process.
+
+    ``behavior`` names a built-in strategy (resolved by the protocol
+    adapter; storage servers support ``"silent"``, ``"fabricating"``,
+    ``"forgetful"`` and ``"forget-qc2-ids"``, consensus proposers support
+    ``"equivocating"``) or a custom ``factory`` may be given — a callable
+    with the same signature as the protocol's benign process factory.
+    ``at`` is the trigger time for time-activated behaviours; ``params``
+    carries behaviour-specific arguments (e.g. the fabricated timestamp).
+    ``role`` disambiguates targets whose id spaces overlap: storage
+    servers (default), consensus acceptors, or consensus proposers
+    (addressed by index).
+    """
+
+    process: ProcessId
+    behavior: str = ""
+    role: str = SERVER
+    at: float = 0.0
+    factory: Optional[Callable[..., Any]] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Hold every message crossing between two process groups.
+
+    Messages inside a group are unaffected.  Active for send times in
+    ``[after, until)``; the default window is forever.
+    """
+
+    left: FrozenSet[ProcessId]
+    right: FrozenSet[ProcessId]
+    after: float = float("-inf")
+    until: float = float("inf")
+    label: str = "partition"
+
+    def to_rules(self) -> List[Rule]:
+        left, right = frozenset(self.left), frozenset(self.right)
+        return [
+            hold_rule(src=left, dst=right, after=self.after,
+                      until=self.until, label=self.label),
+            hold_rule(src=right, dst=left, after=self.after,
+                      until=self.until, label=self.label),
+        ]
+
+    def crossed_by(self, message: Any) -> bool:
+        """Whether ``message`` was held by this partition (for healing:
+        messages sent during the window are delivered when it ends,
+        realizing the "received by GST" half of the paper's model)."""
+        crosses = (
+            (message.src in self.left and message.dst in self.right)
+            or (message.src in self.right and message.dst in self.left)
+        )
+        return crosses and self.after <= message.send_time < self.until
+
+
+@dataclass(frozen=True)
+class Hold:
+    """Keep matching messages in transit forever (asynchrony device)."""
+
+    src: Optional[Tuple[ProcessId, ...]] = None
+    dst: Optional[Tuple[ProcessId, ...]] = None
+    after: float = float("-inf")
+    until: float = float("inf")
+    payload: Optional[Callable[[Any], bool]] = None
+    label: str = ""
+
+    def to_rule(self) -> Rule:
+        return hold_rule(
+            src=self.src, dst=self.dst, after=self.after, until=self.until,
+            payload_predicate=self.payload, label=self.label,
+        )
+
+
+@dataclass(frozen=True)
+class Drop:
+    """Lose matching messages (the consensus model's lossy channels)."""
+
+    src: Optional[Tuple[ProcessId, ...]] = None
+    dst: Optional[Tuple[ProcessId, ...]] = None
+    after: float = float("-inf")
+    until: float = float("inf")
+    payload: Optional[Callable[[Any], bool]] = None
+    label: str = ""
+
+    def to_rule(self) -> Rule:
+        return drop_rule(
+            src=self.src, dst=self.dst, after=self.after, until=self.until,
+            payload_predicate=self.payload, label=self.label,
+        )
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Deliver matching messages after a fixed ``delay`` instead of Δ."""
+
+    delay: float
+    src: Optional[Tuple[ProcessId, ...]] = None
+    dst: Optional[Tuple[ProcessId, ...]] = None
+    after: float = float("-inf")
+    until: float = float("inf")
+    payload: Optional[Callable[[Any], bool]] = None
+    label: str = ""
+
+    def to_rule(self) -> Rule:
+        return delay_rule(
+            self.delay,
+            src=self.src, dst=self.dst, after=self.after, until=self.until,
+            payload_predicate=self.payload, label=self.label,
+        )
+
+
+AsynchronyRule = Union[Hold, Drop, Delay]
+
+
+def lossy_until_gst(gst: float, label: str = "lossy until GST") -> Drop:
+    """The eventual-synchrony regime: every message sent before ``gst``
+    is lost; after GST the network is synchronous (default Δ)."""
+    return Drop(until=gst, label=label)
+
+
+def crashes(schedule: Mapping[ProcessId, float]) -> Tuple[Crash, ...]:
+    """Crash objects from a ``{process: time}`` mapping (sorted by id)."""
+    return tuple(
+        Crash(pid, at)
+        for pid, at in sorted(schedule.items(), key=lambda kv: repr(kv[0]))
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything the adversary does in one execution."""
+
+    crashes: Tuple[Crash, ...] = ()
+    byzantine: Tuple[ByzantineRole, ...] = ()
+    partitions: Tuple[Partition, ...] = ()
+    asynchrony: Tuple[AsynchronyRule, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "byzantine", tuple(self.byzantine))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "asynchrony", tuple(self.asynchrony))
+
+    def rules(self) -> List[Rule]:
+        """The network rules realizing partitions and asynchrony."""
+        rules: List[Rule] = []
+        for partition in self.partitions:
+            rules.extend(partition.to_rules())
+        for schedule in self.asynchrony:
+            rules.append(schedule.to_rule())
+        return rules
+
+    def byzantine_for(self, role: str) -> Tuple[ByzantineRole, ...]:
+        return tuple(b for b in self.byzantine if b.role == role)
+
+    @property
+    def byzantine_ids(self) -> FrozenSet[ProcessId]:
+        return frozenset(b.process for b in self.byzantine)
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        """A plan combining this plan's faults with ``other``'s."""
+        return FaultPlan(
+            crashes=self.crashes + other.crashes,
+            byzantine=self.byzantine + other.byzantine,
+            partitions=self.partitions + other.partitions,
+            asynchrony=self.asynchrony + other.asynchrony,
+        )

@@ -1,0 +1,53 @@
+"""The protocol registry: one id per runnable protocol.
+
+Protocol adapters register themselves with :func:`register_protocol`;
+``run(spec)`` resolves ``spec.protocol`` here.  Registering is cheap and
+open — downstream code can plug in new protocols without touching the
+scenario layer, which is how future workloads are meant to arrive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, Type
+
+from repro.errors import ScenarioError, UnknownProtocolError
+
+_PROTOCOLS: Dict[str, type] = {}
+
+
+def register_protocol(protocol_id: str) -> Callable[[type], type]:
+    """Class decorator registering a protocol adapter under ``protocol_id``.
+
+    The class must provide ``build(spec) -> adapter`` (classmethod) and a
+    ``kind`` attribute (``"storage"`` or ``"consensus"``).
+    """
+
+    def decorate(adapter_cls: type) -> type:
+        if protocol_id in _PROTOCOLS:
+            raise ScenarioError(
+                f"protocol id {protocol_id!r} already registered "
+                f"(by {_PROTOCOLS[protocol_id].__name__})"
+            )
+        if not hasattr(adapter_cls, "build"):
+            raise ScenarioError(
+                f"adapter {adapter_cls.__name__} has no build() classmethod"
+            )
+        adapter_cls.protocol_id = protocol_id
+        _PROTOCOLS[protocol_id] = adapter_cls
+        return adapter_cls
+
+    return decorate
+
+
+def get_protocol(protocol_id: str) -> type:
+    try:
+        return _PROTOCOLS[protocol_id]
+    except KeyError:
+        known = ", ".join(sorted(_PROTOCOLS)) or "(none registered)"
+        raise UnknownProtocolError(
+            f"unknown protocol {protocol_id!r}; registered: {known}"
+        )
+
+
+def available_protocols() -> Tuple[str, ...]:
+    return tuple(sorted(_PROTOCOLS))

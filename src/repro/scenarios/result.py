@@ -1,0 +1,152 @@
+"""The result of running one scenario.
+
+:class:`RunResult` bundles the execution trace with latency metrics and
+correctness verdicts.  Checkers are *lazy* — an atomicity or
+linearizability check only runs when its property is first read, so
+cheap smoke runs pay nothing for verdicts they never look at.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.analysis.atomicity import AtomicityReport, check_swmr_atomicity
+from repro.analysis.consensus_check import ConsensusReport, check_consensus
+from repro.analysis.latency import LatencySummary, summarize_rounds
+from repro.analysis.linearizability import is_linearizable
+from repro.sim.trace import OperationRecord
+
+
+class RunResult:
+    """Trace + metrics + verdicts for one executed scenario."""
+
+    def __init__(self, spec, adapter):
+        self.spec = spec
+        self.adapter = adapter
+
+    # -- raw execution access -------------------------------------------------
+
+    @property
+    def system(self):
+        """The wired protocol system (servers, clients, network, sim)."""
+        return self.adapter.system
+
+    @property
+    def trace(self):
+        return self.adapter.trace
+
+    @property
+    def records(self) -> Tuple[OperationRecord, ...]:
+        return self.adapter.trace.records
+
+    @property
+    def completed(self) -> Tuple[OperationRecord, ...]:
+        return self.adapter.trace.completed()
+
+    def of_kind(self, kind: str) -> Tuple[OperationRecord, ...]:
+        return self.adapter.trace.of_kind(kind)
+
+    @property
+    def writes(self) -> Tuple[OperationRecord, ...]:
+        return self.of_kind("write")
+
+    @property
+    def reads(self) -> Tuple[OperationRecord, ...]:
+        return self.of_kind("read")
+
+    @property
+    def proposes(self) -> Tuple[OperationRecord, ...]:
+        return self.of_kind("propose")
+
+    @property
+    def learns(self) -> Tuple[OperationRecord, ...]:
+        return self.of_kind("learn")
+
+    def write(self, index: int = 0) -> OperationRecord:
+        return self.writes[index]
+
+    def read(self, index: int = 0) -> OperationRecord:
+        return self.reads[index]
+
+    @property
+    def blocked(self) -> Tuple[str, ...]:
+        """Names of operations still blocked when the run stopped."""
+        return tuple(t.name for t in self.adapter.sim.blocked_tasks())
+
+    # -- verdicts (lazy) ------------------------------------------------------
+
+    @cached_property
+    def atomicity(self) -> AtomicityReport:
+        """SWMR atomicity verdict over the storage history."""
+        return check_swmr_atomicity(self.records)
+
+    @cached_property
+    def linearizable(self) -> bool:
+        """Wing–Gong linearizability of the register history (small runs)."""
+        return is_linearizable(self.records)
+
+    @cached_property
+    def consensus(self) -> ConsensusReport:
+        """Consensus verdict; Termination is checked against every
+        learner the scenario did not crash (use :meth:`check_consensus`
+        for custom benign/correct sets)."""
+        return self.check_consensus(
+            correct_learners=self.adapter.correct_learner_pids()
+        )
+
+    def check_consensus(self, **kwargs: Any) -> ConsensusReport:
+        return check_consensus(self.records, **kwargs)
+
+    # -- latency metrics ------------------------------------------------------
+
+    def latency(self, kind: str) -> LatencySummary:
+        return summarize_rounds(self.records, kind)
+
+    @property
+    def learned(self) -> Dict[Hashable, Any]:
+        """Learner pid → learned value (completed learners only)."""
+        return {
+            r.process: r.result for r in self.learns if r.complete
+        }
+
+    @property
+    def learner_delays(self) -> Dict[Hashable, Optional[float]]:
+        """Learner pid → message-delay latency from the first propose
+        (``None`` for learners that never learned)."""
+        proposes = self.proposes
+        origin = proposes[0].invoked_at if proposes else 0.0
+        delays: Dict[Hashable, Optional[float]] = {}
+        for pid in self.adapter.learner_pids():
+            delays[pid] = None
+        for record in self.learns:
+            if record.complete:
+                delays[record.process] = (
+                    (record.completed_at - origin) / self.spec.delta
+                )
+        return delays
+
+    @property
+    def worst_learner_delay(self) -> Optional[float]:
+        """Max learner delay, or ``None`` if any learner never learned."""
+        delays = self.learner_delays
+        if not delays or any(d is None for d in delays.values()):
+            return None
+        return max(delays.values())
+
+    # -- determinism ----------------------------------------------------------
+
+    def fingerprint(self) -> Tuple:
+        """A hashable execution digest for reproducibility assertions."""
+        return tuple(
+            (r.kind, r.process, r.invoked_at, r.completed_at,
+             repr(r.result), r.rounds)
+            for r in self.records
+        ) + (len(self.adapter.network.log),)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunResult({self.spec.protocol!r}, "
+            f"{len(self.records)} operations, "
+            f"{len(self.completed)} completed)"
+        )

@@ -1,0 +1,23 @@
+"""``run(spec)`` — the single entry point for executing a scenario.
+
+The runner resolves the protocol adapter, wires the system, applies the
+fault plan (crashes are scheduled before workload operations so that a
+crash and an operation at the same instant resolve crash-first), then
+schedules the workload and runs to the spec's horizon (or completion).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import get_protocol
+from repro.scenarios.result import RunResult
+from repro.scenarios.spec import ScenarioSpec
+
+
+def run(spec: ScenarioSpec) -> RunResult:
+    """Execute one scenario and return its bundled result."""
+    adapter_cls = get_protocol(spec.protocol)
+    adapter = adapter_cls.build(spec)
+    adapter.apply_faults(spec)
+    adapter.schedule(spec)
+    adapter.execute(spec)
+    return RunResult(spec, adapter)

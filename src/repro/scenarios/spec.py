@@ -1,0 +1,173 @@
+"""The declarative scenario specification.
+
+A :class:`ScenarioSpec` is a frozen literal describing one complete
+execution: which protocol runs, over which refined quorum system (an
+:class:`~repro.core.rqs.RefinedQuorumSystem` instance or a registered
+name), how many clients participate, the synchrony bound Δ, the fault
+plan, the workload, the seed, and how long to run.  ``run(spec)`` in
+:mod:`repro.scenarios.runner` is the only step between a spec and a
+checked :class:`~repro.scenarios.result.RunResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+from repro.core.constructions import (
+    byzantine_quorum_system,
+    example7_rqs,
+    figure3_rqs,
+    majority_quorum_system,
+    pbft_style_rqs,
+    section12_rqs,
+    threshold_rqs,
+)
+from repro.core.rqs import RefinedQuorumSystem
+from repro.errors import ScenarioError
+from repro.scenarios.faults import FaultPlan
+from repro.scenarios.workloads import Workload, WorkloadOp
+
+RqsSpec = Union[RefinedQuorumSystem, str, None]
+
+# -- named quorum-system constructions ----------------------------------------
+
+_NAMED_RQS: Dict[str, Callable[[], RefinedQuorumSystem]] = {}
+
+
+def register_rqs(name: str, factory: Callable[[], RefinedQuorumSystem]) -> None:
+    """Register a named RQS construction usable as ``ScenarioSpec.rqs``."""
+    if name in _NAMED_RQS:
+        raise ScenarioError(f"RQS name {name!r} already registered")
+    _NAMED_RQS[name] = factory
+
+
+def named_rqs() -> Tuple[str, ...]:
+    return tuple(sorted(_NAMED_RQS))
+
+
+register_rqs("example6", lambda: threshold_rqs(8, 3, 1, 1, 2))
+register_rqs("example6-broken-p3",
+             lambda: threshold_rqs(8, 3, 1, 1, 3, validate=False))
+register_rqs("example7", example7_rqs)
+register_rqs("figure3", figure3_rqs)
+register_rqs("section12", section12_rqs)
+
+
+def resolve_rqs(spec: RqsSpec) -> Optional[RefinedQuorumSystem]:
+    """Resolve a spec's ``rqs`` field to a concrete system.
+
+    Accepts an instance, ``None`` (for protocols that do not take an
+    RQS), a registered name, or a parameterized construction string:
+
+    * ``"threshold:n,t,k,q,r"`` — Example 6 (append ``,novalidate`` to
+      skip the property check, for lower-bound scenarios),
+    * ``"majority:n"`` — Example 2,
+    * ``"byzantine:n"`` — Example 3,
+    * ``"pbft:t"`` — the ``n = 3t + 1`` instantiation.
+    """
+    if spec is None or isinstance(spec, RefinedQuorumSystem):
+        return spec
+    if not isinstance(spec, str):
+        raise ScenarioError(
+            f"rqs must be a RefinedQuorumSystem, a name, or None; "
+            f"got {spec!r}"
+        )
+    if spec in _NAMED_RQS:
+        return _NAMED_RQS[spec]()
+    if ":" in spec:
+        kind, _, arg_text = spec.partition(":")
+        args = [a.strip() for a in arg_text.split(",") if a.strip()]
+        try:
+            if kind == "threshold":
+                validate = True
+                if args and args[-1] == "novalidate":
+                    validate = False
+                    args = args[:-1]
+                n, t, k, q, r = (int(a) for a in args)
+                return threshold_rqs(n, t, k, q, r, validate=validate)
+            if kind == "majority":
+                (n,) = (int(a) for a in args)
+                return majority_quorum_system(n)
+            if kind == "byzantine":
+                (n,) = (int(a) for a in args)
+                return byzantine_quorum_system(n)
+            if kind == "pbft":
+                (t,) = (int(a) for a in args)
+                return pbft_style_rqs(t)
+        except ValueError as exc:
+            raise ScenarioError(f"bad RQS construction {spec!r}: {exc}")
+    raise ScenarioError(
+        f"unknown RQS name {spec!r}; known names: {', '.join(named_rqs())} "
+        f"or threshold:n,t,k,q,r / majority:n / byzantine:n / pbft:t"
+    )
+
+
+# -- the spec itself -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative description of one execution.
+
+    Parameters
+    ----------
+    protocol:
+        A registered protocol id (see
+        :func:`repro.scenarios.registry.available_protocols`).
+    rqs:
+        The refined quorum system (instance or name); ``None`` for
+        baselines parameterized by counts instead (ABD, Paxos, PBFT).
+    readers / proposers / learners:
+        Client counts; each adapter uses the ones its protocol has.
+    delta:
+        The synchrony bound Δ (default network latency).
+    faults:
+        The adversary's :class:`~repro.scenarios.faults.FaultPlan`.
+    workload:
+        A tuple of workload operation literals.
+    seed:
+        Seed for randomized workload expansion (deterministic per seed).
+    horizon:
+        Run until this simulated time; ``None`` runs to completion.
+    strict:
+        With ``horizon=None``, raise if tasks are still blocked when the
+        event queue drains.
+    params:
+        Protocol-specific extras (e.g. ``n``/``t`` for ABD-family
+        baselines, ``f`` for PBFT, ``sync_delay`` or ``proposer_values``
+        for the RQS consensus).
+    """
+
+    protocol: str
+    rqs: RqsSpec = None
+    readers: int = 2
+    proposers: int = 2
+    learners: int = 3
+    delta: float = 1.0
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    workload: Workload = ()
+    seed: int = 0
+    horizon: Optional[float] = None
+    strict: bool = False
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "workload", tuple(self.workload))
+        object.__setattr__(
+            self, "params", MappingProxyType(dict(self.params))
+        )
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return self.params.get(name, default)
+
+    def resolved_rqs(self) -> Optional[RefinedQuorumSystem]:
+        return resolve_rqs(self.rqs)
+
+    def with_(self, **changes: Any) -> "ScenarioSpec":
+        """A copy of this spec with the given fields replaced."""
+        from dataclasses import replace
+
+        if "params" in changes:
+            changes["params"] = dict(changes["params"])
+        return replace(self, **changes)

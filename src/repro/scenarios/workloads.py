@@ -1,0 +1,98 @@
+"""Declarative workload operations for scenario specifications.
+
+A workload is a tuple of operation literals.  Clients obey the paper's
+well-formedness rule — no client invokes an operation before its previous
+one completed — so operations addressed to the same client are run
+sequentially, each starting no earlier than its scheduled time.
+Operations on distinct clients run concurrently.
+
+* :class:`Write` / :class:`Read` — storage operations (single writer,
+  readers addressed by index).
+* :class:`Propose` — a consensus proposal by proposer index.
+* :class:`Resync` — re-send the proposer's post-propose Sync (models a
+  client retransmitting over lossy pre-GST channels).
+* :class:`RandomMix` — a seeded random mix of writes and reads over a
+  horizon (storage protocols); deterministic per scenario seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Write:
+    """The writer writes ``value``, starting no earlier than ``at``."""
+
+    at: float
+    value: Any
+
+
+@dataclass(frozen=True)
+class Read:
+    """Reader ``reader`` reads, starting no earlier than ``at``."""
+
+    at: float
+    reader: int = 0
+
+
+@dataclass(frozen=True)
+class Propose:
+    """Proposer ``proposer`` proposes ``value`` at time ``at``."""
+
+    at: float
+    value: Any
+    proposer: int = 0
+
+
+@dataclass(frozen=True)
+class Resync:
+    """Proposer ``proposer`` re-sends Sync/DecisionPull at time ``at``."""
+
+    at: float
+    proposer: int = 0
+
+
+@dataclass(frozen=True)
+class RandomMix:
+    """``writes`` writes and ``reads`` reads at seeded-random times in
+    ``[start, start + horizon)``; write values are sequential integers,
+    reads are spread round-robin over the readers."""
+
+    writes: int
+    reads: int
+    horizon: float
+    start: float = 0.0
+
+
+WorkloadOp = Union[Write, Read, Propose, Resync, RandomMix]
+Workload = Tuple[WorkloadOp, ...]
+
+
+def expand_random_mix(
+    mix: RandomMix, n_readers: int, seed: int, first_value: int = 1
+) -> Tuple[List[Write], Dict[int, List[Read]]]:
+    """Materialize a :class:`RandomMix` into concrete Write/Read ops.
+
+    Mirrors the historical ``StorageSystem.random_workload`` draw order
+    (writes first, then reads) so seeded schedules stay reproducible.
+    """
+    rng = random.Random(seed)
+    write_times = sorted(
+        mix.start + rng.uniform(0.0, mix.horizon) for _ in range(mix.writes)
+    )
+    writes = [
+        Write(at=time, value=value)
+        for value, time in enumerate(write_times, start=first_value)
+    ]
+    per_reader: Dict[int, List[Read]] = {}
+    for index in range(mix.reads):
+        reader = index % max(n_readers, 1)
+        per_reader.setdefault(reader, []).append(
+            Read(at=mix.start + rng.uniform(0.0, mix.horizon), reader=reader)
+        )
+    for reader, ops in per_reader.items():
+        ops.sort(key=lambda op: op.at)
+    return writes, per_reader

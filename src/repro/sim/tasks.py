@@ -65,6 +65,29 @@ class WaitUntil(Effect):
         return f"WaitUntil({self.label or self.predicate!r})"
 
 
+def sequential_ops(sim, schedule):
+    """Driver coroutine: run one client's operations back to back.
+
+    ``schedule`` is a list of ``(time, factory, args)`` triples; each
+    operation coroutine ``factory(*args)`` starts no earlier than its
+    scheduled time and no earlier than the previous operation's
+    completion — the paper's client well-formedness rule.  Shared by
+    :class:`repro.storage.system.StorageSystem` and the scenario-layer
+    adapters so scripted and spec-driven runs of the same schedule stay
+    identical.
+    """
+    for time, factory, args in schedule:
+        start = time
+
+        def reached(start=start) -> bool:
+            return sim.now >= start
+
+        if sim.now < start:
+            sim.call_at(start, lambda: None)
+            yield WaitUntil(reached, f"start@{start}")
+        yield from factory(*args)
+
+
 class Task:
     """A running protocol coroutine.
 

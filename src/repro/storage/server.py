@@ -15,6 +15,9 @@ Byzantine variants used by tests and proof replays:
 * :class:`ForgetfulServer` — behaves correctly but "forgets": at a
   trigger time its history is rolled back to a given snapshot (used for
   the σ0/σ1 forgeries of Figure 4 and the Theorem 3 proof replay).
+* :class:`QuorumForgettingServer` — erases the class-2 quorum ids stored
+  by read write-backs while keeping the pairs ("forgets round 2 of rd",
+  the ex4 behaviour of Figure 4).
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ from typing import Any, Hashable, Optional
 
 from repro.sim.network import Message
 from repro.sim.process import Process
-from repro.storage.history import History, HistoryView, Pair
+from repro.storage.history import Entry, History, HistoryView, Pair
 from repro.storage.messages import RD, RdAck, WR, WrAck
 
 
@@ -115,3 +118,28 @@ class ForgetfulServer(StorageServer):
             self.history.clear()
         else:
             self.history.overwrite(self.forged_state)
+
+
+class QuorumForgettingServer(StorageServer):
+    """Byzantine: at ``trigger_time``, erases the class-2 quorum ids
+    stored in its history while keeping the timestamp/value pairs — it
+    "forgets round 2 of rd" (Figure 4 ex4)."""
+
+    benign = False
+
+    def __init__(self, pid: Hashable, trigger_time: float):
+        super().__init__(pid)
+        self.trigger_time = trigger_time
+        self._armed = False
+
+    def bind(self, network):  # type: ignore[override]
+        bound = super().bind(network)
+        if not self._armed:
+            self._armed = True
+            self.sim.call_at(self.trigger_time, self._forget_sets)
+        return bound
+
+    def _forget_sets(self) -> None:
+        cells = self.history._cells
+        for key, entry in list(cells.items()):
+            cells[key] = Entry(entry.pair, frozenset())

@@ -5,11 +5,15 @@
 number of readers, and exposes convenience drivers for scripted and
 randomized workloads.  All operations are recorded in a shared
 :class:`~repro.sim.trace.Trace` consumed by the checkers.
+
+This class is the thin wiring behind the ``"rqs-storage"`` protocol of
+:mod:`repro.scenarios` — prefer building a
+:class:`~repro.scenarios.ScenarioSpec` and calling
+:func:`repro.scenarios.run` over instantiating it directly.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.rqs import RefinedQuorumSystem
@@ -129,49 +133,36 @@ class StorageSystem:
         sequentially: an operation scheduled for time ``t`` starts at
         ``max(t, previous completion)``.  Writes carry sequential integer
         values (easy to order-check); reads are spread over the readers.
-        Deterministic per seed.
+        Deterministic per seed — the draw is shared with the scenario
+        layer's :class:`~repro.scenarios.RandomMix` expansion.
         """
-        rng = random.Random(seed)
-        write_times = sorted(rng.uniform(0.0, horizon) for _ in range(n_writes))
+        from repro.scenarios.workloads import RandomMix, expand_random_mix
+
+        writes, per_reader = expand_random_mix(
+            RandomMix(n_writes, n_reads, horizon=horizon),
+            len(self.readers),
+            seed,
+        )
         self.sim.spawn(
             self._sequential_ops(
-                [
-                    (time, self.writer.write, (value,))
-                    for value, time in enumerate(write_times, start=1)
-                ]
+                [(w.at, self.writer.write, (w.value,)) for w in writes]
             ),
             "writer-workload",
         )
-        per_reader: Dict[int, List[float]] = {}
-        for index in range(n_reads):
-            reader_index = index % max(len(self.readers), 1)
-            per_reader.setdefault(reader_index, []).append(
-                rng.uniform(0.0, horizon)
-            )
-        for reader_index, times in per_reader.items():
+        for reader_index, ops in per_reader.items():
             reader = self.readers[reader_index]
             self.sim.spawn(
                 self._sequential_ops(
-                    [(time, reader.read, ()) for time in sorted(times)]
+                    [(op.at, reader.read, ()) for op in ops]
                 ),
                 f"{reader.pid}-workload",
             )
 
     def _sequential_ops(self, schedule):
-        """Driver coroutine: run operations one after the other, starting
-        each no earlier than its scheduled time."""
-        from repro.sim.tasks import WaitUntil
+        """One client's operations back to back (shared driver)."""
+        from repro.sim.tasks import sequential_ops
 
-        for time, factory, args in schedule:
-            start = time
-
-            def reached(start=start) -> bool:
-                return self.sim.now >= start
-
-            if self.sim.now < start:
-                self.sim.call_at(start, lambda: None)
-                yield WaitUntil(reached, f"start@{start}")
-            yield from factory(*args)
+        return sequential_ops(self.sim, schedule)
 
     # -- reporting -----------------------------------------------------------------
 

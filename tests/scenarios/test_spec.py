@@ -1,0 +1,103 @@
+"""Spec construction, named RQS resolution and registry error cases."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.rqs import RefinedQuorumSystem
+from repro.errors import ScenarioError, UnknownProtocolError
+from repro.scenarios import (
+    FaultPlan,
+    ScenarioSpec,
+    Write,
+    available_protocols,
+    get_protocol,
+    named_rqs,
+    resolve_rqs,
+    run,
+)
+
+
+class TestScenarioSpec:
+    def test_spec_is_frozen(self):
+        spec = ScenarioSpec(protocol="rqs-storage", rqs="example6")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.protocol = "abd"
+
+    def test_workload_normalized_to_tuple(self):
+        spec = ScenarioSpec(protocol="abd", workload=[Write(0.0, "v")])
+        assert isinstance(spec.workload, tuple)
+
+    def test_params_are_read_only(self):
+        spec = ScenarioSpec(protocol="abd", params={"n": 7})
+        assert spec.param("n") == 7
+        assert spec.param("missing", 3) == 3
+        with pytest.raises(TypeError):
+            spec.params["n"] = 9
+
+    def test_with_replaces_fields(self):
+        spec = ScenarioSpec(protocol="rqs-storage", rqs="example6")
+        other = spec.with_(protocol="abd", rqs=None)
+        assert other.protocol == "abd" and spec.protocol == "rqs-storage"
+
+
+class TestNamedRqs:
+    def test_known_names_resolve(self):
+        for name in named_rqs():
+            assert isinstance(resolve_rqs(name), RefinedQuorumSystem)
+
+    def test_instance_and_none_pass_through(self):
+        rqs = resolve_rqs("example6")
+        assert resolve_rqs(rqs) is rqs
+        assert resolve_rqs(None) is None
+
+    def test_threshold_construction_string(self):
+        rqs = resolve_rqs("threshold:8,3,1,1,2")
+        assert len(rqs.ground_set) == 8 and rqs.is_valid()
+
+    def test_novalidate_suffix(self):
+        rqs = resolve_rqs("threshold:8,3,1,1,3,novalidate")
+        assert not rqs.is_valid()
+
+    def test_majority_and_byzantine_and_pbft(self):
+        assert len(resolve_rqs("majority:5").ground_set) == 5
+        assert len(resolve_rqs("byzantine:7").ground_set) == 7
+        assert len(resolve_rqs("pbft:1").ground_set) == 4
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ScenarioError, match="unknown RQS name"):
+            resolve_rqs("no-such-system")
+
+    def test_bad_construction_string_raises(self):
+        with pytest.raises(ScenarioError):
+            resolve_rqs("threshold:8,oops")
+
+
+class TestRegistry:
+    def test_all_paper_protocols_registered(self):
+        registered = available_protocols()
+        for protocol in ("rqs-storage", "abd", "fastabd",
+                         "rqs-consensus", "paxos", "pbft"):
+            assert protocol in registered
+
+    def test_unknown_protocol_raises_with_known_list(self):
+        with pytest.raises(UnknownProtocolError, match="rqs-storage"):
+            get_protocol("raft")
+
+    def test_run_rejects_unknown_protocol(self):
+        with pytest.raises(UnknownProtocolError):
+            run(ScenarioSpec(protocol="raft"))
+
+    def test_storage_protocol_requires_rqs(self):
+        with pytest.raises(ScenarioError, match="requires a quorum"):
+            run(ScenarioSpec(protocol="rqs-storage"))
+
+    def test_crash_target_must_exist(self):
+        from repro.scenarios import Crash
+
+        spec = ScenarioSpec(
+            protocol="abd",
+            faults=FaultPlan(crashes=(Crash("ghost", 0.0),)),
+        )
+        with pytest.raises(ScenarioError, match="ghost"):
+            run(spec)

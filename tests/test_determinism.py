@@ -1,5 +1,5 @@
 """Whole-system determinism: identical configurations yield identical
-executions — the reproducibility guarantee DESIGN.md promises."""
+executions — the reproducibility guarantee the README promises."""
 
 from repro.core.constructions import threshold_rqs
 from repro.consensus.system import ConsensusSystem
