@@ -15,12 +15,18 @@ The library provides:
   and latency accounting.
 * :mod:`repro.scenarios` — the unified declarative scenario layer: a
   :class:`~repro.scenarios.ScenarioSpec` plus ``run(spec)`` is the
-  public way to execute any protocol under any fault schedule.
+  public way to execute any protocol under any fault schedule, and a
+  :class:`~repro.scenarios.SweepSpec` plus ``run_grid(sweep)`` is the
+  public way to execute a whole grid of them (serial or
+  multiprocessing).
 * :mod:`repro.experiments` — drivers regenerating every figure and claim
-  of the paper (see the experiment index in the top-level README.md).
+  of the paper (see docs/experiments.md); each one is a sweep grid
+  literal plus a reporting hook.
 
 All executions go through :mod:`repro.scenarios`: build a spec, call
-``run``, read verdicts off the :class:`~repro.scenarios.RunResult`.
+``run``, read verdicts off the :class:`~repro.scenarios.RunResult` —
+and all parameter studies go through sweeps: build a grid literal, call
+``run_grid``, export the :class:`~repro.scenarios.SweepResult`.
 """
 
 __version__ = "1.1.0"
@@ -40,10 +46,15 @@ from repro.scenarios import (
     Read,
     RunResult,
     ScenarioSpec,
+    SweepResult,
+    SweepSpec,
     Write,
     available_protocols,
+    labeled,
     register_protocol,
     run,
+    run_grid,
+    write_bench_json,
 )
 
 __all__ = [
@@ -58,10 +69,15 @@ __all__ = [
     "RefinedQuorumSystem",
     "RunResult",
     "ScenarioSpec",
+    "SweepResult",
+    "SweepSpec",
     "ThresholdAdversary",
     "Write",
     "__version__",
     "available_protocols",
+    "labeled",
     "register_protocol",
     "run",
+    "run_grid",
+    "write_bench_json",
 ]

@@ -11,22 +11,29 @@ This sweep brute-force-validates every parameter point and reports any
 mismatch between the formulas and the explicit property checks — there
 must be none, in *both* directions (the conditions are necessary and
 sufficient, i.e. tight).
+
+It is an *analytic* sweep: :func:`bounds_grid` enumerates the parameter
+space as one labeled axis and the ``evaluate`` hook checks each point in
+closed form — no scenario execution involved.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Mapping, Tuple
 
 from repro.core.constructions import (
     threshold_rqs,
     threshold_rqs_predicted_properties,
     threshold_rqs_predicted_valid,
 )
+from repro.scenarios import SweepSpec, labeled, run_grid
 
 
 @dataclass
 class SweepResult:
+    """The E11 verdict (kept distinct from the generic sweep table)."""
+
     points: int
     mismatches: List[Tuple[int, int, int, int, int]]
     boundary_points: int  # points exactly at a validity boundary
@@ -52,25 +59,48 @@ def parameter_space(max_n: int) -> Iterator[Tuple[int, int, int, int, int]]:
                         yield n, t, k, q, r
 
 
+def _evaluate_point(point: Mapping) -> Mapping:
+    n, t, k, q, r = point["params"]
+    rqs = threshold_rqs(n, t, k, q, r, validate=False)
+    violation = rqs.first_violation()
+    actual = (
+        _actual_properties(rqs)
+        if violation is not None
+        else (True, True, True)
+    )
+    predicted = threshold_rqs_predicted_properties(n, t, k, q, r)
+    match = actual == predicted
+    return {
+        "verdict": "match" if match else "MISMATCH",
+        "match": match,
+        "boundary": _on_boundary(n, t, k, q, r),
+        "params": list(point["params"]),
+    }
+
+
+def bounds_grid(max_n: int = 7) -> SweepSpec:
+    """The E11 grid: every (n, t, k, q, r) point as one analytic cell."""
+    return SweepSpec(
+        name="threshold-bounds",
+        axes={
+            "params": tuple(
+                labeled(f"n={n},t={t},k={k},q={q},r={r}", (n, t, k, q, r))
+                for n, t, k, q, r in parameter_space(max_n)
+            )
+        },
+        evaluate=_evaluate_point,
+    )
+
+
 def run_sweep(max_n: int = 7) -> SweepResult:
-    points = 0
-    boundary = 0
-    mismatches: List[Tuple[int, int, int, int, int]] = []
-    for n, t, k, q, r in parameter_space(max_n):
-        points += 1
-        rqs = threshold_rqs(n, t, k, q, r, validate=False)
-        violation = rqs.first_violation()
-        actual = (
-            _actual_properties(rqs)
-            if violation is not None
-            else (True, True, True)
-        )
-        predicted = threshold_rqs_predicted_properties(n, t, k, q, r)
-        if actual != predicted:
-            mismatches.append((n, t, k, q, r))
-        if _on_boundary(n, t, k, q, r):
-            boundary += 1
-    return SweepResult(points, mismatches, boundary)
+    sweep = run_grid(bounds_grid(max_n))
+    mismatches = [
+        tuple(cell.metrics["params"])
+        for cell in sweep.cells
+        if not cell.require().metrics["match"]
+    ]
+    boundary = sum(1 for cell in sweep.cells if cell.metrics["boundary"])
+    return SweepResult(len(sweep.cells), mismatches, boundary)
 
 
 def _actual_properties(rqs) -> Tuple[bool, bool, bool]:

@@ -15,22 +15,28 @@ and the availability of a class-3 quorum is anyway required for
 liveness.  We run the Example 6 instance ``n=8, t=3, k=1, q=1, r=2``
 over a uniform-Δ network and crash acceptors so exactly a class-1/2/3
 quorum of correct acceptors remains.
+
+The experiment is the one-axis sweep :data:`GRID` over the available
+quorum class.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.scenarios import (
     FaultPlan,
     Propose,
     ScenarioSpec,
+    SweepSpec,
     crashes,
-    run,
+    run_grid,
 )
 
 DEFAULT_RQS = "example6"
+
+_CRASHES = {1: 0, 2: 2, 3: 3}
 
 
 @dataclass
@@ -52,31 +58,56 @@ class ConsensusLatencyRow:
         )
 
 
-_CRASHES = {1: 0, 2: 2, 3: 3}
-
-
-def measure(quorum_class: int, value: str = "V") -> ConsensusLatencyRow:
-    spec = ScenarioSpec(
+def _build(point: Mapping) -> ScenarioSpec:
+    return ScenarioSpec(
         protocol="rqs-consensus",
         rqs=DEFAULT_RQS,
         proposers=2,
         learners=3,
         faults=FaultPlan(
             crashes=crashes(
-                {sid: 0.0 for sid in range(1, _CRASHES[quorum_class] + 1)}
+                {sid: 0.0
+                 for sid in range(1, _CRASHES[point["quorum_class"]] + 1)}
             )
         ),
-        workload=(Propose(0.0, value),),
+        workload=(Propose(0.0, "V"),),
         horizon=60.0,
     )
-    result = run(spec)
-    return ConsensusLatencyRow(
-        quorum_class, result.learner_delays, result.consensus.ok
-    )
+
+
+def _measure(point: Mapping, result) -> Mapping:
+    return {
+        "verdict": "ok" if result.consensus.ok else "violation",
+        "delays": {
+            str(pid): delay
+            for pid, delay in result.learner_delays.items()
+        },
+        "worst_delay": result.worst_learner_delay,
+    }
+
+
+#: The E8 grid: one cell per available quorum class.
+GRID = SweepSpec(
+    name="consensus-latency",
+    axes={"quorum_class": (1, 2, 3)},
+    build=_build,
+    measure=_measure,
+)
 
 
 def run_experiment() -> List[ConsensusLatencyRow]:
-    return [measure(cls) for cls in (1, 2, 3)]
+    sweep = run_grid(GRID)
+    rows: List[ConsensusLatencyRow] = []
+    for cls in (1, 2, 3):
+        cell = sweep.cell(quorum_class=cls).require()
+        rows.append(
+            ConsensusLatencyRow(
+                quorum_class=cls,
+                delays=dict(cell.metrics["delays"]),
+                agreed=cell.verdict == "ok",
+            )
+        )
+    return rows
 
 
 PAPER_CLAIM = {1: 2.0, 2: 3.0, 3: 4.0}

@@ -17,14 +17,16 @@ composed schedule of executions ex3+ex4 against the greedy algorithm of
 The atomicity checker must flag the read inversion.  The same schedule
 against the Section 1.2 algorithm (4-server fast quorums, the
 ``"fastabd"`` protocol) stays atomic — that contrast is the whole point
-of Figure 2.  Both replays are the *same* scenario spec with the
-protocol id swapped.
+of Figure 2.  Both replays are the *same* schedule: the sweep
+:data:`GRID` has a single ``algorithm`` axis and its two cells differ
+only in the protocol id (and the per-protocol read message type the
+delay rule matches).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Mapping, Tuple
 
 from repro.analysis.atomicity import AtomicityReport
 from repro.scenarios import (
@@ -33,11 +35,17 @@ from repro.scenarios import (
     Hold,
     Read,
     ScenarioSpec,
+    SweepSpec,
     Write,
-    run,
+    labeled,
+    payload_is,
+    run_grid,
 )
 from repro.storage.fastabd import FRead
 from repro.storage.naive import NRead
+
+NAIVE = "naive (3-of-5 fast)"
+FASTABD = "section-1.2 (4-of-5)"
 
 
 @dataclass
@@ -75,7 +83,7 @@ def _schedule(protocol: str, read_message_type, horizon: float) -> ScenarioSpec:
                      label="wr reaches only s3"),
                 # r1's *first-round read* messages to servers 1, 2 delayed.
                 Hold(src=("reader1",), dst=(1, 2),
-                     payload=lambda p: isinstance(p, read_message_type),
+                     payload=payload_is(read_message_type),
                      label="r1 cannot reach s1, s2"),
             ),
         ),
@@ -88,6 +96,37 @@ def _schedule(protocol: str, read_message_type, horizon: float) -> ScenarioSpec:
     )
 
 
+def _build(point: Mapping) -> ScenarioSpec:
+    protocol, read_message_type, horizon = point["algorithm"]
+    return _schedule(protocol, read_message_type, horizon)
+
+
+def _measure(point: Mapping, result) -> Mapping:
+    r1, r2 = result.reads[0], result.reads[1]
+    report = result.atomicity
+    return {
+        "verdict": "atomic" if report.atomic else "violation",
+        "r1_value": repr(r1.result),
+        "r1_rounds": r1.rounds,
+        "r2_value": repr(r2.result),
+        "r2_rounds": r2.rounds,
+    }
+
+
+#: The E1 grid: one schedule, two algorithms.
+GRID = SweepSpec(
+    name="fig1",
+    axes={
+        "algorithm": (
+            labeled(NAIVE, ("naive", NRead, 20.0)),
+            labeled(FASTABD, ("fastabd", FRead, 40.0)),
+        )
+    },
+    build=_build,
+    measure=_measure,
+)
+
+
 def _outcome(label: str, result) -> Fig1Outcome:
     r1, r2 = result.reads[0], result.reads[1]
     assert r1.complete, "r1 should complete from {3,4,5}"
@@ -97,18 +136,25 @@ def _outcome(label: str, result) -> Fig1Outcome:
     )
 
 
+def _run_one(label: str) -> Fig1Outcome:
+    cell = run_grid(GRID.where(algorithm=label)).cells[0]
+    return _outcome(label, cell.unwrap())
+
+
 def run_naive() -> Fig1Outcome:
     """The greedy 3-of-5 algorithm under the Figure 1 schedule."""
-    result = run(_schedule("naive", NRead, horizon=20.0))
-    return _outcome("naive (3-of-5 fast)", result)
+    return _run_one(NAIVE)
 
 
 def run_fastabd() -> Fig1Outcome:
     """The Section 1.2 algorithm (4-of-5 fast) under the same schedule."""
-    result = run(_schedule("fastabd", FRead, horizon=40.0))
-    return _outcome("section-1.2 (4-of-5)", result)
+    return _run_one(FASTABD)
 
 
 def run_experiment() -> Tuple[Fig1Outcome, Fig1Outcome]:
     """Both rows of the E1 exhibit: (naive violates, fast-ABD doesn't)."""
-    return run_naive(), run_fastabd()
+    sweep = run_grid(GRID)
+    return tuple(
+        _outcome(cell.point["algorithm"], cell.unwrap())
+        for cell in sweep.cells
+    )

@@ -18,15 +18,15 @@ figure's executions against the real RQS storage algorithm:
   *only because* ``P3b(Q2, Q'2, B34)`` holds: the class-1 quorum
   witness ``s2 ∈ Q1 ∩ Q2 ∩ Q'2 \\ B34`` pins the value.
 
-Both stages are declarative scenario specs over the RQS name
-``"example7"``; the run asserts the figure's outcomes and that the
-history is atomic.
+Both stages are cells of the sweep :data:`GRID` (one ``stage`` axis over
+the RQS name ``"example7"``); the reporting hook asserts the figure's
+outcomes and that the composed history is atomic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Mapping, Tuple
 
 from repro.analysis.atomicity import AtomicityReport
 from repro.scenarios import (
@@ -36,9 +36,12 @@ from repro.scenarios import (
     Hold,
     Read,
     ScenarioSpec,
+    SweepSpec,
     Write,
-    run,
+    run_grid,
 )
+
+_FORGERY_TIME = 12.0
 
 
 @dataclass
@@ -61,22 +64,20 @@ class Fig4Outcome:
         )
 
 
-def run_ex1() -> int:
+def _ex1_spec() -> ScenarioSpec:
     """ex1: write(1) with s1, s3 down completes in one round."""
-    result = run(ScenarioSpec(
+    return ScenarioSpec(
         protocol="rqs-storage",
         rqs="example7",
         readers=1,
         faults=FaultPlan(crashes=(Crash("s1", 0.0), Crash("s3", 0.0))),
         workload=(Write(0.0, 1),),
-    ))
-    return result.write().rounds
+    )
 
 
-def run_ex3_ex4():
+def _ex3_ex4_spec() -> ScenarioSpec:
     """The composed ex3 → ex4 schedule of Figure 4 as one scenario."""
-    forgery_time = 12.0
-    result = run(ScenarioSpec(
+    return ScenarioSpec(
         protocol="rqs-storage",
         rqs="example7",
         readers=2,
@@ -85,11 +86,11 @@ def run_ex3_ex4():
                 # Incomplete write: the writer dies before round 2 at 2Δ.
                 Crash("writer", 1.9),
                 # ex4: s5 crashes once r1's read has completed.
-                Crash("s5", forgery_time),
+                Crash("s5", _FORGERY_TIME),
             ),
             byzantine=(
-                ByzantineRole("s1", "forget-qc2-ids", at=forgery_time),
-                ByzantineRole("s2", "forget-qc2-ids", at=forgery_time),
+                ByzantineRole("s1", "forget-qc2-ids", at=_FORGERY_TIME),
+                ByzantineRole("s2", "forget-qc2-ids", at=_FORGERY_TIME),
             ),
             asynchrony=(
                 # The slow write never reaches s6 (ex3).
@@ -101,21 +102,53 @@ def run_ex3_ex4():
         workload=(
             Write(0.0, 1),             # never completes (writer crashes)
             Read(2.0, reader=0),       # ex3: rd through Q2
-            Read(forgery_time, reader=1),  # ex4: rd' through Q'2
+            Read(_FORGERY_TIME, reader=1),  # ex4: rd' through Q'2
         ),
         horizon=60.0,
-    ))
-    r1, r2 = result.reads[0], result.reads[1]
-    assert r1.complete, "rd must complete through Q2"
-    assert r2.complete, "rd' must complete through Q'2"
-    return r1.result, r1.rounds, r2.result, r2.rounds, result.atomicity
+    )
+
+
+def _build(point: Mapping) -> ScenarioSpec:
+    return _ex1_spec() if point["stage"] == "ex1" else _ex3_ex4_spec()
+
+
+def _measure(point: Mapping, result) -> Mapping:
+    report = result.atomicity
+    metrics = {"verdict": "atomic" if report.atomic else "violation"}
+    if point["stage"] == "ex1":
+        metrics["write_rounds"] = result.write().rounds
+    else:
+        r1, r2 = result.reads[0], result.reads[1]
+        metrics.update(
+            ex3_value=repr(r1.result), ex3_rounds=r1.rounds,
+            ex4_value=repr(r2.result), ex4_rounds=r2.rounds,
+        )
+    return metrics
+
+
+#: The E4 grid: the figure's two stages over the Example 7 adversary.
+GRID = SweepSpec(
+    name="fig4",
+    axes={"stage": ("ex1", "ex3+ex4")},
+    build=_build,
+    measure=_measure,
+)
 
 
 def run_experiment() -> Fig4Outcome:
-    ex1_rounds = run_ex1()
-    ex3_value, ex3_rounds, ex4_value, ex4_rounds, report = run_ex3_ex4()
+    sweep = run_grid(GRID)
+    ex1 = sweep.cell(stage="ex1").unwrap()
+    composed = sweep.cell(stage="ex3+ex4").unwrap()
+    r1, r2 = composed.reads[0], composed.reads[1]
+    assert r1.complete, "rd must complete through Q2"
+    assert r2.complete, "rd' must complete through Q'2"
     return Fig4Outcome(
-        ex1_rounds, ex3_value, ex3_rounds, ex4_value, ex4_rounds, report
+        ex1_write_rounds=ex1.write().rounds,
+        ex3_read_value=r1.result,
+        ex3_read_rounds=r1.rounds,
+        ex4_read_value=r2.result,
+        ex4_read_rounds=r2.rounds,
+        report=composed.atomicity,
     )
 
 

@@ -6,13 +6,18 @@ Example 6 threshold family: class-1 quorums are larger, so they carry a
 higher load and die sooner as the per-server failure probability grows —
 the crossover where the *expected best-case latency* of the refined
 system stops improving on a flat (class-3 only) system.
+
+Both studies are analytic sweeps: :func:`ablation_grid` sweeps the
+per-server failure probability, :func:`search_grid` sweeps universe
+sizes for general-adversary RQS discovery.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
+from repro.core.adversary import ExplicitAdversary
 from repro.core.constructions import threshold_rqs
 from repro.core.metrics import (
     availability,
@@ -21,7 +26,7 @@ from repro.core.metrics import (
 )
 from repro.core.rqs import RefinedQuorumSystem
 from repro.core.search import search_rqs
-from repro.core.adversary import ExplicitAdversary, ThresholdAdversary
+from repro.scenarios import SweepSpec, labeled, run_grid
 
 
 @dataclass
@@ -48,37 +53,72 @@ def default_rqs() -> RefinedQuorumSystem:
     return threshold_rqs(8, 3, 1, 1, 2)
 
 
+def _ablation_cell(point: Mapping) -> Mapping:
+    rqs = default_rqs()
+    p = point["p"]
+    return {
+        "load_class1": system_load(rqs, cls=1),
+        "load_class3": system_load(rqs, cls=3),
+        "avail_class1": availability(rqs, p, cls=1),
+        "avail_class2": availability(rqs, p, cls=2),
+        "avail_class3": availability(rqs, p, cls=3),
+        "expected_latency": best_case_latency_profile(
+            rqs, p, point["latencies"]
+        ),
+    }
+
+
+def ablation_grid(
+    probabilities: Sequence[float],
+    latencies: Tuple[int, int, int] = (1, 2, 3),
+) -> SweepSpec:
+    """The E13 grid: one analytic cell per failure probability."""
+    return SweepSpec(
+        name="metrics-ablation",
+        axes={
+            "p": tuple(probabilities),
+            "latencies": (labeled(repr(latencies), latencies),),
+        },
+        evaluate=_ablation_cell,
+    )
+
+
 def sweep(
     probabilities: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.3),
     latencies: Tuple[int, int, int] = (1, 2, 3),
 ) -> List[MetricsRow]:
-    rqs = default_rqs()
-    rows = []
-    for p in probabilities:
-        rows.append(
-            MetricsRow(
-                p=p,
-                load_class1=system_load(rqs, cls=1),
-                load_class3=system_load(rqs, cls=3),
-                avail_class1=availability(rqs, p, cls=1),
-                avail_class2=availability(rqs, p, cls=2),
-                avail_class3=availability(rqs, p, cls=3),
-                expected_latency=best_case_latency_profile(rqs, p, latencies),
-            )
-        )
-    return rows
+    result = run_grid(ablation_grid(probabilities, latencies))
+    return [
+        MetricsRow(p=p, **cell.require().metrics)
+        for p, cell in zip(probabilities, result.cells)
+    ]
+
+
+def _search_cell(point: Mapping) -> Mapping:
+    n = point["n"]
+    servers = tuple(range(1, n + 1))
+    # a lightly-irregular adversary: one "fragile pair" plus singletons
+    adversary = ExplicitAdversary(
+        servers, [{1, 2}] + [{i} for i in servers]
+    )
+    rqs = search_rqs(adversary, min_quorum_size=max(2, n - 2))
+    return {"quorums": len(rqs.quorums), "class1": len(rqs.qc1)}
+
+
+def search_grid(sizes: Sequence[int]) -> SweepSpec:
+    """RQS-discovery cost grid: one analytic cell per universe size."""
+    return SweepSpec(
+        name="rqs-search-cost",
+        axes={"n": tuple(sizes)},
+        evaluate=_search_cell,
+    )
 
 
 def search_cost(sizes: Sequence[int] = (4, 5, 6)) -> List[Tuple[int, int, int]]:
     """RQS discovery for general adversaries: (``|S|``, quorums found,
     class-1 quorums found) per universe size."""
-    rows = []
-    for n in sizes:
-        servers = tuple(range(1, n + 1))
-        # a lightly-irregular adversary: one "fragile pair" plus singletons
-        adversary = ExplicitAdversary(
-            servers, [{1, 2}] + [{i} for i in servers]
-        )
-        rqs = search_rqs(adversary, min_quorum_size=max(2, n - 2))
-        rows.append((n, len(rqs.quorums), len(rqs.qc1)))
-    return rows
+    result = run_grid(search_grid(sizes))
+    return [
+        (n, cell.require().metrics["quorums"], cell.metrics["class1"])
+        for n, cell in zip(sizes, result.cells)
+    ]

@@ -22,12 +22,16 @@ after the write so the reader sees a class-1 / class-2 / class-3 quorum.
 
 The default system is the Example 6 instance ``n=8, t=3, k=1, q=1, r=2``
 (the scenario RQS name ``"example6"``).
+
+The whole experiment is the sweep :data:`GRID` — an ``op`` ×
+``quorum_class`` grid, each cell one scenario, run by
+:func:`repro.scenarios.run_grid`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence
 
 from repro.scenarios import (
     Crash,
@@ -35,12 +39,24 @@ from repro.scenarios import (
     Hold,
     Read,
     ScenarioSpec,
+    SweepSpec,
     Write,
     crashes,
-    run,
+    run_grid,
 )
 
 DEFAULT_RQS = "example6"
+
+#: servers to crash so the *best correct quorum* has the given class
+#: (for the n=8, t=3, q=1, r=2 system: class1 needs ≥7 up, class2 ≥6,
+#: class3 ≥5).
+_WRITE_CRASHES = {1: 1, 2: 2, 3: 3}
+#: For reads the writer already missed server 1 (which still answers
+#: reads), so after crashing c more servers the responder set has 8-c
+#: servers but only 7-c of them hold the value: crashing 2 (resp. 3)
+#: makes the best *responding* quorum class 2 (resp. 3) while defeating
+#: the class-1 fast path (fewer than n-2q=6 holders).
+_READ_CRASHES = {1: 0, 2: 2, 3: 3}
 
 
 @dataclass
@@ -58,9 +74,9 @@ class LatencyRow:
         )
 
 
-def measure_write(crash_count: int) -> Tuple[int, bool]:
-    """Write latency with ``crash_count`` servers down from the start."""
-    spec = ScenarioSpec(
+def _write_spec(crash_count: int) -> ScenarioSpec:
+    """Write latency setup: ``crash_count`` servers down from the start."""
+    return ScenarioSpec(
         protocol="rqs-storage",
         rqs=DEFAULT_RQS,
         readers=1,
@@ -70,20 +86,16 @@ def measure_write(crash_count: int) -> Tuple[int, bool]:
         # The write completes within 3 two-Δ rounds; read well after.
         workload=(Write(0.0, "value"), Read(10.0)),
     )
-    result = run(spec)
-    record, read = result.write(), result.read()
-    ok = result.atomicity.atomic and read.result == "value"
-    return record.rounds, ok
 
 
-def measure_read(crash_count: int) -> Tuple[int, bool]:
-    """Read latency after an incomplete-but-completed 1-round write.
+def _read_spec(crash_count: int) -> ScenarioSpec:
+    """Read latency setup after an incomplete-but-completed 1-round write.
 
     The writer's round-1 message to server 1 is held, so the write
     completes via the class-1 quorum ``{2..8}``; then ``crash_count``
     servers (2, 3, ...) crash before the read.
     """
-    spec = ScenarioSpec(
+    return ScenarioSpec(
         protocol="rqs-storage",
         rqs=DEFAULT_RQS,
         readers=1,
@@ -98,32 +110,55 @@ def measure_read(crash_count: int) -> Tuple[int, bool]:
         ),
         workload=(Write(0.0, "value"), Read(5.0)),
     )
-    result = run(spec)
-    write_record, record = result.write(), result.read()
-    assert write_record.rounds == 1, "setup: the write must be 1-round"
-    ok = result.atomicity.atomic and record.result == "value"
-    return record.rounds, ok
 
 
-#: servers to crash so the *best correct quorum* has the given class
-#: (for the n=8, t=3, q=1, r=2 system: class1 needs ≥7 up, class2 ≥6,
-#: class3 ≥5).
-_WRITE_CRASHES = {1: 1, 2: 2, 3: 3}
-#: For reads the writer already missed server 1 (which still answers
-#: reads), so after crashing c more servers the responder set has 8-c
-#: servers but only 7-c of them hold the value: crashing 2 (resp. 3)
-#: makes the best *responding* quorum class 2 (resp. 3) while defeating
-#: the class-1 fast path (fewer than n-2q=6 holders).
-_READ_CRASHES = {1: 0, 2: 2, 3: 3}
+def _build(point: Mapping) -> ScenarioSpec:
+    cls = point["quorum_class"]
+    if point["op"] == "write":
+        return _write_spec(_WRITE_CRASHES[cls])
+    return _read_spec(_READ_CRASHES[cls])
+
+
+def _measure(point: Mapping, result) -> Mapping:
+    write_record, read_record = result.write(), result.read()
+    if point["op"] == "write":
+        measured, rounds = write_record, write_record.rounds
+    else:
+        assert write_record.rounds == 1, "setup: the write must be 1-round"
+        measured, rounds = read_record, read_record.rounds
+    ok = result.atomicity.atomic and read_record.result == "value"
+    return {
+        "rounds": rounds,
+        "time": measured.completed_at - measured.invoked_at,
+        "verdict": "atomic" if ok else "violation",
+    }
+
+
+#: The E5 grid: measured operation × available quorum class.
+GRID = SweepSpec(
+    name="storage-latency",
+    axes={"op": ("write", "read"), "quorum_class": (1, 2, 3)},
+    build=_build,
+    measure=_measure,
+)
 
 
 def run_experiment() -> List[LatencyRow]:
+    sweep = run_grid(GRID)
     rows: List[LatencyRow] = []
     for cls in (1, 2, 3):
-        write_rounds, write_ok = measure_write(_WRITE_CRASHES[cls])
-        read_rounds, read_ok = measure_read(_READ_CRASHES[cls])
+        write_cell = sweep.cell(op="write", quorum_class=cls).require()
+        read_cell = sweep.cell(op="read", quorum_class=cls).require()
         rows.append(
-            LatencyRow(cls, write_rounds, read_rounds, write_ok and read_ok)
+            LatencyRow(
+                quorum_class=cls,
+                write_rounds=write_cell.metrics.get("rounds"),
+                read_rounds=read_cell.metrics.get("rounds"),
+                atomic=(
+                    write_cell.verdict == "atomic"
+                    and read_cell.verdict == "atomic"
+                ),
+            )
         )
     return rows
 

@@ -1,22 +1,24 @@
 """Experiments E6/E9 — correctness under adversity.
 
-* :func:`storage_stress` (E6, Theorems 7/8): randomized contended
-  workloads with crashes and Byzantine servers; every completed history
-  must be atomic and — while a correct quorum exists — every operation
-  must complete (wait-freedom).
+* :func:`storage_stress` / :func:`run_storage_stress` (E6, Theorems
+  7/8): randomized contended workloads with crashes and Byzantine
+  servers; every completed history must be atomic and — while a correct
+  quorum exists — every operation must complete (wait-freedom).
 * :func:`consensus_liveness` (E9, Theorem 12): eventual synchrony — the
   network drops everything until GST, after which view changes elect a
   correct leader and every correct learner learns.
 
-Both are single scenario specs: the stress mix is a seeded
-:class:`~repro.scenarios.RandomMix` literal, the pre-GST regime is a
-:func:`~repro.scenarios.lossy_until_gst` fault schedule.
+Both are sweeps over single scenario specs: the multi-seed stress study
+is :func:`storage_stress_grid` (a ``seed`` axis over a seeded
+:class:`~repro.scenarios.RandomMix` literal), the pre-GST regime is
+:func:`liveness_grid` (a :func:`~repro.scenarios.lossy_until_gst` fault
+schedule parameterized by a ``gst`` axis).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Mapping, Sequence
 
 from repro.analysis.atomicity import AtomicityReport
 from repro.scenarios import (
@@ -27,8 +29,9 @@ from repro.scenarios import (
     RandomMix,
     Resync,
     ScenarioSpec,
+    SweepSpec,
     lossy_until_gst,
-    run,
+    run_grid,
 )
 
 
@@ -50,6 +53,73 @@ class StressOutcome:
         )
 
 
+def _stress_build(point: Mapping) -> ScenarioSpec:
+    """One randomized contended run with failures.
+
+    The system is the pbft-style ``n=7, t=2`` instance: up to 2 failures
+    are tolerated; we inject one fabricating Byzantine server and one
+    mid-run crash, which still leaves a correct (class-3) quorum.
+    """
+    return ScenarioSpec(
+        protocol="rqs-storage",
+        rqs="threshold:7,2,2,0,2",
+        readers=3,
+        faults=FaultPlan(
+            crashes=(Crash(6, 25.0),) if point["crash"] else (),
+            byzantine=(
+                (ByzantineRole(7, "fabricating",
+                               params={"ts": 999, "value": "EVIL"}),)
+                if point["byzantine"] else ()
+            ),
+        ),
+        workload=(RandomMix(point["writes"], point["reads"], horizon=60.0),),
+        seed=point["seed"],
+    )
+
+
+def _stress_measure(point: Mapping, result) -> Mapping:
+    report = result.atomicity
+    operations, completed = len(result.records), len(result.completed)
+    ok = report.atomic and completed == operations
+    return {
+        "verdict": "wait-free atomic" if ok else "violation",
+        "operations": operations,
+        "completed": completed,
+    }
+
+
+def storage_stress_grid(
+    seeds: Sequence[int],
+    n_writes: int = 8,
+    n_reads: int = 12,
+    byzantine: bool = True,
+    crash: bool = True,
+) -> SweepSpec:
+    """The E6 grid: one randomized contended cell per seed."""
+    return SweepSpec(
+        name="storage-stress",
+        axes={
+            "seed": tuple(seeds),
+            "writes": (n_writes,),
+            "reads": (n_reads,),
+            "byzantine": (byzantine,),
+            "crash": (crash,),
+        },
+        build=_stress_build,
+        measure=_stress_measure,
+    )
+
+
+def _stress_outcome(cell) -> StressOutcome:
+    result = cell.unwrap()
+    return StressOutcome(
+        seed=int(cell.point["seed"]),
+        operations=len(result.records),
+        completed=len(result.completed),
+        report=result.atomicity,
+    )
+
+
 def storage_stress(
     seed: int,
     n_writes: int = 8,
@@ -57,37 +127,17 @@ def storage_stress(
     byzantine: bool = True,
     crash: bool = True,
 ) -> StressOutcome:
-    """One randomized contended run with failures.
-
-    The system is the pbft-style ``n=7, t=2`` instance: up to 2 failures
-    are tolerated; we inject one fabricating Byzantine server and one
-    mid-run crash, which still leaves a correct (class-3) quorum.
-    """
-    result = run(ScenarioSpec(
-        protocol="rqs-storage",
-        rqs="threshold:7,2,2,0,2",
-        readers=3,
-        faults=FaultPlan(
-            crashes=(Crash(6, 25.0),) if crash else (),
-            byzantine=(
-                (ByzantineRole(7, "fabricating",
-                               params={"ts": 999, "value": "EVIL"}),)
-                if byzantine else ()
-            ),
-        ),
-        workload=(RandomMix(n_writes, n_reads, horizon=60.0),),
-        seed=seed,
-    ))
-    return StressOutcome(
-        seed=seed,
-        operations=len(result.records),
-        completed=len(result.completed),
-        report=result.atomicity,
+    """One randomized contended run with failures (a single-cell grid)."""
+    grid = storage_stress_grid(
+        (seed,), n_writes=n_writes, n_reads=n_reads,
+        byzantine=byzantine, crash=crash,
     )
+    return _stress_outcome(run_grid(grid).cells[0])
 
 
-def run_storage_stress(seeds: range = range(10)) -> List[StressOutcome]:
-    return [storage_stress(seed) for seed in seeds]
+def run_storage_stress(seeds: Sequence[int] = range(10)) -> List[StressOutcome]:
+    sweep = run_grid(storage_stress_grid(tuple(seeds)))
+    return [_stress_outcome(cell) for cell in sweep.cells]
 
 
 @dataclass
@@ -104,6 +154,45 @@ class LivenessOutcome:
         )
 
 
+def _liveness_build(point: Mapping) -> ScenarioSpec:
+    gst = point["gst"]
+    return ScenarioSpec(
+        protocol="rqs-consensus",
+        rqs="example6",
+        proposers=2,
+        learners=3,
+        faults=FaultPlan(asynchrony=(lossy_until_gst(gst),)),
+        workload=(Propose(0.0, "V"),) + tuple(
+            Resync(float(when), proposer=0)
+            for when in range(10, int(gst) + 30, 10)
+        ),
+        horizon=point["horizon"],
+        params={"sync_delay": 5.0},
+    )
+
+
+def _liveness_measure(point: Mapping, result) -> Mapping:
+    report = result.consensus
+    terminated = not report.unterminated
+    return {
+        "verdict": (
+            "live" if terminated and report.agreement_ok else "violation"
+        ),
+        "terminated": terminated,
+        "agreement_ok": report.agreement_ok,
+    }
+
+
+def liveness_grid(gst: float, horizon: float) -> SweepSpec:
+    """The E9 grid: the eventual-synchrony schedule at one (or more) GSTs."""
+    return SweepSpec(
+        name="consensus-liveness",
+        axes={"gst": (gst,), "horizon": (horizon,)},
+        build=_liveness_build,
+        measure=_liveness_measure,
+    )
+
+
 def consensus_liveness(gst: float = 40.0, horizon: float = 2000.0) -> LivenessOutcome:
     """Messages are lost until GST; the algorithm must still terminate.
 
@@ -116,24 +205,12 @@ def consensus_liveness(gst: float = 40.0, horizon: float = 2000.0) -> LivenessOu
     retransmit; the Sync message of lines 101-103 plays that role but is
     also dropped pre-GST, so the workload re-sends it periodically.
     """
-    result = run(ScenarioSpec(
-        protocol="rqs-consensus",
-        rqs="example6",
-        proposers=2,
-        learners=3,
-        faults=FaultPlan(asynchrony=(lossy_until_gst(gst),)),
-        workload=(Propose(0.0, "V"),) + tuple(
-            Resync(float(when), proposer=0)
-            for when in range(10, int(gst) + 30, 10)
-        ),
-        horizon=horizon,
-        params={"sync_delay": 5.0},
-    ))
-    learned = {l.pid: l.learned for l in result.system.learners}
+    cell = run_grid(liveness_grid(gst, horizon)).cells[0]
+    result = cell.unwrap()
     report = result.consensus
     return LivenessOutcome(
         gst=gst,
-        learned=learned,
+        learned={l.pid: l.learned for l in result.system.learners},
         terminated=not report.unterminated,
         agreement_ok=report.agreement_ok,
     )

@@ -20,16 +20,17 @@ From a concrete negation witness ``(Q1, Q2, Q, B'1, B2)`` with
   (where nothing was ever written and ``B2`` forges σ1), while ⊥ inverts
   ``r1``'s read in ex4.
 
-The driver runs ex''2+ex4 *and* ex5 — two scenario specs differing only
-in workload and forged state — asserts the two runs are
-indistinguishable to ``r2`` (same output), and reports the atomicity
-violation the checker finds.
+The driver is the two-cell sweep :data:`GRID` — ex''2+ex4 *and* ex5, two
+scenario specs differing only in workload and forged state — and the
+reporting hook asserts the two runs are indistinguishable to ``r2``
+(same output) and reports the atomicity violation the checker finds.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from functools import lru_cache
+from typing import Mapping, Tuple
 
 from repro.analysis.atomicity import AtomicityReport
 from repro.core.properties import P3Witness, negate_property3
@@ -41,14 +42,21 @@ from repro.scenarios import (
     Hold,
     Read,
     ScenarioSpec,
+    SweepSpec,
     Write,
+    labeled,
     resolve_rqs,
-    run,
+    run_grid,
 )
 from repro.storage.history import History
 from repro.storage.messages import WR
 
 BROKEN_RQS = "example6-broken-p3"
+
+FORGE_TIME = 8.0
+
+WITH_WRITE = "ex''2+ex4"
+WITHOUT_WRITE = "ex5"
 
 
 def broken_rqs() -> RefinedQuorumSystem:
@@ -63,6 +71,14 @@ def find_witness(rqs: RefinedQuorumSystem) -> P3Witness:
     if witness is None:
         raise AssertionError("expected a P3 violation witness")
     return witness
+
+
+@lru_cache(maxsize=1)
+def _witness_setup() -> Tuple[RefinedQuorumSystem, P3Witness]:
+    """The broken family and its witness, computed once per process —
+    both cells and the reporting code must see the same witness."""
+    rqs = broken_rqs()
+    return rqs, find_witness(rqs)
 
 
 @dataclass
@@ -88,7 +104,8 @@ class Theorem3Outcome:
         )
 
 
-FORGE_TIME = 8.0
+def _round2(payload) -> bool:
+    return isinstance(payload, WR) and payload.rnd >= 2
 
 
 def _staged_faults(rqs, witness: P3Witness, with_write: bool) -> FaultPlan:
@@ -98,14 +115,11 @@ def _staged_faults(rqs, witness: P3Witness, with_write: bool) -> FaultPlan:
     q2, q = witness.q2, witness.q
     b1, b2 = witness.b1, witness.b2
 
-    def round2(payload) -> bool:
-        return isinstance(payload, WR) and payload.rnd >= 2
-
     asynchrony = (
         # wr1 round 1 reaches only Q2; round 2 reaches only Q1 ∩ Q2.
         Hold(src=("writer",), dst=tuple(servers - q2),
              label="wr misses S\\Q2"),
-        Hold(src=("writer",), dst=tuple(q2 - q1), payload=round2,
+        Hold(src=("writer",), dst=tuple(q2 - q1), payload=_round2,
              label="wr round2 misses Q2\\Q1"),
         # r1 only talks to Q1; r2 only hears from Q.
         Hold(src=("reader1",), dst=tuple(servers - q1), label="r1 ⊆ Q1"),
@@ -136,46 +150,66 @@ def _staged_faults(rqs, witness: P3Witness, with_write: bool) -> FaultPlan:
     )
 
 
-def run_with_write(rqs, witness: P3Witness):
-    """ex''2 + ex4."""
-    result = run(ScenarioSpec(
-        protocol="rqs-storage",
-        rqs=rqs,
-        readers=2,
-        faults=_staged_faults(rqs, witness, with_write=True),
-        workload=(
+def _build(point: Mapping) -> ScenarioSpec:
+    rqs, witness = _witness_setup()
+    with_write = point["execution"]
+    if with_write:
+        workload = (
             Write(0.0, "v1"),              # wr1, crashes mid-write
             Read(4.0, reader=0),           # rd1, fast through Q1
             Read(FORGE_TIME, reader=1),    # rd2, after B1's forgery
-        ),
-        horizon=60.0,
-    ))
-    r1, r2 = result.reads[0], result.reads[1]
-    assert r1.complete, "rd1 must be fast through Q1"
-    assert r2.complete, "rd2 must complete through Q"
-    return r1, r2, result.atomicity
-
-
-def run_without_write(rqs, witness: P3Witness):
-    """ex5: nothing is written; B2 fabricates wr1's round 1."""
-    result = run(ScenarioSpec(
+        )
+    else:
+        # ex5: nothing is written; B2 fabricates wr1's round 1.
+        workload = (Read(FORGE_TIME + 0.5, reader=1),)
+    return ScenarioSpec(
         protocol="rqs-storage",
         rqs=rqs,
         readers=2,
-        faults=_staged_faults(rqs, witness, with_write=False),
-        workload=(Read(FORGE_TIME + 0.5, reader=1),),  # after the forgery
+        faults=_staged_faults(rqs, witness, with_write=with_write),
+        workload=workload,
         horizon=60.0,
-    ))
-    r2 = result.reads[0]
-    assert r2.complete, "rd2 must complete through Q"
-    return r2
+    )
+
+
+def _measure(point: Mapping, result) -> Mapping:
+    report = result.atomicity
+    metrics = {"verdict": "atomic" if report.atomic else "violation"}
+    if point["execution"]:
+        r1, r2 = result.reads[0], result.reads[1]
+        metrics.update(
+            r1_value=repr(r1.result), r1_rounds=r1.rounds,
+            r2_value=repr(r2.result),
+        )
+    else:
+        metrics["r2_value"] = repr(result.reads[0].result)
+    return metrics
+
+
+#: The E7 grid: the proof's two indistinguishable executions.
+GRID = SweepSpec(
+    name="theorem3",
+    axes={
+        "execution": (
+            labeled(WITH_WRITE, True),
+            labeled(WITHOUT_WRITE, False),
+        )
+    },
+    build=_build,
+    measure=_measure,
+)
 
 
 def run_experiment() -> Theorem3Outcome:
-    rqs = broken_rqs()
-    witness = find_witness(rqs)
-    r1, ex4_r2, report = run_with_write(rqs, witness)
-    ex5_r2 = run_without_write(rqs, witness)
+    _, witness = _witness_setup()
+    sweep = run_grid(GRID)
+    ex4 = sweep.cell(execution=WITH_WRITE).unwrap()
+    ex5 = sweep.cell(execution=WITHOUT_WRITE).unwrap()
+    r1, ex4_r2 = ex4.reads[0], ex4.reads[1]
+    assert r1.complete, "rd1 must be fast through Q1"
+    assert ex4_r2.complete, "rd2 must complete through Q"
+    ex5_r2 = ex5.reads[0]
+    assert ex5_r2.complete, "rd2 must complete through Q"
     return Theorem3Outcome(
         witness=witness,
         r1_value=r1.result,
@@ -183,7 +217,7 @@ def run_experiment() -> Theorem3Outcome:
         ex4_r2_value=ex4_r2.result,
         ex5_r2_value=ex5_r2.result,
         indistinguishable=(ex4_r2.result == ex5_r2.result),
-        report=report,
+        report=ex4.atomicity,
     )
 
 

@@ -1,10 +1,10 @@
 """Experiment E10 — Figure 16: the Theorem 6 impossibility construction.
 
 Theorem 6: no ``(Q(3), B)``-consensus can be both ``(1, Q(1))``-fast and
-``(2, Q(2))``-fast when Property 3 fails.  Two exhibits:
+``(2, Q(2))``-fast when Property 3 fails.  Two exhibits, each a sweep:
 
-1. **End-to-end agreement violation** (:func:`run_end_to_end`): the real
-   consensus algorithm over the P3-violating family
+1. **End-to-end agreement violation** (:data:`END_TO_END_GRID`): the
+   real consensus algorithm over the P3-violating family
    (``n=8, t=3, k=1, q=1, r=3``) is driven through the proof's schedule:
 
    * proposer ``p1`` proposes 1; its messages reach only ``Q2``, whose
@@ -21,17 +21,19 @@ Theorem 6: no ``(Q(3), B)``-consensus can be both ``(1, Q(1))``-fast and
      freely proposes 0, every learner except ``l1`` learns 0, and
      agreement breaks.
 
-2. **Choose-level exhibit** (:func:`run_choose_exhibit`): the same
-   ``vProof`` handed to ``choose()`` returns the intruding default
-   under the broken family but returns the decided value under the
-   valid family (``r=2``) where ``P3b`` pins it through the class-1
-   quorum — isolating exactly why Property 3 is the safety hinge.
+2. **Choose-level exhibit** (:data:`CHOOSE_GRID`, an analytic
+   ``evaluate`` sweep): the same ``vProof`` handed to ``choose()``
+   returns the intruding default under the broken family but returns
+   the decided value under the valid family (``r=2``) where ``P3b``
+   pins it through the class-1 quorum — isolating exactly why
+   Property 3 is the safety hinge.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Tuple
+from functools import lru_cache
+from typing import Dict, FrozenSet, Mapping, Tuple
 
 from repro.core.properties import P3Witness, negate_property3
 from repro.core.rqs import RefinedQuorumSystem
@@ -42,8 +44,9 @@ from repro.scenarios import (
     Hold,
     Propose,
     ScenarioSpec,
+    SweepSpec,
     resolve_rqs,
-    run,
+    run_grid,
 )
 from repro.consensus.acceptor import Acceptor
 from repro.consensus.choose import choose
@@ -64,6 +67,14 @@ def find_witness(rqs: RefinedQuorumSystem) -> P3Witness:
     if witness is None:
         raise AssertionError("expected a P3 violation witness")
     return witness
+
+
+@lru_cache(maxsize=1)
+def _witness_setup() -> Tuple[RefinedQuorumSystem, P3Witness]:
+    """The broken family and its witness, computed once per process —
+    the staged schedule and the reporting code must agree on it."""
+    rqs = broken_rqs()
+    return rqs, find_witness(rqs)
 
 
 class LyingAcceptor(Acceptor):
@@ -111,21 +122,31 @@ class Theorem6Outcome:
         )
 
 
-def run_end_to_end() -> Tuple[P3Witness, Dict[object, object], bool]:
-    rqs = broken_rqs()
-    witness = find_witness(rqs)
+# -- exhibit 1: the end-to-end schedule ----------------------------------------
+
+def _view0_contagion(payload) -> bool:
+    return (isinstance(payload, Update) and payload.view == 0) or (
+        isinstance(payload, Decision) and payload.value == 1
+    )
+
+
+def _later_step_update(payload) -> bool:
+    return isinstance(payload, Update) and payload.step >= 2
+
+
+def _decision_for_one(payload) -> bool:
+    return isinstance(payload, Decision) and payload.value == 1
+
+
+def _new_view_ack(payload) -> bool:
+    return isinstance(payload, NewViewAck)
+
+
+def _end_to_end_spec(point: Mapping) -> ScenarioSpec:
+    rqs, witness = _witness_setup()
     servers = rqs.ground_set
-    q1 = witness.q1 if witness.q1 is not None else frozenset()
     q2, q = witness.q2, witness.q
     b1, b2 = witness.b1, witness.b2
-
-    def view0_contagion(payload) -> bool:
-        return (isinstance(payload, Update) and payload.view == 0) or (
-            isinstance(payload, Decision) and payload.value == 1
-        )
-
-    def later_step_update(payload) -> bool:
-        return isinstance(payload, Update) and payload.step >= 2
 
     asynchrony = (
         # p1's messages reach only Q2 (prepare, sync, pulls).
@@ -134,21 +155,21 @@ def run_end_to_end() -> Tuple[P3Witness, Dict[object, object], bool]:
         # view-0 updates / value-1 decisions never escape Q2 ∪ {l1}.
         Hold(src=tuple(q2),
              dst=tuple((servers - q2) | {"l2", "l3", "p1", "p2"}),
-             payload=view0_contagion,
+             payload=_view0_contagion,
              label="view-0 contagion contained"),
         # value-1 decisions are held everywhere (timers must keep running).
         Hold(src=tuple(q2),
-             payload=lambda p: isinstance(p, Decision) and p.value == 1,
+             payload=_decision_for_one,
              label="decision(1) held"),
         # B2 never sees step-2/3 updates (so it cannot 2-update).
-        Hold(dst=tuple(b2), payload=later_step_update,
+        Hold(dst=tuple(b2), payload=_later_step_update,
              label="B2 starved of update2/3"),
         # p2's consult must see exactly the witness quorum Q.
         Hold(src=tuple(servers - q), dst=("p2",),
-             payload=lambda p: isinstance(p, NewViewAck),
+             payload=_new_view_ack,
              label="p2 hears acks only from Q"),
     )
-    result = run(ScenarioSpec(
+    return ScenarioSpec(
         protocol="rqs-consensus",
         rqs=rqs,
         proposers=2,
@@ -164,13 +185,40 @@ def run_end_to_end() -> Tuple[P3Witness, Dict[object, object], bool]:
         horizon=120.0,
         # p2 will propose 0 when elected for view 1.
         params={"proposer_values": {1: 0}},
-    ))
-    learned = {l.pid: l.learned for l in result.system.learners}
-    report = result.check_consensus(
-        benign_learners=[l.pid for l in result.system.learners]
     )
-    return witness, learned, report.agreement_ok
 
+
+def _end_to_end_measure(point: Mapping, result) -> Mapping:
+    learners = result.system.learners
+    report = result.check_consensus(
+        benign_learners=[learner.pid for learner in learners]
+    )
+    return {
+        "verdict": "ok" if report.agreement_ok else "violation",
+        "learned": {
+            str(learner.pid): learner.learned for learner in learners
+        },
+    }
+
+
+#: The E10 end-to-end grid (a single staged execution).
+END_TO_END_GRID = SweepSpec(
+    name="theorem6-end-to-end",
+    axes={"execution": ("proof-schedule",)},
+    build=_end_to_end_spec,
+    measure=_end_to_end_measure,
+)
+
+
+def run_end_to_end() -> Tuple[P3Witness, Dict[object, object], bool]:
+    _, witness = _witness_setup()
+    cell = run_grid(END_TO_END_GRID).cells[0]
+    result = cell.unwrap()
+    learned = {l.pid: l.learned for l in result.system.learners}
+    return witness, learned, cell.verdict == "ok"
+
+
+# -- exhibit 2: choose() on the staged consult state ---------------------------
 
 def _staged_vproof(
     rqs: RefinedQuorumSystem, witness: P3Witness
@@ -215,12 +263,12 @@ def _staged_vproof(
     return v_proof, q
 
 
-def run_choose_exhibit() -> Tuple[object, object]:
-    """``choose()`` on the staged ex4 state: broken vs valid family."""
-    broken = broken_rqs()
-    witness = find_witness(broken)
-    v_proof, quorum = _staged_vproof(broken, witness)
-    broken_result = choose(broken, 0, v_proof, quorum)
+def _choose_cell(point: Mapping) -> Mapping:
+    """``choose()`` on the staged ex4 state for one quorum family."""
+    if point["family"] == "broken":
+        broken, witness = _witness_setup()
+        v_proof, quorum = _staged_vproof(broken, witness)
+        return {"value": choose(broken, 0, v_proof, quorum).value}
 
     # Under the valid family the same witness shape cannot exist; stage
     # the analogous state on its own quorums: Q2v is a class-2 quorum, the
@@ -257,8 +305,24 @@ def run_choose_exhibit() -> Tuple[object, object]:
             v_proof_v[acceptor] = honest()
         else:
             v_proof_v[acceptor] = fresh()
-    valid_result = choose(valid, 0, v_proof_v, quorum_v)
-    return broken_result.value, valid_result.value
+    return {"value": choose(valid, 0, v_proof_v, quorum_v).value}
+
+
+#: The E10 choose-level grid: one analytic cell per quorum family.
+CHOOSE_GRID = SweepSpec(
+    name="theorem6-choose",
+    axes={"family": ("broken", "valid")},
+    evaluate=_choose_cell,
+)
+
+
+def run_choose_exhibit() -> Tuple[object, object]:
+    """``choose()`` on the staged ex4 state: broken vs valid family."""
+    sweep = run_grid(CHOOSE_GRID)
+    return (
+        sweep.cell(family="broken").require().metrics["value"],
+        sweep.cell(family="valid").require().metrics["value"],
+    )
 
 
 def run_experiment() -> Theorem6Outcome:

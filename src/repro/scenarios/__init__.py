@@ -24,8 +24,23 @@ Quickstart::
 
 Invariant: all executions go through this layer — experiment drivers and
 examples build a spec instead of wiring Simulator/Network by hand.
+
+Grids of scenarios are sweeps: a :class:`SweepSpec` (axes of protocols ×
+RQS constructions × fault plans × seeds) expands into frozen specs and
+:func:`run_grid` executes them on a serial or multiprocessing backend,
+aggregating into a portable :class:`SweepResult` table — see
+:mod:`repro.scenarios.sweeps`.  Second invariant: **new figure = new
+grid literal**.
 """
 
+from repro.scenarios.aggregate import (
+    CellResult,
+    SweepResult,
+    jsonable,
+    percentile,
+    summary_stats,
+    write_bench_json,
+)
 from repro.scenarios.faults import (
     ACCEPTOR,
     PROPOSER,
@@ -37,8 +52,10 @@ from repro.scenarios.faults import (
     FaultPlan,
     Hold,
     Partition,
+    PayloadIs,
     crashes,
     lossy_until_gst,
+    payload_is,
 )
 from repro.scenarios.registry import (
     available_protocols,
@@ -53,6 +70,14 @@ from repro.scenarios.spec import (
     register_rqs,
     resolve_rqs,
 )
+from repro.scenarios.sweeps import (
+    AxisValue,
+    SweepSpec,
+    default_measure,
+    derive_seed,
+    labeled,
+    run_grid,
+)
 from repro.scenarios.workloads import (
     Propose,
     RandomMix,
@@ -66,6 +91,8 @@ from repro.scenarios import adapters as _adapters  # noqa: F401
 
 __all__ = [
     "ACCEPTOR",
+    "AxisValue",
+    "CellResult",
     "PROPOSER",
     "SERVER",
     "ByzantineRole",
@@ -75,20 +102,32 @@ __all__ = [
     "FaultPlan",
     "Hold",
     "Partition",
+    "PayloadIs",
     "Propose",
     "RandomMix",
     "Read",
     "Resync",
     "RunResult",
     "ScenarioSpec",
+    "SweepResult",
+    "SweepSpec",
     "Write",
     "available_protocols",
     "crashes",
+    "default_measure",
+    "derive_seed",
     "get_protocol",
+    "jsonable",
+    "labeled",
     "lossy_until_gst",
     "named_rqs",
+    "payload_is",
+    "percentile",
     "register_protocol",
     "register_rqs",
     "resolve_rqs",
     "run",
+    "run_grid",
+    "summary_stats",
+    "write_bench_json",
 ]

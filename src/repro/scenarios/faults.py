@@ -171,6 +171,26 @@ class Delay:
 AsynchronyRule = Union[Hold, Drop, Delay]
 
 
+@dataclass(frozen=True)
+class PayloadIs:
+    """A picklable payload predicate matching one message type.
+
+    Equivalent to ``lambda p: isinstance(p, message_type)`` but, being a
+    frozen dataclass over an importable class, survives pickling — use
+    it in fault plans that must cross to multiprocessing sweep workers.
+    """
+
+    message_type: type
+
+    def __call__(self, payload: Any) -> bool:
+        return isinstance(payload, self.message_type)
+
+
+def payload_is(message_type: type) -> PayloadIs:
+    """A picklable ``isinstance`` payload predicate for Hold/Drop/Delay."""
+    return PayloadIs(message_type)
+
+
 def lossy_until_gst(gst: float, label: str = "lossy until GST") -> Drop:
     """The eventual-synchrony regime: every message sent before ``gst``
     is lost; after GST the network is synchronous (default Δ)."""
