@@ -1,0 +1,189 @@
+"""The simulator-core bench: events/sec of the condition-indexed event loop.
+
+Measures the wake-up refactor (``condition -> waiters`` index, PR 3)
+against the legacy re-poll-every-parked-task fixpoint loop (kept as
+``wakeup="scan"``), on scenario-layer workloads engineered to stress
+exactly the cost the refactor removes:
+
+* **storage** — ``n`` reader clients parked through an *asynchronous
+  interval* (their ``rd_ack`` channels held in transit — the paper's
+  standard adversary device) while a saturated writer churns the event
+  queue over fully heterogeneous per-link latencies.  The legacy loop
+  re-evaluates every parked reader's quorum predicate after every one
+  of those instants — O(parked × instants) wasted polls; the indexed
+  loop re-polls nobody (no reader condition is ever signalled).
+* **consensus** — a contended two-proposer run (views change, suspect
+  timers fire) scaled by learner count.  Consensus acceptors/learners
+  are event-driven (nothing parks but the consult phase), so this row
+  documents that the refactor is neutral where the old loop was never
+  hot.
+
+Both wake-up modes must process the *identical* execution — asserted on
+the deterministic event count — so the ratio is a pure scheduler
+measurement.  Emits ``BENCH_simcore.json`` (events/sec, wall seconds,
+speedups); schema + regression checks live in ``tools/check_simcore.py``
+and run in CI's perf-smoke job.
+
+Run directly (``python -m benchmarks.bench_simcore``) to regenerate the
+artifact, or under pytest for the determinism smoke.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.scenarios import (
+    Delay,
+    FaultPlan,
+    Hold,
+    Propose,
+    Read,
+    ScenarioSpec,
+    Write,
+    run,
+)
+from repro.sim.simulator import wakeup_mode
+
+SCHEMA_VERSION = 1
+
+#: Scale axis: number of reader clients (storage) / learners (consensus).
+STORAGE_NS = (10, 50)
+CONSENSUS_NS = (3, 50)
+
+#: The acceptance row: the n=50 storage run must show >= 5x events/sec.
+TARGET_STORAGE_N = 50
+TARGET_SPEEDUP = 5.0
+
+SERVERS = range(1, 9)  # example6 is an 8-server RQS
+
+
+def storage_spec(n: int, horizon: float = 600.0) -> ScenarioSpec:
+    """``n`` readers blocked by asynchrony while the writer saturates."""
+    reader_pids = tuple(f"reader{r + 1}" for r in range(n))
+    holds = tuple(Hold(src=(s,), dst=reader_pids) for s in SERVERS)
+    delays = tuple(
+        Delay(1.0 + 0.07 * s, dst=(s,)) for s in SERVERS
+    ) + tuple(
+        Delay(1.0 + 0.11 * s, src=(s,)) for s in SERVERS
+    )
+    writes = int(horizon / 2.5) + 10
+    workload = tuple(
+        Write(0.1 * i, i + 1) for i in range(writes)
+    ) + tuple(
+        Read(1.0 + 0.01 * r, reader=r) for r in range(n)
+    )
+    return ScenarioSpec(
+        protocol="rqs-storage",
+        rqs="example6",
+        readers=n,
+        faults=FaultPlan(asynchrony=holds + delays),
+        workload=workload,
+        horizon=horizon,
+        trace_level="metrics",
+    )
+
+
+def consensus_spec(n: int) -> ScenarioSpec:
+    """A contended proposer pair over ``n`` learners."""
+    return ScenarioSpec(
+        protocol="rqs-consensus",
+        rqs="example6",
+        learners=n,
+        workload=(
+            Propose(0.0, "A", proposer=0),
+            Propose(0.0, "B", proposer=1),
+        ),
+        horizon=300.0,
+        trace_level="metrics",
+    )
+
+
+def run_case(spec: ScenarioSpec, wakeup: str, rounds: int = 3) -> dict:
+    """Execute one spec under one wake-up mode.
+
+    Times the event loop proper (``RunResult.execute_seconds`` — wiring
+    and RQS construction excluded), best of ``rounds``: the execution
+    is deterministic, so repeats only shave interpreter warm-up and
+    allocator noise.
+    """
+    wall = float("inf")
+    for _ in range(rounds):
+        with wakeup_mode(wakeup):
+            result = run(spec)
+        wall = min(wall, result.execute_seconds)
+    events = result.adapter.sim.events_processed
+    return {
+        "wakeup": wakeup,
+        "events": events,
+        "blocked": len(result.blocked),
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(events / wall, 1),
+    }
+
+
+def collect() -> dict:
+    """Run the full grid and assemble the artifact payload."""
+    cases = []
+    speedups = {"storage": {}, "consensus": {}}
+    for workload, ns, build in (
+        ("storage", STORAGE_NS, storage_spec),
+        ("consensus", CONSENSUS_NS, consensus_spec),
+    ):
+        for n in ns:
+            spec = build(n)
+            indexed = run_case(spec, "indexed")
+            scan = run_case(spec, "scan")
+            # Same execution, different scheduler — or the ratio is
+            # meaningless.
+            assert indexed["events"] == scan["events"], (workload, n)
+            assert indexed["blocked"] == scan["blocked"], (workload, n)
+            for outcome in (indexed, scan):
+                cases.append({"workload": workload, "n": n, **outcome})
+            speedups[workload][str(n)] = round(
+                indexed["events_per_sec"] / scan["events_per_sec"], 2
+            )
+    return {
+        "name": "simcore",
+        "schema_version": SCHEMA_VERSION,
+        "target": {
+            "workload": "storage",
+            "n": TARGET_STORAGE_N,
+            "min_speedup": TARGET_SPEEDUP,
+        },
+        "cases": cases,
+        "speedups": speedups,
+    }
+
+
+def emit(directory=None) -> Path:
+    """Regenerate ``BENCH_simcore.json`` (repo root by default)."""
+    payload = collect()
+    path = (
+        Path(directory or Path(__file__).resolve().parent.parent)
+        / "BENCH_simcore.json"
+    )
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+# -- pytest smoke (determinism only; wall-clock checks live in CI) ----------
+
+def test_simcore_modes_run_identical_executions():
+    spec = storage_spec(10, horizon=60.0)
+    indexed = run_case(spec, "indexed")
+    scan = run_case(spec, "scan")
+    assert indexed["events"] == scan["events"] > 0
+    assert indexed["blocked"] == scan["blocked"]
+
+
+if __name__ == "__main__":
+    path = emit()
+    payload = json.loads(path.read_text())
+    for case in payload["cases"]:
+        print(
+            f"{case['workload']:>9} n={case['n']:<3} {case['wakeup']:>7}: "
+            f"{case['events']} events, {case['wall_s']}s, "
+            f"{case['events_per_sec']} ev/s"
+        )
+    print("speedups:", json.dumps(payload["speedups"]))
+    print(f"wrote {path}")

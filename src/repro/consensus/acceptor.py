@@ -13,6 +13,7 @@ from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set
 
 from repro.core.rqs import RefinedQuorumSystem
 from repro.crypto.signatures import SignatureService, Signed
+from repro.sim.conditions import Event
 from repro.sim.network import Message
 from repro.sim.process import Process
 from repro.consensus.choose import choose as run_choose
@@ -85,6 +86,8 @@ class Acceptor(Process):
         self.update_proof: Dict[Tuple[int, int], Tuple[Signed, ...]] = {}
         self.old: Set[Tuple] = set()
         self.decided: Optional[Any] = None
+        #: Waitable "this acceptor decided" condition (see Learner).
+        self.decided_event = Event(f"{pid} decided")
 
         # update-message sender bookkeeping: (step, value, view) -> senders
         self._update_senders: Dict[Tuple[int, Any, int], Set[AcceptorId]] = {}
@@ -231,6 +234,7 @@ class Acceptor(Process):
         if self.decided is not None:
             return
         self.decided = value
+        self.decided_event.set()
         for target in sorted(self.rqs.ground_set, key=repr):
             self.send(target, Decision(value))
         self._record_decision(self.pid, value)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, Optional, Set
 
 from repro.core.rqs import RefinedQuorumSystem
+from repro.sim.conditions import Event
 from repro.sim.network import Message
 from repro.sim.process import Process
 from repro.sim.trace import OperationRecord, Trace
@@ -35,6 +36,9 @@ class Learner(Process):
         self.trace = trace
         self.learned: Optional[Any] = None
         self.learned_at: Optional[float] = None
+        #: Waitable "decision learned" condition — tasks and tests can
+        #: ``yield WaitUntil(learner.learned_event)`` instead of polling.
+        self.learned_event = Event(f"{pid} learned")
         self._decisions = DecisionTracker(rqs)
         self._decision_senders: Dict[Any, Set[Hashable]] = {}
         self._pull_interval = pull_interval
@@ -72,6 +76,7 @@ class Learner(Process):
         self.learned_at = self.sim.now
         if self._record is not None:
             self.trace.complete(self._record, self.sim.now, value)
+        self.learned_event.set()
 
     # -- decision pulling (lines 102-103; bounded for simulation) -------------
 

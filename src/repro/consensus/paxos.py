@@ -14,7 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 
-from repro.sim.network import Message, Network, Rule
+from repro.sim.conditions import AckSet, ConditionMap, Counter
+from repro.sim.network import Message, Network, Rule, TraceLevel
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 from repro.sim.tasks import WaitUntil
@@ -93,14 +94,18 @@ class PaxosProposer(Process):
         self.ballot = ballot_base
         self.stride = ballot_stride
         self._promises: Dict[int, Dict[Hashable, PaxPromise]] = {}
-        self._accepted: Dict[int, Set[Hashable]] = {}
+        self._promise_counts = ConditionMap(Counter, "paxos promises b={}")
+        self._accepted = ConditionMap(AckSet, "paxos accepted b={}")
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, PaxPromise):
-            self._promises.setdefault(payload.ballot, {})[message.src] = payload
+            promises = self._promises.setdefault(payload.ballot, {})
+            if message.src not in promises:
+                promises[message.src] = payload
+                self._promise_counts(payload.ballot).add()
         elif isinstance(payload, PaxAccepted):
-            self._accepted.setdefault(payload.ballot, set()).add(message.src)
+            self._accepted(payload.ballot).add(message.src)
 
     def propose(self, value: Any):
         record = self.trace.begin("propose", self.pid, self.sim.now, value)
@@ -110,7 +115,7 @@ class PaxosProposer(Process):
             for acceptor in self.acceptors:
                 self.send(acceptor, PaxPrepare(ballot))
             yield WaitUntil(
-                lambda: len(self._promises.get(ballot, {})) >= self.majority,
+                self._promise_counts(ballot).at_least(self.majority),
                 f"paxos phase1 b={ballot}",
             )
             promises = self._promises[ballot].values()
@@ -123,7 +128,7 @@ class PaxosProposer(Process):
             for acceptor in self.acceptors:
                 self.send(acceptor, PaxAccept(ballot, chosen))
             yield WaitUntil(
-                lambda: len(self._accepted.get(ballot, ())) >= self.majority,
+                self._accepted(ballot).at_least(self.majority),
                 f"paxos phase2 b={ballot}",
             )
             self.trace.complete(record, self.sim.now, chosen)
@@ -167,9 +172,13 @@ class PaxosSystem:
         n_learners: int = 3,
         delta: float = 1.0,
         rules: Optional[List[Rule]] = None,
+        trace_level: TraceLevel = TraceLevel.FULL,
     ):
         self.sim = Simulator()
-        self.network = Network(self.sim, delta=delta, rules=list(rules or []))
+        self.network = Network(
+            self.sim, delta=delta, rules=list(rules or []),
+            trace_level=trace_level,
+        )
         self.trace = Trace()
         self.delta = delta
         acceptor_ids = tuple(range(1, n_acceptors + 1))

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
 
-from repro.sim.network import Message, Network, Rule
+from repro.sim.network import Message, Network, Rule, TraceLevel
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 from repro.sim.trace import Trace
@@ -146,9 +146,13 @@ class PbftSystem:
         n_learners: int = 3,
         delta: float = 1.0,
         rules: Optional[List[Rule]] = None,
+        trace_level: TraceLevel = TraceLevel.FULL,
     ):
         self.sim = Simulator()
-        self.network = Network(self.sim, delta=delta, rules=list(rules or []))
+        self.network = Network(
+            self.sim, delta=delta, rules=list(rules or []),
+            trace_level=trace_level,
+        )
         self.trace = Trace()
         self.delta = delta
         self.f = f

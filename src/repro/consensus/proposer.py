@@ -15,6 +15,7 @@ from typing import Any, Dict, FrozenSet, Hashable, Optional, Sequence, Set, Tupl
 
 from repro.core.rqs import RefinedQuorumSystem
 from repro.crypto.signatures import SignatureService
+from repro.sim.conditions import Check
 from repro.sim.network import Message
 from repro.sim.process import Process
 from repro.sim.tasks import WaitUntil
@@ -71,6 +72,13 @@ class Proposer(Process):
         # view_change certificates: view -> {acceptor: ViewChange}
         self._view_changes: Dict[int, Dict[AcceptorId, ViewChange]] = {}
         self._decisions: Dict[Any, Set[Hashable]] = {}
+        # Outstanding consult-phase waits: signalled whenever one of the
+        # predicate's inputs (acks, view, halted) changes.
+        self._consult_watches: list = []
+
+    def _signal_consult(self) -> None:
+        for condition in self._consult_watches:
+            condition.signal()
 
     def leader_of(self, view: int) -> Hashable:
         return self.proposers[view % len(self.proposers)]
@@ -91,6 +99,7 @@ class Proposer(Process):
         if not validate_new_view_ack(self.service, self.rqs, src, ack, view):
             return
         self._acks.setdefault(view, {})[src] = ack
+        self._signal_consult()
 
     def _handle_view_change(self, src: AcceptorId, message: ViewChange) -> None:
         if self.halted or src not in self.rqs.ground_set:
@@ -114,6 +123,9 @@ class Proposer(Process):
                 bucket[s] for s in sorted(bucket, key=repr)
             )
             self.view = next_view
+            # A consult wait for an older view must notice it was
+            # abandoned (its predicate reads self.view).
+            self._signal_consult()
             if self.value is not None:
                 self.sim.spawn(
                     self._propose_in_current_view(),
@@ -126,6 +138,7 @@ class Proposer(Process):
         acceptor_senders = senders & set(self.rqs.ground_set)
         if any(q <= acceptor_senders for q in self.rqs.quorums):
             self.halted = True  # Figure 15 line 104
+            self._signal_consult()
 
     # -- proposing ----------------------------------------------------------------
 
@@ -176,9 +189,14 @@ class Proposer(Process):
                             return True
                     return False
 
-                yield WaitUntil(
+                condition = Check(
                     some_fresh_quorum, f"{self.pid} consult view {view}"
                 )
+                self._consult_watches.append(condition)
+                try:
+                    yield WaitUntil(condition)
+                finally:
+                    self._consult_watches.remove(condition)
                 if self.view != view or self.halted:
                     return
                 quorum = quorum_holder["q"]

@@ -17,7 +17,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tupl
 
 from repro.core.rqs import RefinedQuorumSystem
 from repro.crypto.signatures import SignatureService
-from repro.sim.network import Network, Rule
+from repro.sim.network import Network, Rule, TraceLevel
 from repro.sim.simulator import Simulator
 from repro.sim.trace import OperationRecord, Trace
 from repro.consensus.acceptor import Acceptor
@@ -42,11 +42,15 @@ class ConsensusSystem:
         crash_times: Optional[Dict[Hashable, float]] = None,
         rules: Optional[Sequence[Rule]] = None,
         sync_delay: float = 10.0,
+        trace_level: TraceLevel = TraceLevel.FULL,
     ):
         self.rqs = rqs
         self.delta = delta
         self.sim = Simulator()
-        self.network = Network(self.sim, delta=delta, rules=list(rules or []))
+        self.network = Network(
+            self.sim, delta=delta, rules=list(rules or []),
+            trace_level=trace_level,
+        )
         self.trace = Trace()
         self.service = SignatureService()
 

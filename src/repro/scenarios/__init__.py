@@ -85,6 +85,7 @@ from repro.scenarios.workloads import (
     Resync,
     Write,
 )
+from repro.sim.network import TraceLevel
 
 # Importing the adapters registers every built-in protocol.
 from repro.scenarios import adapters as _adapters  # noqa: F401
@@ -111,6 +112,7 @@ __all__ = [
     "ScenarioSpec",
     "SweepResult",
     "SweepSpec",
+    "TraceLevel",
     "Write",
     "available_protocols",
     "crashes",

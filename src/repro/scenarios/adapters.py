@@ -237,6 +237,7 @@ class RqsStorageAdapter(StorageAdapter):
             delta=spec.delta,
             server_factories=factories,
             rules=spec.faults.rules(),
+            trace_level=spec.trace_level,
         )
         return cls(system)
 
@@ -252,6 +253,7 @@ class AbdAdapter(StorageAdapter):
             n_readers=spec.readers,
             delta=spec.delta,
             rules=spec.faults.rules(),
+            trace_level=spec.trace_level,
         )
         adapter = cls(system)
         _unsupported_roles(adapter, spec)
@@ -271,6 +273,7 @@ class FastAbdAdapter(StorageAdapter):
             n_readers=spec.readers,
             delta=spec.delta,
             rules=spec.faults.rules(),
+            trace_level=spec.trace_level,
         )
         adapter = cls(system)
         _unsupported_roles(adapter, spec)
@@ -289,6 +292,7 @@ class NaiveAdapter(StorageAdapter):
             n_readers=spec.readers,
             delta=spec.delta,
             rules=spec.faults.rules(),
+            trace_level=spec.trace_level,
         )
         adapter = cls(system)
         _unsupported_roles(adapter, spec)
@@ -389,6 +393,7 @@ class RqsConsensusAdapter(ConsensusAdapter):
             proposer_factories=proposer_factories,
             rules=spec.faults.rules(),
             sync_delay=spec.param("sync_delay", 10.0),
+            trace_level=spec.trace_level,
         )
         for index, value in dict(
             spec.param("proposer_values", {})
@@ -409,6 +414,7 @@ class PaxosAdapter(ConsensusAdapter):
             n_learners=spec.learners,
             delta=spec.delta,
             rules=spec.faults.rules(),
+            trace_level=spec.trace_level,
         )
         adapter = cls(system)
         _unsupported_roles(adapter, spec)
@@ -426,6 +432,7 @@ class PbftAdapter(ConsensusAdapter):
             n_learners=spec.learners,
             delta=spec.delta,
             rules=spec.faults.rules(),
+            trace_level=spec.trace_level,
         )
         adapter = cls(system)
         _unsupported_roles(adapter, spec)

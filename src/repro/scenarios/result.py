@@ -24,6 +24,9 @@ class RunResult:
     def __init__(self, spec, adapter):
         self.spec = spec
         self.adapter = adapter
+        #: Wall seconds of the execute phase (set by the runner); the
+        #: scheduler-throughput denominator used by ``bench_simcore``.
+        self.execute_seconds: Optional[float] = None
 
     # -- raw execution access -------------------------------------------------
 
@@ -137,12 +140,17 @@ class RunResult:
     # -- determinism ----------------------------------------------------------
 
     def fingerprint(self) -> Tuple:
-        """A hashable execution digest for reproducibility assertions."""
+        """A hashable execution digest for reproducibility assertions.
+
+        Uses the network's monotone ``sent_count`` (== ``len(log)`` at
+        full tracing) so fingerprints stay comparable across
+        :class:`~repro.sim.network.TraceLevel` settings.
+        """
         return tuple(
             (r.kind, r.process, r.invoked_at, r.completed_at,
              repr(r.result), r.rounds)
             for r in self.records
-        ) + (len(self.adapter.network.log),)
+        ) + (self.adapter.network.sent_count,)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

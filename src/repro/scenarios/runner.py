@@ -4,9 +4,16 @@ The runner resolves the protocol adapter, wires the system, applies the
 fault plan (crashes are scheduled before workload operations so that a
 crash and an operation at the same instant resolve crash-first), then
 schedules the workload and runs to the spec's horizon (or completion).
+
+The execute phase (the event loop proper, excluding wiring and RQS
+construction) is wall-timed onto ``RunResult.execute_seconds`` so perf
+benches measure scheduler throughput without re-implementing the
+pipeline.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.scenarios.registry import get_protocol
 from repro.scenarios.result import RunResult
@@ -19,5 +26,9 @@ def run(spec: ScenarioSpec) -> RunResult:
     adapter = adapter_cls.build(spec)
     adapter.apply_faults(spec)
     adapter.schedule(spec)
+    start = time.perf_counter()
     adapter.execute(spec)
-    return RunResult(spec, adapter)
+    elapsed = time.perf_counter() - start
+    result = RunResult(spec, adapter)
+    result.execute_seconds = elapsed
+    return result

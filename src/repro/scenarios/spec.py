@@ -25,9 +25,10 @@ from repro.core.constructions import (
     threshold_rqs,
 )
 from repro.core.rqs import RefinedQuorumSystem
-from repro.errors import ScenarioError
+from repro.errors import ScenarioError, SimulationError
 from repro.scenarios.faults import FaultPlan
 from repro.scenarios.workloads import Workload, WorkloadOp
+from repro.sim.network import TraceLevel
 
 RqsSpec = Union[RefinedQuorumSystem, str, None]
 
@@ -133,6 +134,13 @@ class ScenarioSpec:
     strict:
         With ``horizon=None``, raise if tasks are still blocked when the
         event queue drains.
+    trace_level:
+        How much message history the execution retains — a
+        :class:`~repro.sim.network.TraceLevel` or its name
+        (``"full"``/``"metrics"``).  ``FULL`` (default) keeps the
+        complete message log for verdicts and proof replays;
+        ``METRICS`` keeps counters only, bounding memory on big
+        sweeps/benchmarks (``messages_between`` then raises).
     params:
         Protocol-specific extras (e.g. ``n``/``t`` for ABD-family
         baselines, ``f`` for PBFT, ``sync_delay`` or ``proposer_values``
@@ -150,10 +158,17 @@ class ScenarioSpec:
     seed: int = 0
     horizon: Optional[float] = None
     strict: bool = False
+    trace_level: Union[TraceLevel, str] = TraceLevel.FULL
     params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self):
         object.__setattr__(self, "workload", tuple(self.workload))
+        try:
+            object.__setattr__(
+                self, "trace_level", TraceLevel.of(self.trace_level)
+            )
+        except SimulationError as exc:
+            raise ScenarioError(str(exc)) from exc
         object.__setattr__(
             self, "params", MappingProxyType(dict(self.params))
         )

@@ -6,7 +6,17 @@ delay, asynchrony as messages held in transit, crash and Byzantine
 failures.
 """
 
-from repro.sim.simulator import Simulator
+from repro.sim.conditions import (
+    AckSet,
+    AllOf,
+    AnyOf,
+    Check,
+    Condition,
+    ConditionMap,
+    Counter,
+    Event,
+)
+from repro.sim.simulator import Simulator, default_wakeup, wakeup_mode
 from repro.sim.tasks import Sleep, Task, WaitUntil
 from repro.sim.network import (
     DROP,
@@ -14,6 +24,7 @@ from repro.sim.network import (
     Message,
     Network,
     Rule,
+    TraceLevel,
     delay_rule,
     drop_rule,
     hold_rule,
@@ -22,10 +33,21 @@ from repro.sim.process import ByzantineProcess, Process
 from repro.sim.trace import OperationRecord, Trace
 
 __all__ = [
+    "AckSet",
+    "AllOf",
+    "AnyOf",
+    "Check",
+    "Condition",
+    "ConditionMap",
+    "Counter",
+    "Event",
     "Simulator",
     "Sleep",
     "Task",
+    "TraceLevel",
     "WaitUntil",
+    "default_wakeup",
+    "wakeup_mode",
     "Message",
     "Network",
     "Rule",

@@ -1,0 +1,303 @@
+"""Indexed wait conditions — the simulator's O(1) wake-up primitive.
+
+Historically every blocked task carried an opaque ``lambda`` predicate
+and the simulator re-evaluated *all* of them after *every* simulated
+instant, to a fixpoint — O(parked²) predicate calls per delivery, the
+dominant cost of large-``n`` runs.  A :class:`Condition` replaces the
+opaque predicate with an object that **signals** the simulator when its
+truth value may have changed, so the event loop re-polls only the tasks
+whose condition was actually touched this instant (see
+:meth:`repro.sim.simulator.Simulator._wake_tasks`).
+
+The catalogue, roughly in order of preference:
+
+* :class:`Event` — a one-way boolean flag ("decision learned",
+  "timer expired").  :meth:`Simulator.timer_at` hands these out for
+  deadlines.
+* :class:`Counter` — a monotonically increasing count; wait on
+  :meth:`Counter.at_least` ("``n − t`` replies collected").
+* :class:`AckSet` — a growing responder-id set (a real ``set``
+  subclass, so quorum code like ``q <= acks`` keeps working); wait on
+  :meth:`AckSet.at_least` or :meth:`AckSet.includes_any` ("acks from
+  some quorum").
+* :class:`Check` — an arbitrary predicate that the owning process
+  signals explicitly from the handlers that mutate its inputs.  The
+  migration device for waits too entangled for the shapes above
+  (the RQS reader's candidate-set predicates, the proposer's consult
+  quorum).
+* :class:`AllOf` / :class:`AnyOf` — conjunction/disjunction
+  combinators; a child's signal propagates to the composite ("a quorum
+  of acks **and** the 2Δ timer").
+
+A signal is a *hint*, not a wake-up: the simulator re-checks
+``holds()`` before resuming waiters, so spurious signals are cheap and
+missed-signal bugs surface as deterministic deadlocks (never as
+corrupted interleavings).  Conditions whose inputs can only ever be
+mutated from simulator events (message handlers, timers) therefore
+wake tasks exactly when the old full-scan loop would have.
+
+Raw callables are still accepted by :class:`~repro.sim.tasks.WaitUntil`
+as a legacy path (re-polled every instant, like the old loop), but no
+in-tree protocol uses one — the ROADMAP's third invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, List, Optional, Tuple
+
+
+class Condition:
+    """Base class for indexed wait conditions.
+
+    Subclasses implement :meth:`holds` (the current truth value) and
+    call :meth:`signal` from every mutation that may flip it.  The
+    simulator attaches itself while tasks are parked on the condition;
+    signalling an un-waited condition is a no-op beyond parent
+    propagation.
+    """
+
+    __slots__ = ("label", "_sim", "_parents")
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self._sim = None          # set by the simulator while waited on
+        self._parents: Optional[List["Condition"]] = None
+
+    # -- protocol ----------------------------------------------------------
+
+    def holds(self) -> bool:
+        """The condition's current truth value (must be side-effect free)."""
+        raise NotImplementedError
+
+    def signal(self) -> None:
+        """Tell the simulator this condition may have become true.
+
+        Batched per simulated instant and deduplicated; waiters are
+        re-polled (``holds()`` re-checked) after all events of the
+        instant have run — preserving the paper's atomic receive
+        substep.
+        """
+        sim = self._sim
+        if sim is not None:
+            sim._signal(self)
+        parents = self._parents
+        if parents:
+            for parent in parents:
+                parent.signal()
+
+    def _watch(self, parent: "Condition") -> None:
+        """Register a composite to be signalled when this one is."""
+        if self._parents is None:
+            self._parents = []
+        self._parents.append(parent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.label or hex(id(self))})"
+
+
+class Event(Condition):
+    """A one-way boolean flag ("it happened")."""
+
+    __slots__ = ("_set",)
+
+    def __init__(self, label: str = ""):
+        super().__init__(label)
+        self._set = False
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    def set(self) -> None:
+        if not self._set:
+            self._set = True
+            self.signal()
+
+    def holds(self) -> bool:
+        return self._set
+
+
+class Check(Condition):
+    """An explicitly-signalled arbitrary predicate.
+
+    The owning process calls :meth:`signal` from every handler that
+    mutates the predicate's inputs.  This keeps complicated waits (the
+    RQS reader's candidate predicates, the consult-phase quorum search)
+    verbatim while still indexing their wake-ups.
+    """
+
+    __slots__ = ("_predicate",)
+
+    def __init__(self, predicate: Callable[[], bool], label: str = ""):
+        super().__init__(label)
+        self._predicate = predicate
+
+    def holds(self) -> bool:
+        return self._predicate()
+
+
+class Threshold(Condition):
+    """``counter.value >= needed`` (created via :meth:`Counter.at_least`)."""
+
+    __slots__ = ("_counter", "_needed")
+
+    def __init__(self, counter: "Counter", needed: int, label: str = ""):
+        super().__init__(label)
+        self._counter = counter
+        self._needed = needed
+
+    def holds(self) -> bool:
+        return self._counter.value >= self._needed
+
+
+class Counter:
+    """A monotonically increasing count with derived wait conditions."""
+
+    __slots__ = ("label", "value", "_derived")
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self.value = 0
+        self._derived: List[Condition] = []
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only grow, got {amount}")
+        self.value += amount
+        for condition in self._derived:
+            condition.signal()
+
+    def at_least(self, needed: int, label: str = "") -> Threshold:
+        condition = Threshold(
+            self, needed, label or f"{self.label}>={needed}"
+        )
+        self._derived.append(condition)
+        return condition
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.label or ''}={self.value})"
+
+
+class AckSet(set):
+    """A growing responder-id set that signals derived conditions.
+
+    A real ``set`` subclass, so existing quorum idioms — ``q <= acks``,
+    ``len(acks) >= k``, comprehension membership — keep working on it
+    unchanged.  Only :meth:`add` is instrumented; protocol responder
+    sets are append-only.
+    """
+
+    def __init__(self, label: str = ""):
+        super().__init__()
+        self.label = label
+        self._derived: List[Condition] = []
+
+    def add(self, member: Hashable) -> None:
+        if member not in self:
+            super().add(member)
+            for condition in self._derived:
+                condition.signal()
+
+    def at_least(self, needed: int, label: str = "") -> Condition:
+        """Wait for the set to reach ``needed`` members."""
+        condition = SizeAtLeast(
+            self, needed, label or f"{self.label}>={needed}"
+        )
+        self._derived.append(condition)
+        return condition
+
+    def includes_any(
+        self, quorums: Iterable[frozenset], label: str = ""
+    ) -> Condition:
+        """Wait until some quorum is fully contained in the set."""
+        condition = IncludesAny(
+            self, tuple(quorums), label or f"{self.label} quorum"
+        )
+        self._derived.append(condition)
+        return condition
+
+
+class SizeAtLeast(Condition):
+    """``len(acks) >= needed`` (created via :meth:`AckSet.at_least`)."""
+
+    __slots__ = ("_acks", "_needed")
+
+    def __init__(self, acks: AckSet, needed: int, label: str = ""):
+        super().__init__(label)
+        self._acks = acks
+        self._needed = needed
+
+    def holds(self) -> bool:
+        return len(self._acks) >= self._needed
+
+
+class IncludesAny(Condition):
+    """``any(q <= acks for q in quorums)`` (via :meth:`AckSet.includes_any`)."""
+
+    __slots__ = ("_acks", "_quorums")
+
+    def __init__(
+        self, acks: AckSet, quorums: Tuple[frozenset, ...], label: str = ""
+    ):
+        super().__init__(label)
+        self._acks = acks
+        self._quorums = quorums
+
+    def holds(self) -> bool:
+        acks = self._acks
+        return any(q <= acks for q in self._quorums)
+
+
+class ConditionMap:
+    """Lazy keyed factory for signalling containers.
+
+    Protocols keep one :class:`AckSet`/:class:`Counter` per logical key
+    (a timestamp, a round, a ballot); this wraps the get-or-create
+    boilerplate and the label formatting in one place::
+
+        self._acks = ConditionMap(AckSet, "wr ts={} rnd={}")
+        ...
+        self._acks(ts, rnd).add(src)
+    """
+
+    __slots__ = ("_factory", "_label", "_items")
+
+    def __init__(self, factory: Callable[[str], Any], label: str = ""):
+        self._factory = factory
+        self._label = label
+        self._items: dict = {}
+
+    def __call__(self, *key: Hashable) -> Any:
+        item = self._items.get(key)
+        if item is None:
+            label = self._label.format(*key) if self._label else ""
+            item = self._items[key] = self._factory(label)
+        return item
+
+
+class _Composite(Condition):
+    __slots__ = ("children",)
+
+    def __init__(self, *children: Condition, label: str = ""):
+        super().__init__(label)
+        self.children = children
+        for child in children:
+            child._watch(self)
+
+
+class AllOf(_Composite):
+    """Conjunction: holds when every child holds (e.g. timer AND quorum)."""
+
+    __slots__ = ()
+
+    def holds(self) -> bool:
+        return all(child.holds() for child in self.children)
+
+
+class AnyOf(_Composite):
+    """Disjunction: holds when some child holds."""
+
+    __slots__ = ()
+
+    def holds(self) -> bool:
+        return any(child.holds() for child in self.children)

@@ -15,17 +15,66 @@ them (lossy channels before GST).  The first matching rule wins.
 Held messages are recorded (:attr:`Network.in_transit`) so experiments
 can assert what the adversary withheld, and can later be *released* to
 model "delayed until after round K" schedules.
+
+Two hot-path knobs keep large-``n`` runs fast:
+
+* **Rule partitioning** — rule resolution caches, per ``(src, dst)``
+  pair, the (ordered) sub-list of rules that could ever match that
+  channel, so the per-send scan only evaluates time windows and payload
+  predicates of relevant rules.  Rule-free networks skip matching
+  entirely.  The cache is invalidated by :meth:`Network.add_rule`.
+* **Trace levels** — :class:`TraceLevel` controls how much message
+  history is retained.  ``FULL`` (the default) keeps the complete
+  :attr:`Network.log` for verdicts, fingerprints and proof replays;
+  ``METRICS`` drops delivered/dropped message records once consumed and
+  keeps only counters, bounding memory on long workloads.  Held
+  messages are always tracked — they must remain releasable.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, FrozenSet, Hashable, List, Optional
+from typing import Any, Callable, Dict, FrozenSet, Hashable, List, Optional, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.sim.simulator import Simulator
 
 ProcessId = Hashable
+
+
+class TraceLevel(enum.IntEnum):
+    """How much message history a network retains.
+
+    ``METRICS``
+        Counters only: delivered and dropped message records are
+        discarded after the receiver consumes them.  ``Network.log``
+        stays empty and :meth:`Network.messages_between` raises instead
+        of silently returning partial data.  Use for big sweeps and
+        benchmarks where only metrics/verdict-free results matter.
+    ``FULL``
+        Keep every :class:`Message` record (the historical behaviour).
+        Required by proof replays, ``messages_between`` assertions and
+        per-message test inspection.
+    """
+
+    METRICS = 1
+    FULL = 2
+
+    @classmethod
+    def of(cls, value: Union["TraceLevel", str]) -> "TraceLevel":
+        """Coerce a level or its (case-insensitive) name."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls[value.upper()]
+            except KeyError:
+                pass
+        raise SimulationError(
+            f"unknown trace level {value!r}; "
+            f"valid: {', '.join(level.name.lower() for level in cls)}"
+        )
 
 
 @dataclass
@@ -156,16 +205,28 @@ class Network:
         sim: Simulator,
         delta: float = 1.0,
         rules: Optional[List[Rule]] = None,
+        trace_level: Union[TraceLevel, str] = TraceLevel.FULL,
     ):
         if delta <= 0:
             raise SimulationError(f"Δ must be positive, got {delta}")
         self.sim = sim
         self.delta = delta
-        self.rules: List[Rule] = list(rules or [])
+        self.trace_level = TraceLevel.of(trace_level)
+        self._rules: List[Rule] = list(rules or [])
         self._processes: Dict[ProcessId, "object"] = {}
         self.log: List[Message] = []
         self.in_transit: List[Message] = []
         self.dropped: List[Message] = []
+        # Monotone counters, maintained at every trace level — the
+        # portable replacement for len(log)/len(dropped) in fingerprints
+        # and metrics.
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+        self.held_count = 0
+        # Rule resolution fast path: per-(src, dst) ordered sub-list of
+        # rules that could match that channel; invalidated by add_rule.
+        self._rule_index: Dict[Tuple[ProcessId, ProcessId], Tuple[Rule, ...]] = {}
 
     # -- wiring ---------------------------------------------------------------
 
@@ -183,9 +244,20 @@ class Network:
     def process_ids(self):
         return tuple(self._processes)
 
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        """The delivery rules, first-match-wins.
+
+        Read-only: rule resolution caches per-``(src, dst)`` candidate
+        lists, so all mutation must go through :meth:`add_rule` (which
+        invalidates the cache).
+        """
+        return tuple(self._rules)
+
     def add_rule(self, rule: Rule) -> None:
         """Prepend a rule (later-added rules take precedence)."""
-        self.rules.insert(0, rule)
+        self._rules.insert(0, rule)
+        self._rule_index.clear()
 
     # -- transport --------------------------------------------------------------
 
@@ -194,21 +266,39 @@ class Network:
         if dst not in self._processes:
             raise SimulationError(f"unknown destination {dst!r}")
         message = Message(src, dst, payload, send_time=self.sim.now)
-        self.log.append(message)
+        self.sent_count += 1
+        if self.trace_level >= TraceLevel.FULL:
+            self.log.append(message)
         action = self._resolve(message)
         if action == HOLD:
             message.held = True
+            self.held_count += 1
             self.in_transit.append(message)
             return message
         if action == DROP:
             message.dropped = True
-            self.dropped.append(message)
+            self.dropped_count += 1
+            if self.trace_level >= TraceLevel.FULL:
+                self.dropped.append(message)
             return message
         self._schedule_delivery(message, float(action))
         return message
 
     def _resolve(self, message: Message) -> Any:
-        for rule in self.rules:
+        rules = self._rules
+        if not rules:
+            return self.delta
+        key = (message.src, message.dst)
+        candidates = self._rule_index.get(key)
+        if candidates is None:
+            candidates = tuple(
+                rule
+                for rule in rules
+                if (rule.src is None or message.src in rule.src)
+                and (rule.dst is None or message.dst in rule.dst)
+            )
+            self._rule_index[key] = candidates
+        for rule in candidates:
             if rule.matches(
                 message.src, message.dst, message.payload, message.send_time
             ):
@@ -223,6 +313,7 @@ class Network:
 
     def _deliver(self, message: Message) -> None:
         receiver = self._processes.get(message.dst)
+        self.delivered_count += 1
         if receiver is None:
             return
         receiver.receive(message)
@@ -254,5 +345,17 @@ class Network:
     def messages_between(
         self, src: ProcessId, dst: ProcessId
     ) -> List[Message]:
-        """All logged messages from ``src`` to ``dst`` (any state)."""
+        """All logged messages from ``src`` to ``dst`` (any state).
+
+        Requires :attr:`trace_level` ``FULL`` — under ``METRICS`` the
+        log is not retained, and silently returning a partial list
+        would corrupt whatever assertion the caller is making.
+        """
+        if self.trace_level < TraceLevel.FULL:
+            raise SimulationError(
+                "messages_between needs the full message log, but this "
+                "network runs at TraceLevel.METRICS (delivered records "
+                "are dropped once consumed); build it with "
+                "trace_level=TraceLevel.FULL"
+            )
         return [m for m in self.log if m.src == src and m.dst == dst]

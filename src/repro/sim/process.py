@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Hashable, List, Optional
 
 from repro.errors import SimulationError
-from repro.sim.network import Message, Network
+from repro.sim.network import Message, Network, TraceLevel
 
 
 class Process:
@@ -75,10 +75,17 @@ class Process:
             self.send(dst, payload)
 
     def receive(self, message: Message) -> None:
-        """Network entry point; drops deliveries to crashed processes."""
+        """Network entry point; drops deliveries to crashed processes.
+
+        Under :class:`~repro.sim.network.TraceLevel` ``METRICS`` the
+        per-process ``delivered`` history is not retained (the record
+        would be the last reference keeping every consumed message
+        alive).
+        """
         if self.crashed:
             return
-        self.delivered.append(message)
+        if self.network.trace_level >= TraceLevel.FULL:
+            self.delivered.append(message)
         self.on_message(message)
 
     def on_message(self, message: Message) -> None:
@@ -117,7 +124,8 @@ class ByzantineProcess(Process):
     def receive(self, message: Message) -> None:
         if self.crashed:
             return
-        self.delivered.append(message)
+        if self.network.trace_level >= TraceLevel.FULL:
+            self.delivered.append(message)
         if self.behavior is not None:
             self.behavior.on_message(self, message)
 

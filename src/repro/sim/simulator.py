@@ -1,35 +1,99 @@
 """The deterministic discrete-event simulator.
 
-The simulator owns a priority queue of timed callbacks and a set of
-*parked* tasks blocked on :class:`~repro.sim.tasks.WaitUntil` predicates.
-After every processed event it re-polls parked tasks to a fixpoint, so a
-message delivery that satisfies a "received acks from some quorum"
-predicate wakes the corresponding client in the same instant — matching
+The simulator owns a priority queue of timed callbacks and the *wait-set
+index*: a ``condition -> waiters`` map of tasks blocked on indexed
+:class:`~repro.sim.conditions.Condition` objects.  Message handlers and
+timers mutate conditions, conditions *signal* the simulator, and after
+every simulated instant only the tasks whose condition was signalled are
+re-polled — wake-up work proportional to what actually changed, instead
+of the historical re-evaluate-every-parked-predicate fixpoint scan.
+
+A message delivery that completes an "acks from some quorum" condition
+therefore wakes the corresponding client in the same instant — matching
 the paper's assumption that local computation takes negligible time.
+Raw-predicate waits (the legacy path) still exist and are re-polled
+every instant like the old loop; no in-tree protocol uses one.
 
 Determinism: events at equal times execute in insertion order (a
-monotonic sequence number breaks ties), and parked tasks are polled in
-spawn order.  Given the same schedule and seeds, runs are bit-for-bit
-reproducible.
+monotonic sequence number breaks ties), signalled conditions are
+processed in signal order, waiters of one condition wake in park order,
+and legacy predicates are polled in spawn order.  Given the same
+schedule and seeds, runs are bit-for-bit reproducible.  The pre-index
+semantics are kept available as ``wakeup="scan"`` (every parked task
+re-polled to a fixpoint each instant) so equivalence is *testable*:
+``tests/sim/test_wakeup_equivalence.py`` proves both modes produce
+bit-identical traces for every registered protocol.
 """
 
 from __future__ import annotations
 
+import contextlib
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError
+from repro.sim.conditions import Condition, Event
 from repro.sim.tasks import Effect, Sleep, Task, WaitUntil
+
+#: Wake-up strategies: "indexed" (condition -> waiters map, the default)
+#: or "scan" (legacy: re-poll every parked task each instant, to a
+#: fixpoint) — kept for golden-trace equivalence testing.
+WAKEUP_MODES = ("indexed", "scan")
+
+_DEFAULT_WAKEUP = "indexed"
+
+
+def default_wakeup() -> str:
+    """The wake-up mode new simulators are created with."""
+    return _DEFAULT_WAKEUP
+
+
+@contextlib.contextmanager
+def wakeup_mode(mode: str):
+    """Run a block with a different default wake-up strategy.
+
+    Used by the equivalence suite and the sim-core bench to execute the
+    same scenario under the legacy full-scan loop without threading a
+    knob through every system constructor.
+    """
+    global _DEFAULT_WAKEUP
+    if mode not in WAKEUP_MODES:
+        raise SimulationError(
+            f"unknown wakeup mode {mode!r}; valid: {', '.join(WAKEUP_MODES)}"
+        )
+    previous = _DEFAULT_WAKEUP
+    _DEFAULT_WAKEUP = mode
+    try:
+        yield
+    finally:
+        _DEFAULT_WAKEUP = previous
 
 
 class Simulator:
     """Event loop for simulated distributed executions."""
 
-    def __init__(self):
+    def __init__(self, wakeup: Optional[str] = None):
         self.now: float = 0.0
+        self.wakeup = wakeup or _DEFAULT_WAKEUP
+        if self.wakeup not in WAKEUP_MODES:
+            raise SimulationError(
+                f"unknown wakeup mode {self.wakeup!r}; "
+                f"valid: {', '.join(WAKEUP_MODES)}"
+            )
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
+        # Legacy raw-predicate waits (and, in scan mode, all waits):
+        # re-polled every instant in park order.
         self._parked: List[Task] = []
+        # The wait-set index (indexed mode only): condition -> tasks
+        # parked on it, plus the global park-order list that preserves
+        # the legacy loop's wake order across conditions.
+        self._waiters: Dict[Condition, List[Task]] = {}
+        self._park_order: List[Task] = []
+        # Conditions signalled since the last wake pass, in signal
+        # order (deduplicated).
+        self._signalled: List[Condition] = []
+        self._signalled_set: set = set()
         self._tasks: List[Task] = []
         self._events_processed = 0
 
@@ -47,6 +111,21 @@ class Simulator:
     def call_later(self, delay: float, action: Callable[[], None]) -> None:
         """Run ``action()`` after ``delay`` simulated time units."""
         self.call_at(self.now + delay, action)
+
+    def timer_at(self, time: float, label: str = "") -> Event:
+        """An :class:`Event` that sets itself at absolute ``time``.
+
+        The condition-flavoured deadline: protocols wait on the returned
+        event (possibly inside an ``AllOf`` with a quorum condition)
+        instead of scheduling a no-op callback and polling ``sim.now``.
+        Already-elapsed times return an already-set event.
+        """
+        event = Event(label or f"t>={time}")
+        if time <= self.now:
+            event.set()
+        else:
+            self.call_at(time, event.set)
+        return event
 
     # -- tasks -----------------------------------------------------------------
 
@@ -69,33 +148,110 @@ class Simulator:
                 )
                 return
             if isinstance(effect, WaitUntil):
-                if effect.predicate():
+                if effect.ready():
                     effect = task.step(None)
                     continue
-                self._parked.append(task)
+                condition = effect.condition
+                if condition is not None and self.wakeup == "indexed":
+                    self._park_on(condition, task)
+                else:
+                    self._parked.append(task)
                 return
             raise SimulationError(f"unknown effect yielded: {effect!r}")
 
-    def _poll_parked(self) -> None:
-        """Wake every parked task whose predicate now holds (to fixpoint).
+    def _park_on(self, condition: Condition, task: Task) -> None:
+        waiters = self._waiters.get(condition)
+        if waiters is None:
+            self._waiters[condition] = [task]
+            condition._sim = self
+        else:
+            waiters.append(task)
+        self._park_order.append(task)
 
-        Waking a task may change process state or park new tasks, so the
-        scan repeats until a full pass makes no progress.
+    def _unpark(self, condition: Condition, task: Task) -> None:
+        """Drop one waiter from the index (the park-order list is
+        rebuilt by the caller's sweep)."""
+        waiters = self._waiters.get(condition)
+        if waiters is not None:
+            waiters.remove(task)
+            if not waiters:
+                del self._waiters[condition]
+                condition._sim = None
+
+    # -- signals ------------------------------------------------------------
+
+    def _signal(self, condition: Condition) -> None:
+        """Batch a condition for the end-of-instant wake pass.
+
+        Called by :meth:`Condition.signal`; deduplicated per pass and
+        ignored for conditions nobody waits on.
         """
-        progressed = True
-        while progressed:
+        if condition in self._waiters and condition not in self._signalled_set:
+            self._signalled_set.add(condition)
+            self._signalled.append(condition)
+
+    def _wake_tasks(self) -> None:
+        """Wake every task whose wait now holds (to fixpoint).
+
+        Indexed waiters are re-polled only when their condition was
+        signalled this instant, but in **park order** — sweeping the
+        park-order list with ``holds()`` re-checked per task at its
+        turn, exactly the order and visibility the legacy scan loop
+        produces (a woken task that consumes a shared condition leaves
+        later waiters parked; a task that re-parks lands at its sweep
+        position).  Untouched tasks cost a pointer comparison, not a
+        predicate call — conditions only change via signalling
+        mutations, so an unsignalled condition cannot have become true.
+        Legacy raw-predicate waiters are re-polled unconditionally, in
+        park order, like the historical loop.  Waking a task may signal
+        more conditions or park new tasks, so the pass repeats until
+        neither queue makes progress.
+        """
+        while True:
             progressed = False
+            # 1. Indexed wake-ups: drain the signal batch (a wake may
+            #    append to the next batch).
+            while self._signalled:
+                batch = self._signalled
+                self._signalled = []
+                self._signalled_set.clear()
+                touched = set()
+                for condition in batch:
+                    waiters = self._waiters.get(condition)
+                    if waiters is not None:
+                        touched.update(waiters)
+                if not touched:
+                    continue
+                order = self._park_order
+                self._park_order = []
+                for task in order:
+                    effect = task.waiting_on
+                    if (
+                        task in touched
+                        and effect is not None
+                        and effect.condition.holds()
+                    ):
+                        self._unpark(effect.condition, task)
+                        task.waiting_on = None
+                        progressed = True
+                        self._advance(task)  # re-parks append in place
+                    else:
+                        self._park_order.append(task)
+            # 2. Legacy scan: re-poll raw-predicate waiters (all waiters
+            #    in scan mode) in park order.
             waiting = self._parked
             self._parked = []
             for task in waiting:
                 effect = task.waiting_on
                 assert isinstance(effect, WaitUntil)
-                if effect.predicate():
+                if effect.ready():
                     progressed = True
                     task.waiting_on = None
                     self._advance(task)  # may re-park into self._parked
                 else:
                     self._parked.append(task)
+            if not progressed and not self._signalled:
+                return
 
     # -- running ------------------------------------------------------------------
 
@@ -127,10 +283,10 @@ class Simulator:
                     raise SimulationError(
                         f"exceeded {max_events} events; livelock suspected"
                     )
-            self._poll_parked()
+            self._wake_tasks()
         if until is not None and self.now < until:
             self.now = until
-            self._poll_parked()
+            self._wake_tasks()
 
     def run_to_completion(
         self, strict: bool = True, max_events: int = 1_000_000
@@ -151,7 +307,13 @@ class Simulator:
     # -- introspection ----------------------------------------------------------
 
     def blocked_tasks(self) -> Tuple[Task, ...]:
-        return tuple(self._parked)
+        """Every parked task: legacy waiters first, then the wait-set
+        index in park order."""
+        return tuple(self._parked) + tuple(self._park_order)
+
+    def waiter_count(self, condition: Condition) -> int:
+        """How many tasks are parked on ``condition`` (0 if none)."""
+        return len(self._waiters.get(condition, ()))
 
     def pending_events(self) -> int:
         return len(self._queue)

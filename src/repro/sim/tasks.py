@@ -16,18 +16,25 @@ Supported effects:
 * :class:`Sleep` — resume after a fixed amount of simulated time (used
   for the ``2Δ`` timeouts of the storage algorithm and the exponential
   ``suspectTimeout`` of the election module).
-* :class:`WaitUntil` — park until a zero-argument predicate becomes true.
-  Predicates are re-evaluated by the simulator after every processed
-  event, which keeps algorithm code free of explicit wake-up plumbing.
+* :class:`WaitUntil` — park until a condition becomes true.  The
+  preferred argument is an indexed
+  :class:`~repro.sim.conditions.Condition` (an ``Event``, ``Counter``
+  threshold, ``AckSet`` quorum, explicit ``Check``, …): the simulator
+  then re-polls the task only when the condition is *signalled*.  A raw
+  zero-argument predicate is still accepted as a legacy path and is
+  re-evaluated after every simulated instant, like the original
+  fixpoint loop — no in-tree protocol uses one (ROADMAP invariant 3).
 
 A task finishes when its generator returns; the returned value is stored
 in :attr:`Task.result`.  Tasks can wait on each other via
-``WaitUntil(other.done)``.
+``WaitUntil(other.done)`` (legacy) or on a shared ``Event``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator, Optional, Union
+
+from repro.sim.conditions import Condition
 
 
 class Effect:
@@ -49,20 +56,41 @@ class Sleep(Effect):
 
 
 class WaitUntil(Effect):
-    """Park the task until ``predicate()`` is true.
+    """Park the task until a condition (or legacy predicate) is true.
 
-    The predicate must be cheap and side-effect free: it is re-evaluated
-    after every simulator event until it holds.
+    ``condition_or_predicate`` is either an indexed
+    :class:`~repro.sim.conditions.Condition` (wake-ups driven by
+    :meth:`~repro.sim.conditions.Condition.signal`) or a zero-argument
+    callable (legacy: cheap, side-effect free, re-evaluated after every
+    simulated instant).
     """
 
-    __slots__ = ("predicate", "label")
+    __slots__ = ("condition", "predicate", "label")
 
-    def __init__(self, predicate: Callable[[], bool], label: str = ""):
-        self.predicate = predicate
+    def __init__(
+        self,
+        condition_or_predicate: Union[Condition, Callable[[], bool]],
+        label: str = "",
+    ):
+        if isinstance(condition_or_predicate, Condition):
+            self.condition: Optional[Condition] = condition_or_predicate
+            self.predicate: Optional[Callable[[], bool]] = None
+            if not label:
+                label = condition_or_predicate.label
+        else:
+            self.condition = None
+            self.predicate = condition_or_predicate
         self.label = label
 
+    def ready(self) -> bool:
+        """The wait's current truth value, whichever flavour it is."""
+        if self.condition is not None:
+            return self.condition.holds()
+        return self.predicate()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"WaitUntil({self.label or self.predicate!r})"
+        target = self.label or self.condition or self.predicate
+        return f"WaitUntil({target!r})"
 
 
 def sequential_ops(sim, schedule):
@@ -78,13 +106,8 @@ def sequential_ops(sim, schedule):
     """
     for time, factory, args in schedule:
         start = time
-
-        def reached(start=start) -> bool:
-            return sim.now >= start
-
         if sim.now < start:
-            sim.call_at(start, lambda: None)
-            yield WaitUntil(reached, f"start@{start}")
+            yield WaitUntil(sim.timer_at(start), f"start@{start}")
         yield from factory(*args)
 
 

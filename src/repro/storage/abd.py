@@ -11,12 +11,13 @@ two-round-read baseline the RQS algorithm is compared against
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
+from repro.sim.conditions import AckSet, ConditionMap, Counter
 from repro.sim.network import Message, Rule
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator
-from repro.sim.network import Network
+from repro.sim.network import Network, TraceLevel
 from repro.sim.tasks import WaitUntil
 from repro.sim.trace import OperationRecord, Trace
 from repro.storage.history import BOTTOM, Pair
@@ -68,12 +69,12 @@ class AbdWriter(Process):
         self.trace = trace
         self.majority = len(servers) // 2 + 1
         self.ts = 0
-        self._acks: Dict[int, Set[Hashable]] = {}
+        self._acks = ConditionMap(AckSet, "abd wr ts={}")
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, AbdWriteAck):
-            self._acks.setdefault(payload.ts, set()).add(message.src)
+            self._acks(payload.ts).add(message.src)
 
     def write(self, value: Any):
         record = self.trace.begin("write", self.pid, self.sim.now, value)
@@ -82,8 +83,7 @@ class AbdWriter(Process):
         for server in self.servers:
             self.send(server, AbdWrite(ts, value))
         yield WaitUntil(
-            lambda: len(self._acks.get(ts, ())) >= self.majority,
-            f"abd write ts={ts}",
+            self._acks(ts).at_least(self.majority), f"abd write ts={ts}"
         )
         self.trace.complete(record, self.sim.now, "OK", rounds=1)
         return record
@@ -97,14 +97,18 @@ class AbdReader(Process):
         self.majority = len(servers) // 2 + 1
         self.read_no = 0
         self._pairs: Dict[int, Dict[Hashable, Pair]] = {}
-        self._wb_acks: Dict[int, Set[Hashable]] = {}
+        self._replies = ConditionMap(Counter, "abd rd#{}")
+        self._wb = ConditionMap(AckSet, "abd wb ts={}")
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, AbdReadAck):
-            self._pairs.setdefault(payload.read_no, {})[message.src] = payload.pair
+            replies = self._pairs.setdefault(payload.read_no, {})
+            if message.src not in replies:
+                replies[message.src] = payload.pair
+                self._replies(payload.read_no).add()
         elif isinstance(payload, AbdWriteAck):
-            self._wb_acks.setdefault(payload.ts, set()).add(message.src)
+            self._wb(payload.ts).add(message.src)
 
     def read(self):
         record = self.trace.begin("read", self.pid, self.sim.now)
@@ -113,7 +117,7 @@ class AbdReader(Process):
         for server in self.servers:
             self.send(server, AbdRead(number))
         yield WaitUntil(
-            lambda: len(self._pairs.get(number, {})) >= self.majority,
+            self._replies(number).at_least(self.majority),
             f"abd read#{number} collect",
         )
         best = max(self._pairs[number].values(), key=lambda p: p.ts)
@@ -121,7 +125,7 @@ class AbdReader(Process):
         for server in self.servers:
             self.send(server, AbdWrite(best.ts, best.val))
         yield WaitUntil(
-            lambda: len(self._wb_acks.get(best.ts, ())) >= self.majority,
+            self._wb(best.ts).at_least(self.majority),
             f"abd read#{number} writeback",
         )
         self.trace.complete(record, self.sim.now, best.val, rounds=2)
@@ -138,9 +142,13 @@ class AbdSystem:
         delta: float = 1.0,
         crash_times: Optional[Dict[Hashable, float]] = None,
         rules: Optional[List[Rule]] = None,
+        trace_level: TraceLevel = TraceLevel.FULL,
     ):
         self.sim = Simulator()
-        self.network = Network(self.sim, delta=delta, rules=list(rules or []))
+        self.network = Network(
+            self.sim, delta=delta, rules=list(rules or []),
+            trace_level=trace_level,
+        )
         self.trace = Trace()
         server_ids = tuple(range(1, n + 1))
         self.servers = {

@@ -24,9 +24,10 @@ instance as defaults (``n=5, t=2, fast=4``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
-from repro.sim.network import Message, Network, Rule
+from repro.sim.conditions import AckSet, AllOf, ConditionMap, Counter
+from repro.sim.network import Message, Network, Rule, TraceLevel
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 from repro.sim.tasks import WaitUntil
@@ -99,13 +100,12 @@ class FastAbdWriter(Process):
         self.fast = fast
         self.timeout = 2.0 * delta
         self.ts = 0
-        self._acks: Dict[Tuple[int, str], Set[Hashable]] = {}
+        self._acks = ConditionMap(AckSet, "fast wr ts={} {}")
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, FWriteAck):
-            key = (payload.ts, payload.slot)
-            self._acks.setdefault(key, set()).add(message.src)
+            self._acks(payload.ts, payload.slot).add(message.src)
 
     def write(self, value: Any):
         record = self.trace.begin("write", self.pid, self.sim.now, value)
@@ -113,20 +113,18 @@ class FastAbdWriter(Process):
         ts = self.ts
         for server in self.servers:
             self.send(server, FWrite(ts, value, "pw"))
-        deadline = self.sim.now + self.timeout
-        self.sim.call_at(deadline, lambda: None)
+        timer = self.sim.timer_at(self.sim.now + self.timeout)
         yield WaitUntil(
-            lambda: self.sim.now >= deadline
-            and len(self._acks.get((ts, "pw"), ())) >= self.slow,
+            AllOf(timer, self._acks(ts, "pw").at_least(self.slow)),
             f"fast-write ts={ts} round 1",
         )
-        if len(self._acks.get((ts, "pw"), ())) >= self.fast:
+        if len(self._acks(ts, "pw")) >= self.fast:
             self.trace.complete(record, self.sim.now, "OK", rounds=1)
             return record
         for server in self.servers:
             self.send(server, FWrite(ts, value, "w"))
         yield WaitUntil(
-            lambda: len(self._acks.get((ts, "w"), ())) >= self.slow,
+            self._acks(ts, "w").at_least(self.slow),
             f"fast-write ts={ts} round 2",
         )
         self.trace.complete(record, self.sim.now, "OK", rounds=2)
@@ -149,15 +147,18 @@ class FastAbdReader(Process):
         self.timeout = 2.0 * delta
         self.read_no = 0
         self._acks: Dict[int, Dict[Hashable, FReadAck]] = {}
-        self._wb_acks: Dict[Tuple[int, str], Set[Hashable]] = {}
+        self._replies = ConditionMap(Counter, "fast rd#{}")
+        self._wb = ConditionMap(AckSet, "fast wb ts={} {}")
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, FReadAck):
-            self._acks.setdefault(payload.read_no, {})[message.src] = payload
+            replies = self._acks.setdefault(payload.read_no, {})
+            if message.src not in replies:
+                replies[message.src] = payload
+                self._replies(payload.read_no).add()
         elif isinstance(payload, FWriteAck):
-            key = (payload.ts, payload.slot)
-            self._wb_acks.setdefault(key, set()).add(message.src)
+            self._wb(payload.ts, payload.slot).add(message.src)
 
     def read(self):
         record = self.trace.begin("read", self.pid, self.sim.now)
@@ -165,11 +166,9 @@ class FastAbdReader(Process):
         number = self.read_no
         for server in self.servers:
             self.send(server, FRead(number))
-        deadline = self.sim.now + self.timeout
-        self.sim.call_at(deadline, lambda: None)
+        timer = self.sim.timer_at(self.sim.now + self.timeout)
         yield WaitUntil(
-            lambda: self.sim.now >= deadline
-            and len(self._acks.get(number, {})) >= self.slow,
+            AllOf(timer, self._replies(number).at_least(self.slow)),
             f"fast-read#{number} round 1",
         )
         replies = self._acks[number]
@@ -184,7 +183,7 @@ class FastAbdReader(Process):
         for server in self.servers:
             self.send(server, FWrite(cmax.ts, cmax.val, "pw"))
         yield WaitUntil(
-            lambda: len(self._wb_acks.get((cmax.ts, "pw"), ())) >= self.slow,
+            self._wb(cmax.ts, "pw").at_least(self.slow),
             f"fast-read#{number} writeback",
         )
         self.trace.complete(record, self.sim.now, cmax.val, rounds=2)
@@ -203,9 +202,13 @@ class FastAbdSystem:
         delta: float = 1.0,
         crash_times: Optional[Dict[Hashable, float]] = None,
         rules: Optional[List[Rule]] = None,
+        trace_level: TraceLevel = TraceLevel.FULL,
     ):
         self.sim = Simulator()
-        self.network = Network(self.sim, delta=delta, rules=list(rules or []))
+        self.network = Network(
+            self.sim, delta=delta, rules=list(rules or []),
+            trace_level=trace_level,
+        )
         self.trace = Trace()
         server_ids = tuple(range(1, n + 1))
         self.servers = {

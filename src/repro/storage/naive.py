@@ -18,9 +18,10 @@ atomicity checker flags.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
-from repro.sim.network import Message, Network, Rule
+from repro.sim.conditions import AckSet, ConditionMap, Counter
+from repro.sim.network import Message, Network, Rule, TraceLevel
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 from repro.sim.tasks import WaitUntil
@@ -74,12 +75,12 @@ class NaiveWriter(Process):
         self.trace = trace
         self.quorum = len(servers) - t
         self.ts = 0
-        self._acks: Dict[int, Set[Hashable]] = {}
+        self._acks = ConditionMap(AckSet, "naive wr ts={}")
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, NWriteAck):
-            self._acks.setdefault(payload.ts, set()).add(message.src)
+            self._acks(payload.ts).add(message.src)
 
     def write(self, value: Any):
         record = self.trace.begin("write", self.pid, self.sim.now, value)
@@ -88,8 +89,7 @@ class NaiveWriter(Process):
         for server in self.servers:
             self.send(server, NWrite(ts, value))
         yield WaitUntil(
-            lambda: len(self._acks.get(ts, ())) >= self.quorum,
-            f"naive write ts={ts}",
+            self._acks(ts).at_least(self.quorum), f"naive write ts={ts}"
         )
         self.trace.complete(record, self.sim.now, "OK", rounds=1)
         return record
@@ -105,11 +105,15 @@ class NaiveReader(Process):
         self.quorum = len(servers) - t
         self.read_no = 0
         self._acks: Dict[int, Dict[Hashable, Pair]] = {}
+        self._replies = ConditionMap(Counter, "naive rd#{}")
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, NReadAck):
-            self._acks.setdefault(payload.read_no, {})[message.src] = payload.pair
+            replies = self._acks.setdefault(payload.read_no, {})
+            if message.src not in replies:
+                replies[message.src] = payload.pair
+                self._replies(payload.read_no).add()
 
     def read(self):
         record = self.trace.begin("read", self.pid, self.sim.now)
@@ -118,7 +122,7 @@ class NaiveReader(Process):
         for server in self.servers:
             self.send(server, NRead(number))
         yield WaitUntil(
-            lambda: len(self._acks.get(number, {})) >= self.quorum,
+            self._replies(number).at_least(self.quorum),
             f"naive read#{number}",
         )
         best = max(self._acks[number].values(), key=lambda p: p.ts)
@@ -137,9 +141,13 @@ class NaiveSystem:
         delta: float = 1.0,
         crash_times: Optional[Dict[Hashable, float]] = None,
         rules: Optional[List[Rule]] = None,
+        trace_level: TraceLevel = TraceLevel.FULL,
     ):
         self.sim = Simulator()
-        self.network = Network(self.sim, delta=delta, rules=list(rules or []))
+        self.network = Network(
+            self.sim, delta=delta, rules=list(rules or []),
+            trace_level=trace_level,
+        )
         self.trace = Trace()
         server_ids = tuple(range(1, n + 1))
         self.servers = {

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any, Dict, FrozenSet, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.rqs import RefinedQuorumSystem
+from repro.sim.conditions import Check, Condition
 from repro.storage.history import EMPTY_VIEW, HistoryView, Pair
 
 ServerId = Hashable
@@ -31,7 +32,14 @@ QuorumId = FrozenSet[ServerId]
 
 
 class ReadState:
-    """The predicate-relevant state of one read operation."""
+    """The predicate-relevant state of one read operation.
+
+    Every predicate here is a pure function of the acks recorded by
+    :meth:`record_ack`, so the state doubles as a signal hub for the
+    indexed event loop: reader waits built via :meth:`when` are
+    signalled exactly when an ack lands (and never re-polled
+    otherwise).
+    """
 
     def __init__(self, rqs: RefinedQuorumSystem):
         self.rqs = rqs
@@ -39,6 +47,7 @@ class ReadState:
         self.acked_by_round: Dict[int, Set[ServerId]] = {}
         self.qc2_responded: Tuple[QuorumId, ...] = ()   # QC'2 (line 30-31)
         self.highest_ts: int = 0                        # (line 29)
+        self._watchers: List[Condition] = []
 
     # -- state updates ---------------------------------------------------------
 
@@ -46,6 +55,21 @@ class ReadState:
         """Apply a ``rd_ack`` (Figure 7, lines 50-53)."""
         self.view[server] = history
         self.acked_by_round.setdefault(rnd, set()).add(server)
+        for condition in self._watchers:
+            condition.signal()
+
+    def when(self, predicate, label: str = "") -> Condition:
+        """An ack-indexed wait on any predicate over this state.
+
+        Pair with :meth:`unwatch` once the wait resumes, so completed
+        rounds stop fanning signals out to dead conditions.
+        """
+        condition = Check(predicate, label)
+        self._watchers.append(condition)
+        return condition
+
+    def unwatch(self, condition: Condition) -> None:
+        self._watchers.remove(condition)
 
     def responded_servers(self) -> Set[ServerId]:
         """Servers that answered at least one ``rd`` of this read."""

@@ -23,9 +23,10 @@ A read has two parts:
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Hashable, Optional, Set, Tuple
+from typing import FrozenSet, Hashable, Optional
 
 from repro.core.rqs import RefinedQuorumSystem
+from repro.sim.conditions import AckSet, ConditionMap
 from repro.sim.network import Message
 from repro.sim.process import Process
 from repro.sim.tasks import WaitUntil
@@ -54,7 +55,8 @@ class StorageReader(Process):
         self.read_no = 0
         self._state: Optional[ReadState] = None
         self._current_read_no = -1
-        self._wb_acks: Dict[Tuple[int, int], Set[Hashable]] = {}
+        #: Write-back responder sets, keyed (ts, rnd) (signalling).
+        self._wb = ConditionMap(AckSet, "wb ts={} rnd={}")
 
     # -- network ------------------------------------------------------------------
 
@@ -64,8 +66,7 @@ class StorageReader(Process):
             if payload.read_no == self._current_read_no and self._state is not None:
                 self._state.record_ack(message.src, payload.rnd, payload.history)
         elif isinstance(payload, WrAck):
-            key = (payload.ts, payload.rnd)
-            self._wb_acks.setdefault(key, set()).add(message.src)
+            self._wb(payload.ts, payload.rnd).add(message.src)
 
     # -- protocol -------------------------------------------------------------------
 
@@ -77,7 +78,7 @@ class StorageReader(Process):
         record = self.trace.begin("read", self.pid, self.sim.now)
         self.read_no += 1
         self._current_read_no = self.read_no
-        self._wb_acks = {}
+        self._wb = ConditionMap(AckSet, "wb ts={} rnd={}")
         state = ReadState(self.rqs)
         self._state = state
 
@@ -86,9 +87,11 @@ class StorageReader(Process):
         csel: Optional[Pair] = None
         while True:
             read_rnd += 1
-            deadline = self.sim.now + self.timeout if read_rnd == 1 else None
-            if deadline is not None:
-                self.sim.call_at(deadline, lambda: None)
+            timer = (
+                self.sim.timer_at(self.sim.now + self.timeout)
+                if read_rnd == 1
+                else None
+            )
             for server in sorted(self.rqs.ground_set, key=repr):
                 self.send(server, RD(self.read_no, read_rnd))
 
@@ -98,12 +101,15 @@ class StorageReader(Process):
                 acked = state.round_responders(rnd)
                 return any(q <= acked for q in self.rqs.quorums)
 
-            yield WaitUntil(round_quorum, f"read#{self.read_no} round {rnd}")
+            quorum_cond = state.when(
+                round_quorum, f"read#{self.read_no} round {rnd}"
+            )
+            try:
+                yield WaitUntil(quorum_cond)
+            finally:
+                state.unwatch(quorum_cond)
             if read_rnd == 1:
-                yield WaitUntil(
-                    lambda: self.sim.now >= deadline,
-                    f"read#{self.read_no} round-1 timer",
-                )
+                yield WaitUntil(timer, f"read#{self.read_no} round-1 timer")
                 state.freeze_round1()
             candidates = state.candidates()
             if candidates:
@@ -127,14 +133,10 @@ class StorageReader(Process):
                 return record
             # Lines 43-47: round-1 write-back carrying the confirmed
             # class-2 quorum ids, with a 2Δ window to finish fast.
-            wb_deadline = self.sim.now + self.timeout
-            self.sim.call_at(wb_deadline, lambda: None)
+            wb_timer = self.sim.timer_at(self.sim.now + self.timeout)
             yield from self._writeback(1, csel, frozenset(x1))
-            yield WaitUntil(
-                lambda: self.sim.now >= wb_deadline,
-                f"read#{self.read_no} writeback timer",
-            )
-            acked = self._wb_acks.get((csel.ts, 1), set())
+            yield WaitUntil(wb_timer, f"read#{self.read_no} writeback timer")
+            acked = self._wb(csel.ts, 1)
             if any(q2 <= acked for q2 in x1):
                 self.trace.complete(record, self.sim.now, csel.val, rounds=2)
                 return record
@@ -155,11 +157,7 @@ class StorageReader(Process):
         all servers and await a quorum of acks."""
         for server in sorted(self.rqs.ground_set, key=repr):
             self.send(server, WR(c.ts, c.val, qc2_ids, rnd))
-
-        def quorum_acked() -> bool:
-            acked = self._wb_acks.get((c.ts, rnd), set())
-            return any(q <= acked for q in self.rqs.quorums)
-
         yield WaitUntil(
-            quorum_acked, f"read#{self.read_no} writeback round {rnd}"
+            self._wb(c.ts, rnd).includes_any(self.rqs.quorums),
+            f"read#{self.read_no} writeback round {rnd}",
         )

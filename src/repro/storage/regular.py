@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, Optional, Sequence
 
 from repro.core.rqs import RefinedQuorumSystem
-from repro.sim.network import Rule
+from repro.sim.network import Rule, TraceLevel
 from repro.sim.tasks import WaitUntil
 from repro.sim.trace import OperationRecord, Trace
 from repro.storage.messages import RD
@@ -47,9 +47,11 @@ class RegularReader(StorageReader):
         read_rnd = 0
         while True:
             read_rnd += 1
-            deadline = self.sim.now + self.timeout if read_rnd == 1 else None
-            if deadline is not None:
-                self.sim.call_at(deadline, lambda: None)
+            timer = (
+                self.sim.timer_at(self.sim.now + self.timeout)
+                if read_rnd == 1
+                else None
+            )
             for server in sorted(self.rqs.ground_set, key=repr):
                 self.send(server, RD(self.read_no, read_rnd))
 
@@ -59,13 +61,16 @@ class RegularReader(StorageReader):
                 acked = state.round_responders(rnd)
                 return any(q <= acked for q in self.rqs.quorums)
 
-            yield WaitUntil(
+            quorum_cond = state.when(
                 round_quorum, f"regular-read#{self.read_no} round {rnd}"
             )
+            try:
+                yield WaitUntil(quorum_cond)
+            finally:
+                state.unwatch(quorum_cond)
             if read_rnd == 1:
                 yield WaitUntil(
-                    lambda: self.sim.now >= deadline,
-                    f"regular-read#{self.read_no} round-1 timer",
+                    timer, f"regular-read#{self.read_no} round-1 timer"
                 )
                 state.freeze_round1()
             candidates = state.candidates()
@@ -89,6 +94,7 @@ class RegularStorageSystem(StorageSystem):
         server_factories: Optional[Dict[Hashable, Any]] = None,
         crash_times: Optional[Dict[Hashable, float]] = None,
         rules: Optional[Sequence[Rule]] = None,
+        trace_level: TraceLevel = TraceLevel.FULL,
     ):
         super().__init__(
             rqs,
@@ -97,6 +103,7 @@ class RegularStorageSystem(StorageSystem):
             server_factories=server_factories,
             crash_times=crash_times,
             rules=rules,
+            trace_level=trace_level,
         )
         self.readers = []
         for index in range(n_readers):

@@ -6,6 +6,14 @@ snapshot.  Per the round-based model, a server replies to each client
 message before processing any other message — which is automatic here
 because handling is synchronous within a delivery event.
 
+Servers never park on the simulator: they are pure message-in /
+message-out automata, so the condition-indexed event loop's
+`signal`/wake machinery lives entirely on the client side (the ack a
+server sends lands in a client's ``AckSet``/``ReadState``, which
+signals the client's wait).  Byzantine state mutations below (forging,
+rollbacks) therefore need no signalling either — they only influence
+clients through future replies.
+
 Byzantine variants used by tests and proof replays:
 
 * :class:`SilentServer` — never answers (crash-equivalent).

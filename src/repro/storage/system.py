@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.rqs import RefinedQuorumSystem
-from repro.sim.network import Network, Rule
+from repro.sim.network import Network, Rule, TraceLevel
 from repro.sim.simulator import Simulator
 from repro.sim.trace import OperationRecord, Trace
 from repro.storage.reader import StorageReader
@@ -38,11 +38,15 @@ class StorageSystem:
         server_factories: Optional[Dict[Hashable, ServerFactory]] = None,
         crash_times: Optional[Dict[Hashable, float]] = None,
         rules: Optional[Sequence[Rule]] = None,
+        trace_level: TraceLevel = TraceLevel.FULL,
     ):
         self.rqs = rqs
         self.delta = delta
         self.sim = Simulator()
-        self.network = Network(self.sim, delta=delta, rules=list(rules or []))
+        self.network = Network(
+            self.sim, delta=delta, rules=list(rules or []),
+            trace_level=trace_level,
+        )
         self.trace = Trace()
 
         self.servers: Dict[Hashable, StorageServer] = {}

@@ -17,9 +17,10 @@ increasing across writes.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Hashable, Optional, Set, Tuple
+from typing import Any, FrozenSet, Hashable, Optional
 
 from repro.core.rqs import RefinedQuorumSystem
+from repro.sim.conditions import AckSet, AllOf, ConditionMap
 from repro.sim.network import Message
 from repro.sim.process import Process
 from repro.sim.tasks import WaitUntil
@@ -44,18 +45,18 @@ class StorageWriter(Process):
         self.trace = trace if trace is not None else Trace()
         self.timeout = 2.0 * delta
         self.ts = 0
-        self._acks: Dict[Tuple[int, int], Set[Hashable]] = {}
+        self._acks = ConditionMap(AckSet, "wr ts={} rnd={}")
 
     # -- network ---------------------------------------------------------------
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, WrAck):
-            key = (payload.ts, payload.rnd)
-            self._acks.setdefault(key, set()).add(message.src)
+            self.acks(payload.ts, payload.rnd).add(message.src)
 
-    def acks(self, ts: int, rnd: int) -> Set[Hashable]:
-        return self._acks.setdefault((ts, rnd), set())
+    def acks(self, ts: int, rnd: int) -> AckSet:
+        """The responder set for one round (a signalling ``set``)."""
+        return self._acks(ts, rnd)
 
     # -- protocol ----------------------------------------------------------------
 
@@ -97,19 +98,13 @@ class StorageWriter(Process):
         wait for a quorum of acks and (rounds 1-2) the 2Δ timer."""
         for server in sorted(self.rqs.ground_set, key=repr):
             self.send(server, WR(ts, value, qc2_prime, rnd))
-        deadline = self.sim.now + self.timeout if rnd < 3 else self.sim.now
+        quorum_acked = self.acks(ts, rnd).includes_any(self.rqs.quorums)
+        label = f"write ts={ts} round {rnd}"
         if rnd < 3:
-            # Ensure parked-task predicates are re-polled when the timer
-            # expires even if no message arrives at that instant.
-            self.sim.call_at(deadline, lambda: None)
-
-        def ready() -> bool:
-            if self.sim.now < deadline:
-                return False
-            acked = self.acks(ts, rnd)
-            return any(q <= acked for q in self.rqs.quorums)
-
-        yield WaitUntil(ready, f"write ts={ts} round {rnd}")
+            timer = self.sim.timer_at(self.sim.now + self.timeout)
+            yield WaitUntil(AllOf(timer, quorum_acked), label)
+        else:
+            yield WaitUntil(quorum_acked, label)
 
     def _acked_quorum(self, ts: int, rnd: int, cls: int):
         acked = self.acks(ts, rnd)

@@ -1,0 +1,385 @@
+"""Tests for indexed conditions and the simulator's wait-set index."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.conditions import (
+    AckSet,
+    AllOf,
+    AnyOf,
+    Check,
+    Counter,
+    Event,
+)
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator, wakeup_mode
+from repro.sim.tasks import WaitUntil
+
+
+class TestPrimitives:
+    def test_event_set_wakes_waiter(self):
+        sim = Simulator()
+        event = Event("go")
+
+        def coro():
+            yield WaitUntil(event)
+            return sim.now
+
+        task = sim.spawn(coro())
+        sim.call_at(3.0, event.set)
+        sim.run_to_completion()
+        assert task.result == 3.0
+
+    def test_already_set_event_does_not_park(self):
+        sim = Simulator()
+        event = Event()
+        event.set()
+
+        def coro():
+            yield WaitUntil(event)
+            return "fast"
+
+        task = sim.spawn(coro())
+        assert task.done() and task.result == "fast"
+
+    def test_counter_threshold(self):
+        sim = Simulator()
+        counter = Counter("acks")
+
+        def coro():
+            yield WaitUntil(counter.at_least(3))
+            return (sim.now, counter.value)
+
+        task = sim.spawn(coro())
+        for time in (1.0, 2.0, 5.0, 6.0):
+            sim.call_at(time, counter.add)
+        sim.run_to_completion()
+        assert task.result == (5.0, 3)
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+    def test_ackset_is_a_real_set(self):
+        acks = AckSet("r1")
+        acks.add("a")
+        acks.add("b")
+        acks.add("a")  # dedup
+        assert len(acks) == 2
+        assert frozenset({"a"}) <= acks
+        assert not frozenset({"a", "c"}) <= acks
+
+    def test_ackset_quorum_condition(self):
+        sim = Simulator()
+        acks = AckSet()
+        quorums = (frozenset({1, 2}), frozenset({2, 3}))
+
+        def coro():
+            yield WaitUntil(acks.includes_any(quorums))
+            return sorted(acks)
+
+        task = sim.spawn(coro())
+        sim.call_at(1.0, lambda: acks.add(1))
+        sim.call_at(2.0, lambda: acks.add(3))
+        sim.call_at(4.0, lambda: acks.add(2))
+        sim.run_to_completion()
+        assert task.done() and task.result == [1, 2, 3]
+
+    def test_ackset_at_least(self):
+        sim = Simulator()
+        acks = AckSet()
+
+        def coro():
+            yield WaitUntil(acks.at_least(2))
+            return sim.now
+
+        task = sim.spawn(coro())
+        sim.call_at(1.0, lambda: acks.add("x"))
+        sim.call_at(1.0, lambda: acks.add("x"))  # duplicate: no growth
+        sim.call_at(2.0, lambda: acks.add("y"))
+        sim.run_to_completion()
+        assert task.result == 2.0
+
+    def test_check_requires_explicit_signal(self):
+        sim = Simulator()
+        box = {"ready": False}
+        check = Check(lambda: box["ready"], "box")
+
+        def coro():
+            yield WaitUntil(check)
+            return sim.now
+
+        task = sim.spawn(coro())
+
+        def flip_without_signal():
+            box["ready"] = True
+
+        sim.call_at(1.0, flip_without_signal)
+        sim.call_at(2.0, check.signal)
+        sim.run_to_completion()
+        # The mutation at t=1 was invisible until the signal at t=2:
+        # signals, not polling, drive indexed wake-ups.
+        assert task.result == 2.0
+
+    def test_allof_combinator(self):
+        sim = Simulator()
+        counter = Counter()
+        timer_done = []
+
+        def coro():
+            timer = sim.timer_at(5.0)
+            yield WaitUntil(AllOf(timer, counter.at_least(1)), "both")
+            timer_done.append(sim.now)
+
+        sim.spawn(coro())
+        sim.call_at(1.0, counter.add)  # quorum early, timer late
+        sim.run_to_completion()
+        assert timer_done == [5.0]
+
+    def test_anyof_combinator(self):
+        sim = Simulator()
+        first = Event("a")
+        second = Event("b")
+
+        def coro():
+            yield WaitUntil(AnyOf(first, second))
+            return sim.now
+
+        task = sim.spawn(coro())
+        sim.call_at(7.0, second.set)
+        sim.run_to_completion()
+        assert task.result == 7.0
+
+    def test_timer_at_past_time_is_set(self):
+        sim = Simulator()
+        sim.call_at(5.0, lambda: None)
+        sim.run_to_completion()
+        assert sim.timer_at(3.0).is_set
+
+
+class TestWaitSetIndex:
+    def test_spurious_signal_leaves_task_parked(self):
+        sim = Simulator()
+        counter = Counter()
+
+        def coro():
+            yield WaitUntil(counter.at_least(2))
+            return sim.now
+
+        task = sim.spawn(coro())
+        sim.call_at(1.0, counter.add)  # signal fires, holds() is false
+        sim.run_to_completion(strict=False)
+        assert not task.done()
+        assert len(sim.blocked_tasks()) == 1
+
+    def test_same_instant_signal_then_park(self):
+        """A condition satisfied earlier in the same instant must not
+        deadlock a task that parks on it later in that instant — parking
+        re-checks holds() before indexing the waiter."""
+        sim = Simulator()
+        counter = Counter()
+        results = []
+
+        def waiter():
+            yield WaitUntil(counter.at_least(1))
+            results.append(sim.now)
+
+        sim.call_at(2.0, counter.add)                      # seq 0 at t=2
+        sim.call_at(2.0, lambda: sim.spawn(waiter()))      # seq 1 at t=2
+        sim.run_to_completion()
+        assert results == [2.0]
+
+    def test_one_condition_many_waiters_wake_in_park_order(self):
+        sim = Simulator()
+        event = Event()
+        order = []
+
+        def waiter(tag):
+            yield WaitUntil(event)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.spawn(waiter(tag))
+        assert sim.waiter_count(event) == 3
+        sim.call_at(1.0, event.set)
+        sim.run_to_completion()
+        assert order == ["a", "b", "c"]
+        assert sim.waiter_count(event) == 0
+
+    def test_same_instant_wakes_follow_park_order_not_signal_order(self):
+        """Tasks on different conditions signalled in reverse park
+        order within one instant wake in park order — bit-identical to
+        the legacy scan loop."""
+
+        def run_once(mode):
+            with wakeup_mode(mode):
+                sim = Simulator()
+                first = Event("first-parked")
+                second = Event("second-parked")
+                order = []
+
+                def waiter(tag, event):
+                    yield WaitUntil(event)
+                    order.append(tag)
+
+                sim.spawn(waiter("t1", first))
+                sim.spawn(waiter("t2", second))
+                # Signals arrive in reverse park order, same instant.
+                sim.call_at(1.0, second.set)
+                sim.call_at(1.0, first.set)
+                sim.run_to_completion()
+                return order
+
+        assert run_once("indexed") == run_once("scan") == ["t1", "t2"]
+
+    def test_chained_condition_wakeups_same_instant(self):
+        """A woken task setting another task's condition resumes it in
+        the same instant (the fixpoint property, now signal-driven)."""
+        sim = Simulator()
+        first = Event("first")
+        second = Event("second")
+
+        def one():
+            yield WaitUntil(first)
+            second.set()
+
+        def two():
+            yield WaitUntil(second)
+            return sim.now
+
+        sim.spawn(one())
+        task = sim.spawn(two())
+        sim.call_at(2.0, first.set)
+        sim.run_to_completion()
+        assert task.result == 2.0
+
+    def test_waiter_consuming_the_condition_reparks_the_rest(self):
+        """A woken waiter that invalidates a shared condition must not
+        drag later waiters awake — holds() is re-checked per waiter,
+        exactly like the scan loop."""
+
+        def run_once(mode):
+            with wakeup_mode(mode):
+                sim = Simulator()
+                pool = []
+                ready = Check(lambda: len(pool) >= 1, "non-empty pool")
+                taken = []
+
+                def consumer(tag):
+                    yield WaitUntil(ready)
+                    taken.append((tag, pool.pop()))
+
+                for tag in ("a", "b"):
+                    sim.spawn(consumer(tag))
+                sim.call_at(1.0, lambda: (pool.append("item"),
+                                          ready.signal()))
+                sim.run_to_completion(strict=False)
+                return tuple(taken), len(sim.blocked_tasks())
+
+        indexed = run_once("indexed")
+        scan = run_once("scan")
+        assert indexed == scan == ((("a", "item"),), 1)
+
+    def test_mixed_condition_and_legacy_predicate_waiters(self):
+        sim = Simulator()
+        event = Event()
+        box = {"ready": False}
+
+        def indexed():
+            yield WaitUntil(event)
+            box["ready"] = True
+
+        def legacy():
+            yield WaitUntil(lambda: box["ready"], "legacy")
+            return sim.now
+
+        sim.spawn(indexed())
+        task = sim.spawn(legacy())
+        sim.call_at(3.0, event.set)
+        sim.run_to_completion()
+        assert task.result == 3.0
+
+    def test_strict_completion_reports_condition_waiters(self):
+        sim = Simulator()
+
+        def coro():
+            yield WaitUntil(Event("never"))
+
+        sim.spawn(coro())
+        with pytest.raises(DeadlockError):
+            sim.run_to_completion(strict=True)
+
+    def test_max_events_guard_fires_mid_instant(self):
+        """The livelock guard triggers inside an instant's event batch,
+        even while tasks sit parked on conditions."""
+        sim = Simulator()
+
+        def coro():
+            yield WaitUntil(Event("never fires"))
+
+        sim.spawn(coro())
+
+        def rearm():
+            sim.call_later(0.0, rearm)
+
+        sim.call_at(0.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=50)
+        assert sim.events_processed == 51  # guard fired mid-instant
+
+    def test_release_held_into_signalled_condition(self):
+        """Messages released from in-transit wake an AckSet waiter."""
+        from repro.sim.network import hold_rule
+
+        sim = Simulator()
+        net = Network(sim, delta=1.0, rules=[hold_rule(dst=("c",))])
+        acks = AckSet()
+
+        class Client(Process):
+            def on_message(self, message):
+                acks.add(message.payload)
+
+        client = Client("c").bind(net)
+        Process("s").bind(net)
+
+        def coro():
+            yield WaitUntil(acks.at_least(2), "two releases")
+            return sim.now
+
+        task = sim.spawn(coro())
+        net.send("s", "c", 1)
+        net.send("s", "c", 2)
+        assert len(net.in_transit) == 2
+        sim.call_at(10.0, lambda: net.release_held(delay=0.5))
+        sim.run_to_completion(strict=False)
+        assert task.done() and task.result == 10.5
+        assert not net.in_transit
+
+
+class TestWakeupModes:
+    def test_scan_mode_matches_indexed_mode(self):
+        def run_once(mode):
+            with wakeup_mode(mode):
+                sim = Simulator()
+                acks = AckSet()
+                log = []
+
+                def worker():
+                    yield WaitUntil(acks.includes_any((frozenset({1, 2}),)))
+                    log.append(("woke", sim.now))
+
+                sim.spawn(worker())
+                sim.call_at(1.0, lambda: acks.add(1))
+                sim.call_at(2.0, lambda: acks.add(2))
+                sim.run_to_completion()
+                return tuple(log) + (sim.events_processed,)
+
+        assert run_once("indexed") == run_once("scan")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(wakeup="psychic")
+        with pytest.raises(SimulationError):
+            with wakeup_mode("psychic"):
+                pass

@@ -116,3 +116,22 @@ class TestRules:
         net.send("a", "b", "x")
         sim.run_to_completion()
         assert b.seen == [("x", 2.0)]
+
+
+class TestRuleIndex:
+    """The per-(src, dst) rule-resolution cache and its invalidation."""
+
+    def test_add_rule_invalidates_cached_channels(self):
+        sim, net, a, b = make_net()
+        net.send("a", "b", "before")          # populates the (a, b) cache
+        sim.run_to_completion()
+        net.add_rule(drop_rule(src=("a",)))
+        message = net.send("a", "b", "after")
+        assert message.dropped
+        assert net.dropped_count == 1
+
+    def test_rules_attribute_is_read_only(self):
+        sim, net, a, b = make_net(rules=[delay_rule(2.0)])
+        assert len(net.rules) == 1
+        with pytest.raises(AttributeError):
+            net.rules = []

@@ -1,0 +1,184 @@
+"""Golden-trace equivalence: indexed wake-ups vs the legacy fixpoint scan.
+
+The condition-indexed event loop is a pure optimization — for every
+registered protocol and a representative set of fault plans, running the
+same spec under ``wakeup="indexed"`` (the default) and ``wakeup="scan"``
+(the pre-refactor re-poll-everything fixpoint loop) must produce
+bit-identical executions: same operation records, same verdicts, same
+event counts, same full message log.
+"""
+
+import pytest
+
+from repro.scenarios import (
+    ByzantineRole,
+    Crash,
+    FaultPlan,
+    Hold,
+    Partition,
+    Propose,
+    RandomMix,
+    Read,
+    Resync,
+    ScenarioSpec,
+    Write,
+    crashes,
+    lossy_until_gst,
+    run,
+)
+from repro.sim.simulator import wakeup_mode
+
+
+def execution_digest(result):
+    """Everything observable about one run, as a comparable value."""
+    network = result.adapter.network
+    return {
+        "records": tuple(
+            (r.op_id, r.kind, r.process, r.invoked_at, r.completed_at,
+             repr(r.result), r.rounds)
+            for r in result.records
+        ),
+        "blocked": result.blocked,
+        "events": result.adapter.sim.events_processed,
+        "sent": network.sent_count,
+        "log": tuple(
+            (m.src, m.dst, repr(m.payload), m.send_time, m.deliver_time,
+             m.held, m.dropped)
+            for m in network.log
+        ),
+    }
+
+
+def verdicts(result):
+    from repro.scenarios import get_protocol
+
+    kind = getattr(get_protocol(result.spec.protocol), "kind", "storage")
+    if kind == "consensus":
+        report = result.consensus
+        return ("consensus", report.ok)
+    return ("storage", result.atomicity.atomic)
+
+
+def assert_equivalent(spec):
+    indexed = run(spec)
+    with wakeup_mode("scan"):
+        scanned = run(spec)
+    assert execution_digest(indexed) == execution_digest(scanned)
+    assert verdicts(indexed) == verdicts(scanned)
+
+
+STORAGE_SPECS = [
+    pytest.param(ScenarioSpec(
+        protocol="rqs-storage", rqs="example6", readers=2,
+        workload=(Write(0.0, "a"), Read(5.0), Write(6.0, "b"),
+                  Read(7.0, reader=1)),
+    ), id="rqs-storage-plain"),
+    pytest.param(ScenarioSpec(
+        protocol="rqs-storage", rqs="example6", readers=1,
+        faults=FaultPlan(crashes=crashes({1: 0.0, 2: 0.0})),
+        workload=(Write(0.0, "v"), Read(6.0)),
+    ), id="rqs-storage-crashes"),
+    pytest.param(ScenarioSpec(
+        protocol="rqs-storage", rqs="example6", readers=1,
+        faults=FaultPlan(byzantine=(
+            ByzantineRole(8, "fabricating",
+                          params={"ts": 999, "value": "EVIL"}),
+        )),
+        workload=(Write(0.0, "good"), Read(5.0)),
+    ), id="rqs-storage-byzantine"),
+    pytest.param(ScenarioSpec(
+        protocol="rqs-storage", rqs="example6", readers=1,
+        faults=FaultPlan(
+            crashes=(Crash(2, 5.0), Crash(3, 5.0)),
+            asynchrony=(Hold(src=("writer",), dst=(1,)),),
+        ),
+        workload=(Write(0.0, "v"), Read(5.0)),
+    ), id="rqs-storage-asynchrony"),
+    pytest.param(ScenarioSpec(
+        protocol="rqs-storage", rqs="example6", readers=1,
+        faults=FaultPlan(partitions=(
+            Partition(frozenset({"writer"}),
+                      frozenset(range(1, 8)), until=10.0),
+        )),
+        workload=(Write(0.0, "v"),),
+        horizon=40.0,
+    ), id="rqs-storage-partition-heal"),
+    pytest.param(ScenarioSpec(
+        protocol="rqs-storage", rqs="example6", readers=3,
+        faults=FaultPlan(crashes=(Crash(4, 20.0),)),
+        workload=(RandomMix(5, 8, horizon=50.0),),
+        seed=7,
+    ), id="rqs-storage-randommix"),
+    pytest.param(ScenarioSpec(
+        protocol="abd", readers=2,
+        workload=(Write(0.0, "v"), Read(5.0), Read(5.5, reader=1)),
+    ), id="abd"),
+    pytest.param(ScenarioSpec(
+        protocol="fastabd", readers=2,
+        faults=FaultPlan(crashes=(Crash(1, 0.0),)),
+        workload=(Write(0.0, "v"), Read(6.0), Write(8.0, "w"),
+                  Read(9.0, reader=1)),
+    ), id="fastabd-crash"),
+    pytest.param(ScenarioSpec(
+        protocol="naive", readers=2,
+        workload=(Write(0.0, "v"), Read(4.0)),
+    ), id="naive"),
+]
+
+CONSENSUS_SPECS = [
+    pytest.param(ScenarioSpec(
+        protocol="rqs-consensus", rqs="example6",
+        workload=(Propose(0.0, "V"),),
+        horizon=60.0,
+    ), id="rqs-consensus-best-case"),
+    pytest.param(ScenarioSpec(
+        protocol="rqs-consensus", rqs="example6",
+        faults=FaultPlan(crashes=crashes({1: 0.0, 2: 0.0})),
+        workload=(Propose(0.0, "V"),),
+        horizon=60.0,
+    ), id="rqs-consensus-crashes"),
+    pytest.param(ScenarioSpec(
+        protocol="rqs-consensus", rqs="example6",
+        workload=(Propose(0.0, "A", proposer=0),
+                  Propose(0.0, "B", proposer=1)),
+        horizon=300.0,
+    ), id="rqs-consensus-contended"),
+    pytest.param(ScenarioSpec(
+        protocol="rqs-consensus", rqs="example6",
+        faults=FaultPlan(asynchrony=(lossy_until_gst(30.0),)),
+        workload=(Propose(0.0, "V"),) + tuple(
+            Resync(float(when)) for when in range(10, 60, 10)
+        ),
+        horizon=1500.0,
+        params={"sync_delay": 5.0},
+    ), id="rqs-consensus-lossy-gst"),
+    pytest.param(ScenarioSpec(
+        protocol="paxos",
+        workload=(Propose(0.0, "v"),),
+        horizon=60.0,
+    ), id="paxos"),
+    pytest.param(ScenarioSpec(
+        protocol="pbft",
+        workload=(Propose(0.0, "v"),),
+        horizon=60.0,
+    ), id="pbft"),
+]
+
+
+@pytest.mark.parametrize("spec", STORAGE_SPECS)
+def test_storage_equivalence(spec):
+    assert_equivalent(spec)
+
+
+@pytest.mark.parametrize("spec", CONSENSUS_SPECS)
+def test_consensus_equivalence(spec):
+    assert_equivalent(spec)
+
+
+def test_every_registered_protocol_is_covered():
+    from repro.scenarios import available_protocols
+
+    covered = {
+        p.values[0].protocol for p in STORAGE_SPECS + CONSENSUS_SPECS
+    }
+    assert set(available_protocols()) <= covered

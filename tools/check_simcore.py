@@ -1,0 +1,206 @@
+"""Sim-core bench artifact checker: schema, determinism, perf drift.
+
+Run from the repository root (CI's perf-smoke job does)::
+
+    PYTHONPATH=src python tools/check_simcore.py
+
+Checks, against the committed ``BENCH_simcore.json`` baseline:
+
+1. **Schema** — the artifact (and the freshly regenerated one) carries
+   the documented shape: name, schema_version, target, one indexed +
+   one scan case per (workload, n), positive counters.
+2. **Determinism** — the regenerated run's ``events`` and ``blocked``
+   counts match the committed baseline *exactly*: simulated executions
+   are machine-independent, so any difference is a real behaviour
+   regression, not noise.
+3. **Acceptance** — the target row (storage, n=50) shows at least the
+   recorded ``min_speedup`` (5x) events/sec over the legacy scan loop,
+   in the committed artifact and in the fresh run.
+4. **Throughput drift** — freshly measured events/sec must not regress
+   more than ``--tolerance`` (default 0.30, i.e. 30%) below the
+   committed baseline.
+
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_TOP = ("name", "schema_version", "target", "cases", "speedups")
+REQUIRED_CASE = (
+    "workload", "n", "wakeup", "events", "blocked", "wall_s",
+    "events_per_sec",
+)
+WAKEUPS = ("indexed", "scan")
+
+
+def check_schema(payload: dict, label: str) -> list:
+    problems = []
+    for key in REQUIRED_TOP:
+        if key not in payload:
+            problems.append(f"{label}: missing top-level key {key!r}")
+    if problems:
+        return problems
+    if payload["name"] != "simcore":
+        problems.append(f"{label}: name is {payload['name']!r}")
+    seen = set()
+    for case in payload["cases"]:
+        for key in REQUIRED_CASE:
+            if key not in case:
+                problems.append(f"{label}: case missing {key!r}: {case}")
+                break
+        else:
+            if case["wakeup"] not in WAKEUPS:
+                problems.append(
+                    f"{label}: unknown wakeup {case['wakeup']!r}"
+                )
+            if case["events"] <= 0 or case["events_per_sec"] <= 0:
+                problems.append(
+                    f"{label}: non-positive counters in {case}"
+                )
+            seen.add((case["workload"], case["n"], case["wakeup"]))
+    for workload, n, _ in list(seen):
+        for wakeup in WAKEUPS:
+            if (workload, n, wakeup) not in seen:
+                problems.append(
+                    f"{label}: ({workload}, n={n}) lacks a "
+                    f"{wakeup!r} case"
+                )
+    target = payload["target"]
+    for key in ("workload", "n", "min_speedup"):
+        if key not in target:
+            problems.append(f"{label}: target missing {key!r}")
+    return problems
+
+
+def case_index(payload: dict) -> dict:
+    return {
+        (c["workload"], c["n"], c["wakeup"]): c for c in payload["cases"]
+    }
+
+
+def check_determinism(baseline: dict, fresh: dict) -> list:
+    problems = []
+    base, new = case_index(baseline), case_index(fresh)
+    if set(base) != set(new):
+        problems.append(
+            f"case grid changed: baseline {sorted(set(base) - set(new))} "
+            f"only / fresh {sorted(set(new) - set(base))} only"
+        )
+        return problems
+    for key, case in base.items():
+        for field in ("events", "blocked"):
+            if new[key][field] != case[field]:
+                problems.append(
+                    f"{key}: {field} changed "
+                    f"{case[field]} -> {new[key][field]} "
+                    f"(simulated executions are deterministic; this is "
+                    f"a behaviour regression, not noise)"
+                )
+    return problems
+
+
+def check_speedup(payload: dict, label: str) -> list:
+    target = payload["target"]
+    cases = case_index(payload)
+    key_indexed = (target["workload"], target["n"], "indexed")
+    key_scan = (target["workload"], target["n"], "scan")
+    if key_indexed not in cases or key_scan not in cases:
+        return [f"{label}: target row {target} has no measured cases"]
+    speedup = (
+        cases[key_indexed]["events_per_sec"]
+        / cases[key_scan]["events_per_sec"]
+    )
+    if speedup < target["min_speedup"]:
+        return [
+            f"{label}: target speedup {speedup:.2f}x < "
+            f"required {target['min_speedup']}x "
+            f"({target['workload']} n={target['n']})"
+        ]
+    return []
+
+
+def check_drift(baseline: dict, fresh: dict, tolerance: float) -> list:
+    problems = []
+    base, new = case_index(baseline), case_index(fresh)
+    for key in sorted(set(base) & set(new), key=repr):
+        committed = base[key]["events_per_sec"]
+        measured = new[key]["events_per_sec"]
+        if measured < committed * (1.0 - tolerance):
+            problems.append(
+                f"{key}: events/sec regressed "
+                f"{committed} -> {measured} "
+                f"(more than {tolerance:.0%} below baseline)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", default="BENCH_simcore.json",
+        help="committed artifact (default: BENCH_simcore.json)",
+    )
+    parser.add_argument(
+        "--fresh", default=None,
+        help="pre-generated fresh artifact; omitted = regenerate now",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional events/sec regression (default 0.30)",
+    )
+    parser.add_argument(
+        "--skip-drift", action="store_true",
+        help="skip the wall-clock drift check (heterogeneous hardware)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"FAIL: baseline {baseline_path} does not exist")
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+
+    if args.fresh is not None:
+        fresh = json.loads(Path(args.fresh).read_text())
+    else:
+        # Running as `python tools/check_simcore.py` puts tools/ first
+        # on sys.path; the bench package lives at the repository root.
+        root = str(Path(__file__).resolve().parent.parent)
+        if root not in sys.path:
+            sys.path.insert(0, root)
+        from benchmarks.bench_simcore import collect
+
+        fresh = collect()
+
+    problems = []
+    problems += check_schema(baseline, "baseline")
+    problems += check_schema(fresh, "fresh")
+    if not problems:
+        problems += check_determinism(baseline, fresh)
+        problems += check_speedup(baseline, "baseline")
+        problems += check_speedup(fresh, "fresh")
+        if not args.skip_drift:
+            problems += check_drift(baseline, fresh, args.tolerance)
+
+    if problems:
+        print(f"FAIL: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    target = baseline["target"]
+    print(
+        f"ok: schema valid, executions deterministic, "
+        f"{target['workload']} n={target['n']} speedup >= "
+        f"{target['min_speedup']}x, events/sec within "
+        f"{args.tolerance:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
