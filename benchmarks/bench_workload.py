@@ -1,0 +1,165 @@
+"""The workload bench: ops/sec of the keyed register space.
+
+Measures the keyed-register workload engine end to end — scenario
+expansion, per-writer/per-reader client tasks, keyed protocol rounds —
+on an ``n_keys × clients`` grid of seeded :class:`RandomMix` cells over
+the ABD baseline (the cheapest atomic protocol, so the bench tracks the
+workload engine rather than RQS predicate evaluation), plus one
+**soak** row: a ≥10k-operation multi-register mix at
+``TraceLevel.METRICS`` whose history is then atomicity-checked with the
+per-key verdict partition (the sum-of-per-key-checks fast path).
+
+Executions are deterministic, so ``operations``/``completed``/``events``
+are exact across machines; only the wall-clock figures vary.  Emits
+``BENCH_workload.json``; schema/determinism/budget checks live in
+``tools/check_workload.py`` and run in CI's soak-smoke job.
+
+Run directly (``python -m benchmarks.bench_workload``) to regenerate
+the artifact, or under pytest for the determinism smoke.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.scenarios import RandomMix, ScenarioSpec, run
+
+SCHEMA_VERSION = 1
+
+#: The grid axes: keyspace width × reader-client count.
+N_KEYS_AXIS = (1, 4, 16)
+CLIENTS_AXIS = (2, 8)
+
+#: Per-cell operation budget (writes + reads).
+CELL_WRITES = 300
+CELL_READS = 700
+
+#: The soak row: >= 10k operations, 16 registers, METRICS tracing.
+SOAK_WRITES = 4000
+SOAK_READS = 6000
+SOAK_KEYS = 16
+SOAK_CLIENTS = 8
+
+
+def workload_spec(
+    n_keys: int,
+    clients: int,
+    writes: int = CELL_WRITES,
+    reads: int = CELL_READS,
+) -> ScenarioSpec:
+    """One bench cell: a uniform multi-register mix on ABD."""
+    return ScenarioSpec(
+        protocol="abd",
+        readers=clients,
+        n_keys=n_keys,
+        workload=(
+            RandomMix(writes, reads, horizon=float(writes + reads)),
+        ),
+        seed=5,
+        trace_level="metrics",
+    )
+
+
+def soak_spec() -> ScenarioSpec:
+    return workload_spec(
+        SOAK_KEYS, SOAK_CLIENTS, writes=SOAK_WRITES, reads=SOAK_READS
+    )
+
+
+def run_case(spec: ScenarioSpec, rounds: int = 3) -> dict:
+    """Execute one spec; wall time is best-of-``rounds`` on the
+    deterministic execution (repeats only shave warm-up noise)."""
+    wall = float("inf")
+    for _ in range(rounds):
+        result = run(spec)
+        wall = min(wall, result.execute_seconds)
+    completed = len(result.completed)
+    return {
+        "operations": len(result.records),
+        "completed": completed,
+        "events": result.adapter.sim.events_processed,
+        "wall_s": round(wall, 4),
+        "ops_per_sec": round(completed / wall, 1),
+    }
+
+
+def collect() -> dict:
+    """Run the grid + soak and assemble the artifact payload."""
+    cases = []
+    for n_keys in N_KEYS_AXIS:
+        for clients in CLIENTS_AXIS:
+            outcome = run_case(workload_spec(n_keys, clients))
+            cases.append({"n_keys": n_keys, "clients": clients, **outcome})
+    soak_result = run(soak_spec())
+    check_start = time.perf_counter()
+    report = soak_result.atomicity
+    check_seconds = time.perf_counter() - check_start
+    completed = len(soak_result.completed)
+    soak = {
+        "n_keys": SOAK_KEYS,
+        "clients": SOAK_CLIENTS,
+        "operations": len(soak_result.records),
+        "completed": completed,
+        "events": soak_result.adapter.sim.events_processed,
+        "wall_s": round(soak_result.execute_seconds, 4),
+        "ops_per_sec": round(
+            completed / soak_result.execute_seconds, 1
+        ),
+        "check_s": round(check_seconds, 4),
+        "atomic": report.atomic,
+        "keys_checked": len(report.by_key),
+    }
+    return {
+        "name": "workload",
+        "schema_version": SCHEMA_VERSION,
+        "cases": cases,
+        "soak": soak,
+    }
+
+
+def emit(directory=None) -> Path:
+    """Regenerate ``BENCH_workload.json`` (repo root by default)."""
+    payload = collect()
+    path = (
+        Path(directory or Path(__file__).resolve().parent.parent)
+        / "BENCH_workload.json"
+    )
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+# -- pytest smoke (determinism only; wall-clock checks live in CI) ----------
+
+def test_workload_cells_are_deterministic():
+    spec = workload_spec(4, 2, writes=40, reads=60)
+    first, second = run_case(spec, rounds=1), run_case(spec, rounds=1)
+    for field in ("operations", "completed", "events"):
+        assert first[field] == second[field] > 0
+
+
+def test_soak_history_is_atomic_per_key():
+    spec = workload_spec(8, 4, writes=200, reads=300)
+    result = run(spec)
+    report = result.atomicity
+    assert report.atomic
+    assert len(report.by_key) == 8
+    assert all(rep.atomic for rep in report.by_key.values())
+
+
+if __name__ == "__main__":
+    path = emit()
+    payload = json.loads(path.read_text())
+    for case in payload["cases"]:
+        print(
+            f"n_keys={case['n_keys']:<3} clients={case['clients']:<2} "
+            f"{case['completed']} ops, {case['wall_s']}s, "
+            f"{case['ops_per_sec']} ops/s"
+        )
+    soak = payload["soak"]
+    print(
+        f"soak: {soak['completed']} ops over {soak['n_keys']} keys in "
+        f"{soak['wall_s']}s ({soak['ops_per_sec']} ops/s), "
+        f"atomic={soak['atomic']} (checked {soak['keys_checked']} keys "
+        f"in {soak['check_s']}s)"
+    )
+    print(f"wrote {path}")

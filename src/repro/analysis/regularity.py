@@ -13,10 +13,15 @@ reads are still violations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
 
-from repro.analysis.atomicity import Violation, _require_sequential_writer, _version_map
+from repro.analysis.atomicity import (
+    Violation,
+    _require_sequential_writer,
+    _version_map,
+    check_by_key,
+)
 from repro.sim.trace import OperationRecord
 from repro.storage.history import BOTTOM
 
@@ -25,6 +30,7 @@ from repro.storage.history import BOTTOM
 class RegularityReport:
     violations: Tuple[Violation, ...]
     versions: Dict[int, int]
+    by_key: Dict[Hashable, "RegularityReport"] = field(default_factory=dict)
 
     @property
     def regular(self) -> bool:
@@ -34,7 +40,24 @@ class RegularityReport:
 def check_swmr_regularity(
     records: Iterable[OperationRecord],
 ) -> RegularityReport:
-    """Check a SWMR history for regularity (see module docstring)."""
+    """Check a (keyed) SWMR history for regularity.
+
+    Like the atomicity checker, the history is partitioned by register
+    key and every register is checked independently (registers are
+    independent objects); multi-register reports aggregate violations
+    and expose the per-key reports on ``by_key``.
+    """
+    return check_by_key(
+        records,
+        _check_register,
+        lambda violations, versions, by_key: RegularityReport(
+            violations, versions, by_key=by_key
+        ),
+    )
+
+
+def _check_register(records: Sequence[OperationRecord]) -> RegularityReport:
+    """Regularity of one register's history (per-writer-sequential)."""
     records = list(records)
     writes = sorted(
         (r for r in records if r.kind == "write"),

@@ -13,7 +13,7 @@ from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set
 
 from repro.core.rqs import RefinedQuorumSystem
 from repro.crypto.signatures import SignatureService, Signed
-from repro.sim.conditions import Event
+from repro.sim.conditions import AckSet, ConditionMap, Event
 from repro.sim.network import Message
 from repro.sim.process import Process
 from repro.consensus.choose import choose as run_choose
@@ -89,8 +89,10 @@ class Acceptor(Process):
         #: Waitable "this acceptor decided" condition (see Learner).
         self.decided_event = Event(f"{pid} decided")
 
-        # update-message sender bookkeeping: (step, value, view) -> senders
-        self._update_senders: Dict[Tuple[int, Any, int], Set[AcceptorId]] = {}
+        # update-message sender bookkeeping, (step, value, view) -> a
+        # signalling AckSet (condition-native: waitable, never scanned
+        # by the event loop).
+        self._update_senders = ConditionMap(AckSet, "update{} v={!r} w={}")
         self._decisions = DecisionTracker(rqs)
         self._pending_nva: Optional[_PendingNewViewAck] = None
 
@@ -101,7 +103,7 @@ class Acceptor(Process):
         self._timer_armed = False
         self._timer_stopped = False
         self._timer_generation = 0
-        self._decision_senders: Dict[Any, Set[Hashable]] = {}
+        self._decision_senders = ConditionMap(AckSet, "decision v={!r}")
 
     # -- helpers -----------------------------------------------------------------
 
@@ -191,15 +193,14 @@ class Acceptor(Process):
             self._decide(decided)
         if update.step not in (1, 2):
             return
-        key = (update.step, update.value, update.view)
-        self._update_senders.setdefault(key, set()).add(src)
+        senders = self._update_senders(update.step, update.value, update.view)
+        senders.add(src)
         if (
             update.value != self.prep
             or update.view != self.view
             or self.view not in self.prep_view
         ):
             return
-        senders = self._update_senders[key]
         step, value = update.step, update.value
         for quorum in self.rqs.quorums:
             if not quorum <= senders:
@@ -243,7 +244,7 @@ class Acceptor(Process):
         self._record_decision(src, decision.value)
 
     def _record_decision(self, src: Hashable, value: Any) -> None:
-        senders = self._decision_senders.setdefault(value, set())
+        senders = self._decision_senders(value)
         senders.add(src)
         acceptor_senders = senders & set(self.rqs.ground_set)
         if any(q <= acceptor_senders for q in self.rqs.quorums):

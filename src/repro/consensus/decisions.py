@@ -11,9 +11,10 @@ receiving
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Hashable, Optional, Set, Tuple
+from typing import Any, FrozenSet, Hashable, Optional
 
 from repro.core.rqs import RefinedQuorumSystem
+from repro.sim.conditions import AckSet, ConditionMap
 from repro.consensus.messages import Update
 
 AcceptorId = Hashable
@@ -21,31 +22,42 @@ QuorumId = FrozenSet[AcceptorId]
 
 
 class DecisionTracker:
-    """Accumulates update messages and fires the decide rules."""
+    """Accumulates update messages and fires the decide rules.
+
+    Sender sets are signalling :class:`~repro.sim.conditions.AckSet`
+    containers (condition-native consensus internals): tasks and tests
+    can derive indexed wait conditions from them (``includes_any`` over
+    a quorum class) instead of polling, and the tracker's own checks
+    keep reading them as plain sets.
+    """
 
     def __init__(self, rqs: RefinedQuorumSystem):
         self.rqs = rqs
         # (step, value, view) -> senders, payload quorum ignored (steps 1, 3)
-        self._senders: Dict[Tuple[int, Any, int], Set[AcceptorId]] = {}
+        self._senders = ConditionMap(AckSet, "update{} v={!r} w={}")
         # (value, view, payload quorum) -> senders (step 2 exact-match rule)
-        self._senders2: Dict[Tuple[Any, int, QuorumId], Set[AcceptorId]] = {}
+        self._senders2 = ConditionMap(AckSet, "update2 v={!r} w={} q={}")
+
+    def senders(self, step: int, value: Any, view: int) -> AckSet:
+        """The (signalling) sender set of one update statement."""
+        return self._senders(step, value, view)
 
     def record(self, sender: AcceptorId, update: Update) -> Optional[Any]:
         """Feed one update message; return the decided value, if any."""
-        key = (update.step, update.value, update.view)
-        self._senders.setdefault(key, set()).add(sender)
+        self._senders(update.step, update.value, update.view).add(sender)
         if update.step == 2 and update.quorum is not None:
-            key2 = (update.value, update.view, update.quorum)
-            self._senders2.setdefault(key2, set()).add(sender)
+            self._senders2(update.value, update.view, update.quorum).add(
+                sender
+            )
         return self._check(update)
 
     def _check(self, update: Update) -> Optional[Any]:
-        senders = self._senders[(update.step, update.value, update.view)]
+        senders = self._senders(update.step, update.value, update.view)
         if update.step == 1:
             if any(q1 <= senders for q1 in self.rqs.qc1):
                 return update.value
         elif update.step == 2 and update.quorum is not None:
-            exact = self._senders2[(update.value, update.view, update.quorum)]
+            exact = self._senders2(update.value, update.view, update.quorum)
             if update.quorum in set(self.rqs.qc2) and update.quorum <= exact:
                 return update.value
         elif update.step == 3:

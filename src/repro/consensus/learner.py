@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, Optional, Set
 
 from repro.core.rqs import RefinedQuorumSystem
-from repro.sim.conditions import Event
+from repro.sim.conditions import AckSet, ConditionMap, Event
 from repro.sim.network import Message
 from repro.sim.process import Process
 from repro.sim.trace import OperationRecord, Trace
@@ -40,7 +40,7 @@ class Learner(Process):
         #: ``yield WaitUntil(learner.learned_event)`` instead of polling.
         self.learned_event = Event(f"{pid} learned")
         self._decisions = DecisionTracker(rqs)
-        self._decision_senders: Dict[Any, Set[Hashable]] = {}
+        self._decision_senders = ConditionMap(AckSet, "decision v={!r}")
         self._pull_interval = pull_interval
         self._pulls_left = max_pulls
         self._pull_armed = False
@@ -62,9 +62,7 @@ class Learner(Process):
         elif isinstance(payload, Decision):
             self._arm_pulls()
             if message.src in self.rqs.ground_set:
-                senders = self._decision_senders.setdefault(
-                    payload.value, set()
-                )
+                senders = self._decision_senders(payload.value)
                 senders.add(message.src)
                 if self.rqs.is_basic(senders):
                     self._learn(payload.value)

@@ -25,5 +25,6 @@ module                 exhibit
 ``bounds``             E11 — tightness of the closed-form inequalities
 ``baselines``          E12 — RQS vs fast-ABD / ABD / Paxos / PBFT
 ``metrics_ablation``   E13 — load/availability ablation
+``contention``         E14 — keyed-register contention sweep (per-key verdicts)
 =====================  ========================================================
 """

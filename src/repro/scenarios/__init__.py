@@ -31,6 +31,14 @@ RQS constructions × fault plans × seeds) expands into frozen specs and
 aggregating into a portable :class:`SweepResult` table — see
 :mod:`repro.scenarios.sweeps`.  Second invariant: **new figure = new
 grid literal**.
+
+Storage runs address a **keyed register space**: ``Write``/``Read``
+carry a ``key`` (default: the single historical register) and a writer
+index, ``RandomMix`` draws keys ``uniform``/``zipfian`` over
+``ScenarioSpec.n_keys``, and ``n_writers > 1`` deploys concurrent
+writers with totally-ordered timestamps.  Verdicts partition per key:
+``RunResult.atomicity`` is the aggregate, ``RunResult.key_verdicts``
+the per-register view.
 """
 
 from repro.scenarios.aggregate import (
@@ -86,6 +94,7 @@ from repro.scenarios.workloads import (
     Write,
 )
 from repro.sim.network import TraceLevel
+from repro.storage.history import DEFAULT_KEY
 
 # Importing the adapters registers every built-in protocol.
 from repro.scenarios import adapters as _adapters  # noqa: F401
@@ -98,6 +107,7 @@ __all__ = [
     "SERVER",
     "ByzantineRole",
     "Crash",
+    "DEFAULT_KEY",
     "Delay",
     "Drop",
     "FaultPlan",

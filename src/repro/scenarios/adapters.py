@@ -163,45 +163,68 @@ def _storage_server_factory(role: ByzantineRole) -> Callable[[Hashable], Any]:
 
 
 class StorageAdapter(ProtocolAdapter):
-    """Shared scheduling for every read/write register protocol."""
+    """Shared scheduling for every read/write register protocol.
+
+    Workload ops address a keyed register space: each op carries its
+    ``key`` and (for writes) its ``writer`` index.  One sequential
+    client task is spawned per addressed writer and per addressed
+    reader (the paper's well-formedness rule, per client); all client
+    tasks block on indexed Conditions inside the protocol coroutines,
+    never on ad-hoc closures.
+    """
 
     kind = "storage"
 
     def schedule(self, spec) -> None:
-        writer_ops: List[Tuple[float, Any]] = []
-        per_reader: Dict[int, List[float]] = {}
+        per_writer: Dict[int, List[Tuple[float, Any, Hashable]]] = {}
+        per_reader: Dict[int, List[Tuple[float, Hashable]]] = {}
         next_value = 1
         for op in spec.workload:
             if isinstance(op, Write):
-                writer_ops.append((op.at, op.value))
+                if not 0 <= op.writer < len(self.system.writers):
+                    raise ScenarioError(
+                        f"workload writes via writer {op.writer} but the "
+                        f"spec only has {len(self.system.writers)} writers "
+                        f"(n_writers)"
+                    )
+                per_writer.setdefault(op.writer, []).append(
+                    (op.at, op.value, op.key)
+                )
                 if isinstance(op.value, int):
                     next_value = max(next_value, op.value + 1)
             elif isinstance(op, Read):
-                per_reader.setdefault(op.reader, []).append(op.at)
+                per_reader.setdefault(op.reader, []).append((op.at, op.key))
             elif isinstance(op, RandomMix):
                 writes, reads = expand_random_mix(
                     op, len(self.system.readers), spec.seed,
                     first_value=next_value,
+                    n_keys=spec.n_keys,
+                    n_writers=len(self.system.writers),
                 )
                 next_value += op.writes
-                writer_ops.extend((w.at, w.value) for w in writes)
+                for w in writes:
+                    per_writer.setdefault(w.writer, []).append(
+                        (w.at, w.value, w.key)
+                    )
                 for reader, ops in reads.items():
                     per_reader.setdefault(reader, []).extend(
-                        r.at for r in ops
+                        (r.at, r.key) for r in ops
                     )
             else:
                 raise ScenarioError(
                     f"storage protocol {self.protocol_id!r} cannot run "
                     f"workload op {op!r}"
                 )
-        if writer_ops:
-            writer = self.system.writer
-            writer_ops.sort(key=lambda pair: pair[0])
+        for index in sorted(per_writer):
+            writer = self.system.writers[index]
+            ops = sorted(per_writer[index], key=lambda item: item[0])
             self.sim.spawn(
                 self._sequential_ops(
-                    [(at, writer.write, (value,)) for at, value in writer_ops]
+                    [(at, writer.write, (value, key))
+                     for at, value, key in ops]
                 ),
-                "writer-workload",
+                "writer-workload" if index == 0
+                else f"{writer.pid}-workload",
             )
         for index in sorted(per_reader):
             try:
@@ -211,9 +234,11 @@ class StorageAdapter(ProtocolAdapter):
                     f"workload reads from reader {index} but the spec "
                     f"only has {len(self.system.readers)} readers"
                 )
-            times = sorted(per_reader[index])
+            ops = sorted(per_reader[index], key=lambda item: item[0])
             self.sim.spawn(
-                self._sequential_ops([(at, reader.read, ()) for at in times]),
+                self._sequential_ops(
+                    [(at, reader.read, (key,)) for at, key in ops]
+                ),
                 f"{reader.pid}-workload",
             )
 
@@ -238,6 +263,8 @@ class RqsStorageAdapter(StorageAdapter):
             server_factories=factories,
             rules=spec.faults.rules(),
             trace_level=spec.trace_level,
+            n_writers=spec.n_writers,
+            n_keys=spec.n_keys,
         )
         return cls(system)
 
@@ -254,6 +281,7 @@ class AbdAdapter(StorageAdapter):
             delta=spec.delta,
             rules=spec.faults.rules(),
             trace_level=spec.trace_level,
+            n_writers=spec.n_writers,
         )
         adapter = cls(system)
         _unsupported_roles(adapter, spec)
@@ -274,6 +302,7 @@ class FastAbdAdapter(StorageAdapter):
             delta=spec.delta,
             rules=spec.faults.rules(),
             trace_level=spec.trace_level,
+            n_writers=spec.n_writers,
         )
         adapter = cls(system)
         _unsupported_roles(adapter, spec)
@@ -293,6 +322,7 @@ class NaiveAdapter(StorageAdapter):
             delta=spec.delta,
             rules=spec.faults.rules(),
             trace_level=spec.trace_level,
+            n_writers=spec.n_writers,
         )
         adapter = cls(system)
         _unsupported_roles(adapter, spec)

@@ -11,11 +11,16 @@ from __future__ import annotations
 from functools import cached_property
 from typing import Any, Dict, Hashable, Optional, Tuple
 
-from repro.analysis.atomicity import AtomicityReport, check_swmr_atomicity
+from repro.analysis.atomicity import (
+    AtomicityReport,
+    check_swmr_atomicity,
+    partition_by_key,
+)
 from repro.analysis.consensus_check import ConsensusReport, check_consensus
 from repro.analysis.latency import LatencySummary, summarize_rounds
 from repro.analysis.linearizability import is_linearizable
 from repro.sim.trace import OperationRecord
+from repro.storage.history import DEFAULT_KEY
 
 
 class RunResult:
@@ -81,12 +86,47 @@ class RunResult:
 
     @cached_property
     def atomicity(self) -> AtomicityReport:
-        """SWMR atomicity verdict over the storage history."""
+        """Aggregate atomicity verdict over the keyed storage history.
+
+        Registers are checked independently per key (the sum of per-key
+        checks); this is the aggregate report — per-register reports
+        hang off :attr:`atomicity_by_key`.
+        """
         return check_swmr_atomicity(self.records)
+
+    @property
+    def atomicity_by_key(self) -> Dict[Hashable, AtomicityReport]:
+        """Per-register atomicity reports, key → report."""
+        report = self.atomicity
+        if report.by_key:
+            return dict(report.by_key)
+        keys = self.keys
+        return {keys[0] if keys else DEFAULT_KEY: report}
+
+    @property
+    def key_verdicts(self) -> Dict[Hashable, bool]:
+        """Per-register ``atomic`` booleans (the sweep-friendly view)."""
+        return {
+            key: rep.atomic for key, rep in self.atomicity_by_key.items()
+        }
+
+    @property
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Register keys addressed by this execution (repr-sorted)."""
+        return tuple(partition_by_key(self.records))
+
+    def of_key(self, key: Hashable) -> Tuple[OperationRecord, ...]:
+        """This execution's operations on one register."""
+        return tuple(
+            r for r in self.records
+            if r.kind in ("write", "read")
+            and getattr(r, "key", DEFAULT_KEY) == key
+        )
 
     @cached_property
     def linearizable(self) -> bool:
-        """Wing–Gong linearizability of the register history (small runs)."""
+        """Wing–Gong linearizability of the register history (small runs);
+        keyed histories are decided register-by-register (locality)."""
         return is_linearizable(self.records)
 
     @cached_property
@@ -144,8 +184,21 @@ class RunResult:
 
         Uses the network's monotone ``sent_count`` (== ``len(log)`` at
         full tracing) so fingerprints stay comparable across
-        :class:`~repro.sim.network.TraceLevel` settings.
+        :class:`~repro.sim.network.TraceLevel` settings.  Single-key
+        histories keep the historical digest shape byte-for-byte;
+        multi-register histories append each record's key so per-key
+        schedules are pinned too.
         """
+        keyed = any(
+            getattr(r, "key", DEFAULT_KEY) != DEFAULT_KEY
+            for r in self.records
+        )
+        if keyed:
+            return tuple(
+                (r.kind, r.process, r.invoked_at, r.completed_at,
+                 repr(r.result), r.rounds, r.key)
+                for r in self.records
+            ) + (self.adapter.network.sent_count,)
         return tuple(
             (r.kind, r.process, r.invoked_at, r.completed_at,
              repr(r.result), r.rounds)

@@ -121,6 +121,18 @@ class ScenarioSpec:
         baselines parameterized by counts instead (ABD, Paxos, PBFT).
     readers / proposers / learners:
         Client counts; each adapter uses the ones its protocol has.
+    n_writers:
+        Writer-client count for storage protocols.  ``1`` (default) is
+        the paper's SWMR model with the historical bare timestamps;
+        more writers deploy indexed clients whose stamped timestamps
+        are totally ordered across writers (each preceded by a
+        timestamp-discovery round — see :mod:`repro.storage.writer`).
+    n_keys:
+        Width of the keyed register space used by
+        :class:`~repro.scenarios.workloads.RandomMix` keyspace draws
+        (keys ``0 .. n_keys-1``; explicit ``Write``/``Read`` literals
+        may address any hashable key regardless).  ``1`` (default)
+        keeps every operation on the default register.
     delta:
         The synchrony bound Δ (default network latency).
     faults:
@@ -152,6 +164,8 @@ class ScenarioSpec:
     readers: int = 2
     proposers: int = 2
     learners: int = 3
+    n_writers: int = 1
+    n_keys: int = 1
     delta: float = 1.0
     faults: FaultPlan = field(default_factory=FaultPlan)
     workload: Workload = ()
@@ -163,6 +177,12 @@ class ScenarioSpec:
 
     def __post_init__(self):
         object.__setattr__(self, "workload", tuple(self.workload))
+        if self.n_writers < 1:
+            raise ScenarioError(
+                f"n_writers must be >= 1, got {self.n_writers}"
+            )
+        if self.n_keys < 1:
+            raise ScenarioError(f"n_keys must be >= 1, got {self.n_keys}")
         try:
             object.__setattr__(
                 self, "trace_level", TraceLevel.of(self.trace_level)

@@ -6,36 +6,53 @@ one completed — so operations addressed to the same client are run
 sequentially, each starting no earlier than its scheduled time.
 Operations on distinct clients run concurrently.
 
-* :class:`Write` / :class:`Read` — storage operations (single writer,
-  readers addressed by index).
+* :class:`Write` / :class:`Read` — storage operations on one register of
+  the keyed space (writers and readers addressed by index; the default
+  key preserves the historical single-register literals).
 * :class:`Propose` — a consensus proposal by proposer index.
 * :class:`Resync` — re-send the proposer's post-propose Sync (models a
   client retransmitting over lossy pre-GST channels).
 * :class:`RandomMix` — a seeded random mix of writes and reads over a
-  horizon (storage protocols); deterministic per scenario seed.
+  horizon (storage protocols); deterministic per scenario seed.  Keys
+  are drawn from a ``uniform`` or ``zipfian`` distribution over the
+  spec's ``n_keys`` registers, and writes are spread round-robin over
+  the spec's ``n_writers`` writer clients.
 """
 
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple, Union
+from itertools import accumulate
+from typing import Any, Dict, Hashable, List, Tuple, Union
+
+from repro.errors import ScenarioError
+from repro.storage.history import DEFAULT_KEY
+
+#: Valid ``RandomMix.distribution`` names.
+KEY_DISTRIBUTIONS = ("uniform", "zipfian")
 
 
 @dataclass(frozen=True)
 class Write:
-    """The writer writes ``value``, starting no earlier than ``at``."""
+    """Writer ``writer`` writes ``value`` to register ``key``, starting
+    no earlier than ``at``."""
 
     at: float
     value: Any
+    key: Hashable = DEFAULT_KEY
+    writer: int = 0
 
 
 @dataclass(frozen=True)
 class Read:
-    """Reader ``reader`` reads, starting no earlier than ``at``."""
+    """Reader ``reader`` reads register ``key``, starting no earlier
+    than ``at``."""
 
     at: float
     reader: int = 0
+    key: Hashable = DEFAULT_KEY
 
 
 @dataclass(frozen=True)
@@ -59,39 +76,105 @@ class Resync:
 class RandomMix:
     """``writes`` writes and ``reads`` reads at seeded-random times in
     ``[start, start + horizon)``; write values are sequential integers,
-    reads are spread round-robin over the readers."""
+    reads are spread round-robin over the readers and writes round-robin
+    over the writers.
+
+    ``distribution`` picks each operation's register over the spec's
+    ``n_keys``: ``"uniform"`` draws every key equally, ``"zipfian"``
+    draws key ``k`` with weight ``1 / (k + 1) ** skew`` (key 0 hottest —
+    the standard contention skew).  Single-key expansions draw no keys
+    at all, so historical seeds reproduce the exact same schedules.
+    """
 
     writes: int
     reads: int
     horizon: float
     start: float = 0.0
+    distribution: str = "uniform"
+    skew: float = 1.0
+
+    def __post_init__(self):
+        if self.distribution not in KEY_DISTRIBUTIONS:
+            raise ScenarioError(
+                f"unknown RandomMix distribution {self.distribution!r}; "
+                f"valid: {', '.join(KEY_DISTRIBUTIONS)}"
+            )
 
 
 WorkloadOp = Union[Write, Read, Propose, Resync, RandomMix]
 Workload = Tuple[WorkloadOp, ...]
 
 
+def _draw_keys(
+    rng: random.Random, mix: RandomMix, count: int, n_keys: int
+) -> List[int]:
+    """``count`` register keys from the mix's keyspace distribution."""
+    if mix.distribution == "uniform":
+        return [rng.randrange(n_keys) for _ in range(count)]
+    weights = [1.0 / (k + 1) ** mix.skew for k in range(n_keys)]
+    cumulative = list(accumulate(weights))
+    total = cumulative[-1]
+    return [
+        bisect_right(cumulative, rng.random() * total) for _ in range(count)
+    ]
+
+
 def expand_random_mix(
-    mix: RandomMix, n_readers: int, seed: int, first_value: int = 1
+    mix: RandomMix,
+    n_readers: int,
+    seed: int,
+    first_value: int = 1,
+    n_keys: int = 1,
+    n_writers: int = 1,
 ) -> Tuple[List[Write], Dict[int, List[Read]]]:
     """Materialize a :class:`RandomMix` into concrete Write/Read ops.
 
     Mirrors the historical ``StorageSystem.random_workload`` draw order
-    (writes first, then reads) so seeded schedules stay reproducible.
+    (write times first, then read times, then — only for multi-key
+    expansions — write keys and read keys) so seeded single-key
+    schedules stay bit-for-bit reproducible.  Writes carry their
+    round-robin ``writer`` index; the returned reads are grouped per
+    reader and sorted by start time.
     """
+    if mix.reads > 0 and n_readers < 1:
+        raise ScenarioError(
+            f"RandomMix schedules {mix.reads} reads but the scenario has "
+            f"no readers; set readers >= 1 (or reads=0)"
+        )
+    if n_keys < 1:
+        raise ScenarioError(f"n_keys must be >= 1, got {n_keys}")
+    if n_writers < 1:
+        raise ScenarioError(f"n_writers must be >= 1, got {n_writers}")
     rng = random.Random(seed)
     write_times = sorted(
         mix.start + rng.uniform(0.0, mix.horizon) for _ in range(mix.writes)
     )
+    read_slots: List[Tuple[int, float]] = []
+    for index in range(mix.reads):
+        reader = index % n_readers
+        read_slots.append(
+            (reader, mix.start + rng.uniform(0.0, mix.horizon))
+        )
+    # Key draws happen after every time draw, so single-key expansions
+    # (which skip them) consume the identical random stream as the
+    # pre-keyed code.
+    if n_keys > 1:
+        write_keys = _draw_keys(rng, mix, mix.writes, n_keys)
+        read_keys = _draw_keys(rng, mix, mix.reads, n_keys)
+    else:
+        write_keys = [DEFAULT_KEY] * mix.writes
+        read_keys = [DEFAULT_KEY] * mix.reads
     writes = [
-        Write(at=time, value=value)
-        for value, time in enumerate(write_times, start=first_value)
+        Write(at=time, value=value, key=write_keys[index],
+              writer=index % n_writers)
+        for index, (value, time) in enumerate(
+            zip(range(first_value, first_value + mix.writes), write_times)
+        )
     ]
     per_reader: Dict[int, List[Read]] = {}
-    for index in range(mix.reads):
-        reader = index % max(n_readers, 1)
+    for index, (reader, time) in enumerate(read_slots):
         per_reader.setdefault(reader, []).append(
-            Read(at=mix.start + rng.uniform(0.0, mix.horizon), reader=reader)
+            Read(at=time, reader=reader, key=read_keys[index])
         )
     for reader, ops in per_reader.items():
         ops.sort(key=lambda op: op.at)

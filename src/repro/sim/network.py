@@ -224,6 +224,12 @@ class Network:
         self.delivered_count = 0
         self.dropped_count = 0
         self.held_count = 0
+        # Per-register traffic tally, maintained on the send path only
+        # under METRICS (where the log records that would carry the
+        # keys are discarded); at FULL the same numbers are derived
+        # from the retained log on demand, keeping the hot path free of
+        # per-message bookkeeping.  Read via :meth:`sent_by_key`.
+        self._sent_by_key: Dict[Hashable, int] = {}
         # Rule resolution fast path: per-(src, dst) ordered sub-list of
         # rules that could match that channel; invalidated by add_rule.
         self._rule_index: Dict[Tuple[ProcessId, ProcessId], Tuple[Rule, ...]] = {}
@@ -269,6 +275,10 @@ class Network:
         self.sent_count += 1
         if self.trace_level >= TraceLevel.FULL:
             self.log.append(message)
+        else:
+            key = getattr(payload, "key", None)
+            if key is not None:
+                self._sent_by_key[key] = self._sent_by_key.get(key, 0) + 1
         action = self._resolve(message)
         if action == HOLD:
             message.held = True
@@ -341,6 +351,23 @@ class Network:
                 remaining.append(message)
         self.in_transit = remaining
         return released
+
+    def sent_by_key(self) -> Dict[Hashable, int]:
+        """Per-register sent-message counts (payloads carrying ``key``).
+
+        Available at *both* trace levels: derived from the retained log
+        at ``FULL``, from the send-path tally at ``METRICS`` — so soak
+        runs still report per-key message volume after the log records
+        are gone.
+        """
+        if self.trace_level >= TraceLevel.FULL:
+            counts: Dict[Hashable, int] = {}
+            for message in self.log:
+                key = getattr(message.payload, "key", None)
+                if key is not None:
+                    counts[key] = counts.get(key, 0) + 1
+            return counts
+        return dict(self._sent_by_key)
 
     def messages_between(
         self, src: ProcessId, dst: ProcessId

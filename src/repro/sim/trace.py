@@ -24,6 +24,7 @@ class OperationRecord:
     completed_at: Optional[float] = None
     result: Any = None             # read result / decision
     rounds: int = 0                # communication round-trips used
+    key: Hashable = 0              # addressed register (storage kinds)
     meta: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -49,7 +50,12 @@ class Trace:
         self._next_id = 0
 
     def begin(
-        self, kind: str, process: Hashable, time: float, value: Any = None
+        self,
+        kind: str,
+        process: Hashable,
+        time: float,
+        value: Any = None,
+        key: Hashable = 0,
     ) -> OperationRecord:
         record = OperationRecord(
             op_id=self._next_id,
@@ -57,6 +63,7 @@ class Trace:
             process=process,
             invoked_at=time,
             value=value,
+            key=key,
         )
         self._next_id += 1
         self._records.append(record)

@@ -6,6 +6,15 @@ observation is that no optimally-resilient atomic storage can make both
 reads and writes single-round in all cases [11], and ABD is the canonical
 two-round-read baseline the RQS algorithm is compared against
 (experiment E12).
+
+The register space is keyed: servers keep one highest-timestamped pair
+per key, and all messages carry the key they address.  Multi-writer
+deployments (``n_writers > 1``) use the standard MW-ABD lift — a
+majority collect round discovers the highest stored timestamp, and
+writes stamp ``(seq, writer_id)`` (see
+:func:`~repro.storage.history.make_stamp`) so timestamps are totally
+ordered across writers.  Single-writer systems keep the historical bare
+counters and one-round writes.
 """
 
 from __future__ import annotations
@@ -20,72 +29,117 @@ from repro.sim.simulator import Simulator
 from repro.sim.network import Network, TraceLevel
 from repro.sim.tasks import WaitUntil
 from repro.sim.trace import OperationRecord, Trace
-from repro.storage.history import BOTTOM, Pair
+from repro.storage.history import BOTTOM, DEFAULT_KEY, Pair
+from repro.storage.stamping import DiscoveryInbox, StampIssuer, writer_fleet
 
 
 @dataclass(frozen=True)
 class AbdWrite:
     ts: int
     value: Any
+    key: Hashable = DEFAULT_KEY
 
 
 @dataclass(frozen=True)
 class AbdWriteAck:
     ts: int
+    key: Hashable = DEFAULT_KEY
 
 
 @dataclass(frozen=True)
 class AbdRead:
     read_no: int
+    key: Hashable = DEFAULT_KEY
 
 
 @dataclass(frozen=True)
 class AbdReadAck:
     read_no: int
     pair: Pair
+    key: Hashable = DEFAULT_KEY
 
 
 class AbdServer(Process):
-    """Stores the highest-timestamped pair it has seen."""
+    """Stores the highest-timestamped pair it has seen, per key."""
 
     def __init__(self, pid: Hashable):
         super().__init__(pid)
-        self.pair = Pair(0, BOTTOM)
+        self.pairs: Dict[Hashable, Pair] = {}
+
+    @property
+    def pair(self) -> Pair:
+        """The default register's pair (single-register compatibility)."""
+        return self.pair_for(DEFAULT_KEY)
+
+    def pair_for(self, key: Hashable) -> Pair:
+        return self.pairs.get(key, Pair(0, BOTTOM))
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, AbdWrite):
-            if payload.ts > self.pair.ts:
-                self.pair = Pair(payload.ts, payload.value)
-            self.send(message.src, AbdWriteAck(payload.ts))
+            if payload.ts > self.pair_for(payload.key).ts:
+                self.pairs[payload.key] = Pair(payload.ts, payload.value)
+            self.send(message.src, AbdWriteAck(payload.ts, payload.key))
         elif isinstance(payload, AbdRead):
-            self.send(message.src, AbdReadAck(payload.read_no, self.pair))
+            self.send(
+                message.src,
+                AbdReadAck(payload.read_no, self.pair_for(payload.key),
+                           payload.key),
+            )
 
 
 class AbdWriter(Process):
-    def __init__(self, pid: Hashable, servers: Tuple[Hashable, ...], trace: Trace):
+    def __init__(
+        self,
+        pid: Hashable,
+        servers: Tuple[Hashable, ...],
+        trace: Trace,
+        writer_id: Optional[int] = None,
+    ):
         super().__init__(pid)
         self.servers = servers
         self.trace = trace
         self.majority = len(servers) // 2 + 1
-        self.ts = 0
-        self._acks = ConditionMap(AckSet, "abd wr ts={}")
+        self.stamps = StampIssuer(writer_id)
+        self._acks = ConditionMap(AckSet, "abd wr key={} ts={}")
+        # MW timestamp discovery (a majority collect round).
+        self._discovery = DiscoveryInbox("abd ts-discovery#{}")
+
+    @property
+    def ts(self) -> int:
+        return self.stamps.seq()
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, AbdWriteAck):
-            self._acks(payload.ts).add(message.src)
+            self._acks(payload.key, payload.ts).add(message.src)
+        elif isinstance(payload, AbdReadAck):
+            self._discovery.record(payload.read_no, message.src,
+                                   payload.pair)
 
-    def write(self, value: Any):
-        record = self.trace.begin("write", self.pid, self.sim.now, value)
-        self.ts += 1
-        ts = self.ts
+    def write(self, value: Any, key: Hashable = DEFAULT_KEY):
+        record = self.trace.begin("write", self.pid, self.sim.now, value,
+                                  key=key)
+        if not self.stamps.multi_writer:
+            ts, rounds = self.stamps.bare(key), 1
+        else:
+            number = self._discovery.open()
+            for server in self.servers:
+                self.send(server, AbdRead(number, key))
+            yield WaitUntil(
+                self._discovery.responders(number).at_least(self.majority),
+                f"abd write ts-discovery#{number}",
+            )
+            pairs = self._discovery.close(number)
+            observed = max(p.ts for p in pairs.values())
+            ts, rounds = self.stamps.stamped(key, observed), 2
         for server in self.servers:
-            self.send(server, AbdWrite(ts, value))
+            self.send(server, AbdWrite(ts, value, key))
         yield WaitUntil(
-            self._acks(ts).at_least(self.majority), f"abd write ts={ts}"
+            self._acks(key, ts).at_least(self.majority),
+            f"abd write ts={ts}",
         )
-        self.trace.complete(record, self.sim.now, "OK", rounds=1)
+        self.trace.complete(record, self.sim.now, "OK", rounds=rounds)
         return record
 
 
@@ -98,7 +152,7 @@ class AbdReader(Process):
         self.read_no = 0
         self._pairs: Dict[int, Dict[Hashable, Pair]] = {}
         self._replies = ConditionMap(Counter, "abd rd#{}")
-        self._wb = ConditionMap(AckSet, "abd wb ts={}")
+        self._wb = ConditionMap(AckSet, "abd wb key={} ts={}")
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
@@ -108,14 +162,14 @@ class AbdReader(Process):
                 replies[message.src] = payload.pair
                 self._replies(payload.read_no).add()
         elif isinstance(payload, AbdWriteAck):
-            self._wb(payload.ts).add(message.src)
+            self._wb(payload.key, payload.ts).add(message.src)
 
-    def read(self):
-        record = self.trace.begin("read", self.pid, self.sim.now)
+    def read(self, key: Hashable = DEFAULT_KEY):
+        record = self.trace.begin("read", self.pid, self.sim.now, key=key)
         self.read_no += 1
         number = self.read_no
         for server in self.servers:
-            self.send(server, AbdRead(number))
+            self.send(server, AbdRead(number, key))
         yield WaitUntil(
             self._replies(number).at_least(self.majority),
             f"abd read#{number} collect",
@@ -123,9 +177,9 @@ class AbdReader(Process):
         best = max(self._pairs[number].values(), key=lambda p: p.ts)
         # Write-back round (unconditional — the cost RQS avoids).
         for server in self.servers:
-            self.send(server, AbdWrite(best.ts, best.val))
+            self.send(server, AbdWrite(best.ts, best.val, key))
         yield WaitUntil(
-            self._wb(best.ts).at_least(self.majority),
+            self._wb(key, best.ts).at_least(self.majority),
             f"abd read#{number} writeback",
         )
         self.trace.complete(record, self.sim.now, best.val, rounds=2)
@@ -143,6 +197,7 @@ class AbdSystem:
         crash_times: Optional[Dict[Hashable, float]] = None,
         rules: Optional[List[Rule]] = None,
         trace_level: TraceLevel = TraceLevel.FULL,
+        n_writers: int = 1,
     ):
         self.sim = Simulator()
         self.network = Network(
@@ -156,8 +211,13 @@ class AbdSystem:
         }
         for sid, time in (crash_times or {}).items():
             self.servers[sid].schedule_crash(time)
-        self.writer = AbdWriter("writer", server_ids, self.trace)
-        self.writer.bind(self.network)
+        self.writers: List[AbdWriter] = writer_fleet(
+            n_writers,
+            lambda pid, writer_id: AbdWriter(
+                pid, server_ids, self.trace, writer_id=writer_id
+            ).bind(self.network),
+        )
+        self.writer = self.writers[0]
         self.readers = [
             AbdReader(f"reader{i + 1}", server_ids, self.trace).bind(
                 self.network
@@ -165,16 +225,20 @@ class AbdSystem:
             for i in range(n_readers)
         ]
 
-    def write(self, value: Any) -> OperationRecord:
-        task = self.sim.spawn(self.writer.write(value), f"write({value!r})")
+    def write(self, value: Any, key: Hashable = DEFAULT_KEY) -> OperationRecord:
+        task = self.sim.spawn(
+            self.writer.write(value, key), f"write({value!r})"
+        )
         self.sim.run_to_completion(strict=False)
         if not task.done():
             raise TimeoutError("abd write blocked")
         return task.result
 
-    def read(self, reader_index: int = 0) -> OperationRecord:
+    def read(
+        self, reader_index: int = 0, key: Hashable = DEFAULT_KEY
+    ) -> OperationRecord:
         reader = self.readers[reader_index]
-        task = self.sim.spawn(reader.read(), f"{reader.pid}.read()")
+        task = self.sim.spawn(reader.read(key), f"{reader.pid}.read()")
         self.sim.run_to_completion(strict=False)
         if not task.done():
             raise TimeoutError("abd read blocked")

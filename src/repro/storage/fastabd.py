@@ -18,7 +18,10 @@ quorums (Figure 2(b)); :mod:`repro.storage.naive` shows what happens with
 3-element fast quorums instead (Figure 1 / Figure 2(a)).
 
 The implementation is parameterized by ``(n, t, fast)`` with the paper's
-instance as defaults (``n=5, t=2, fast=4``).
+instance as defaults (``n=5, t=2, fast=4``).  The register space is
+keyed (independent ``pw``/``w`` slots per key); multi-writer
+deployments discover the highest stored timestamp with an ``n − t``
+collect round and stamp ``(seq, writer_id)``.
 """
 
 from __future__ import annotations
@@ -32,7 +35,8 @@ from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 from repro.sim.tasks import WaitUntil
 from repro.sim.trace import OperationRecord, Trace
-from repro.storage.history import BOTTOM, Pair
+from repro.storage.history import BOTTOM, DEFAULT_KEY, Pair
+from repro.storage.stamping import DiscoveryInbox, StampIssuer, writer_fleet
 
 
 @dataclass(frozen=True)
@@ -42,17 +46,20 @@ class FWrite:
     ts: int
     value: Any
     slot: str
+    key: Hashable = DEFAULT_KEY
 
 
 @dataclass(frozen=True)
 class FWriteAck:
     ts: int
     slot: str
+    key: Hashable = DEFAULT_KEY
 
 
 @dataclass(frozen=True)
 class FRead:
     read_no: int
+    key: Hashable = DEFAULT_KEY
 
 
 @dataclass(frozen=True)
@@ -60,27 +67,50 @@ class FReadAck:
     read_no: int
     pw: Pair
     w: Pair
+    key: Hashable = DEFAULT_KEY
 
 
 class FastAbdServer(Process):
-    """Keeps the two timestamp/value variables ``pw`` and ``w``."""
+    """Keeps the two timestamp/value variables ``pw`` and ``w`` per key."""
 
     def __init__(self, pid: Hashable):
         super().__init__(pid)
-        self.pw = Pair(0, BOTTOM)
-        self.w = Pair(0, BOTTOM)
+        self.slots: Dict[Hashable, Dict[str, Pair]] = {}
+
+    def _slots_for(self, key: Hashable) -> Dict[str, Pair]:
+        slots = self.slots.get(key)
+        if slots is None:
+            slots = self.slots[key] = {
+                "pw": Pair(0, BOTTOM), "w": Pair(0, BOTTOM)
+            }
+        return slots
+
+    @property
+    def pw(self) -> Pair:
+        return self._slots_for(DEFAULT_KEY)["pw"]
+
+    @property
+    def w(self) -> Pair:
+        return self._slots_for(DEFAULT_KEY)["w"]
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, FWrite):
+            slots = self._slots_for(payload.key)
             pair = Pair(payload.ts, payload.value)
-            if payload.slot == "pw" and payload.ts > self.pw.ts:
-                self.pw = pair
-            elif payload.slot == "w" and payload.ts > self.w.ts:
-                self.w = pair
-            self.send(message.src, FWriteAck(payload.ts, payload.slot))
+            if payload.ts > slots[payload.slot].ts:
+                slots[payload.slot] = pair
+            self.send(
+                message.src,
+                FWriteAck(payload.ts, payload.slot, payload.key),
+            )
         elif isinstance(payload, FRead):
-            self.send(message.src, FReadAck(payload.read_no, self.pw, self.w))
+            slots = self._slots_for(payload.key)
+            self.send(
+                message.src,
+                FReadAck(payload.read_no, slots["pw"], slots["w"],
+                         payload.key),
+            )
 
 
 class FastAbdWriter(Process):
@@ -92,6 +122,7 @@ class FastAbdWriter(Process):
         t: int,
         fast: int,
         delta: float = 1.0,
+        writer_id: Optional[int] = None,
     ):
         super().__init__(pid)
         self.servers = servers
@@ -99,35 +130,56 @@ class FastAbdWriter(Process):
         self.slow = len(servers) - t
         self.fast = fast
         self.timeout = 2.0 * delta
-        self.ts = 0
-        self._acks = ConditionMap(AckSet, "fast wr ts={} {}")
+        self.stamps = StampIssuer(writer_id)
+        self._acks = ConditionMap(AckSet, "fast wr key={} ts={} {}")
+        self._discovery = DiscoveryInbox("fast ts-discovery#{}")
+
+    @property
+    def ts(self) -> int:
+        return self.stamps.seq()
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, FWriteAck):
-            self._acks(payload.ts, payload.slot).add(message.src)
+            self._acks(payload.key, payload.ts, payload.slot).add(message.src)
+        elif isinstance(payload, FReadAck):
+            self._discovery.record(payload.read_no, message.src, payload)
 
-    def write(self, value: Any):
-        record = self.trace.begin("write", self.pid, self.sim.now, value)
-        self.ts += 1
-        ts = self.ts
+    def write(self, value: Any, key: Hashable = DEFAULT_KEY):
+        record = self.trace.begin("write", self.pid, self.sim.now, value,
+                                  key=key)
+        if not self.stamps.multi_writer:
+            ts, extra_rounds = self.stamps.bare(key), 0
+        else:
+            number = self._discovery.open()
+            for server in self.servers:
+                self.send(server, FRead(number, key))
+            yield WaitUntil(
+                self._discovery.responders(number).at_least(self.slow),
+                f"fast-write ts-discovery#{number}",
+            )
+            acks = self._discovery.close(number)
+            observed = max(max(a.pw.ts, a.w.ts) for a in acks.values())
+            ts, extra_rounds = self.stamps.stamped(key, observed), 1
         for server in self.servers:
-            self.send(server, FWrite(ts, value, "pw"))
+            self.send(server, FWrite(ts, value, "pw", key))
         timer = self.sim.timer_at(self.sim.now + self.timeout)
         yield WaitUntil(
-            AllOf(timer, self._acks(ts, "pw").at_least(self.slow)),
+            AllOf(timer, self._acks(key, ts, "pw").at_least(self.slow)),
             f"fast-write ts={ts} round 1",
         )
-        if len(self._acks(ts, "pw")) >= self.fast:
-            self.trace.complete(record, self.sim.now, "OK", rounds=1)
+        if len(self._acks(key, ts, "pw")) >= self.fast:
+            self.trace.complete(record, self.sim.now, "OK",
+                                rounds=1 + extra_rounds)
             return record
         for server in self.servers:
-            self.send(server, FWrite(ts, value, "w"))
+            self.send(server, FWrite(ts, value, "w", key))
         yield WaitUntil(
-            self._acks(ts, "w").at_least(self.slow),
+            self._acks(key, ts, "w").at_least(self.slow),
             f"fast-write ts={ts} round 2",
         )
-        self.trace.complete(record, self.sim.now, "OK", rounds=2)
+        self.trace.complete(record, self.sim.now, "OK",
+                            rounds=2 + extra_rounds)
         return record
 
 
@@ -148,7 +200,7 @@ class FastAbdReader(Process):
         self.read_no = 0
         self._acks: Dict[int, Dict[Hashable, FReadAck]] = {}
         self._replies = ConditionMap(Counter, "fast rd#{}")
-        self._wb = ConditionMap(AckSet, "fast wb ts={} {}")
+        self._wb = ConditionMap(AckSet, "fast wb key={} ts={} {}")
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
@@ -158,14 +210,14 @@ class FastAbdReader(Process):
                 replies[message.src] = payload
                 self._replies(payload.read_no).add()
         elif isinstance(payload, FWriteAck):
-            self._wb(payload.ts, payload.slot).add(message.src)
+            self._wb(payload.key, payload.ts, payload.slot).add(message.src)
 
-    def read(self):
-        record = self.trace.begin("read", self.pid, self.sim.now)
+    def read(self, key: Hashable = DEFAULT_KEY):
+        record = self.trace.begin("read", self.pid, self.sim.now, key=key)
         self.read_no += 1
         number = self.read_no
         for server in self.servers:
-            self.send(server, FRead(number))
+            self.send(server, FRead(number, key))
         timer = self.sim.timer_at(self.sim.now + self.timeout)
         yield WaitUntil(
             AllOf(timer, self._replies(number).at_least(self.slow)),
@@ -181,9 +233,9 @@ class FastAbdReader(Process):
             return record
         # Round 2: write back cmax into pw fields.
         for server in self.servers:
-            self.send(server, FWrite(cmax.ts, cmax.val, "pw"))
+            self.send(server, FWrite(cmax.ts, cmax.val, "pw", key))
         yield WaitUntil(
-            self._wb(cmax.ts, "pw").at_least(self.slow),
+            self._wb(key, cmax.ts, "pw").at_least(self.slow),
             f"fast-read#{number} writeback",
         )
         self.trace.complete(record, self.sim.now, cmax.val, rounds=2)
@@ -203,6 +255,7 @@ class FastAbdSystem:
         crash_times: Optional[Dict[Hashable, float]] = None,
         rules: Optional[List[Rule]] = None,
         trace_level: TraceLevel = TraceLevel.FULL,
+        n_writers: int = 1,
     ):
         self.sim = Simulator()
         self.network = Network(
@@ -216,10 +269,14 @@ class FastAbdSystem:
         }
         for sid, time in (crash_times or {}).items():
             self.servers[sid].schedule_crash(time)
-        self.writer = FastAbdWriter(
-            "writer", server_ids, self.trace, t=t, fast=fast, delta=delta
+        self.writers: List[FastAbdWriter] = writer_fleet(
+            n_writers,
+            lambda pid, writer_id: FastAbdWriter(
+                pid, server_ids, self.trace, t=t, fast=fast, delta=delta,
+                writer_id=writer_id,
+            ).bind(self.network),
         )
-        self.writer.bind(self.network)
+        self.writer = self.writers[0]
         self.readers = [
             FastAbdReader(
                 f"reader{i + 1}", server_ids, self.trace, t=t, delta=delta
@@ -227,16 +284,20 @@ class FastAbdSystem:
             for i in range(n_readers)
         ]
 
-    def write(self, value: Any) -> OperationRecord:
-        task = self.sim.spawn(self.writer.write(value), f"write({value!r})")
+    def write(self, value: Any, key: Hashable = DEFAULT_KEY) -> OperationRecord:
+        task = self.sim.spawn(
+            self.writer.write(value, key), f"write({value!r})"
+        )
         self.sim.run_to_completion(strict=False)
         if not task.done():
             raise TimeoutError("fast-abd write blocked")
         return task.result
 
-    def read(self, reader_index: int = 0) -> OperationRecord:
+    def read(
+        self, reader_index: int = 0, key: Hashable = DEFAULT_KEY
+    ) -> OperationRecord:
         reader = self.readers[reader_index]
-        task = self.sim.spawn(reader.read(), f"{reader.pid}.read()")
+        task = self.sim.spawn(reader.read(key), f"{reader.pid}.read()")
         self.sim.run_to_completion(strict=False)
         if not task.done():
             raise TimeoutError("fast-abd read blocked")

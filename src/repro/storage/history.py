@@ -16,6 +16,33 @@ from typing import Any, Dict, FrozenSet, Hashable, Iterator, NamedTuple, Tuple
 
 QuorumId = FrozenSet[Hashable]
 
+#: The register every un-keyed operation addresses.  Single-register
+#: workloads (every pre-keyed spec) read and write exactly this key, so
+#: their executions are bit-identical to the historical single-register
+#: code path.
+DEFAULT_KEY: Hashable = 0
+
+#: Multi-writer timestamps are integers ``seq * WRITER_STRIDE +
+#: writer_id`` — totally ordered by ``(seq, writer_id)`` while staying
+#: plain ints, so every comparison against the initial timestamp ``0``
+#: and every history/message/condition keyed by ``ts`` works unchanged.
+#: Single-writer systems keep bare sequence numbers (the historical
+#: encoding); the stride supports up to ~a million concurrent writers.
+WRITER_STRIDE = 1 << 20
+
+
+def make_stamp(seq: int, writer_id: int) -> int:
+    """The totally-ordered multi-writer timestamp ``(seq, writer_id)``."""
+    if not 0 <= writer_id < WRITER_STRIDE:
+        raise ValueError(f"writer_id must be in [0, {WRITER_STRIDE}), "
+                         f"got {writer_id}")
+    return seq * WRITER_STRIDE + writer_id
+
+
+def stamp_seq(ts: int) -> int:
+    """The sequence-number component of a stamped timestamp."""
+    return ts // WRITER_STRIDE
+
 
 class _Bottom:
     """The out-of-domain initial value ``⊥`` (singleton)."""

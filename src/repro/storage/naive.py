@@ -13,6 +13,11 @@ Kept deliberately faithful to the counterexample: with scripted message
 schedules the four executions of Figure 1 drive it into returning a
 value that a later read can no longer see (stale read in ex4), which the
 atomicity checker flags.
+
+The register space is keyed like the other baselines (per-key server
+pairs, keys on every message); multi-writer deployments stamp
+``(seq, writer_id)`` after an ``n − t`` discovery round — the greedy
+one-round completion rule, the algorithm's actual flaw, is untouched.
 """
 
 from __future__ import annotations
@@ -26,72 +31,114 @@ from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 from repro.sim.tasks import WaitUntil
 from repro.sim.trace import OperationRecord, Trace
-from repro.storage.history import BOTTOM, Pair
+from repro.storage.history import BOTTOM, DEFAULT_KEY, Pair
+from repro.storage.stamping import DiscoveryInbox, StampIssuer, writer_fleet
 
 
 @dataclass(frozen=True)
 class NWrite:
     ts: int
     value: Any
+    key: Hashable = DEFAULT_KEY
 
 
 @dataclass(frozen=True)
 class NWriteAck:
     ts: int
+    key: Hashable = DEFAULT_KEY
 
 
 @dataclass(frozen=True)
 class NRead:
     read_no: int
+    key: Hashable = DEFAULT_KEY
 
 
 @dataclass(frozen=True)
 class NReadAck:
     read_no: int
     pair: Pair
+    key: Hashable = DEFAULT_KEY
 
 
 class NaiveServer(Process):
     def __init__(self, pid: Hashable):
         super().__init__(pid)
-        self.pair = Pair(0, BOTTOM)
+        self.pairs: Dict[Hashable, Pair] = {}
+
+    @property
+    def pair(self) -> Pair:
+        return self.pair_for(DEFAULT_KEY)
+
+    def pair_for(self, key: Hashable) -> Pair:
+        return self.pairs.get(key, Pair(0, BOTTOM))
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, NWrite):
-            if payload.ts > self.pair.ts:
-                self.pair = Pair(payload.ts, payload.value)
-            self.send(message.src, NWriteAck(payload.ts))
+            if payload.ts > self.pair_for(payload.key).ts:
+                self.pairs[payload.key] = Pair(payload.ts, payload.value)
+            self.send(message.src, NWriteAck(payload.ts, payload.key))
         elif isinstance(payload, NRead):
-            self.send(message.src, NReadAck(payload.read_no, self.pair))
+            self.send(
+                message.src,
+                NReadAck(payload.read_no, self.pair_for(payload.key),
+                         payload.key),
+            )
 
 
 class NaiveWriter(Process):
     def __init__(
-        self, pid: Hashable, servers: Tuple[Hashable, ...], trace: Trace, t: int
+        self,
+        pid: Hashable,
+        servers: Tuple[Hashable, ...],
+        trace: Trace,
+        t: int,
+        writer_id: Optional[int] = None,
     ):
         super().__init__(pid)
         self.servers = servers
         self.trace = trace
         self.quorum = len(servers) - t
-        self.ts = 0
-        self._acks = ConditionMap(AckSet, "naive wr ts={}")
+        self.stamps = StampIssuer(writer_id)
+        self._acks = ConditionMap(AckSet, "naive wr key={} ts={}")
+        self._discovery = DiscoveryInbox("naive ts-discovery#{}")
+
+    @property
+    def ts(self) -> int:
+        return self.stamps.seq()
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, NWriteAck):
-            self._acks(payload.ts).add(message.src)
+            self._acks(payload.key, payload.ts).add(message.src)
+        elif isinstance(payload, NReadAck):
+            self._discovery.record(payload.read_no, message.src,
+                                   payload.pair)
 
-    def write(self, value: Any):
-        record = self.trace.begin("write", self.pid, self.sim.now, value)
-        self.ts += 1
-        ts = self.ts
+    def write(self, value: Any, key: Hashable = DEFAULT_KEY):
+        record = self.trace.begin("write", self.pid, self.sim.now, value,
+                                  key=key)
+        if not self.stamps.multi_writer:
+            ts, rounds = self.stamps.bare(key), 1
+        else:
+            number = self._discovery.open()
+            for server in self.servers:
+                self.send(server, NRead(number, key))
+            yield WaitUntil(
+                self._discovery.responders(number).at_least(self.quorum),
+                f"naive write ts-discovery#{number}",
+            )
+            pairs = self._discovery.close(number)
+            observed = max(p.ts for p in pairs.values())
+            ts, rounds = self.stamps.stamped(key, observed), 2
         for server in self.servers:
-            self.send(server, NWrite(ts, value))
+            self.send(server, NWrite(ts, value, key))
         yield WaitUntil(
-            self._acks(ts).at_least(self.quorum), f"naive write ts={ts}"
+            self._acks(key, ts).at_least(self.quorum),
+            f"naive write ts={ts}",
         )
-        self.trace.complete(record, self.sim.now, "OK", rounds=1)
+        self.trace.complete(record, self.sim.now, "OK", rounds=rounds)
         return record
 
 
@@ -115,12 +162,12 @@ class NaiveReader(Process):
                 replies[message.src] = payload.pair
                 self._replies(payload.read_no).add()
 
-    def read(self):
-        record = self.trace.begin("read", self.pid, self.sim.now)
+    def read(self, key: Hashable = DEFAULT_KEY):
+        record = self.trace.begin("read", self.pid, self.sim.now, key=key)
         self.read_no += 1
         number = self.read_no
         for server in self.servers:
-            self.send(server, NRead(number))
+            self.send(server, NRead(number, key))
         yield WaitUntil(
             self._replies(number).at_least(self.quorum),
             f"naive read#{number}",
@@ -142,6 +189,7 @@ class NaiveSystem:
         crash_times: Optional[Dict[Hashable, float]] = None,
         rules: Optional[List[Rule]] = None,
         trace_level: TraceLevel = TraceLevel.FULL,
+        n_writers: int = 1,
     ):
         self.sim = Simulator()
         self.network = Network(
@@ -155,8 +203,13 @@ class NaiveSystem:
         }
         for sid, time in (crash_times or {}).items():
             self.servers[sid].schedule_crash(time)
-        self.writer = NaiveWriter("writer", server_ids, self.trace, t=t)
-        self.writer.bind(self.network)
+        self.writers: List[NaiveWriter] = writer_fleet(
+            n_writers,
+            lambda pid, writer_id: NaiveWriter(
+                pid, server_ids, self.trace, t=t, writer_id=writer_id
+            ).bind(self.network),
+        )
+        self.writer = self.writers[0]
         self.readers = [
             NaiveReader(f"reader{i + 1}", server_ids, self.trace, t=t).bind(
                 self.network

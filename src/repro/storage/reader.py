@@ -31,7 +31,7 @@ from repro.sim.network import Message
 from repro.sim.process import Process
 from repro.sim.tasks import WaitUntil
 from repro.sim.trace import Trace
-from repro.storage.history import Pair
+from repro.storage.history import DEFAULT_KEY, Pair
 from repro.storage.messages import RD, RdAck, WR, WrAck
 from repro.storage.predicates import ReadState
 
@@ -39,7 +39,12 @@ QuorumId = FrozenSet[Hashable]
 
 
 class StorageReader(Process):
-    """A reader client (any number of them may exist)."""
+    """A reader client (any number of them may exist).
+
+    Reads address one register of the keyed space; all predicate state
+    is per-read and the server snapshots it accumulates are scoped to
+    the read's key, so the Figure 7 machinery is untouched by the lift.
+    """
 
     def __init__(
         self,
@@ -55,8 +60,8 @@ class StorageReader(Process):
         self.read_no = 0
         self._state: Optional[ReadState] = None
         self._current_read_no = -1
-        #: Write-back responder sets, keyed (ts, rnd) (signalling).
-        self._wb = ConditionMap(AckSet, "wb ts={} rnd={}")
+        #: Write-back responder sets, keyed (key, ts, rnd) (signalling).
+        self._wb = ConditionMap(AckSet, "wb key={} ts={} rnd={}")
 
     # -- network ------------------------------------------------------------------
 
@@ -66,19 +71,20 @@ class StorageReader(Process):
             if payload.read_no == self._current_read_no and self._state is not None:
                 self._state.record_ack(message.src, payload.rnd, payload.history)
         elif isinstance(payload, WrAck):
-            self._wb(payload.ts, payload.rnd).add(message.src)
+            self._wb(payload.key, payload.ts, payload.rnd).add(message.src)
 
     # -- protocol -------------------------------------------------------------------
 
-    def read(self):
-        """Coroutine implementing ``read()`` — spawn on the simulator.
+    def read(self, key: Hashable = DEFAULT_KEY):
+        """Coroutine implementing ``read()`` on one register — spawn on
+        the simulator.
 
         Returns the operation's record; ``record.result`` is the value.
         """
-        record = self.trace.begin("read", self.pid, self.sim.now)
+        record = self.trace.begin("read", self.pid, self.sim.now, key=key)
         self.read_no += 1
         self._current_read_no = self.read_no
-        self._wb = ConditionMap(AckSet, "wb ts={} rnd={}")
+        self._wb = ConditionMap(AckSet, "wb key={} ts={} rnd={}")
         state = ReadState(self.rqs)
         self._state = state
 
@@ -93,7 +99,7 @@ class StorageReader(Process):
                 else None
             )
             for server in sorted(self.rqs.ground_set, key=repr):
-                self.send(server, RD(self.read_no, read_rnd))
+                self.send(server, RD(self.read_no, read_rnd, key))
 
             rnd = read_rnd
 
@@ -128,36 +134,42 @@ class StorageReader(Process):
             if x23:
                 # Line 42: the writer already stored csel at a full quorum;
                 # one round-2 write-back finishes the read in 2 rounds.
-                yield from self._writeback(2, csel, frozenset())
+                yield from self._writeback(2, csel, frozenset(), key)
                 self.trace.complete(record, self.sim.now, csel.val, rounds=2)
                 return record
             # Lines 43-47: round-1 write-back carrying the confirmed
             # class-2 quorum ids, with a 2Δ window to finish fast.
             wb_timer = self.sim.timer_at(self.sim.now + self.timeout)
-            yield from self._writeback(1, csel, frozenset(x1))
+            yield from self._writeback(1, csel, frozenset(x1), key)
             yield WaitUntil(wb_timer, f"read#{self.read_no} writeback timer")
-            acked = self._wb(csel.ts, 1)
+            acked = self._wb(key, csel.ts, 1)
             if any(q2 <= acked for q2 in x1):
                 self.trace.complete(record, self.sim.now, csel.val, rounds=2)
                 return record
-            yield from self._writeback(2, csel, frozenset())
+            yield from self._writeback(2, csel, frozenset(), key)
             self.trace.complete(record, self.sim.now, csel.val, rounds=3)
             return record
 
         # Line 49: full two-round write-back.
-        yield from self._writeback(1, csel, frozenset())
-        yield from self._writeback(2, csel, frozenset())
+        yield from self._writeback(1, csel, frozenset(), key)
+        yield from self._writeback(2, csel, frozenset(), key)
         self.trace.complete(
             record, self.sim.now, csel.val, rounds=read_rnd + 2
         )
         return record
 
-    def _writeback(self, rnd: int, c: Pair, qc2_ids: FrozenSet[QuorumId]):
+    def _writeback(
+        self,
+        rnd: int,
+        c: Pair,
+        qc2_ids: FrozenSet[QuorumId],
+        key: Hashable = DEFAULT_KEY,
+    ):
         """``writeback(round, c, Set)`` (lines 60-62): write ``c`` back to
         all servers and await a quorum of acks."""
         for server in sorted(self.rqs.ground_set, key=repr):
-            self.send(server, WR(c.ts, c.val, qc2_ids, rnd))
+            self.send(server, WR(c.ts, c.val, qc2_ids, rnd, key))
         yield WaitUntil(
-            self._wb(c.ts, rnd).includes_any(self.rqs.quorums),
+            self._wb(key, c.ts, rnd).includes_any(self.rqs.quorums),
             f"read#{self.read_no} writeback round {rnd}",
         )

@@ -28,6 +28,7 @@ from repro.core.rqs import RefinedQuorumSystem
 from repro.sim.network import Rule, TraceLevel
 from repro.sim.tasks import WaitUntil
 from repro.sim.trace import OperationRecord, Trace
+from repro.storage.history import DEFAULT_KEY
 from repro.storage.messages import RD
 from repro.storage.predicates import ReadState
 from repro.storage.reader import StorageReader
@@ -37,8 +38,8 @@ from repro.storage.system import StorageSystem
 class RegularReader(StorageReader):
     """A reader providing regular (not atomic) semantics."""
 
-    def read(self):
-        record = self.trace.begin("read", self.pid, self.sim.now)
+    def read(self, key=DEFAULT_KEY):
+        record = self.trace.begin("read", self.pid, self.sim.now, key=key)
         self.read_no += 1
         self._current_read_no = self.read_no
         state = ReadState(self.rqs)
@@ -53,7 +54,7 @@ class RegularReader(StorageReader):
                 else None
             )
             for server in sorted(self.rqs.ground_set, key=repr):
-                self.send(server, RD(self.read_no, read_rnd))
+                self.send(server, RD(self.read_no, read_rnd, key))
 
             rnd = read_rnd
 

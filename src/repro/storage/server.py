@@ -30,20 +30,41 @@ Byzantine variants used by tests and proof replays:
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Optional
+from typing import Any, Dict, Hashable, Optional
 
 from repro.sim.network import Message
 from repro.sim.process import Process
-from repro.storage.history import Entry, History, HistoryView, Pair
+from repro.storage.history import (
+    DEFAULT_KEY,
+    Entry,
+    History,
+    HistoryView,
+    Pair,
+)
 from repro.storage.messages import RD, RdAck, WR, WrAck
 
 
 class StorageServer(Process):
-    """A benign storage server."""
+    """A benign storage server.
+
+    The server keeps one independent :class:`History` matrix per
+    register key (the keyed-register-space lift); ``self.history`` stays
+    an alias for the default register's matrix, which is what the
+    Byzantine forgery variants below roll back — forgeries target the
+    default register, matching every scripted proof replay.
+    """
 
     def __init__(self, pid: Hashable):
         super().__init__(pid)
-        self.history = History()
+        self.histories: Dict[Hashable, History] = {}
+        self.history = self.history_for(DEFAULT_KEY)
+
+    def history_for(self, key: Hashable) -> History:
+        """The (lazily created) history matrix of one register."""
+        history = self.histories.get(key)
+        if history is None:
+            history = self.histories[key] = History()
+        return history
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
@@ -56,11 +77,15 @@ class StorageServer(Process):
     # selectively override them.
 
     def handle_write(self, client: Hashable, wr: WR) -> None:
-        self.history.store(wr.ts, wr.rnd, wr.value, wr.qc2_ids)
-        self.send(client, WrAck(wr.ts, wr.rnd))
+        self.history_for(wr.key).store(wr.ts, wr.rnd, wr.value, wr.qc2_ids)
+        self.send(client, WrAck(wr.ts, wr.rnd, wr.key))
 
     def handle_read(self, client: Hashable, rd: RD) -> None:
-        self.send(client, RdAck(rd.read_no, rd.rnd, self.history.snapshot()))
+        self.send(
+            client,
+            RdAck(rd.read_no, rd.rnd, self.history_for(rd.key).snapshot(),
+                  rd.key),
+        )
 
 
 class SilentServer(StorageServer):
@@ -91,7 +116,9 @@ class FabricatingServer(StorageServer):
     def handle_read(self, client: Hashable, rd: RD) -> None:
         forged = History()
         forged.store(self.forged_ts, 2, self.forged_value, frozenset())
-        self.send(client, RdAck(rd.read_no, rd.rnd, forged.snapshot()))
+        self.send(
+            client, RdAck(rd.read_no, rd.rnd, forged.snapshot(), rd.key)
+        )
 
 
 class ForgetfulServer(StorageServer):

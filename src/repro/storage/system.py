@@ -20,15 +20,27 @@ from repro.core.rqs import RefinedQuorumSystem
 from repro.sim.network import Network, Rule, TraceLevel
 from repro.sim.simulator import Simulator
 from repro.sim.trace import OperationRecord, Trace
+from repro.storage.history import DEFAULT_KEY
 from repro.storage.reader import StorageReader
 from repro.storage.server import StorageServer
+from repro.storage.stamping import writer_fleet
 from repro.storage.writer import StorageWriter
 
 ServerFactory = Callable[[Hashable], StorageServer]
 
 
 class StorageSystem:
-    """A fully wired storage deployment over a simulated network."""
+    """A fully wired storage deployment over a simulated network.
+
+    The register space is keyed: every operation addresses one register
+    (the default key reproduces the historical single register).
+    ``n_writers=1`` (the paper's SWMR model) keeps the single ``writer``
+    with bare timestamps; ``n_writers > 1`` deploys indexed writers
+    whose stamped timestamps are totally ordered across writers (see
+    :mod:`repro.storage.writer`).  ``n_keys`` documents the intended
+    keyspace width for workload expansion — server state is created
+    lazily per key, so it does not bound the keys clients may address.
+    """
 
     def __init__(
         self,
@@ -39,9 +51,12 @@ class StorageSystem:
         crash_times: Optional[Dict[Hashable, float]] = None,
         rules: Optional[Sequence[Rule]] = None,
         trace_level: TraceLevel = TraceLevel.FULL,
+        n_writers: int = 1,
+        n_keys: int = 1,
     ):
         self.rqs = rqs
         self.delta = delta
+        self.n_keys = n_keys
         self.sim = Simulator()
         self.network = Network(
             self.sim, delta=delta, rules=list(rules or []),
@@ -59,8 +74,13 @@ class StorageSystem:
         for sid, time in (crash_times or {}).items():
             self.servers[sid].schedule_crash(time)
 
-        self.writer = StorageWriter("writer", rqs, self.trace, delta=delta)
-        self.writer.bind(self.network)
+        self.writers: List[StorageWriter] = writer_fleet(
+            n_writers,
+            lambda pid, writer_id: StorageWriter(
+                pid, rqs, self.trace, delta=delta, writer_id=writer_id
+            ).bind(self.network),
+        )
+        self.writer = self.writers[0]
         self.readers: List[StorageReader] = []
         for index in range(n_readers):
             reader = StorageReader(
@@ -104,18 +124,22 @@ class StorageSystem:
 
     # -- synchronous convenience API (examples / quickstart) ----------------------
 
-    def write(self, value: Any) -> OperationRecord:
+    def write(self, value: Any, key: Hashable = DEFAULT_KEY) -> OperationRecord:
         """Invoke a write now and run the simulation until it completes."""
-        task = self.sim.spawn(self.writer.write(value), f"write({value!r})")
+        task = self.sim.spawn(
+            self.writer.write(value, key), f"write({value!r})"
+        )
         self.sim.run_to_completion(strict=False)
         if not task.done():
             raise TimeoutError("write blocked: no responsive quorum")
         return task.result
 
-    def read(self, reader_index: int = 0) -> OperationRecord:
+    def read(
+        self, reader_index: int = 0, key: Hashable = DEFAULT_KEY
+    ) -> OperationRecord:
         """Invoke a read now and run the simulation until it completes."""
         reader = self.readers[reader_index]
-        task = self.sim.spawn(reader.read(), f"{reader.pid}.read()")
+        task = self.sim.spawn(reader.read(key), f"{reader.pid}.read()")
         self.sim.run_to_completion(strict=False)
         if not task.done():
             raise TimeoutError("read blocked: no responsive quorum")
@@ -149,7 +173,7 @@ class StorageSystem:
         )
         self.sim.spawn(
             self._sequential_ops(
-                [(w.at, self.writer.write, (w.value,)) for w in writes]
+                [(w.at, self.writer.write, (w.value, w.key)) for w in writes]
             ),
             "writer-workload",
         )
@@ -157,7 +181,7 @@ class StorageSystem:
             reader = self.readers[reader_index]
             self.sim.spawn(
                 self._sequential_ops(
-                    [(op.at, reader.read, ()) for op in ops]
+                    [(op.at, reader.read, (op.key,)) for op in ops]
                 ),
                 f"{reader.pid}-workload",
             )

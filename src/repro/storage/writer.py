@@ -11,8 +11,26 @@ A write takes at most three rounds:
 3. Otherwise round 3 writes to slot 3 and returns on any quorum of acks
    (no timer: nothing faster can be detected any more).
 
-The writer is single (SWMR storage) and its timestamps are monotonically
-increasing across writes.
+The register space is keyed: every write addresses one register and all
+per-key state — timestamps, server histories, responder sets — is
+independent (the default key reproduces the paper's single register
+bit-for-bit).
+
+Writers come in two modes:
+
+* **Single-writer** (``writer_id=None``, the paper's SWMR model): the
+  unique writer keeps a bare per-key sequence counter, monotonically
+  increasing across its writes — the historical encoding, unchanged.
+* **Multi-writer** (``writer_id`` an index): timestamps are stamped
+  ``(seq, writer_id)`` via :func:`~repro.storage.history.make_stamp`
+  (totally ordered across writers), and each write is preceded by a
+  **timestamp-discovery round** — the writer reuses the read protocol
+  (``rd`` with ``rnd = 0``) to collect a quorum of history snapshots
+  and picks ``seq`` above everything stored.  Any completed write's
+  timestamp sits in slot 1 at a full quorum, and any two quorums
+  intersect in a correct server (Property 1), so discovery never misses
+  a completed predecessor; Byzantine inflation of the reported maximum
+  only advances the sequence space, which is harmless.
 """
 
 from __future__ import annotations
@@ -25,13 +43,15 @@ from repro.sim.network import Message
 from repro.sim.process import Process
 from repro.sim.tasks import WaitUntil
 from repro.sim.trace import Trace
-from repro.storage.messages import WR, WrAck
+from repro.storage.history import DEFAULT_KEY
+from repro.storage.messages import RD, RdAck, WR, WrAck
+from repro.storage.stamping import DiscoveryInbox, StampIssuer
 
 QuorumId = FrozenSet[Hashable]
 
 
 class StorageWriter(Process):
-    """The unique writer client."""
+    """A writer client (unique in SWMR mode, indexed in MW mode)."""
 
     def __init__(
         self,
@@ -39,66 +59,112 @@ class StorageWriter(Process):
         rqs: RefinedQuorumSystem,
         trace: Optional[Trace] = None,
         delta: float = 1.0,
+        writer_id: Optional[int] = None,
     ):
         super().__init__(pid)
         self.rqs = rqs
         self.trace = trace if trace is not None else Trace()
         self.timeout = 2.0 * delta
-        self.ts = 0
-        self._acks = ConditionMap(AckSet, "wr ts={} rnd={}")
+        self.stamps = StampIssuer(writer_id)
+        self._acks = ConditionMap(AckSet, "wr key={} ts={} rnd={}")
+        self._discovery = DiscoveryInbox("write ts-discovery#{}")
+
+    @property
+    def writer_id(self) -> Optional[int]:
+        return self.stamps.writer_id
+
+    @property
+    def ts(self) -> int:
+        """The default register's latest sequence number (SWMR compat)."""
+        return self.stamps.seq()
 
     # -- network ---------------------------------------------------------------
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, WrAck):
-            self.acks(payload.ts, payload.rnd).add(message.src)
+            self.acks(payload.ts, payload.rnd, payload.key).add(message.src)
+        elif isinstance(payload, RdAck) and payload.rnd == 0:
+            self._discovery.record(payload.read_no, message.src,
+                                   payload.history)
 
-    def acks(self, ts: int, rnd: int) -> AckSet:
+    def acks(self, ts: int, rnd: int, key: Hashable = DEFAULT_KEY) -> AckSet:
         """The responder set for one round (a signalling ``set``)."""
-        return self._acks(ts, rnd)
+        return self._acks(key, ts, rnd)
 
     # -- protocol ----------------------------------------------------------------
 
-    def write(self, value: Any):
-        """Coroutine implementing ``write(v)`` — spawn on the simulator.
+    def write(self, value: Any, key: Hashable = DEFAULT_KEY):
+        """Coroutine implementing ``write(v)`` on one register — spawn on
+        the simulator.
 
         Returns the operation's :class:`~repro.sim.trace.OperationRecord`.
+        MW-mode writes spend one extra round trip on timestamp
+        discovery, counted in the record's ``rounds``.
         """
-        record = self.trace.begin("write", self.pid, self.sim.now, value)
-        self.ts += 1
-        ts = self.ts
+        record = self.trace.begin("write", self.pid, self.sim.now, value,
+                                  key=key)
+        if not self.stamps.multi_writer:
+            ts, extra_rounds = self.stamps.bare(key), 0
+        else:
+            observed = yield from self._discover(key)
+            ts, extra_rounds = self.stamps.stamped(key, observed), 1
 
         # Round 1 (Figure 5 lines 2-3).
-        yield from self._round(ts, value, frozenset(), 1)
-        if self._acked_quorum(ts, 1, cls=1) is not None:
-            self.trace.complete(record, self.sim.now, "OK", rounds=1)
+        yield from self._round(ts, value, frozenset(), 1, key)
+        if self._acked_quorum(ts, 1, cls=1, key=key) is not None:
+            self.trace.complete(record, self.sim.now, "OK",
+                                rounds=1 + extra_rounds)
             return record
 
         # Lines 4-5: remember fully-acking class-2 quorums.
-        round1 = self.acks(ts, 1)
+        round1 = self.acks(ts, 1, key)
         qc2_prime = frozenset(
             q2 for q2 in self.rqs.qc2 if q2 <= round1
         )
 
         # Round 2 (lines 6-7).
-        yield from self._round(ts, value, qc2_prime, 2)
-        round2 = self.acks(ts, 2)
+        yield from self._round(ts, value, qc2_prime, 2, key)
+        round2 = self.acks(ts, 2, key)
         if any(q2 <= round2 for q2 in qc2_prime):
-            self.trace.complete(record, self.sim.now, "OK", rounds=2)
+            self.trace.complete(record, self.sim.now, "OK",
+                                rounds=2 + extra_rounds)
             return record
 
         # Round 3 (lines 8-9).
-        yield from self._round(ts, value, frozenset(), 3)
-        self.trace.complete(record, self.sim.now, "OK", rounds=3)
+        yield from self._round(ts, value, frozenset(), 3, key)
+        self.trace.complete(record, self.sim.now, "OK",
+                            rounds=3 + extra_rounds)
         return record
 
-    def _round(self, ts: int, value: Any, qc2_prime: FrozenSet[QuorumId], rnd: int):
+    def _discover(self, key: Hashable):
+        """MW timestamp discovery: the highest stored timestamp for
+        ``key`` at some responding quorum (the ``rnd = 0`` read round)."""
+        number = self._discovery.open()
+        for server in sorted(self.rqs.ground_set, key=repr):
+            self.send(server, RD(number, 0, key))
+        yield WaitUntil(
+            self._discovery.responders(number).includes_any(
+                self.rqs.quorums
+            ),
+            f"write ts-discovery#{number}",
+        )
+        views = self._discovery.close(number)
+        return max(view.max_timestamp() for view in views.values())
+
+    def _round(
+        self,
+        ts: int,
+        value: Any,
+        qc2_prime: FrozenSet[QuorumId],
+        rnd: int,
+        key: Hashable,
+    ):
         """``round(i)`` (Figure 5 lines 10-12): send to all servers, then
         wait for a quorum of acks and (rounds 1-2) the 2Δ timer."""
         for server in sorted(self.rqs.ground_set, key=repr):
-            self.send(server, WR(ts, value, qc2_prime, rnd))
-        quorum_acked = self.acks(ts, rnd).includes_any(self.rqs.quorums)
+            self.send(server, WR(ts, value, qc2_prime, rnd, key))
+        quorum_acked = self.acks(ts, rnd, key).includes_any(self.rqs.quorums)
         label = f"write ts={ts} round {rnd}"
         if rnd < 3:
             timer = self.sim.timer_at(self.sim.now + self.timeout)
@@ -106,6 +172,8 @@ class StorageWriter(Process):
         else:
             yield WaitUntil(quorum_acked, label)
 
-    def _acked_quorum(self, ts: int, rnd: int, cls: int):
-        acked = self.acks(ts, rnd)
+    def _acked_quorum(
+        self, ts: int, rnd: int, cls: int, key: Hashable = DEFAULT_KEY
+    ):
+        acked = self.acks(ts, rnd, key)
         return self.rqs.some_responding_quorum(acked, cls=cls)

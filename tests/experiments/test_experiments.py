@@ -6,6 +6,7 @@ from repro.experiments import (
     baselines,
     bounds,
     consensus_latency,
+    contention,
     fig1,
     fig4,
     metrics_ablation,
@@ -91,6 +92,37 @@ class TestStress:
     def test_consensus_liveness(self):
         outcome = stress.consensus_liveness(gst=30.0, horizon=1500.0)
         assert outcome.terminated and outcome.agreement_ok
+
+
+class TestContention:
+    def test_every_cell_atomic_with_per_key_verdicts(self):
+        from repro.scenarios import run_grid
+
+        sweep = run_grid(contention.GRID.where(protocol="abd", seed=0))
+        assert sweep.verdict_counts() == {"atomic": len(sweep.cells)}
+        for cell in sweep.cells:
+            per_key = cell.metrics["per_key"]
+            assert per_key and all(
+                verdict == "atomic" for verdict in per_key.values()
+            )
+
+    def test_zipfian_8key_per_key_verdicts(self):
+        verdicts = contention.zipfian_key_verdicts(n_keys=8, seed=0)
+        assert len(verdicts) > 1
+        assert all(v == "atomic" for v in verdicts.values())
+
+    def test_serial_and_mp_backends_agree(self):
+        from repro.scenarios import run_grid
+
+        grid = contention.GRID.where(protocol="fastabd", n_keys=8)
+        serial = run_grid(grid)
+        parallel = run_grid(grid, executor="multiprocessing", processes=2)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_rows_fold_the_full_grid(self):
+        rows = contention.run_experiment()
+        assert len(rows) == 18
+        assert all(row.atomic_cells == row.cells == 2 for row in rows)
 
 
 class TestMetricsAblation:

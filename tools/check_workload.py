@@ -1,0 +1,201 @@
+"""Workload bench artifact checker: schema, determinism, soak budget.
+
+Run from the repository root (CI's soak-smoke job does)::
+
+    PYTHONPATH=src python tools/check_workload.py
+
+Checks, against the committed ``BENCH_workload.json`` baseline:
+
+1. **Schema** — the artifact (and the freshly regenerated one) carries
+   the documented shape: name, schema_version, one case per
+   (n_keys, clients) grid point, a soak row, positive counters.
+2. **Determinism** — the regenerated run's ``operations``,
+   ``completed`` and ``events`` counts match the committed baseline
+   *exactly* (simulated executions are machine-independent, so any
+   difference is a real behaviour regression, not noise), and the soak
+   history is atomic with every register's per-key verdict checked.
+3. **Soak budget** — the fresh soak row completes ≥ 10k operations and
+   its event loop plus per-key atomicity check stay under
+   ``--budget`` wall seconds (default 60).
+4. **Throughput drift** — freshly measured ops/sec must not regress
+   more than ``--tolerance`` (default 0.40) below the committed
+   baseline (skippable on heterogeneous hardware).
+
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REQUIRED_TOP = ("name", "schema_version", "cases", "soak")
+REQUIRED_CASE = (
+    "n_keys", "clients", "operations", "completed", "events", "wall_s",
+    "ops_per_sec",
+)
+REQUIRED_SOAK = REQUIRED_CASE + ("check_s", "atomic", "keys_checked")
+
+MIN_SOAK_OPS = 10_000
+
+
+def check_schema(payload: dict, label: str) -> list:
+    problems = []
+    for key in REQUIRED_TOP:
+        if key not in payload:
+            problems.append(f"{label}: missing top-level key {key!r}")
+    if problems:
+        return problems
+    if payload["name"] != "workload":
+        problems.append(f"{label}: name is {payload['name']!r}")
+    for case in payload["cases"]:
+        for key in REQUIRED_CASE:
+            if key not in case:
+                problems.append(f"{label}: case missing {key!r}: {case}")
+                break
+        else:
+            if case["operations"] <= 0 or case["ops_per_sec"] <= 0:
+                problems.append(f"{label}: non-positive counters in {case}")
+    soak = payload["soak"]
+    for key in REQUIRED_SOAK:
+        if key not in soak:
+            problems.append(f"{label}: soak missing {key!r}")
+    if not problems:
+        if soak["operations"] < MIN_SOAK_OPS:
+            problems.append(
+                f"{label}: soak ran {soak['operations']} ops "
+                f"(< {MIN_SOAK_OPS})"
+            )
+        if not soak["atomic"]:
+            problems.append(f"{label}: soak history is NOT atomic")
+        if soak["keys_checked"] != soak["n_keys"]:
+            problems.append(
+                f"{label}: soak checked {soak['keys_checked']} of "
+                f"{soak['n_keys']} registers"
+            )
+    return problems
+
+
+def case_index(payload: dict) -> dict:
+    return {(c["n_keys"], c["clients"]): c for c in payload["cases"]}
+
+
+def check_determinism(baseline: dict, fresh: dict) -> list:
+    problems = []
+    base, new = case_index(baseline), case_index(fresh)
+    if set(base) != set(new):
+        problems.append(
+            f"case grid changed: baseline {sorted(set(base) - set(new))} "
+            f"only / fresh {sorted(set(new) - set(base))} only"
+        )
+        return problems
+    rows = [((key, base[key], new[key])) for key in sorted(base)]
+    rows.append((("soak",), baseline["soak"], fresh["soak"]))
+    for key, committed, measured in rows:
+        for field in ("operations", "completed", "events"):
+            if measured[field] != committed[field]:
+                problems.append(
+                    f"{key}: {field} changed "
+                    f"{committed[field]} -> {measured[field]} "
+                    f"(simulated executions are deterministic; this is "
+                    f"a behaviour regression, not noise)"
+                )
+    return problems
+
+
+def check_budget(fresh: dict, budget: float) -> list:
+    soak = fresh["soak"]
+    spent = soak["wall_s"] + soak["check_s"]
+    if spent > budget:
+        return [
+            f"soak blew the wall-clock budget: {spent:.2f}s "
+            f"(execute {soak['wall_s']}s + check {soak['check_s']}s) "
+            f"> {budget}s"
+        ]
+    return []
+
+
+def check_drift(baseline: dict, fresh: dict, tolerance: float) -> list:
+    problems = []
+    base, new = case_index(baseline), case_index(fresh)
+    for key in sorted(set(base) & set(new)):
+        committed = base[key]["ops_per_sec"]
+        measured = new[key]["ops_per_sec"]
+        if measured < committed * (1.0 - tolerance):
+            problems.append(
+                f"{key}: ops/sec regressed {committed} -> {measured} "
+                f"(more than {tolerance:.0%} below baseline)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", default="BENCH_workload.json",
+        help="committed artifact (default: BENCH_workload.json)",
+    )
+    parser.add_argument(
+        "--fresh", default=None,
+        help="pre-generated fresh artifact; omitted = regenerate now",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=60.0,
+        help="soak wall-clock budget in seconds (default 60)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.40,
+        help="allowed fractional ops/sec regression (default 0.40)",
+    )
+    parser.add_argument(
+        "--skip-drift", action="store_true",
+        help="skip the wall-clock drift check (heterogeneous hardware)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    if not baseline_path.exists():
+        print(f"FAIL: baseline {baseline_path} does not exist")
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+
+    if args.fresh is not None:
+        fresh = json.loads(Path(args.fresh).read_text())
+    else:
+        # Running as `python tools/check_workload.py` puts tools/ first
+        # on sys.path; the bench package lives at the repository root.
+        root = str(Path(__file__).resolve().parent.parent)
+        if root not in sys.path:
+            sys.path.insert(0, root)
+        from benchmarks.bench_workload import collect
+
+        fresh = collect()
+
+    problems = []
+    problems += check_schema(baseline, "baseline")
+    problems += check_schema(fresh, "fresh")
+    if not problems:
+        problems += check_determinism(baseline, fresh)
+        problems += check_budget(fresh, args.budget)
+        if not args.skip_drift:
+            problems += check_drift(baseline, fresh, args.tolerance)
+
+    if problems:
+        print(f"FAIL: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    soak = fresh["soak"]
+    print(
+        f"ok: schema valid, executions deterministic, soak "
+        f"{soak['completed']} ops atomic across {soak['keys_checked']} "
+        f"registers in {soak['wall_s'] + soak['check_s']:.2f}s "
+        f"(budget {args.budget}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
