@@ -1,30 +1,47 @@
-"""The workload bench: ops/sec of the keyed register space.
+"""The workload bench: ops/sec and memory of the keyed register space.
 
 Measures the keyed-register workload engine end to end — scenario
 expansion, per-writer/per-reader client tasks, keyed protocol rounds —
 on an ``n_keys × clients`` grid of seeded :class:`RandomMix` cells over
 the ABD baseline (the cheapest atomic protocol, so the bench tracks the
-workload engine rather than RQS predicate evaluation), plus one
-**soak** row: a ≥10k-operation multi-register mix at
-``TraceLevel.METRICS`` whose history is then atomicity-checked with the
-per-key verdict partition (the sum-of-per-key-checks fast path).
+workload engine rather than RQS predicate evaluation), plus two soak
+sections:
+
+* **soak** — the closed-loop ≥10k-operation multi-register mix at
+  ``TraceLevel.METRICS``; its safety verdict now comes from the
+  *windowed online checker* that runs as operations complete (records
+  are streamed, never retained).
+* **stream** — horizon-free open-loop soaks (``max_ops`` stopping rule,
+  up to one million operations) executed in a fresh subprocess each so
+  ``ru_maxrss`` isolates that run's peak memory: the exhibit is peak
+  RSS staying flat (sublinear) while the op count grows 10×.
 
 Executions are deterministic, so ``operations``/``completed``/``events``
-are exact across machines; only the wall-clock figures vary.  Emits
+are exact across machines; only the wall-clock/RSS figures vary.  Emits
 ``BENCH_workload.json``; schema/determinism/budget checks live in
-``tools/check_workload.py`` and run in CI's soak-smoke job.
+``tools/check_workload.py`` and run in CI's soak-smoke job (which
+regenerates the grid, the closed soak and the 100k stream row — the
+million-op row is recorded from a full local run and schema/ratio
+checked against the committed artifact).
 
 Run directly (``python -m benchmarks.bench_workload``) to regenerate
-the artifact, or under pytest for the determinism smoke.
+the artifact (``--full-stream`` includes the million-op row), or under
+pytest for the determinism smoke.
 """
 
+import argparse
 import json
-import time
+import os
+import resource
+import subprocess
+import sys
 from pathlib import Path
 
-from repro.scenarios import RandomMix, ScenarioSpec, run
+import repro
+from repro.experiments import keyed_mix_spec
+from repro.scenarios import ScenarioSpec, run
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: The grid axes: keyspace width × reader-client count.
 N_KEYS_AXIS = (1, 4, 16)
@@ -34,11 +51,17 @@ CLIENTS_AXIS = (2, 8)
 CELL_WRITES = 300
 CELL_READS = 700
 
-#: The soak row: >= 10k operations, 16 registers, METRICS tracing.
+#: The soak rows: >= 10k operations, 16 registers, METRICS tracing.
 SOAK_WRITES = 4000
 SOAK_READS = 6000
 SOAK_KEYS = 16
 SOAK_CLIENTS = 8
+
+#: Open-loop (horizon-free) stream soak sizes.  CI regenerates the
+#: smaller row; the million-op row is recorded by full local runs.
+STREAM_OPS_CI = 100_000
+STREAM_OPS_FULL = 1_000_000
+STREAM_SEED = 5
 
 
 def workload_spec(
@@ -48,21 +71,24 @@ def workload_spec(
     reads: int = CELL_READS,
 ) -> ScenarioSpec:
     """One bench cell: a uniform multi-register mix on ABD."""
-    return ScenarioSpec(
-        protocol="abd",
-        readers=clients,
-        n_keys=n_keys,
-        workload=(
-            RandomMix(writes, reads, horizon=float(writes + reads)),
-        ),
-        seed=5,
-        trace_level="metrics",
+    return keyed_mix_spec(
+        "abd", n_keys, writes=writes, reads=reads, readers=clients,
+        seed=5, trace_level="metrics",
     )
 
 
 def soak_spec() -> ScenarioSpec:
     return workload_spec(
         SOAK_KEYS, SOAK_CLIENTS, writes=SOAK_WRITES, reads=SOAK_READS
+    )
+
+
+def stream_spec(max_ops: int) -> ScenarioSpec:
+    """One horizon-free open-loop soak (the E15 cell shape)."""
+    return keyed_mix_spec(
+        "abd", SOAK_KEYS, writes=SOAK_WRITES, reads=SOAK_READS,
+        readers=SOAK_CLIENTS, seed=STREAM_SEED, trace_level="metrics",
+        max_ops=max_ops,
     )
 
 
@@ -73,9 +99,9 @@ def run_case(spec: ScenarioSpec, rounds: int = 3) -> dict:
     for _ in range(rounds):
         result = run(spec)
         wall = min(wall, result.execute_seconds)
-    completed = len(result.completed)
+    completed = result.ops_completed()
     return {
-        "operations": len(result.records),
+        "operations": result.ops_begun(),
         "completed": completed,
         "events": result.adapter.sim.events_processed,
         "wall_s": round(wall, 4),
@@ -83,43 +109,104 @@ def run_case(spec: ScenarioSpec, rounds: int = 3) -> dict:
     }
 
 
-def collect() -> dict:
-    """Run the grid + soak and assemble the artifact payload."""
+def peak_rss_kb() -> int:
+    """This process's peak resident set in KiB (ru_maxrss is KiB on
+    Linux, bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return peak
+
+
+def stream_probe(max_ops: int) -> dict:
+    """Run one open-loop soak in *this* process and report counters,
+    wall clock, the online verdict and peak RSS.  Meant to run in a
+    fresh subprocess per row (see :func:`measure_stream_row`) so the
+    monotone ``ru_maxrss`` measures exactly one run."""
+    result = run(stream_spec(max_ops))
+    online = result.online
+    completed = result.ops_completed()
+    wall = result.execute_seconds
+    online_metrics = (
+        online.as_metrics() if online is not None
+        else {"atomic": False, "violations": 0, "keys_checked": 0,
+              "checker_max_retained": 0}
+    )
+    return {
+        "max_ops": max_ops,
+        "n_keys": SOAK_KEYS,
+        "clients": SOAK_CLIENTS,
+        "operations": result.ops_begun(),
+        "completed": completed,
+        "events": result.adapter.sim.events_processed,
+        "wall_s": round(wall, 4),
+        "ops_per_sec": round(completed / wall, 1),
+        **online_metrics,
+        "peak_rss_kb": peak_rss_kb(),
+    }
+
+
+def measure_stream_row(max_ops: int) -> dict:
+    """One stream row, measured in an isolated subprocess."""
+    src = str(Path(repro.__file__).resolve().parent.parent)
+    root = str(Path(__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    probe = subprocess.run(
+        [sys.executable, "-m", "benchmarks.bench_workload",
+         "--stream-probe", str(max_ops)],
+        capture_output=True, text=True, cwd=root, env=env, check=True,
+    )
+    return json.loads(probe.stdout)
+
+
+def collect(stream_ops=(STREAM_OPS_CI,)) -> dict:
+    """Run the grid + soaks and assemble the artifact payload.
+
+    ``stream_ops`` selects which horizon-free rows to (re)measure —
+    CI regenerates only the 100k row; ``--full-stream`` runs the
+    million-op acceptance row too.
+    """
     cases = []
     for n_keys in N_KEYS_AXIS:
         for clients in CLIENTS_AXIS:
             outcome = run_case(workload_spec(n_keys, clients))
             cases.append({"n_keys": n_keys, "clients": clients, **outcome})
     soak_result = run(soak_spec())
-    check_start = time.perf_counter()
-    report = soak_result.atomicity
-    check_seconds = time.perf_counter() - check_start
-    completed = len(soak_result.completed)
+    # The online checker runs inline during execution, so the verdict
+    # is free at read time — wall_s already includes the checking.
+    online = soak_result.online
+    completed = soak_result.ops_completed()
     soak = {
         "n_keys": SOAK_KEYS,
         "clients": SOAK_CLIENTS,
-        "operations": len(soak_result.records),
+        "operations": soak_result.ops_begun(),
         "completed": completed,
         "events": soak_result.adapter.sim.events_processed,
         "wall_s": round(soak_result.execute_seconds, 4),
         "ops_per_sec": round(
             completed / soak_result.execute_seconds, 1
         ),
-        "check_s": round(check_seconds, 4),
-        "atomic": report.atomic,
-        "keys_checked": len(report.by_key),
+        "atomic": online is not None and online.atomic,
+        "keys_checked": 0 if online is None else len(online.keys),
     }
+    stream = [measure_stream_row(max_ops) for max_ops in stream_ops]
     return {
         "name": "workload",
         "schema_version": SCHEMA_VERSION,
         "cases": cases,
         "soak": soak,
+        "stream": stream,
     }
 
 
-def emit(directory=None) -> Path:
-    """Regenerate ``BENCH_workload.json`` (repo root by default)."""
-    payload = collect()
+def emit(directory=None, stream_ops=(STREAM_OPS_CI,)) -> Path:
+    """Regenerate ``BENCH_workload.json`` (repo root by default).
+
+    Defaults to the CI-sized stream row only, like the CLI; pass
+    ``stream_ops=(STREAM_OPS_CI, STREAM_OPS_FULL)`` (the CLI's
+    ``--full-stream``) to record the million-op acceptance row."""
+    payload = collect(stream_ops=stream_ops)
     path = (
         Path(directory or Path(__file__).resolve().parent.parent)
         / "BENCH_workload.json"
@@ -137,17 +224,49 @@ def test_workload_cells_are_deterministic():
         assert first[field] == second[field] > 0
 
 
-def test_soak_history_is_atomic_per_key():
+def test_soak_history_is_online_checked_per_key():
     spec = workload_spec(8, 4, writes=200, reads=300)
     result = run(spec)
-    report = result.atomicity
-    assert report.atomic
-    assert len(report.by_key) == 8
-    assert all(rep.atomic for rep in report.by_key.values())
+    online = result.online
+    assert online is not None and online.atomic
+    assert len(online.keys) == 8
+    assert online.checked_ops == 500
+
+
+def test_stream_probe_is_deterministic_and_bounded():
+    first = run(stream_spec(2000))
+    second = run(stream_spec(2000))
+    assert first.ops_begun() == second.ops_begun() == 2000
+    assert (
+        first.adapter.sim.events_processed
+        == second.adapter.sim.events_processed
+    )
+    assert first.online is not None and first.online.atomic
+    # Bounded retained checker state: orders of magnitude below op count.
+    assert first.online.max_retained < 100
 
 
 if __name__ == "__main__":
-    path = emit()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--stream-probe", type=int, default=None, metavar="MAX_OPS",
+        help="internal: run one open-loop soak in-process and print its "
+             "JSON row (used via subprocess for RSS isolation)",
+    )
+    parser.add_argument(
+        "--full-stream", action="store_true",
+        help="measure the million-op stream row too (slow; used to "
+             "record the committed artifact)",
+    )
+    args = parser.parse_args()
+    if args.stream_probe is not None:
+        print(json.dumps(stream_probe(args.stream_probe)))
+        sys.exit(0)
+    ops = (
+        (STREAM_OPS_CI, STREAM_OPS_FULL) if args.full_stream
+        else (STREAM_OPS_CI,)
+    )
+    path = emit(stream_ops=ops)
     payload = json.loads(path.read_text())
     for case in payload["cases"]:
         print(
@@ -159,7 +278,14 @@ if __name__ == "__main__":
     print(
         f"soak: {soak['completed']} ops over {soak['n_keys']} keys in "
         f"{soak['wall_s']}s ({soak['ops_per_sec']} ops/s), "
-        f"atomic={soak['atomic']} (checked {soak['keys_checked']} keys "
-        f"in {soak['check_s']}s)"
+        f"atomic={soak['atomic']} (online-checked {soak['keys_checked']} "
+        f"keys)"
     )
+    for row in payload["stream"]:
+        print(
+            f"stream: {row['completed']}/{row['max_ops']} ops open-loop, "
+            f"{row['wall_s']}s ({row['ops_per_sec']} ops/s), "
+            f"atomic={row['atomic']}, peak RSS {row['peak_rss_kb']} KiB, "
+            f"checker retained<={row['checker_max_retained']}"
+        )
     print(f"wrote {path}")

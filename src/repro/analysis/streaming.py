@@ -1,0 +1,512 @@
+"""Online (streaming) analysis: latency accumulators and windowed checking.
+
+Long horizon-free runs cannot afford the "materialize everything, check
+at the end" pipeline — a million-operation soak would retain a million
+:class:`~repro.sim.trace.OperationRecord` objects plus a million latency
+samples before any checker even starts.  This module holds the streaming
+counterparts consumed as operations *complete*:
+
+* :class:`LatencyAccumulator` — count/mean/min/max plus a fixed-size
+  quantile reservoir, fed one completed operation at a time.  Mean
+  accounting is exact (rational running sum), so on FULL runs the
+  accumulator-backed :meth:`~repro.analysis.latency.LatencySummary`
+  matches the list-based ``summarize_rounds`` path bit for bit.
+* :class:`QuantileReservoir` — a bounded uniform sample of the latency
+  stream (deterministically seeded).  Below capacity it holds every
+  sample, so small-run quantiles are exact; above capacity it degrades
+  to a classic reservoir estimate with O(capacity) memory.
+* :class:`OnlineChecker` — a *windowed* per-key safety checker for
+  single-writer keyed histories: monotone writer order, no fabrication,
+  no reading the future, no stale reads (read-your-writes against every
+  write that completed before the read started) and no read inversion,
+  all checked as operations complete with bounded retained state.  The
+  window floor is the oldest in-flight invocation; anything older is
+  folded into per-key monotone bounds, so retained state is
+  O(clients + keys) regardless of run length.
+
+The online checker is *sound within its window*: every violation it
+reports is a real violation of the SWMR register semantics, and any
+violation involving operations that overlap the retained window is
+caught.  A read returning a value older than the pruned window is
+reported through the monotone bound (as a stale read) rather than by
+exact version lookup — the inherent trade of bounded-memory checking.
+FULL-level runs keep the exact post-hoc checkers in
+:mod:`repro.analysis.atomicity`; the windowed checker is what gives
+``TraceLevel.METRICS`` soaks a real safety verdict without the history.
+
+Values must be totally ordered per key in writer order — true for every
+:class:`~repro.scenarios.workloads.RandomMix` workload (sequential
+integer write values), which is the only workload shape the scenario
+runner wires the checker to.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.storage.history import BOTTOM
+
+#: Default bounded-sample size of the quantile reservoir.  Runs with at
+#: most this many completions per operation kind get *exact* quantiles.
+RESERVOIR_CAPACITY = 2048
+
+
+def nearest_rank(sorted_samples, fraction: float) -> Optional[float]:
+    """The nearest-rank percentile of an ascending sample list.
+
+    Shared by the streaming reservoir and the list-based
+    ``summarize_rounds`` so the two paths agree exactly whenever the
+    reservoir holds the full stream.
+    """
+    if not sorted_samples:
+        return None
+    rank = max(1, -(-len(sorted_samples) * fraction // 1))  # ceil
+    return sorted_samples[int(rank) - 1]
+
+
+class QuantileReservoir:
+    """A fixed-size uniform sample of a stream (Vitter's algorithm R).
+
+    Deterministic: the replacement RNG is seeded at construction, and
+    samples arrive in simulated-event order, so repeated runs of the
+    same scenario produce identical estimates.
+    """
+
+    __slots__ = ("capacity", "seen", "_samples", "_sorted", "_rng")
+
+    def __init__(self, capacity: int = RESERVOIR_CAPACITY, seed: int = 9973):
+        if capacity < 1:
+            raise ValueError(f"reservoir capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.seen = 0
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self._rng = random.Random(seed)
+
+    @property
+    def exact(self) -> bool:
+        """True while the reservoir still holds every observed sample."""
+        return self.seen <= self.capacity
+
+    def observe(self, sample: float) -> None:
+        self.seen += 1
+        self._sorted = None
+        if len(self._samples) < self.capacity:
+            self._samples.append(sample)
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self._samples[slot] = sample
+
+    def quantile(self, fraction: float) -> Optional[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return nearest_rank(self._sorted, fraction)
+
+
+class LatencyAccumulator:
+    """Online latency aggregation for one operation kind.
+
+    Tracks count, min/max/sum of self-reported round counts, min/max of
+    completion times, an *exact* rational time sum (so means match the
+    post-hoc path to the last bit) and a bounded quantile reservoir.
+    O(reservoir capacity) memory however long the run.
+    """
+
+    __slots__ = (
+        "kind", "count", "rounds_sum", "min_rounds", "max_rounds",
+        "_time_sum", "min_time", "max_time", "reservoir",
+    )
+
+    def __init__(self, kind: str, capacity: int = RESERVOIR_CAPACITY):
+        self.kind = kind
+        self.count = 0
+        self.rounds_sum = 0
+        self.min_rounds: Optional[int] = None
+        self.max_rounds: Optional[int] = None
+        self._time_sum = Fraction(0)
+        self.min_time: Optional[float] = None
+        self.max_time: Optional[float] = None
+        self.reservoir = QuantileReservoir(capacity)
+
+    def observe(self, rounds: int, elapsed: float) -> None:
+        """Fold one completed operation into the summary."""
+        self.count += 1
+        self.rounds_sum += rounds
+        if self.min_rounds is None or rounds < self.min_rounds:
+            self.min_rounds = rounds
+        if self.max_rounds is None or rounds > self.max_rounds:
+            self.max_rounds = rounds
+        self._time_sum += Fraction(elapsed)
+        if self.min_time is None or elapsed < self.min_time:
+            self.min_time = elapsed
+        if self.max_time is None or elapsed > self.max_time:
+            self.max_time = elapsed
+        self.reservoir.observe(elapsed)
+
+    @property
+    def mean_rounds(self) -> Optional[float]:
+        if not self.count:
+            return None
+        return round(self.rounds_sum / self.count, 3)
+
+    @property
+    def mean_time(self) -> Optional[float]:
+        if not self.count:
+            return None
+        return round(float(self._time_sum / self.count), 6)
+
+    def quantile(self, fraction: float) -> Optional[float]:
+        return self.reservoir.quantile(fraction)
+
+
+# -- the windowed online checker ----------------------------------------------
+
+@dataclass(frozen=True)
+class OnlineViolation:
+    """One safety violation caught by the windowed checker."""
+
+    rule: str
+    key: Hashable
+    description: str
+
+    def __str__(self) -> str:  # pragma: no cover - reporting aid
+        return f"[{self.rule}] key={self.key!r}: {self.description}"
+
+
+@dataclass
+class OnlineReport:
+    """The windowed checker's verdict for one streamed execution.
+
+    ``max_retained`` is the (periodically sampled) high-water mark of
+    everything the checker holds across all keys — the bounded-memory
+    exhibit CI gates on.  ``overrun_unchecked`` counts operations that
+    outlived the window (a stuck client's op completing after the
+    window moved past its invocation): they are skipped rather than
+    misjudged against bounds newer than their invocation, so the
+    verdict stays sound.
+    """
+
+    checked_writes: int
+    checked_reads: int
+    violation_count: int
+    violations: Tuple[OnlineViolation, ...]  # first few, for reporting
+    keys: Tuple[Hashable, ...]
+    max_retained: int  # high-water mark of retained per-key entries
+    overrun_unchecked: int = 0
+    windowed: bool = True
+
+    @property
+    def atomic(self) -> bool:
+        return self.violation_count == 0
+
+    @property
+    def verdict(self) -> str:
+        """The sweep-table verdict string (``"atomic"``/``"violation"``)."""
+        return "atomic" if self.atomic else "violation"
+
+    @property
+    def checked_ops(self) -> int:
+        return self.checked_writes + self.checked_reads
+
+    def as_metrics(self) -> Dict[str, Any]:
+        """The portable metrics view of this verdict — the one shape
+        every emitter (sweep measure hooks, the soak experiment, the
+        workload bench) embeds, so artifact fields cannot drift."""
+        return {
+            "atomic": self.atomic,
+            "violations": self.violation_count,
+            "keys_checked": len(self.keys),
+            "checker_max_retained": self.max_retained,
+        }
+
+
+class _KeyState:
+    """Bounded per-register state: windowed writes plus monotone bounds."""
+
+    __slots__ = (
+        "written", "write_times", "write_values",
+        "read_times", "read_values", "base_write_bound", "base_read_bound",
+    )
+
+    def __init__(self):
+        # value -> (invoked_at, completed_at) for writes still in window.
+        self.written: Dict[Any, Tuple[float, float]] = {}
+        # Completed writes, completion-ordered; values are monotone for
+        # a sequential single writer, so these are cummax series.
+        self.write_times: List[float] = []
+        self.write_values: List[Any] = []
+        # Running max of completed read versions, completion-ordered.
+        self.read_times: List[float] = []
+        self.read_values: List[Any] = []
+        # Folded-away window prefix: the newest value guaranteed visible
+        # to (written before) every still-checkable operation.
+        self.base_write_bound: Optional[Any] = None
+        self.base_read_bound: Optional[Any] = None
+
+    def write_bound(self, before: float) -> Optional[Any]:
+        """Newest value whose write completed strictly before ``before``."""
+        index = bisect_left(self.write_times, before)
+        if index:
+            return self.write_values[index - 1]
+        return self.base_write_bound
+
+    def read_bound(self, before: float) -> Optional[Any]:
+        """Newest value returned by a read completed strictly before
+        ``before``."""
+        index = bisect_left(self.read_times, before)
+        if index:
+            return self.read_values[index - 1]
+        return self.base_read_bound
+
+    def prune(self, floor: float) -> None:
+        """Fold state older than the window ``floor`` into the bounds."""
+        index = bisect_left(self.write_times, floor)
+        if index:
+            self.base_write_bound = self.write_values[index - 1]
+            del self.write_times[:index]
+            del self.write_values[:index]
+        index = bisect_left(self.read_times, floor)
+        if index:
+            self.base_read_bound = self.read_values[index - 1]
+            del self.read_times[:index]
+            del self.read_values[:index]
+        if self.base_write_bound is not None and self.written:
+            bound = self.base_write_bound
+            stale = [
+                value
+                for value, (_, completed_at) in self.written.items()
+                if completed_at is not None
+                and completed_at < floor
+                and _ordered_less(value, bound)
+            ]
+            for value in stale:
+                del self.written[value]
+
+    def retained(self) -> int:
+        return (
+            len(self.written) + len(self.write_times) + len(self.read_times)
+        )
+
+
+def _ordered_less(left: Any, right: Any) -> bool:
+    try:
+        return left < right
+    except TypeError:
+        return False
+
+
+class OnlineChecker:
+    """Windowed online safety checking for single-writer keyed histories.
+
+    Subscribe it to a :class:`~repro.sim.trace.Trace`
+    (``trace.subscribe(on_begin=..., on_complete=...)``); it consumes
+    operation records as they begin and complete and never stores the
+    history.  See the module docstring for the invariants and the
+    windowing trade.
+    """
+
+    #: An in-flight op older than this many ops evicts from the window
+    #: (a stuck client must not pin the floor and regrow O(ops) state).
+    OVERRUN_OPS = 5_000
+    #: Completions between global prune/measure sweeps (amortizes the
+    #: O(keys) sweep to O(1) per completion).
+    SWEEP_EVERY = 256
+
+    def __init__(self, max_reported: int = 20,
+                 overrun_ops: int = OVERRUN_OPS):
+        self.max_reported = max_reported
+        self.overrun_ops = overrun_ops
+        self.checked_writes = 0
+        self.checked_reads = 0
+        self.violation_count = 0
+        self.overrun_unchecked = 0
+        self.violations: List[OnlineViolation] = []
+        self.max_retained = 0
+        self._keys: Dict[Hashable, _KeyState] = {}
+        # op_id -> invoked_at of every in-flight storage operation; its
+        # minimum is the window floor nothing older than which can still
+        # be referenced by a future completion.
+        self._pending: Dict[int, float] = {}
+        # Ops evicted from the window (stuck clients): skipped, never
+        # misjudged, if they eventually complete.  Bounded by the
+        # number of clients that ever stalled past the overrun bound.
+        self._overrun: set = set()
+        self._max_op_id = -1
+        self._floor = float("-inf")
+        self._since_sweep = 0
+
+    # -- trace subscription ---------------------------------------------------
+
+    def on_begin(self, record) -> None:
+        if record.kind in ("write", "read"):
+            self._pending[record.op_id] = record.invoked_at
+            if record.op_id > self._max_op_id:
+                self._max_op_id = record.op_id
+            if record.kind == "write":
+                state = self._state(record.key)
+                state.written[record.value] = (record.invoked_at, None)
+
+    def on_complete(self, record) -> None:
+        if record.kind not in ("write", "read"):
+            return
+        if record.op_id in self._overrun:
+            # The window moved past this op while it was stuck; its
+            # bounds are gone, so judging it now could flag legal
+            # behaviour.  Skip it, visibly.
+            self._overrun.discard(record.op_id)
+            self.overrun_unchecked += 1
+            return
+        if record.kind == "write":
+            self._complete_write(record)
+        else:
+            self._complete_read(record)
+        self._pending.pop(record.op_id, None)
+        # Evict stuck in-flight ops so they cannot pin the floor and
+        # regrow O(ops) retained state (the crashed-reader case).
+        if self._pending:
+            horizon = self._max_op_id - self.overrun_ops
+            stuck = [op for op in self._pending if op < horizon]
+            for op in stuck:
+                del self._pending[op]
+                self._overrun.add(op)
+        self._floor = min(
+            self._pending.values(), default=record.completed_at
+        )
+        self._keys[record.key].prune(self._floor)
+        # Periodic global sweep: prune every key to the shared floor
+        # and sample the total retained state for the high-water mark
+        # (O(keys) amortized over SWEEP_EVERY completions).
+        self._since_sweep += 1
+        if self._since_sweep >= self.SWEEP_EVERY:
+            self._sweep()
+
+    def _sweep(self) -> None:
+        self._since_sweep = 0
+        retained = len(self._pending) + len(self._overrun)
+        for state in self._keys.values():
+            state.prune(self._floor)
+            retained += state.retained()
+        if retained > self.max_retained:
+            self.max_retained = retained
+
+    # -- the rules ------------------------------------------------------------
+
+    def _state(self, key: Hashable) -> _KeyState:
+        state = self._keys.get(key)
+        if state is None:
+            state = self._keys[key] = _KeyState()
+        return state
+
+    def _complete_write(self, record) -> None:
+        self.checked_writes += 1
+        state = self._state(record.key)
+        state.written[record.value] = (
+            record.invoked_at, record.completed_at
+        )
+        if state.write_values and not _ordered_less(
+            state.write_values[-1], record.value
+        ):
+            self._flag(
+                "writer-order",
+                record.key,
+                f"write {record.value!r} completed after "
+                f"{state.write_values[-1]!r} but does not supersede it "
+                f"(single-writer per-key values must be monotone)",
+            )
+            return
+        state.write_times.append(record.completed_at)
+        state.write_values.append(record.value)
+
+    def _complete_read(self, record) -> None:
+        self.checked_reads += 1
+        state = self._state(record.key)
+        value = record.result
+        write_bound = state.write_bound(record.invoked_at)
+        read_bound = state.read_bound(record.invoked_at)
+        if value is BOTTOM:
+            if write_bound is not None:
+                self._flag(
+                    "stale-read",
+                    record.key,
+                    f"read by {record.process} returned ⊥ although the "
+                    f"write of {write_bound!r} completed before it started",
+                )
+            elif read_bound is not None:
+                self._flag(
+                    "read-inversion",
+                    record.key,
+                    f"read by {record.process} returned ⊥ although a "
+                    f"preceding read returned {read_bound!r}",
+                )
+            return
+        window = state.written.get(value)
+        if window is None:
+            if write_bound is not None and _ordered_less(value, write_bound):
+                # Older than the retained window: superseded by a write
+                # that completed before this read started.
+                self._flag(
+                    "stale-read",
+                    record.key,
+                    f"read by {record.process} returned {value!r} although "
+                    f"the write of {write_bound!r} completed before it "
+                    f"started",
+                )
+            else:
+                self._flag(
+                    "fabrication",
+                    record.key,
+                    f"read by {record.process} returned {value!r}, which "
+                    f"no write wrote to this register",
+                )
+            return
+        invoked_at, _ = window
+        if invoked_at > record.completed_at:
+            self._flag(
+                "future-read",
+                record.key,
+                f"read by {record.process} returned {value!r}, whose "
+                f"write was invoked only after the read completed",
+            )
+        if write_bound is not None and _ordered_less(value, write_bound):
+            self._flag(
+                "stale-read",
+                record.key,
+                f"read by {record.process} returned {value!r} although "
+                f"the write of {write_bound!r} completed before it started",
+            )
+        if read_bound is not None and _ordered_less(value, read_bound):
+            self._flag(
+                "read-inversion",
+                record.key,
+                f"read by {record.process} returned {value!r} although a "
+                f"preceding read returned {read_bound!r}",
+            )
+        if not state.read_values or _ordered_less(
+            state.read_values[-1], value
+        ):
+            state.read_times.append(record.completed_at)
+            state.read_values.append(value)
+
+    def _flag(self, rule: str, key: Hashable, description: str) -> None:
+        self.violation_count += 1
+        if len(self.violations) < self.max_reported:
+            self.violations.append(OnlineViolation(rule, key, description))
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(self) -> OnlineReport:
+        self._sweep()   # final measurement (runs shorter than a sweep)
+        return OnlineReport(
+            checked_writes=self.checked_writes,
+            checked_reads=self.checked_reads,
+            violation_count=self.violation_count,
+            violations=tuple(self.violations),
+            keys=tuple(sorted(self._keys, key=repr)),
+            max_retained=self.max_retained,
+            overrun_unchecked=self.overrun_unchecked,
+        )

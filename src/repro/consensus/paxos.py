@@ -179,7 +179,9 @@ class PaxosSystem:
             self.sim, delta=delta, rules=list(rules or []),
             trace_level=trace_level,
         )
-        self.trace = Trace()
+        self.trace = Trace(
+            retain=self.network.trace_level >= TraceLevel.FULL
+        )
         self.delta = delta
         acceptor_ids = tuple(range(1, n_acceptors + 1))
         learner_ids = tuple(f"l{i + 1}" for i in range(n_learners))

@@ -153,7 +153,9 @@ class PbftSystem:
             self.sim, delta=delta, rules=list(rules or []),
             trace_level=trace_level,
         )
-        self.trace = Trace()
+        self.trace = Trace(
+            retain=self.network.trace_level >= TraceLevel.FULL
+        )
         self.delta = delta
         self.f = f
         n = 3 * f + 1

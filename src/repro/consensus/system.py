@@ -51,7 +51,9 @@ class ConsensusSystem:
             self.sim, delta=delta, rules=list(rules or []),
             trace_level=trace_level,
         )
-        self.trace = Trace()
+        self.trace = Trace(
+            retain=self.network.trace_level >= TraceLevel.FULL
+        )
         self.service = SignatureService()
 
         self.proposer_ids = tuple(f"p{i + 1}" for i in range(n_proposers))

@@ -26,5 +26,14 @@ module                 exhibit
 ``baselines``          E12 — RQS vs fast-ABD / ABD / Paxos / PBFT
 ``metrics_ablation``   E13 — load/availability ablation
 ``contention``         E14 — keyed-register contention sweep (per-key verdicts)
+``soak``               E15 — horizon-free streaming soaks (online verdicts)
 =====================  ========================================================
+
+Shared helpers: :func:`~repro.experiments.builders.keyed_mix_spec`
+builds the keyed-``RandomMix`` cells used by the contention/soak grids
+and the workload bench, so the spec shape lives in exactly one place.
 """
+
+from repro.experiments.builders import DEFAULT_RQS, keyed_mix_spec
+
+__all__ = ["DEFAULT_RQS", "keyed_mix_spec"]

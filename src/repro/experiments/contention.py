@@ -24,12 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping
 
-from repro.scenarios import (
-    RandomMix,
-    ScenarioSpec,
-    SweepSpec,
-    run_grid,
-)
+from repro.experiments.builders import keyed_mix_spec
+from repro.scenarios import ScenarioSpec, SweepSpec, run_grid
 
 #: Operation budget per cell (spread over 2 writers and 3 readers).
 N_WRITES = 8
@@ -38,22 +34,15 @@ HORIZON = 60.0
 
 
 def _contention_build(point: Mapping) -> ScenarioSpec:
-    skew = point["skew"]
-    mix = RandomMix(
-        N_WRITES,
-        N_READS,
-        horizon=HORIZON,
-        distribution="zipfian" if skew else "uniform",
-        skew=skew or 1.0,
-    )
-    protocol = point["protocol"]
-    return ScenarioSpec(
-        protocol=protocol,
-        rqs="example6" if protocol == "rqs-storage" else None,
+    return keyed_mix_spec(
+        point["protocol"],
+        point["n_keys"],
+        writes=N_WRITES,
+        reads=N_READS,
         readers=3,
+        horizon=HORIZON,
         n_writers=2,
-        n_keys=point["n_keys"],
-        workload=(mix,),
+        skew=point["skew"] or None,   # 0.0 = uniform draws
         seed=point["seed"],
     )
 

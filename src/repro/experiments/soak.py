@@ -1,0 +1,153 @@
+"""Experiment E15 — horizon-free streaming soaks with online verdicts.
+
+The streaming pipeline removes the last O(history) term from long runs:
+open-loop workload generation (clients draw their next op lazily), a
+non-retaining ``TraceLevel.METRICS`` trace whose records flow through
+online latency accumulators, and the windowed per-key online checker
+that delivers a safety verdict as operations complete.  This experiment
+measures that pipeline at scale: **protocols × keyspace width × op
+count up to one million**, every cell an open-loop soak stopped by a
+``max_ops`` budget.
+
+Per the repository invariant (**new figure = new grid literal**) the
+whole experiment is :data:`GRID`.  Cells report throughput, streaming
+latency summaries, the online verdict and the checker's high-water
+retained-state mark — the exhibit is that the mark stays O(clients +
+keys) while op counts grow 100×.
+
+The protocol axis is the two bounded-state baselines (ABD and fast-ABD
+servers keep one/two pairs per key).  The paper's RQS protocol
+deliberately stores the *entire* per-key history server-side (a Section
+5 simplification), so its memory is O(writes) by design and it is
+excluded from this grid; bounding its server history is a named
+ROADMAP direction, and until then E15 measures the baselines only.
+
+Run directly (``python -m repro.experiments.soak``) for the default
+sub-grid (≤ 100k ops per cell); ``run_experiment(full=True)`` runs the
+million-op rows as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping
+
+from repro.experiments.builders import keyed_mix_spec
+from repro.scenarios import ScenarioSpec, SweepSpec, run_grid
+
+#: The open-loop mix ratio (writes : reads) and rate scale — the
+#: closed-loop soak row's 40/60 mix spread over one op per time unit.
+MIX_WRITES = 4000
+MIX_READS = 6000
+SOAK_READERS = 8
+
+#: The largest cell of the grid (the acceptance soak size).
+MILLION = 1_000_000
+
+
+def _soak_build(point: Mapping) -> ScenarioSpec:
+    return keyed_mix_spec(
+        point["protocol"],
+        point["n_keys"],
+        writes=MIX_WRITES,
+        reads=MIX_READS,
+        readers=SOAK_READERS,
+        horizon=float(MIX_WRITES + MIX_READS),
+        seed=point["seed"],
+        trace_level="metrics",
+        max_ops=point["max_ops"],
+    )
+
+
+def _soak_measure(point: Mapping, result) -> Mapping:
+    online = result.online
+    reads = result.latency_streaming("read")
+    writes = result.latency_streaming("write")
+    metrics = {
+        "verdict": "unchecked",
+        "operations": result.ops_begun(),
+        "completed": result.ops_completed(),
+        "events": result.adapter.sim.events_processed,
+        "messages": result.adapter.network.sent_count,
+        "keys_checked": 0,
+        "violations": 0,
+        "checker_max_retained": 0,
+        "read_p99": reads.p99_time,
+        "write_p99": writes.p99_time,
+        "wall_s": round(result.execute_seconds, 4),
+    }
+    if online is not None:
+        online_metrics = online.as_metrics()
+        online_metrics.pop("atomic")
+        metrics["verdict"] = online.verdict
+        metrics.update(online_metrics)
+    return metrics
+
+
+#: The E15 grid: protocol × keyspace width × op budget (up to 1e6).
+GRID = SweepSpec(
+    name="soak",
+    axes={
+        "protocol": ("abd", "fastabd"),
+        "n_keys": (4, 16),
+        "max_ops": (10_000, 100_000, MILLION),
+        "seed": (5,),
+    },
+    build=_soak_build,
+    measure=_soak_measure,
+)
+
+
+@dataclass
+class SoakRow:
+    protocol: str
+    n_keys: int
+    max_ops: int
+    verdict: str
+    ops_per_sec: float
+    checker_max_retained: int
+    read_p99: float
+
+    def row(self) -> str:
+        return (
+            f"{self.protocol:>8} keys={self.n_keys:<3} "
+            f"ops={self.max_ops:<8} {self.verdict:<9} "
+            f"{self.ops_per_sec:>9.0f} ops/s  "
+            f"retained<={self.checker_max_retained:<4} "
+            f"read p99={self.read_p99}"
+        )
+
+
+def run_experiment(
+    executor: str = "serial", full: bool = False, sizes=None
+) -> List[SoakRow]:
+    """Run the grid (the ≤100k sub-grid unless ``full``) into rows.
+
+    ``sizes`` restricts the ``max_ops`` axis explicitly (e.g. the test
+    suite's quick fold uses ``(10_000,)``)."""
+    if sizes is not None:
+        grid = GRID.where(max_ops=tuple(sizes))
+    else:
+        grid = GRID if full else GRID.where(max_ops=(10_000, 100_000))
+    sweep = run_grid(grid, executor=executor)
+    rows: List[SoakRow] = []
+    for cell in sweep.cells:
+        metrics = cell.require().metrics
+        wall = metrics["wall_s"] or 1e-9
+        rows.append(
+            SoakRow(
+                protocol=cell.point["protocol"],
+                n_keys=int(cell.point["n_keys"]),
+                max_ops=int(cell.point["max_ops"]),
+                verdict=cell.verdict,
+                ops_per_sec=round(metrics["completed"] / wall, 1),
+                checker_max_retained=metrics["checker_max_retained"],
+                read_p99=metrics["read_p99"],
+            )
+        )
+    return rows
+
+
+if __name__ == "__main__":
+    for row in run_experiment():
+        print(row.row())

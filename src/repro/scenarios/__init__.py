@@ -39,6 +39,13 @@ index, ``RandomMix`` draws keys ``uniform``/``zipfian`` over
 writers with totally-ordered timestamps.  Verdicts partition per key:
 ``RunResult.atomicity`` is the aggregate, ``RunResult.key_verdicts``
 the per-register view.
+
+Long runs **stream**: at ``TraceLevel.METRICS`` operation records are
+never retained — counters, online latency accumulators and (for
+single-writer ``RandomMix`` workloads) the windowed online checker
+take over (``RunResult.online``), and the open-loop stopping rule
+(``ScenarioSpec.duration``/``max_ops``) generates ops lazily per
+client for horizon-free million-op soaks in O(clients + keys) memory.
 """
 
 from repro.scenarios.aggregate import (

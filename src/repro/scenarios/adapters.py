@@ -24,12 +24,14 @@ from repro.errors import ScenarioError
 from repro.scenarios.faults import ACCEPTOR, PROPOSER, SERVER, ByzantineRole
 from repro.scenarios.registry import register_protocol
 from repro.scenarios.workloads import (
+    OpBudget,
     Propose,
     RandomMix,
     Read,
     Resync,
     Write,
     expand_random_mix,
+    open_loop_stream,
 )
 from repro.sim.tasks import sequential_ops
 from repro.consensus.proposer import EquivocatingProposer
@@ -108,10 +110,37 @@ class ProtocolAdapter:
         raise NotImplementedError
 
     def execute(self, spec) -> None:
+        max_events = self._event_budget(spec)
         if spec.horizon is None:
-            self.sim.run_to_completion(strict=spec.strict)
+            self.sim.run_to_completion(
+                strict=spec.strict, max_events=max_events
+            )
         else:
-            self.sim.run(until=spec.horizon)
+            self.sim.run(until=spec.horizon, max_events=max_events)
+
+    @staticmethod
+    def _event_budget(spec) -> int:
+        """The livelock guard, scaled for horizon-free soaks.
+
+        The simulator's default 1M-event cap is a guard against genuine
+        livelock, but a million-op open-loop run legitimately processes
+        tens of millions of events; scale the cap with the op budget
+        (``spec.params["max_events"]`` overrides it outright)."""
+        override = spec.param("max_events")
+        if override is not None:
+            return int(override)
+        budget = 1_000_000
+        if spec.max_ops is not None:
+            budget = max(budget, spec.max_ops * 100)
+        if spec.duration is not None:
+            for op in spec.workload:
+                if isinstance(op, RandomMix) and op.horizon > 0:
+                    rate = (op.writes + op.reads) / op.horizon
+                    budget = max(
+                        budget,
+                        int(spec.duration * rate * 100) + 1_000_000,
+                    )
+        return budget
 
     # -- shared helpers -------------------------------------------------------
 
@@ -171,11 +200,122 @@ class StorageAdapter(ProtocolAdapter):
     reader (the paper's well-formedness rule, per client); all client
     tasks block on indexed Conditions inside the protocol coroutines,
     never on ad-hoc closures.
+
+    Scheduling is **streaming-first**: a pure single-``RandomMix``
+    workload hands each client a lazy iterator over the mix's draw
+    (closed loop, bit-identical to list expansion), and a spec with an
+    open-loop stopping rule (``duration``/``max_ops``) hands each
+    client an unbounded per-client generator — no materialized op
+    lists in either case.  Only workloads mixing explicit literals
+    still expand eagerly.
     """
 
     kind = "storage"
 
     def schedule(self, spec) -> None:
+        workload = spec.workload
+        if spec.duration is not None or spec.max_ops is not None:
+            if len(workload) != 1 or not isinstance(workload[0], RandomMix):
+                raise ScenarioError(
+                    "open-loop runs (duration/max_ops) take exactly one "
+                    "RandomMix workload literal, whose counts set the "
+                    f"write:read ratio; got {workload!r}"
+                )
+            self._schedule_open_loop(spec, workload[0])
+            return
+        if len(workload) == 1 and isinstance(workload[0], RandomMix):
+            self._schedule_stream(spec, workload[0])
+            return
+        self._schedule_expanded(spec)
+
+    @staticmethod
+    def _write_schedule(ops, write):
+        """``(at, value, key)`` triples -> sequential_ops schedule.
+
+        A real generator function (not a genexp over a loop variable)
+        so the bound client method stays fixed however late items are
+        pulled."""
+        for at, value, key in ops:
+            yield (at, write, (value, key))
+
+    @staticmethod
+    def _read_schedule(ops, read):
+        for at, key in ops:
+            yield (at, read, (key,))
+
+    def _schedule_stream(self, spec, mix: RandomMix) -> None:
+        """Closed-loop streaming: per-client lazy views of the seeded
+        draw — the same schedules ``expand_random_mix`` materializes,
+        without building per-client op lists."""
+        if mix.reads > 0 and len(self.system.readers) < 1:
+            raise ScenarioError(
+                f"RandomMix schedules {mix.reads} reads but the scenario "
+                f"has no readers; set readers >= 1 (or reads=0)"
+            )
+        stream = mix.stream(
+            len(self.system.readers), spec.seed,
+            n_keys=spec.n_keys, n_writers=len(self.system.writers),
+        )
+        for index in stream.writers_with_ops:
+            writer = self.system.writers[index]
+            self.sim.spawn(
+                self._sequential_ops(
+                    self._write_schedule(
+                        stream.writer_ops(index), writer.write
+                    )
+                ),
+                "writer-workload" if index == 0
+                else f"{writer.pid}-workload",
+            )
+        for index in stream.readers_with_ops:
+            reader = self.system.readers[index]
+            self.sim.spawn(
+                self._sequential_ops(
+                    self._read_schedule(
+                        stream.reader_ops(index), reader.read
+                    )
+                ),
+                f"{reader.pid}-workload",
+            )
+
+    def _schedule_open_loop(self, spec, mix: RandomMix) -> None:
+        """Horizon-free streaming: every client draws its next op
+        lazily from an independent seeded generator, stopping on the
+        shared op budget or the duration bound."""
+        if mix.reads > 0 and len(self.system.readers) < 1:
+            raise ScenarioError(
+                f"RandomMix schedules reads (ratio {mix.writes}:"
+                f"{mix.reads}) but the scenario has no readers; set "
+                f"readers >= 1 (or reads=0)"
+            )
+        budget = OpBudget(spec.max_ops)
+        writers = self.system.writers if mix.writes > 0 else []
+        readers = self.system.readers if mix.reads > 0 else []
+        for index, writer in enumerate(writers):
+            ops = open_loop_stream(
+                mix, "writer", index, len(writers), spec.seed, budget,
+                spec.duration, n_keys=spec.n_keys,
+            )
+            self.sim.spawn(
+                self._sequential_ops(
+                    self._write_schedule(ops, writer.write)
+                ),
+                "writer-workload" if index == 0
+                else f"{writer.pid}-workload",
+            )
+        for index, reader in enumerate(readers):
+            ops = open_loop_stream(
+                mix, "reader", index, len(readers), spec.seed, budget,
+                spec.duration, n_keys=spec.n_keys,
+            )
+            self.sim.spawn(
+                self._sequential_ops(self._read_schedule(ops, reader.read)),
+                f"{reader.pid}-workload",
+            )
+
+    def _schedule_expanded(self, spec) -> None:
+        """The materializing path for workloads mixing explicit
+        literals with random mixes."""
         per_writer: Dict[int, List[Tuple[float, Any, Hashable]]] = {}
         per_reader: Dict[int, List[Tuple[float, Hashable]]] = {}
         next_value = 1
@@ -350,6 +490,12 @@ class ConsensusAdapter(ProtocolAdapter):
         super().apply_faults(spec)
 
     def schedule(self, spec) -> None:
+        if spec.duration is not None or spec.max_ops is not None:
+            raise ScenarioError(
+                f"protocol {self.protocol_id!r} does not support the "
+                f"open-loop stopping rule (duration/max_ops); streaming "
+                f"workloads are a storage feature"
+            )
         for op in spec.workload:
             if isinstance(op, Propose):
                 self._schedule_propose(op)

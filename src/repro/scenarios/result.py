@@ -4,6 +4,16 @@
 correctness verdicts.  Checkers are *lazy* — an atomicity or
 linearizability check only runs when its property is first read, so
 cheap smoke runs pay nothing for verdicts they never look at.
+
+Results report uniformly across retention modes.  On FULL runs the
+record-backed surface (``records``/``atomicity``/``latency``) is exact
+and post-hoc; on streaming runs (``TraceLevel.METRICS``) the history was
+never materialized, so the record-backed verdicts raise with guidance
+and the streaming surface takes over: per-kind begun/completed counts
+(:meth:`ops_begun`/:meth:`ops_completed`), accumulator-backed latency
+summaries (``latency`` falls through to the online path), and the
+windowed online safety verdict (:attr:`online`).  :meth:`summary` is
+the mode-independent portable digest.
 """
 
 from __future__ import annotations
@@ -19,6 +29,8 @@ from repro.analysis.atomicity import (
 from repro.analysis.consensus_check import ConsensusReport, check_consensus
 from repro.analysis.latency import LatencySummary, summarize_rounds
 from repro.analysis.linearizability import is_linearizable
+from repro.analysis.streaming import OnlineReport
+from repro.errors import CheckerError
 from repro.sim.trace import OperationRecord
 from repro.storage.history import DEFAULT_KEY
 
@@ -82,6 +94,48 @@ class RunResult:
         """Names of operations still blocked when the run stopped."""
         return tuple(t.name for t in self.adapter.sim.blocked_tasks())
 
+    # -- streaming surface (valid at every retention mode) --------------------
+
+    @property
+    def streamed(self) -> bool:
+        """True when operation records were not retained (METRICS)."""
+        return not self.adapter.trace.retain
+
+    def ops_begun(self, kind: Optional[str] = None) -> int:
+        """Operations invoked (one kind, or all) — counter-backed, so
+        exact at every retention mode."""
+        trace = self.adapter.trace
+        if kind is None:
+            return trace.begun_total()
+        return trace.begun.get(kind, 0)
+
+    def ops_completed(self, kind: Optional[str] = None) -> int:
+        trace = self.adapter.trace
+        if kind is None:
+            return trace.completed_total()
+        return trace.completed_counts.get(kind, 0)
+
+    @property
+    def online(self) -> Optional[OnlineReport]:
+        """The windowed online checker's verdict, when one was wired
+        (streaming single-writer RandomMix storage runs); else None."""
+        checker = getattr(self.adapter, "online_checker", None)
+        return checker.report() if checker is not None else None
+
+    def _require_records(self, what: str) -> None:
+        if self.streamed and self.ops_begun() > len(self._retained()):
+            raise CheckerError(
+                f"{what} needs retained operation records, but this run "
+                f"streamed them (TraceLevel.METRICS discards records as "
+                f"operations complete); use RunResult.online for the "
+                f"windowed streaming verdict, the ops_begun/ops_completed "
+                f"counters, and the accumulator-backed latency summaries "
+                f"— or run at TraceLevel.FULL"
+            )
+
+    def _retained(self) -> Tuple[OperationRecord, ...]:
+        return self.adapter.trace.records
+
     # -- verdicts (lazy) ------------------------------------------------------
 
     @cached_property
@@ -90,8 +144,10 @@ class RunResult:
 
         Registers are checked independently per key (the sum of per-key
         checks); this is the aggregate report — per-register reports
-        hang off :attr:`atomicity_by_key`.
+        hang off :attr:`atomicity_by_key`.  Requires retained records
+        (FULL tracing); streamed runs use :attr:`online`.
         """
+        self._require_records("the post-hoc atomicity checker")
         return check_swmr_atomicity(self.records)
 
     @property
@@ -127,6 +183,7 @@ class RunResult:
     def linearizable(self) -> bool:
         """Wing–Gong linearizability of the register history (small runs);
         keyed histories are decided register-by-register (locality)."""
+        self._require_records("the Wing–Gong linearizability checker")
         return is_linearizable(self.records)
 
     @cached_property
@@ -139,12 +196,60 @@ class RunResult:
         )
 
     def check_consensus(self, **kwargs: Any) -> ConsensusReport:
+        self._require_records("the consensus checker")
         return check_consensus(self.records, **kwargs)
 
     # -- latency metrics ------------------------------------------------------
 
     def latency(self, kind: str) -> LatencySummary:
+        """The latency summary for one operation kind.
+
+        Record-backed (exact quantiles) on FULL runs; falls through to
+        the streaming accumulator on streamed runs — the two paths
+        agree exactly whenever the accumulator's reservoir holds the
+        full stream.
+        """
+        if self.streamed:
+            return self.latency_streaming(kind)
         return summarize_rounds(self.records, kind)
+
+    def latency_streaming(self, kind: str) -> LatencySummary:
+        """The accumulator-backed summary (available at every mode)."""
+        return LatencySummary.from_accumulator(
+            self.adapter.trace.accumulator(kind), kind
+        )
+
+    def summary(self) -> Dict[str, Any]:
+        """A portable mode-independent digest of this execution:
+        per-kind op counts and streaming latency summaries, message
+        volume, and whichever safety verdict this mode carries."""
+        trace = self.adapter.trace
+        kinds = sorted(trace.begun)
+        out: Dict[str, Any] = {
+            "operations": self.ops_begun(),
+            "completed": self.ops_completed(),
+            "blocked": len(self.blocked),
+            "messages": self.adapter.network.sent_count,
+            "kinds": {
+                kind: {
+                    "begun": self.ops_begun(kind),
+                    "completed": self.ops_completed(kind),
+                    "latency": self.latency_streaming(kind),
+                }
+                for kind in kinds
+            },
+        }
+        online = self.online
+        if online is not None:
+            out["verdict"] = online.verdict
+            out["verdict_source"] = "online-windowed"
+            out["keys_checked"] = len(online.keys)
+            out["violations"] = online.violation_count
+        elif not self.streamed:
+            out["verdict_source"] = "post-hoc"
+        else:
+            out["verdict_source"] = "unchecked"
+        return out
 
     @property
     def learned(self) -> Dict[Hashable, Any]:
@@ -182,13 +287,16 @@ class RunResult:
     def fingerprint(self) -> Tuple:
         """A hashable execution digest for reproducibility assertions.
 
-        Uses the network's monotone ``sent_count`` (== ``len(log)`` at
-        full tracing) so fingerprints stay comparable across
-        :class:`~repro.sim.network.TraceLevel` settings.  Single-key
-        histories keep the historical digest shape byte-for-byte;
-        multi-register histories append each record's key so per-key
-        schedules are pinned too.
+        Single-key histories keep the historical digest shape
+        byte-for-byte; multi-register histories append each record's
+        key so per-key schedules are pinned too.  Requires retained
+        records (FULL tracing) — on streamed runs the digest would
+        silently collapse to the message count alone, so it refuses
+        instead; assert on the streaming counters
+        (``ops_begun``/``ops_completed``/``events_processed``/
+        ``sent_count``) there.
         """
+        self._require_records("fingerprint()")
         keyed = any(
             getattr(r, "key", DEFAULT_KEY) != DEFAULT_KEY
             for r in self.records

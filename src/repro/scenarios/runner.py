@@ -5,6 +5,14 @@ fault plan (crashes are scheduled before workload operations so that a
 crash and an operation at the same instant resolve crash-first), then
 schedules the workload and runs to the spec's horizon (or completion).
 
+Streaming runs (``TraceLevel.METRICS``, where operation records are not
+retained) additionally get the **windowed online checker** subscribed to
+the trace before execution: single-writer ``RandomMix`` storage
+workloads are safety-checked as operations complete, so horizon-free
+soaks produce a real verdict without ever materializing the history —
+read it via ``RunResult.online``.  FULL runs keep the exact post-hoc
+checkers instead.
+
 The execute phase (the event loop proper, excluding wiring and RQS
 construction) is wall-timed onto ``RunResult.execute_seconds`` so perf
 benches measure scheduler throughput without re-implementing the
@@ -15,15 +23,45 @@ from __future__ import annotations
 
 import time
 
+from repro.analysis.streaming import OnlineChecker
 from repro.scenarios.registry import get_protocol
 from repro.scenarios.result import RunResult
 from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.workloads import RandomMix
+
+
+def _wire_online_checker(adapter, spec) -> None:
+    """Subscribe the windowed checker to streaming storage runs.
+
+    Engaged only where its invariants are sound: records are being
+    streamed (not retained), the protocol is a storage protocol, the
+    register space is single-writer, and the workload is a *single*
+    ``RandomMix`` (sequential integer write values, totally ordered per
+    key — the ordering the windowed rules rely on; two mixes interleave
+    their value ranges in time, breaking monotonicity).
+    """
+    if adapter.trace.retain:
+        return
+    if getattr(adapter, "kind", "") != "storage":
+        return
+    if spec.n_writers != 1:
+        return
+    if len(spec.workload) != 1 or not isinstance(
+        spec.workload[0], RandomMix
+    ):
+        return
+    checker = OnlineChecker()
+    adapter.trace.subscribe(
+        on_begin=checker.on_begin, on_complete=checker.on_complete
+    )
+    adapter.online_checker = checker
 
 
 def run(spec: ScenarioSpec) -> RunResult:
     """Execute one scenario and return its bundled result."""
     adapter_cls = get_protocol(spec.protocol)
     adapter = adapter_cls.build(spec)
+    _wire_online_checker(adapter, spec)
     adapter.apply_faults(spec)
     adapter.schedule(spec)
     start = time.perf_counter()

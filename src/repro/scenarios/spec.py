@@ -143,6 +143,17 @@ class ScenarioSpec:
         Seed for randomized workload expansion (deterministic per seed).
     horizon:
         Run until this simulated time; ``None`` runs to completion.
+    duration / max_ops:
+        The **open-loop stopping rule** — an alternative to fixed
+        workload counts for horizon-free streaming runs.  Setting either
+        switches a single-``RandomMix`` storage workload to open-loop
+        generation: clients draw their next operation lazily (O(1)
+        state per client; the mix's counts become rate/ratio
+        parameters) and stop issuing once ``max_ops`` operations have
+        started globally, or once a client's next start time reaches
+        ``duration`` simulated time units — whichever comes first.
+        In-flight operations still run to completion.  Consensus
+        protocols reject both fields.
     strict:
         With ``horizon=None``, raise if tasks are still blocked when the
         event queue drains.
@@ -171,6 +182,8 @@ class ScenarioSpec:
     workload: Workload = ()
     seed: int = 0
     horizon: Optional[float] = None
+    duration: Optional[float] = None
+    max_ops: Optional[int] = None
     strict: bool = False
     trace_level: Union[TraceLevel, str] = TraceLevel.FULL
     params: Mapping[str, Any] = field(default_factory=dict)
@@ -183,6 +196,14 @@ class ScenarioSpec:
             )
         if self.n_keys < 1:
             raise ScenarioError(f"n_keys must be >= 1, got {self.n_keys}")
+        if self.duration is not None and self.duration <= 0:
+            raise ScenarioError(
+                f"duration must be positive, got {self.duration}"
+            )
+        if self.max_ops is not None and self.max_ops < 1:
+            raise ScenarioError(
+                f"max_ops must be >= 1, got {self.max_ops}"
+            )
         try:
             object.__setattr__(
                 self, "trace_level", TraceLevel.of(self.trace_level)

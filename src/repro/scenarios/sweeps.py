@@ -306,7 +306,15 @@ def default_measure(point: Point, result: RunResult) -> Dict[str, Any]:
     Storage cells verdict on atomicity; consensus cells verdict on the
     consensus checker and record the worst learner delay.  Both record
     operation counts and mean/p50/p99 completion-latency summaries.
+
+    Streamed cells (``TraceLevel.METRICS``) have no retained records:
+    counts come from the trace counters, latency from the streaming
+    accumulators, and the verdict from the windowed online checker
+    (``"unchecked"`` when no checker applied — e.g. multi-writer
+    streams).
     """
+    if result.streamed:
+        return _streamed_measure(result)
     completed = result.completed
     metrics: Dict[str, Any] = {
         "operations": len(result.records),
@@ -327,6 +335,35 @@ def default_measure(point: Point, result: RunResult) -> Dict[str, Any]:
     rounds = [r.rounds for r in completed if r.rounds]
     if rounds:
         metrics["rounds"] = summary_stats(rounds)
+    return metrics
+
+
+def _streamed_measure(result: RunResult) -> Dict[str, Any]:
+    """Counter/accumulator/online-checker metrics for streamed cells."""
+    metrics: Dict[str, Any] = {
+        "operations": result.ops_begun(),
+        "completed": result.ops_completed(),
+        "blocked": len(result.blocked),
+    }
+    online = result.online
+    if online is not None:
+        online_metrics = online.as_metrics()
+        online_metrics.pop("atomic")
+        metrics["verdict"] = online.verdict
+        metrics.update(online_metrics)
+    else:
+        metrics["verdict"] = "unchecked"
+    latency: Dict[str, Any] = {}
+    for kind in sorted(result.adapter.trace.begun):
+        summary = result.latency_streaming(kind)
+        if summary.count:
+            latency[kind] = {
+                "mean": summary.mean_time,
+                "p50": summary.p50_time,
+                "p99": summary.p99_time,
+                "max": summary.max_time,
+            }
+    metrics["latency"] = latency
     return metrics
 
 

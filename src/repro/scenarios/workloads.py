@@ -17,15 +17,30 @@ Operations on distinct clients run concurrently.
   are drawn from a ``uniform`` or ``zipfian`` distribution over the
   spec's ``n_keys`` registers, and writes are spread round-robin over
   the spec's ``n_writers`` writer clients.
+
+A :class:`RandomMix` expands two ways:
+
+* :func:`expand_random_mix` — the historical materializing path: full
+  per-client op lists, used when the workload mixes literals.
+* :meth:`RandomMix.stream` — an :class:`OpStream` of lazy per-client
+  iterators drawing from the *same RNG consumption order*, so every
+  existing seed produces a bit-identical schedule while clients never
+  hold materialized op objects.
+
+Horizon-free runs (``ScenarioSpec.duration`` / ``max_ops``) skip the
+closed-loop draw entirely: :func:`open_loop_stream` gives each client an
+independent seeded generator that draws inter-arrival gaps and keys one
+operation at a time — O(1) state per client, unbounded op counts.
 """
 
 from __future__ import annotations
 
 import random
+import zlib
 from bisect import bisect_right
 from dataclasses import dataclass
 from itertools import accumulate
-from typing import Any, Dict, Hashable, List, Tuple, Union
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ScenarioError
 from repro.storage.history import DEFAULT_KEY
@@ -99,6 +114,28 @@ class RandomMix:
                 f"unknown RandomMix distribution {self.distribution!r}; "
                 f"valid: {', '.join(KEY_DISTRIBUTIONS)}"
             )
+        if self.skew < 0:
+            raise ScenarioError(
+                f"RandomMix.skew must be >= 0, got {self.skew} "
+                f"(zipfian weight is 1 / (k + 1) ** skew; a negative "
+                f"skew would invert the contention profile)"
+            )
+
+    def stream(
+        self,
+        n_readers: int,
+        seed: int,
+        first_value: int = 1,
+        n_keys: int = 1,
+        n_writers: int = 1,
+    ) -> "OpStream":
+        """Lazy per-client schedules, bit-identical to
+        :func:`expand_random_mix` for the same arguments (same RNG
+        consumption order, same round-robin client assignment)."""
+        return OpStream(
+            self, n_readers, seed,
+            first_value=first_value, n_keys=n_keys, n_writers=n_writers,
+        )
 
 
 WorkloadOp = Union[Write, Read, Propose, Resync, RandomMix]
@@ -108,33 +145,26 @@ Workload = Tuple[WorkloadOp, ...]
 def _draw_keys(
     rng: random.Random, mix: RandomMix, count: int, n_keys: int
 ) -> List[int]:
-    """``count`` register keys from the mix's keyspace distribution."""
-    if mix.distribution == "uniform":
-        return [rng.randrange(n_keys) for _ in range(count)]
-    weights = [1.0 / (k + 1) ** mix.skew for k in range(n_keys)]
-    cumulative = list(accumulate(weights))
-    total = cumulative[-1]
-    return [
-        bisect_right(cumulative, rng.random() * total) for _ in range(count)
-    ]
+    """``count`` register keys from the mix's keyspace distribution.
+
+    Delegates to :class:`_KeyDrawer` — the single home of the
+    uniform/zipfian draw, shared with the open-loop streams so closed-
+    and open-loop runs of the same mix sample identical distributions.
+    """
+    drawer = _KeyDrawer(mix, n_keys)
+    return [drawer.draw(rng) for _ in range(count)]
 
 
-def expand_random_mix(
-    mix: RandomMix,
-    n_readers: int,
-    seed: int,
-    first_value: int = 1,
-    n_keys: int = 1,
-    n_writers: int = 1,
-) -> Tuple[List[Write], Dict[int, List[Read]]]:
-    """Materialize a :class:`RandomMix` into concrete Write/Read ops.
+def _draw_schedule(
+    mix: RandomMix, n_readers: int, seed: int, n_keys: int
+) -> Tuple[List[float], List[Tuple[int, float]], List[int], List[int]]:
+    """The seeded draw shared by list expansion and streaming.
 
-    Mirrors the historical ``StorageSystem.random_workload`` draw order
+    Returns ``(write_times, read_slots, write_keys, read_keys)`` in the
+    historical ``StorageSystem.random_workload`` consumption order
     (write times first, then read times, then — only for multi-key
-    expansions — write keys and read keys) so seeded single-key
-    schedules stay bit-for-bit reproducible.  Writes carry their
-    round-robin ``writer`` index; the returned reads are grouped per
-    reader and sorted by start time.
+    expansions — write keys and read keys), so both consumers produce
+    bit-for-bit the same schedules for any seed.
     """
     if mix.reads > 0 and n_readers < 1:
         raise ScenarioError(
@@ -143,8 +173,6 @@ def expand_random_mix(
         )
     if n_keys < 1:
         raise ScenarioError(f"n_keys must be >= 1, got {n_keys}")
-    if n_writers < 1:
-        raise ScenarioError(f"n_writers must be >= 1, got {n_writers}")
     rng = random.Random(seed)
     write_times = sorted(
         mix.start + rng.uniform(0.0, mix.horizon) for _ in range(mix.writes)
@@ -164,6 +192,29 @@ def expand_random_mix(
     else:
         write_keys = [DEFAULT_KEY] * mix.writes
         read_keys = [DEFAULT_KEY] * mix.reads
+    return write_times, read_slots, write_keys, read_keys
+
+
+def expand_random_mix(
+    mix: RandomMix,
+    n_readers: int,
+    seed: int,
+    first_value: int = 1,
+    n_keys: int = 1,
+    n_writers: int = 1,
+) -> Tuple[List[Write], Dict[int, List[Read]]]:
+    """Materialize a :class:`RandomMix` into concrete Write/Read ops.
+
+    Writes carry their round-robin ``writer`` index; the returned reads
+    are grouped per reader and sorted by start time.  The draw itself is
+    :func:`_draw_schedule`, shared with :meth:`RandomMix.stream` so the
+    two paths cannot diverge.
+    """
+    if n_writers < 1:
+        raise ScenarioError(f"n_writers must be >= 1, got {n_writers}")
+    write_times, read_slots, write_keys, read_keys = _draw_schedule(
+        mix, n_readers, seed, n_keys
+    )
     writes = [
         Write(at=time, value=value, key=write_keys[index],
               writer=index % n_writers)
@@ -179,3 +230,186 @@ def expand_random_mix(
     for reader, ops in per_reader.items():
         ops.sort(key=lambda op: op.at)
     return writes, per_reader
+
+
+class OpStream:
+    """Lazy per-client views of one closed-loop :class:`RandomMix` draw.
+
+    Holds the compact draw arrays (times, key indices) once and hands
+    out generators — clients never see materialized :class:`Write` /
+    :class:`Read` objects or per-client op lists.  The draw is delayed
+    until the first client pulls, and shared by all of them.
+
+    ``writer_ops(w)`` yields writer ``w``'s ``(at, value, key)`` triples
+    in start-time order (the round-robin subset of the globally
+    time-sorted writes); ``reader_ops(r)`` yields reader ``r``'s
+    ``(at, key)`` pairs sorted by start time — both exactly the
+    schedules :func:`expand_random_mix` materializes.
+    """
+
+    def __init__(
+        self,
+        mix: RandomMix,
+        n_readers: int,
+        seed: int,
+        first_value: int = 1,
+        n_keys: int = 1,
+        n_writers: int = 1,
+    ):
+        if n_writers < 1:
+            raise ScenarioError(f"n_writers must be >= 1, got {n_writers}")
+        self.mix = mix
+        self.n_readers = n_readers
+        self.seed = seed
+        self.first_value = first_value
+        self.n_keys = n_keys
+        self.n_writers = n_writers
+        self._draw = None
+
+    def _schedule(self):
+        if self._draw is None:
+            self._draw = _draw_schedule(
+                self.mix, self.n_readers, self.seed, self.n_keys
+            )
+        return self._draw
+
+    @property
+    def writers_with_ops(self) -> range:
+        """Writer indices that receive at least one op (round-robin)."""
+        return range(min(self.n_writers, self.mix.writes))
+
+    @property
+    def readers_with_ops(self) -> range:
+        return range(min(self.n_readers, self.mix.reads))
+
+    def writer_ops(self, writer: int) -> Iterator[Tuple[float, Any, Hashable]]:
+        write_times, _, write_keys, _ = self._schedule()
+        for index in range(writer, self.mix.writes, self.n_writers):
+            yield (
+                write_times[index],
+                self.first_value + index,
+                write_keys[index],
+            )
+
+    def reader_ops(self, reader: int) -> Iterator[Tuple[float, Hashable]]:
+        _, read_slots, _, read_keys = self._schedule()
+        ops = [
+            (time, read_keys[index])
+            for index, (slot_reader, time) in enumerate(read_slots)
+            if slot_reader == reader
+        ]
+        ops.sort(key=lambda item: item[0])
+        return iter(ops)
+
+    def ops(self) -> Iterator[Union[Write, Read]]:
+        """Every op as a literal (writes in time order, then each
+        reader's time-sorted reads) — the equivalence-test view."""
+        for writer in self.writers_with_ops:
+            for at, value, key in self.writer_ops(writer):
+                yield Write(at=at, value=value, key=key, writer=writer)
+        for reader in self.readers_with_ops:
+            for at, key in self.reader_ops(reader):
+                yield Read(at=at, reader=reader, key=key)
+
+
+# -- horizon-free (open-loop) streams -----------------------------------------
+
+class OpBudget:
+    """A shared countdown of operations still allowed to start.
+
+    ``None`` means unlimited (the run is bounded by ``duration``
+    instead).  Clients draw from the budget *as they generate* their
+    next op, in simulated-event order, so allocation is deterministic.
+    """
+
+    __slots__ = ("remaining",)
+
+    def __init__(self, max_ops: Optional[int]):
+        self.remaining = max_ops
+
+    def take(self) -> bool:
+        if self.remaining is None:
+            return True
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def client_seed(seed: int, role: str, index: int) -> int:
+    """A deterministic per-client RNG seed for open-loop streams —
+    a pure crc32 function of the scenario seed and the client identity
+    (stable across Python versions and processes, like
+    :func:`repro.scenarios.sweeps.derive_seed`)."""
+    return zlib.crc32(f"stream:{seed}:{role}:{index}".encode()) & 0x7FFFFFFF
+
+
+class _KeyDrawer:
+    """Per-client register draws from the mix's keyspace distribution."""
+
+    def __init__(self, mix: RandomMix, n_keys: int):
+        self.n_keys = n_keys
+        self.cumulative: Optional[List[float]] = None
+        if n_keys > 1 and mix.distribution == "zipfian":
+            weights = [1.0 / (k + 1) ** mix.skew for k in range(n_keys)]
+            self.cumulative = list(accumulate(weights))
+
+    def draw(self, rng: random.Random) -> Hashable:
+        if self.n_keys <= 1:
+            return DEFAULT_KEY
+        if self.cumulative is None:
+            return rng.randrange(self.n_keys)
+        return bisect_right(
+            self.cumulative, rng.random() * self.cumulative[-1]
+        )
+
+
+def open_loop_stream(
+    mix: RandomMix,
+    role: str,
+    index: int,
+    count: int,
+    seed: int,
+    budget: OpBudget,
+    duration: Optional[float],
+    n_keys: int = 1,
+    first_value: int = 1,
+) -> Iterator[Tuple]:
+    """One client's unbounded lazy op sequence for a horizon-free run.
+
+    ``role`` is ``"writer"`` or ``"reader"``; ``count`` is how many
+    clients share that role.  Each client draws independent uniform
+    inter-arrival gaps whose mean matches the closed-loop density of the
+    mix (``horizon / ops`` spread over the role's clients), plus one
+    register per op from the mix's keyspace distribution — O(1) state,
+    no materialized schedule.  Writer values use the closed-loop
+    round-robin encoding (``first_value + index + i * count``), so
+    per-key value sequences stay monotone for the online checker.
+
+    Generation stops when the shared :class:`OpBudget` is exhausted or
+    the next start time would fall at/after ``duration``.  Yields
+    ``(at, value, key)`` triples for writers and ``(at, key)`` pairs
+    for readers — the same per-client shapes :class:`OpStream` hands
+    out, so the adapter consumes both modes identically.
+    """
+    per_role_ops = mix.writes if role == "writer" else mix.reads
+    if per_role_ops <= 0:
+        return
+    rng = random.Random(client_seed(seed, role, index))
+    keys = _KeyDrawer(mix, n_keys)
+    # Mean gap that reproduces the closed-loop op density per client.
+    period = mix.horizon * count / per_role_ops
+    at = mix.start
+    serial = 0
+    while True:
+        at += rng.uniform(0.0, 2.0 * period)
+        if duration is not None and at >= duration:
+            return
+        if not budget.take():
+            return
+        key = keys.draw(rng)
+        if role == "writer":
+            yield at, first_value + index + serial * count, key
+        else:
+            yield at, key
+        serial += 1

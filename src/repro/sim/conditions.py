@@ -274,6 +274,28 @@ class ConditionMap:
             item = self._items[key] = self._factory(label)
         return item
 
+    def peek(self, *key: Hashable) -> Optional[Any]:
+        """The container for ``key`` if one exists — never creates.
+
+        Message handlers use this for replies to operations that may
+        already have retired their per-op state (see :meth:`discard`):
+        a straggler ack must not resurrect a pruned entry, or long
+        streaming runs would grow one dead container per operation.
+        """
+        return self._items.get(key)
+
+    def discard(self, *key: Hashable) -> None:
+        """Drop the container for ``key`` (no-op when absent).
+
+        Clients call this when an operation completes so per-op
+        responder state stays O(in-flight operations), not O(history) —
+        the memory contract of horizon-free streaming runs.
+        """
+        self._items.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
 
 class _Composite(Condition):
     __slots__ = ("children",)

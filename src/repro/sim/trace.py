@@ -4,12 +4,28 @@ Protocols append :class:`OperationRecord` entries to a shared
 :class:`Trace` as operations are invoked and complete.  The analysis
 package consumes these records to check atomicity/agreement and to count
 rounds / message delays.
+
+Traces come in two retention modes, mirroring the network's
+:class:`~repro.sim.network.TraceLevel`:
+
+* **retaining** (the default, FULL tracing) — every record is kept for
+  post-hoc checkers, fingerprints and per-record test assertions;
+* **streaming** (``retain=False``, METRICS tracing) — records are handed
+  to subscribers as operations begin and complete and then dropped.
+  The trace keeps per-kind begun/completed counters and per-kind online
+  :class:`~repro.analysis.streaming.LatencyAccumulator` summaries, so
+  horizon-free runs report uniform metrics in O(1) memory per kind
+  while never materializing the history.
+
+Both modes maintain the counters and accumulators, so streaming
+summaries can be cross-checked against the exact list-based path on
+retained runs (``tests/scenarios/test_streaming.py`` pins the match).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 
 @dataclass
@@ -43,11 +59,44 @@ class OperationRecord:
 
 
 class Trace:
-    """Append-only log of operation records for one execution."""
+    """Log of operation records for one execution.
 
-    def __init__(self):
+    ``retain=False`` is the streaming mode: records are not kept after
+    completion (``records`` stays empty); counters, accumulators and
+    subscribers observe them instead.
+    """
+
+    def __init__(self, retain: bool = True):
+        # Deferred import: repro.sim sits below repro.analysis in the
+        # layer order, and importing at module scope would cycle back
+        # through repro.analysis -> repro.storage -> this module.
+        from repro.analysis.streaming import LatencyAccumulator
+
+        self._accumulator_factory = LatencyAccumulator
+        self.retain = retain
         self._records: List[OperationRecord] = []
         self._next_id = 0
+        self.begun: Dict[str, int] = {}
+        self.completed_counts: Dict[str, int] = {}
+        self._accumulators: Dict[str, "LatencyAccumulator"] = {}
+        self._on_begin: List[Callable[[OperationRecord], None]] = []
+        self._on_complete: List[Callable[[OperationRecord], None]] = []
+
+    def subscribe(
+        self,
+        on_begin: Optional[Callable[[OperationRecord], None]] = None,
+        on_complete: Optional[Callable[[OperationRecord], None]] = None,
+    ) -> None:
+        """Attach streaming observers (e.g. the windowed online checker).
+
+        ``on_begin`` fires when an operation is invoked, ``on_complete``
+        when it completes — in simulated-event order, at every retention
+        mode.
+        """
+        if on_begin is not None:
+            self._on_begin.append(on_begin)
+        if on_complete is not None:
+            self._on_complete.append(on_complete)
 
     def begin(
         self,
@@ -66,7 +115,11 @@ class Trace:
             key=key,
         )
         self._next_id += 1
-        self._records.append(record)
+        self.begun[kind] = self.begun.get(kind, 0) + 1
+        if self.retain:
+            self._records.append(record)
+        for observer in self._on_begin:
+            observer(record)
         return record
 
     def complete(
@@ -79,7 +132,34 @@ class Trace:
         record.completed_at = time
         record.result = result
         record.rounds = rounds
+        self.completed_counts[record.kind] = (
+            self.completed_counts.get(record.kind, 0) + 1
+        )
+        accumulator = self._accumulators.get(record.kind)
+        if accumulator is None:
+            accumulator = self._accumulators[record.kind] = (
+                self._accumulator_factory(record.kind)
+            )
+        accumulator.observe(rounds, time - record.invoked_at)
+        for observer in self._on_complete:
+            observer(record)
         return record
+
+    # -- counters & streaming summaries ---------------------------------------
+
+    def begun_total(self) -> int:
+        """Operations invoked, at any retention mode."""
+        return sum(self.begun.values())
+
+    def completed_total(self) -> int:
+        return sum(self.completed_counts.values())
+
+    def accumulator(self, kind: str) -> Optional[LatencyAccumulator]:
+        """The online latency summary for one kind (None before the
+        first completion of that kind)."""
+        return self._accumulators.get(kind)
+
+    # -- retained records ------------------------------------------------------
 
     @property
     def records(self) -> Tuple[OperationRecord, ...]:
@@ -92,4 +172,4 @@ class Trace:
         return tuple(r for r in self._records if r.complete)
 
     def __len__(self) -> int:
-        return len(self._records)
+        return self.begun_total()

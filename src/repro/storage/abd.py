@@ -112,7 +112,12 @@ class AbdWriter(Process):
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, AbdWriteAck):
-            self._acks(payload.key, payload.ts).add(message.src)
+            # peek, not create: acks straggling in after the write
+            # retired its responder set must not resurrect it (the
+            # bounded-memory contract of streaming soaks).
+            acks = self._acks.peek(payload.key, payload.ts)
+            if acks is not None:
+                acks.add(message.src)
         elif isinstance(payload, AbdReadAck):
             self._discovery.record(payload.read_no, message.src,
                                    payload.pair)
@@ -124,21 +129,24 @@ class AbdWriter(Process):
             ts, rounds = self.stamps.bare(key), 1
         else:
             number = self._discovery.open()
+            acks = self._discovery.responders(number)
             for server in self.servers:
                 self.send(server, AbdRead(number, key))
             yield WaitUntil(
-                self._discovery.responders(number).at_least(self.majority),
+                acks.at_least(self.majority),
                 f"abd write ts-discovery#{number}",
             )
             pairs = self._discovery.close(number)
             observed = max(p.ts for p in pairs.values())
             ts, rounds = self.stamps.stamped(key, observed), 2
+        acks = self._acks(key, ts)
         for server in self.servers:
             self.send(server, AbdWrite(ts, value, key))
         yield WaitUntil(
-            self._acks(key, ts).at_least(self.majority),
+            acks.at_least(self.majority),
             f"abd write ts={ts}",
         )
+        self._acks.discard(key, ts)
         self.trace.complete(record, self.sim.now, "OK", rounds=rounds)
         return record
 
@@ -153,35 +161,55 @@ class AbdReader(Process):
         self._pairs: Dict[int, Dict[Hashable, Pair]] = {}
         self._replies = ConditionMap(Counter, "abd rd#{}")
         self._wb = ConditionMap(AckSet, "abd wb key={} ts={}")
+        # Per key, the timestamp of the newest write-back responder set
+        # still retained.  Write-back timestamps are monotone per reader
+        # (majorities intersect), so superseded sets can never be
+        # queried again and are pruned — bounding state to O(keys)
+        # while keeping the historical repeat-write-back fast path
+        # (same-timestamp write-backs reuse accumulated acks).
+        self._wb_ts: Dict[Hashable, int] = {}
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, AbdReadAck):
-            replies = self._pairs.setdefault(payload.read_no, {})
-            if message.src not in replies:
+            # Replies for retired reads are dropped (peek, not create) —
+            # per-read state lives only while the read is in flight.
+            replies = self._pairs.get(payload.read_no)
+            if replies is not None and message.src not in replies:
                 replies[message.src] = payload.pair
                 self._replies(payload.read_no).add()
         elif isinstance(payload, AbdWriteAck):
-            self._wb(payload.key, payload.ts).add(message.src)
+            acks = self._wb.peek(payload.key, payload.ts)
+            if acks is not None:
+                acks.add(message.src)
 
     def read(self, key: Hashable = DEFAULT_KEY):
         record = self.trace.begin("read", self.pid, self.sim.now, key=key)
         self.read_no += 1
         number = self.read_no
+        self._pairs[number] = {}
+        replies = self._replies(number)
         for server in self.servers:
             self.send(server, AbdRead(number, key))
         yield WaitUntil(
-            self._replies(number).at_least(self.majority),
+            replies.at_least(self.majority),
             f"abd read#{number} collect",
         )
         best = max(self._pairs[number].values(), key=lambda p: p.ts)
         # Write-back round (unconditional — the cost RQS avoids).
+        previous = self._wb_ts.get(key)
+        if previous is not None and previous != best.ts:
+            self._wb.discard(key, previous)
+        self._wb_ts[key] = best.ts
+        wb_acks = self._wb(key, best.ts)
         for server in self.servers:
             self.send(server, AbdWrite(best.ts, best.val, key))
         yield WaitUntil(
-            self._wb(key, best.ts).at_least(self.majority),
+            wb_acks.at_least(self.majority),
             f"abd read#{number} writeback",
         )
+        self._pairs.pop(number, None)
+        self._replies.discard(number)
         self.trace.complete(record, self.sim.now, best.val, rounds=2)
         return record
 
@@ -204,7 +232,9 @@ class AbdSystem:
             self.sim, delta=delta, rules=list(rules or []),
             trace_level=trace_level,
         )
-        self.trace = Trace()
+        self.trace = Trace(
+            retain=self.network.trace_level >= TraceLevel.FULL
+        )
         server_ids = tuple(range(1, n + 1))
         self.servers = {
             sid: AbdServer(sid).bind(self.network) for sid in server_ids

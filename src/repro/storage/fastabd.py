@@ -141,7 +141,11 @@ class FastAbdWriter(Process):
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, FWriteAck):
-            self._acks(payload.key, payload.ts, payload.slot).add(message.src)
+            # peek, not create: straggler acks for completed writes are
+            # dropped instead of resurrecting pruned responder sets.
+            acks = self._acks.peek(payload.key, payload.ts, payload.slot)
+            if acks is not None:
+                acks.add(message.src)
         elif isinstance(payload, FReadAck):
             self._discovery.record(payload.read_no, message.src, payload)
 
@@ -152,35 +156,44 @@ class FastAbdWriter(Process):
             ts, extra_rounds = self.stamps.bare(key), 0
         else:
             number = self._discovery.open()
+            discovery_acks = self._discovery.responders(number)
             for server in self.servers:
                 self.send(server, FRead(number, key))
             yield WaitUntil(
-                self._discovery.responders(number).at_least(self.slow),
+                discovery_acks.at_least(self.slow),
                 f"fast-write ts-discovery#{number}",
             )
             acks = self._discovery.close(number)
             observed = max(max(a.pw.ts, a.w.ts) for a in acks.values())
             ts, extra_rounds = self.stamps.stamped(key, observed), 1
+        pw_acks = self._acks(key, ts, "pw")
         for server in self.servers:
             self.send(server, FWrite(ts, value, "pw", key))
         timer = self.sim.timer_at(self.sim.now + self.timeout)
         yield WaitUntil(
-            AllOf(timer, self._acks(key, ts, "pw").at_least(self.slow)),
+            AllOf(timer, pw_acks.at_least(self.slow)),
             f"fast-write ts={ts} round 1",
         )
-        if len(self._acks(key, ts, "pw")) >= self.fast:
+        if len(pw_acks) >= self.fast:
+            self._retire(ts, key)
             self.trace.complete(record, self.sim.now, "OK",
                                 rounds=1 + extra_rounds)
             return record
+        w_acks = self._acks(key, ts, "w")
         for server in self.servers:
             self.send(server, FWrite(ts, value, "w", key))
         yield WaitUntil(
-            self._acks(key, ts, "w").at_least(self.slow),
+            w_acks.at_least(self.slow),
             f"fast-write ts={ts} round 2",
         )
+        self._retire(ts, key)
         self.trace.complete(record, self.sim.now, "OK",
                             rounds=2 + extra_rounds)
         return record
+
+    def _retire(self, ts: int, key: Hashable) -> None:
+        for slot in ("pw", "w"):
+            self._acks.discard(key, ts, slot)
 
 
 class FastAbdReader(Process):
@@ -201,26 +214,34 @@ class FastAbdReader(Process):
         self._acks: Dict[int, Dict[Hashable, FReadAck]] = {}
         self._replies = ConditionMap(Counter, "fast rd#{}")
         self._wb = ConditionMap(AckSet, "fast wb key={} ts={} {}")
+        # Newest retained write-back timestamp per key (see AbdReader:
+        # write-back timestamps are monotone per reader, so superseded
+        # responder sets are pruned, same-timestamp ones reused).
+        self._wb_ts: Dict[Hashable, int] = {}
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, FReadAck):
-            replies = self._acks.setdefault(payload.read_no, {})
-            if message.src not in replies:
+            replies = self._acks.get(payload.read_no)
+            if replies is not None and message.src not in replies:
                 replies[message.src] = payload
                 self._replies(payload.read_no).add()
         elif isinstance(payload, FWriteAck):
-            self._wb(payload.key, payload.ts, payload.slot).add(message.src)
+            acks = self._wb.peek(payload.key, payload.ts, payload.slot)
+            if acks is not None:
+                acks.add(message.src)
 
     def read(self, key: Hashable = DEFAULT_KEY):
         record = self.trace.begin("read", self.pid, self.sim.now, key=key)
         self.read_no += 1
         number = self.read_no
+        self._acks[number] = {}
+        reply_count = self._replies(number)
         for server in self.servers:
             self.send(server, FRead(number, key))
         timer = self.sim.timer_at(self.sim.now + self.timeout)
         yield WaitUntil(
-            AllOf(timer, self._replies(number).at_least(self.slow)),
+            AllOf(timer, reply_count.at_least(self.slow)),
             f"fast-read#{number} round 1",
         )
         replies = self._acks[number]
@@ -229,17 +250,28 @@ class FastAbdReader(Process):
         pw_confirms = sum(1 for a in replies.values() if a.pw == cmax)
         w_confirms = sum(1 for a in replies.values() if a.w == cmax)
         if pw_confirms >= self.slow or w_confirms >= 1:
+            self._retire(number)
             self.trace.complete(record, self.sim.now, cmax.val, rounds=1)
             return record
         # Round 2: write back cmax into pw fields.
+        previous = self._wb_ts.get(key)
+        if previous is not None and previous != cmax.ts:
+            self._wb.discard(key, previous, "pw")
+        self._wb_ts[key] = cmax.ts
+        wb_acks = self._wb(key, cmax.ts, "pw")
         for server in self.servers:
             self.send(server, FWrite(cmax.ts, cmax.val, "pw", key))
         yield WaitUntil(
-            self._wb(key, cmax.ts, "pw").at_least(self.slow),
+            wb_acks.at_least(self.slow),
             f"fast-read#{number} writeback",
         )
+        self._retire(number)
         self.trace.complete(record, self.sim.now, cmax.val, rounds=2)
         return record
+
+    def _retire(self, number: int) -> None:
+        self._acks.pop(number, None)
+        self._replies.discard(number)
 
 
 class FastAbdSystem:
@@ -262,7 +294,9 @@ class FastAbdSystem:
             self.sim, delta=delta, rules=list(rules or []),
             trace_level=trace_level,
         )
-        self.trace = Trace()
+        self.trace = Trace(
+            retain=self.network.trace_level >= TraceLevel.FULL
+        )
         server_ids = tuple(range(1, n + 1))
         self.servers = {
             sid: FastAbdServer(sid).bind(self.network) for sid in server_ids

@@ -111,7 +111,11 @@ class NaiveWriter(Process):
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, NWriteAck):
-            self._acks(payload.key, payload.ts).add(message.src)
+            # peek, not create: straggler acks must not resurrect a
+            # completed write's pruned responder set.
+            acks = self._acks.peek(payload.key, payload.ts)
+            if acks is not None:
+                acks.add(message.src)
         elif isinstance(payload, NReadAck):
             self._discovery.record(payload.read_no, message.src,
                                    payload.pair)
@@ -123,21 +127,24 @@ class NaiveWriter(Process):
             ts, rounds = self.stamps.bare(key), 1
         else:
             number = self._discovery.open()
+            discovery_acks = self._discovery.responders(number)
             for server in self.servers:
                 self.send(server, NRead(number, key))
             yield WaitUntil(
-                self._discovery.responders(number).at_least(self.quorum),
+                discovery_acks.at_least(self.quorum),
                 f"naive write ts-discovery#{number}",
             )
             pairs = self._discovery.close(number)
             observed = max(p.ts for p in pairs.values())
             ts, rounds = self.stamps.stamped(key, observed), 2
+        acks = self._acks(key, ts)
         for server in self.servers:
             self.send(server, NWrite(ts, value, key))
         yield WaitUntil(
-            self._acks(key, ts).at_least(self.quorum),
+            acks.at_least(self.quorum),
             f"naive write ts={ts}",
         )
+        self._acks.discard(key, ts)
         self.trace.complete(record, self.sim.now, "OK", rounds=rounds)
         return record
 
@@ -157,8 +164,8 @@ class NaiveReader(Process):
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, NReadAck):
-            replies = self._acks.setdefault(payload.read_no, {})
-            if message.src not in replies:
+            replies = self._acks.get(payload.read_no)
+            if replies is not None and message.src not in replies:
                 replies[message.src] = payload.pair
                 self._replies(payload.read_no).add()
 
@@ -166,13 +173,17 @@ class NaiveReader(Process):
         record = self.trace.begin("read", self.pid, self.sim.now, key=key)
         self.read_no += 1
         number = self.read_no
+        self._acks[number] = {}
+        replies = self._replies(number)
         for server in self.servers:
             self.send(server, NRead(number, key))
         yield WaitUntil(
-            self._replies(number).at_least(self.quorum),
+            replies.at_least(self.quorum),
             f"naive read#{number}",
         )
         best = max(self._acks[number].values(), key=lambda p: p.ts)
+        self._acks.pop(number, None)
+        self._replies.discard(number)
         self.trace.complete(record, self.sim.now, best.val, rounds=1)
         return record
 
@@ -196,7 +207,9 @@ class NaiveSystem:
             self.sim, delta=delta, rules=list(rules or []),
             trace_level=trace_level,
         )
-        self.trace = Trace()
+        self.trace = Trace(
+            retain=self.network.trace_level >= TraceLevel.FULL
+        )
         server_ids = tuple(range(1, n + 1))
         self.servers = {
             sid: NaiveServer(sid).bind(self.network) for sid in server_ids

@@ -103,7 +103,12 @@ class DiscoveryInbox:
         return self._acks(number)
 
     def close(self, number: int) -> Dict[Hashable, Any]:
-        """Retire the query and return sender → reply."""
+        """Retire the query and return sender → reply.
+
+        Also drops the query's responder set, so long-running writers
+        keep O(in-flight) discovery state (late replies to a closed
+        query are already no-ops in :meth:`record`)."""
+        self._acks.discard(number)
         return self._pending.pop(number)
 
 

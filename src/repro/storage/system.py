@@ -62,7 +62,9 @@ class StorageSystem:
             self.sim, delta=delta, rules=list(rules or []),
             trace_level=trace_level,
         )
-        self.trace = Trace()
+        self.trace = Trace(
+            retain=self.network.trace_level >= TraceLevel.FULL
+        )
 
         self.servers: Dict[Hashable, StorageServer] = {}
         factories = server_factories or {}

@@ -83,7 +83,12 @@ class StorageWriter(Process):
     def on_message(self, message: Message) -> None:
         payload = message.payload
         if isinstance(payload, WrAck):
-            self.acks(payload.ts, payload.rnd, payload.key).add(message.src)
+            # peek, not create: a straggler ack for a completed write
+            # must not resurrect its pruned responder set (bounded
+            # memory on streaming soaks).
+            acks = self._acks.peek(payload.key, payload.ts, payload.rnd)
+            if acks is not None:
+                acks.add(message.src)
         elif isinstance(payload, RdAck) and payload.rnd == 0:
             self._discovery.record(payload.read_no, message.src,
                                    payload.history)
@@ -113,6 +118,7 @@ class StorageWriter(Process):
         # Round 1 (Figure 5 lines 2-3).
         yield from self._round(ts, value, frozenset(), 1, key)
         if self._acked_quorum(ts, 1, cls=1, key=key) is not None:
+            self._retire(ts, key)
             self.trace.complete(record, self.sim.now, "OK",
                                 rounds=1 + extra_rounds)
             return record
@@ -127,15 +133,23 @@ class StorageWriter(Process):
         yield from self._round(ts, value, qc2_prime, 2, key)
         round2 = self.acks(ts, 2, key)
         if any(q2 <= round2 for q2 in qc2_prime):
+            self._retire(ts, key)
             self.trace.complete(record, self.sim.now, "OK",
                                 rounds=2 + extra_rounds)
             return record
 
         # Round 3 (lines 8-9).
         yield from self._round(ts, value, frozenset(), 3, key)
+        self._retire(ts, key)
         self.trace.complete(record, self.sim.now, "OK",
                             rounds=3 + extra_rounds)
         return record
+
+    def _retire(self, ts: int, key: Hashable) -> None:
+        """Drop the completed write's per-round responder sets, keeping
+        writer state O(in-flight writes) on streaming runs."""
+        for rnd in (1, 2, 3):
+            self._acks.discard(key, ts, rnd)
 
     def _discover(self, key: Hashable):
         """MW timestamp discovery: the highest stored timestamp for

@@ -1,0 +1,239 @@
+"""Units for the streaming analysis layer: accumulators, reservoir,
+and the windowed online checker."""
+
+import random
+
+import pytest
+
+from repro.analysis.latency import LatencySummary, summarize_rounds
+from repro.analysis.streaming import (
+    LatencyAccumulator,
+    OnlineChecker,
+    QuantileReservoir,
+    nearest_rank,
+)
+from repro.sim.trace import Trace
+from repro.storage.history import BOTTOM
+
+
+# -- quantiles & accumulators --------------------------------------------------
+
+class TestQuantileReservoir:
+    def test_exact_below_capacity(self):
+        reservoir = QuantileReservoir(capacity=16)
+        for sample in (5.0, 1.0, 3.0, 2.0, 4.0):
+            reservoir.observe(sample)
+        assert reservoir.exact
+        assert reservoir.quantile(0.5) == 3.0
+        assert reservoir.quantile(0.99) == 5.0
+
+    def test_bounded_and_deterministic_above_capacity(self):
+        def fill():
+            reservoir = QuantileReservoir(capacity=64)
+            rng = random.Random(3)
+            for _ in range(5000):
+                reservoir.observe(rng.uniform(0.0, 100.0))
+            return reservoir
+
+        first, second = fill(), fill()
+        assert not first.exact
+        assert len(first._samples) == 64
+        assert first.quantile(0.5) == second.quantile(0.5)
+        # A 64-sample estimate of U(0, 100)'s median lands mid-range.
+        assert 20.0 < first.quantile(0.5) < 80.0
+
+    def test_nearest_rank_edges(self):
+        assert nearest_rank([], 0.5) is None
+        assert nearest_rank([7.0], 0.5) == 7.0
+        assert nearest_rank([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+
+
+class TestLatencyAccumulator:
+    def test_matches_list_based_summary_exactly(self):
+        trace = Trace()
+        accumulator = LatencyAccumulator("read")
+        rng = random.Random(11)
+        for index in range(300):
+            invoked = rng.uniform(0.0, 500.0)
+            elapsed = rng.uniform(0.5, 9.0)
+            rounds = rng.randint(1, 3)
+            record = trace.begin("read", "r", invoked)
+            trace.complete(record, invoked + elapsed, "v", rounds=rounds)
+            accumulator.observe(rounds, (invoked + elapsed) - invoked)
+        assert (
+            LatencySummary.from_accumulator(accumulator)
+            == summarize_rounds(trace.records, "read")
+        )
+
+    def test_empty_matches_empty(self):
+        assert (
+            LatencySummary.from_accumulator(None, "write")
+            == summarize_rounds([], "write")
+        )
+
+
+# -- the windowed online checker -----------------------------------------------
+
+def _checker_on(trace: Trace) -> OnlineChecker:
+    checker = OnlineChecker()
+    trace.subscribe(
+        on_begin=checker.on_begin, on_complete=checker.on_complete
+    )
+    return checker
+
+
+def _write(trace, value, start, end, key=0):
+    record = trace.begin("write", "writer", start, value, key=key)
+    trace.complete(record, end, "OK", rounds=1)
+
+
+def _read(trace, result, start, end, key=0, process="reader"):
+    record = trace.begin("read", process, start, key=key)
+    trace.complete(record, end, result, rounds=1)
+
+
+class TestOnlineChecker:
+    def test_clean_history_is_atomic(self):
+        trace = Trace(retain=False)
+        checker = _checker_on(trace)
+        _read(trace, BOTTOM, 0.0, 1.0)
+        _write(trace, 1, 1.5, 2.5)
+        _read(trace, 1, 3.0, 4.0)
+        _write(trace, 2, 4.5, 5.5)
+        _read(trace, 2, 6.0, 7.0)
+        report = checker.report()
+        assert report.atomic
+        assert report.checked_writes == 2 and report.checked_reads == 3
+
+    def test_stale_read_is_flagged(self):
+        trace = Trace(retain=False)
+        checker = _checker_on(trace)
+        _write(trace, 1, 0.0, 1.0)
+        _write(trace, 2, 2.0, 3.0)
+        _read(trace, 1, 4.0, 5.0)     # write 2 completed before it began
+        report = checker.report()
+        assert not report.atomic
+        assert report.violations[0].rule == "stale-read"
+
+    def test_bottom_after_write_is_stale(self):
+        trace = Trace(retain=False)
+        checker = _checker_on(trace)
+        _write(trace, 1, 0.0, 1.0)
+        _read(trace, BOTTOM, 2.0, 3.0)
+        report = checker.report()
+        assert [v.rule for v in report.violations] == ["stale-read"]
+
+    def test_fabricated_value_is_flagged(self):
+        trace = Trace(retain=False)
+        checker = _checker_on(trace)
+        _write(trace, 1, 0.0, 1.0)
+        _read(trace, 99, 2.0, 3.0)    # never written
+        report = checker.report()
+        assert [v.rule for v in report.violations] == ["fabrication"]
+
+    def test_future_read_is_flagged(self):
+        trace = Trace(retain=False)
+        checker = _checker_on(trace)
+        # The write is invoked at 2.0 (registered at begin); a read that
+        # completed at 1.0 already returned its value.
+        wrecord = trace.begin("write", "writer", 2.0, 1, key=0)
+        _read(trace, 1, 0.0, 1.0)
+        trace.complete(wrecord, 3.0, "OK", rounds=1)
+        report = checker.report()
+        assert "future-read" in {v.rule for v in report.violations}
+
+    def test_value_written_after_read_completed_is_fabrication(self):
+        trace = Trace(retain=False)
+        checker = _checker_on(trace)
+        _read(trace, 1, 0.0, 1.0)     # value 1 does not exist yet
+        _write(trace, 1, 2.0, 3.0)
+        report = checker.report()
+        assert "fabrication" in {v.rule for v in report.violations}
+
+    def test_read_inversion_is_flagged(self):
+        trace = Trace(retain=False)
+        checker = _checker_on(trace)
+        _write(trace, 1, 0.0, 1.0)
+        # Write 2 is still in flight while both reads run: no stale rule
+        # applies, but the second read regresses behind the first.
+        record = trace.begin("write", "writer", 2.0, 2, key=0)
+        _read(trace, 2, 3.0, 4.0, process="r1")
+        _read(trace, 1, 5.0, 6.0, process="r2")
+        trace.complete(record, 7.0, "OK", rounds=1)
+        report = checker.report()
+        assert "read-inversion" in {v.rule for v in report.violations}
+
+    def test_writer_order_violation(self):
+        trace = Trace(retain=False)
+        checker = _checker_on(trace)
+        _write(trace, 5, 0.0, 1.0)
+        _write(trace, 3, 2.0, 3.0)    # non-monotone per-key value
+        report = checker.report()
+        assert [v.rule for v in report.violations] == ["writer-order"]
+
+    def test_per_key_independence(self):
+        trace = Trace(retain=False)
+        checker = _checker_on(trace)
+        _write(trace, 1, 0.0, 1.0, key="a")
+        _write(trace, 2, 0.5, 1.5, key="b")
+        _read(trace, 1, 2.0, 3.0, key="a")
+        _read(trace, 2, 2.0, 3.0, key="b")
+        report = checker.report()
+        assert report.atomic
+        assert report.keys == ("a", "b")
+
+    def test_retained_state_is_bounded_on_long_histories(self):
+        trace = Trace(retain=False)
+        checker = _checker_on(trace)
+        time = 0.0
+        value = 0
+        for _ in range(5000):
+            value += 1
+            _write(trace, value, time, time + 1.0, key=value % 8)
+            _read(trace, value, time + 1.5, time + 2.0, key=value % 8)
+            time += 2.0
+        report = checker.report()
+        assert report.atomic
+        assert report.checked_ops == 10000
+        # Sequential clients keep the window tiny; the bound is what
+        # makes million-op soaks O(clients + keys).
+        assert report.max_retained < 64
+
+    def test_stuck_op_cannot_pin_the_window(self):
+        """An op that never completes (crashed client) must not freeze
+        the window floor and regrow O(ops) state — it is evicted after
+        the overrun bound, and skipped (not misjudged) if it ever
+        completes."""
+        trace = Trace(retain=False)
+        checker = OnlineChecker(overrun_ops=500)
+        trace.subscribe(
+            on_begin=checker.on_begin, on_complete=checker.on_complete
+        )
+        stuck = trace.begin("read", "crashed", 0.0, key=0)
+        time, value = 1.0, 0
+        for _ in range(5000):
+            value += 1
+            _write(trace, value, time, time + 1.0, key=value % 4)
+            _read(trace, value, time + 1.5, time + 2.0, key=value % 4)
+            time += 2.0
+        report = checker.report()
+        assert report.atomic
+        assert report.max_retained < 1200   # bounded despite the stuck op
+        # The stuck op finally completes with an ancient view: it is
+        # skipped, visibly, instead of being judged on pruned bounds.
+        trace.complete(stuck, time, 1, rounds=1)
+        report = checker.report()
+        assert report.atomic
+        assert report.overrun_unchecked == 1
+
+    def test_old_value_beyond_window_is_still_caught(self):
+        trace = Trace(retain=False)
+        checker = _checker_on(trace)
+        time = 0.0
+        for value in range(1, 200):
+            _write(trace, value, time, time + 1.0)
+            time += 1.0
+        _read(trace, 3, time, time + 1.0)   # ancient, long pruned
+        report = checker.report()
+        assert not report.atomic
+        assert report.violations[0].rule == "stale-read"

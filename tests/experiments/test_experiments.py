@@ -10,6 +10,7 @@ from repro.experiments import (
     fig1,
     fig4,
     metrics_ablation,
+    soak,
     storage_latency,
     stress,
     theorem3,
@@ -123,6 +124,32 @@ class TestContention:
         rows = contention.run_experiment()
         assert len(rows) == 18
         assert all(row.atomic_cells == row.cells == 2 for row in rows)
+
+
+class TestSoak:
+    def test_grid_reaches_a_million_ops(self):
+        """The E15 literal spans protocols × n_keys × op counts up to
+        1e6 (the acceptance soak runs via the workload bench / CI)."""
+        max_ops = dict(soak.GRID.axes)["max_ops"]
+        assert max(max_ops) == 1_000_000
+        assert set(dict(soak.GRID.axes)["protocol"]) == {"abd", "fastabd"}
+
+    def test_small_cells_stream_with_online_verdicts(self):
+        from repro.scenarios import run_grid
+
+        sweep = run_grid(soak.GRID.where(max_ops=10_000, n_keys=4))
+        assert sweep.verdict_counts() == {"atomic": 2}
+        for cell in sweep.cells:
+            assert cell.metrics["completed"] == 10_000
+            assert cell.metrics["violations"] == 0
+            # Bounded retained state — the streaming-pipeline exhibit.
+            assert cell.metrics["checker_max_retained"] < 100
+
+    def test_rows_fold_the_subgrid(self):
+        rows = soak.run_experiment(sizes=(10_000,))
+        assert len(rows) == 4  # 2 protocols × 2 keyspaces
+        assert all(row.verdict == "atomic" for row in rows)
+        assert all(row.checker_max_retained < 100 for row in rows)
 
 
 class TestMetricsAblation:

@@ -8,6 +8,7 @@ from repro.core.rqs import RefinedQuorumSystem
 from repro.errors import ScenarioError, UnknownProtocolError
 from repro.scenarios import (
     FaultPlan,
+    RandomMix,
     ScenarioSpec,
     Write,
     available_protocols,
@@ -39,6 +40,26 @@ class TestScenarioSpec:
         spec = ScenarioSpec(protocol="rqs-storage", rqs="example6")
         other = spec.with_(protocol="abd", rqs=None)
         assert other.protocol == "abd" and spec.protocol == "rqs-storage"
+
+    @pytest.mark.parametrize("n_keys", (0, -3))
+    def test_n_keys_validated_at_construction(self, n_keys):
+        with pytest.raises(ScenarioError, match="n_keys must be >= 1"):
+            ScenarioSpec(protocol="abd", n_keys=n_keys)
+
+    def test_n_writers_validated_at_construction(self):
+        with pytest.raises(ScenarioError, match="n_writers must be >= 1"):
+            ScenarioSpec(protocol="abd", n_writers=0)
+
+    @pytest.mark.parametrize("skew", (-0.1, -2.0))
+    def test_random_mix_skew_validated_at_construction(self, skew):
+        with pytest.raises(ScenarioError, match="skew must be >= 0"):
+            RandomMix(2, 3, horizon=10.0, distribution="zipfian",
+                      skew=skew)
+
+    def test_random_mix_zero_skew_is_valid(self):
+        mix = RandomMix(2, 3, horizon=10.0, distribution="zipfian",
+                        skew=0.0)
+        assert mix.skew == 0.0
 
 
 class TestNamedRqs:

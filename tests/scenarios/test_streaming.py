@@ -1,0 +1,254 @@
+"""The streaming execution pipeline end to end.
+
+Three contracts pinned here:
+
+1. **Bit-identical schedules** — ``RandomMix.stream()`` yields exactly
+   the ops ``expand_random_mix`` materializes, for every RandomMix spec
+   in the golden-fingerprint suite and for keyed/multi-writer draws
+   (the golden fingerprints themselves run through the streaming
+   scheduler, so the executions are pinned too).
+2. **Streaming summaries match** — on FULL runs the accumulator-backed
+   latency path equals the list-based path exactly.
+3. **Horizon-free runs** — the open-loop stopping rule generates
+   deterministic runs in bounded memory with a real online verdict,
+   and the record-backed verdicts refuse (with guidance) on streamed
+   runs instead of silently reporting on an empty history.
+"""
+
+import pytest
+
+from repro.errors import CheckerError, ScenarioError
+from repro.scenarios import (
+    Propose,
+    RandomMix,
+    ScenarioSpec,
+    Write,
+    run,
+)
+from repro.scenarios.workloads import expand_random_mix
+from tests.scenarios.test_golden_fingerprints import SPECS
+
+
+def _mix_specs():
+    return {
+        name: spec for name, spec in SPECS.items()
+        if any(isinstance(op, RandomMix) for op in spec.workload)
+    }
+
+
+MIX_DRAWS = {
+    "single-key": dict(mix=RandomMix(5, 8, horizon=50.0), n_readers=3,
+                       seed=7, n_keys=1, n_writers=1),
+    "keyed": dict(mix=RandomMix(20, 30, horizon=100.0), n_readers=4,
+                  seed=13, n_keys=8, n_writers=1),
+    "keyed-zipfian": dict(
+        mix=RandomMix(20, 30, horizon=100.0, distribution="zipfian",
+                      skew=1.2),
+        n_readers=3, seed=3, n_keys=5, n_writers=1),
+    "multi-writer": dict(mix=RandomMix(9, 12, horizon=60.0), n_readers=2,
+                         seed=21, n_keys=4, n_writers=3),
+    "more-readers-than-reads": dict(
+        mix=RandomMix(2, 3, horizon=10.0), n_readers=5, seed=1,
+        n_keys=1, n_writers=1),
+}
+
+
+class TestStreamMatchesExpansion:
+    @pytest.mark.parametrize("name", sorted(MIX_DRAWS))
+    def test_stream_yields_exactly_the_expanded_ops(self, name):
+        params = MIX_DRAWS[name]
+        mix = params["mix"]
+        writes, per_reader = expand_random_mix(
+            mix, params["n_readers"], params["seed"],
+            n_keys=params["n_keys"], n_writers=params["n_writers"],
+        )
+        stream = mix.stream(
+            params["n_readers"], params["seed"],
+            n_keys=params["n_keys"], n_writers=params["n_writers"],
+        )
+        streamed_writes = [
+            op for op in stream.ops() if isinstance(op, Write)
+        ]
+        assert sorted(streamed_writes, key=lambda w: w.at) == writes
+        streamed_reads = {
+            reader: list(stream.reader_ops(reader))
+            for reader in stream.readers_with_ops
+        }
+        assert streamed_reads == {
+            reader: [(op.at, op.key) for op in ops]
+            for reader, ops in per_reader.items()
+        }
+
+    @pytest.mark.parametrize("name", sorted(_mix_specs()))
+    def test_golden_mix_specs_stream_identically(self, name):
+        """The golden RandomMix specs run through the streaming
+        scheduler (pure single-mix workloads take that path), and
+        their stream equals their expansion op for op."""
+        spec = SPECS[name]
+        (mix,) = spec.workload
+        readers = spec.readers
+        writes, per_reader = expand_random_mix(
+            mix, readers, spec.seed, n_keys=spec.n_keys,
+            n_writers=spec.n_writers,
+        )
+        stream = mix.stream(
+            readers, spec.seed, n_keys=spec.n_keys,
+            n_writers=spec.n_writers,
+        )
+        for writer in stream.writers_with_ops:
+            expected = [
+                (w.at, w.value, w.key) for w in writes
+                if w.writer == writer
+            ]
+            assert list(stream.writer_ops(writer)) == expected
+
+    def test_stream_requires_readers_for_reads(self):
+        with pytest.raises(ScenarioError, match="no readers"):
+            list(RandomMix(1, 2, horizon=5.0).stream(0, 0).ops())
+
+
+class TestStreamingLatencySummaries:
+    def test_full_run_accumulator_matches_records_exactly(self):
+        spec = ScenarioSpec(
+            protocol="abd", readers=3, n_keys=4,
+            workload=(RandomMix(30, 50, horizon=120.0),), seed=9,
+        )
+        result = run(spec)
+        assert not result.streamed
+        for kind in ("write", "read"):
+            assert result.latency(kind) == result.latency_streaming(kind)
+
+    def test_streamed_run_reports_latency_from_accumulators(self):
+        spec = ScenarioSpec(
+            protocol="abd", readers=3, n_keys=4,
+            workload=(RandomMix(30, 50, horizon=120.0),), seed=9,
+        )
+        full = run(spec)
+        streamed = run(spec.with_(trace_level="metrics"))
+        assert streamed.streamed
+        assert streamed.records == ()
+        for kind in ("write", "read"):
+            assert streamed.latency(kind) == full.latency(kind)
+
+
+class TestStreamedVerdicts:
+    def test_closed_loop_metrics_run_gets_online_verdict(self):
+        spec = ScenarioSpec(
+            protocol="rqs-storage", rqs="example6", readers=2, n_keys=3,
+            workload=(RandomMix(10, 15, horizon=60.0),), seed=4,
+            trace_level="metrics",
+        )
+        result = run(spec)
+        online = result.online
+        assert online is not None and online.atomic
+        assert online.checked_ops == result.ops_completed()
+
+    def test_post_hoc_checkers_refuse_streamed_runs(self):
+        spec = ScenarioSpec(
+            protocol="abd", readers=2,
+            workload=(RandomMix(5, 5, horizon=20.0),),
+            trace_level="metrics",
+        )
+        result = run(spec)
+        with pytest.raises(CheckerError, match="RunResult.online"):
+            result.atomicity
+        with pytest.raises(CheckerError, match="streamed"):
+            result.linearizable
+
+    def test_multi_mix_workloads_are_unchecked(self):
+        """Two mixes interleave their value ranges in time, breaking
+        the monotone-value invariant — the checker must stay unwired
+        instead of reporting false violations."""
+        spec = ScenarioSpec(
+            protocol="abd", readers=2,
+            workload=(RandomMix(5, 5, horizon=20.0),
+                      RandomMix(5, 5, horizon=20.0)),
+            seed=3, trace_level="metrics",
+        )
+        result = run(spec)
+        assert result.online is None
+        assert result.ops_completed() == 20
+
+    def test_multi_writer_streams_are_unchecked(self):
+        spec = ScenarioSpec(
+            protocol="abd", readers=2, n_writers=2, n_keys=2,
+            workload=(RandomMix(6, 6, horizon=30.0),), seed=2,
+            trace_level="metrics",
+        )
+        result = run(spec)
+        assert result.online is None
+        assert result.summary()["verdict_source"] == "unchecked"
+
+    def test_full_runs_keep_exact_post_hoc_checkers(self):
+        spec = ScenarioSpec(
+            protocol="abd", readers=2, n_keys=2,
+            workload=(RandomMix(6, 6, horizon=30.0),), seed=2,
+        )
+        result = run(spec)
+        assert result.online is None
+        assert result.atomicity.atomic
+
+
+class TestOpenLoop:
+    def _spec(self, **changes):
+        base = ScenarioSpec(
+            protocol="abd", readers=4, n_keys=8,
+            workload=(RandomMix(400, 600, horizon=1000.0),), seed=6,
+            trace_level="metrics", max_ops=1500,
+        )
+        return base.with_(**changes) if changes else base
+
+    def test_max_ops_budget_is_exact_and_deterministic(self):
+        first, second = run(self._spec()), run(self._spec())
+        assert first.ops_begun() == second.ops_begun() == 1500
+        assert first.ops_completed() == 1500
+        assert (
+            first.adapter.sim.events_processed
+            == second.adapter.sim.events_processed
+        )
+        assert (
+            first.adapter.network.sent_count
+            == second.adapter.network.sent_count
+        )
+
+    def test_online_verdict_covers_the_whole_run(self):
+        result = run(self._spec())
+        online = result.online
+        assert online is not None and online.atomic
+        assert online.checked_ops == 1500
+        assert len(online.keys) == 8
+        assert online.max_retained < 100
+
+    def test_duration_stops_generation(self):
+        result = run(self._spec(max_ops=None, duration=200.0))
+        assert 0 < result.ops_begun() < 1500
+        assert result.ops_begun() == result.ops_completed()
+        # The simulation ran past the duration only to drain in-flight
+        # ops, not to start new ones.
+        assert result.adapter.sim.now < 250.0
+
+    def test_open_loop_requires_a_single_random_mix(self):
+        with pytest.raises(ScenarioError, match="open-loop"):
+            run(self._spec(workload=(Write(0.0, "v"),)))
+        with pytest.raises(ScenarioError, match="open-loop"):
+            run(self._spec(workload=(
+                RandomMix(1, 1, horizon=5.0), Write(0.0, "v"),
+            )))
+
+    def test_open_loop_requires_readers_for_reads(self):
+        with pytest.raises(ScenarioError, match="no readers"):
+            run(self._spec(readers=0, max_ops=50))
+
+    def test_consensus_rejects_open_loop(self):
+        spec = ScenarioSpec(
+            protocol="paxos", workload=(Propose(0.0, "v"),),
+            max_ops=10, horizon=60.0,
+        )
+        with pytest.raises(ScenarioError, match="storage"):
+            run(spec)
+
+    def test_spec_validates_stopping_rule(self):
+        with pytest.raises(ScenarioError, match="duration"):
+            self._spec(duration=-1.0)
+        with pytest.raises(ScenarioError, match="max_ops"):
+            self._spec(max_ops=0)

@@ -1,0 +1,118 @@
+"""Shared helpers for the ``tools/check_*.py`` CI gate scripts.
+
+Every gate follows the same shape: load a committed baseline artifact,
+regenerate (or load) a fresh measurement, collect *problems* from a
+sequence of checks — schema keys, exact determinism fields, bounded
+throughput drift — and exit non-zero listing every violation.  The
+mechanics live here once; each checker keeps only its artifact-specific
+schema and acceptance rules.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def load_baseline(path: str) -> Optional[dict]:
+    """The committed artifact, or ``None`` (callers fail on it)."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return None
+    return json.loads(baseline_path.read_text())
+
+
+def load_fresh(path: Optional[str], regenerate: Callable[[], dict]) -> dict:
+    """A pre-generated fresh artifact, or regenerate one now."""
+    if path is not None:
+        return json.loads(Path(path).read_text())
+    return regenerate()
+
+
+def repo_root_on_path(tool_file: str) -> None:
+    """Make ``benchmarks``/``repro`` importable when a gate runs as
+    ``python tools/check_x.py`` (which puts ``tools/`` first on
+    ``sys.path``; the bench packages live at the repository root)."""
+    root = str(Path(tool_file).resolve().parent.parent)
+    if root not in sys.path:
+        sys.path.insert(0, root)
+
+
+def missing_keys(payload: dict, required: Sequence[str], label: str) -> List[str]:
+    """One problem line per missing top-level key."""
+    return [
+        f"{label}: missing top-level key {key!r}"
+        for key in required
+        if key not in payload
+    ]
+
+
+def missing_case_keys(case: dict, required: Sequence[str], label: str) -> List[str]:
+    for key in required:
+        if key not in case:
+            return [f"{label}: case missing {key!r}: {case}"]
+    return []
+
+
+def determinism_problems(
+    base: Dict[Tuple, dict],
+    fresh: Dict[Tuple, dict],
+    fields: Sequence[str],
+) -> List[str]:
+    """Exact-match problems over indexed cases.
+
+    Simulated executions are machine-independent, so *any* difference in
+    the listed fields is a behaviour regression, not noise — the
+    message says so.
+    """
+    problems: List[str] = []
+    if set(base) != set(fresh):
+        problems.append(
+            f"case grid changed: baseline {sorted(set(base) - set(fresh))} "
+            f"only / fresh {sorted(set(fresh) - set(base))} only"
+        )
+        return problems
+    for key in sorted(base, key=repr):
+        for field in fields:
+            if fresh[key][field] != base[key][field]:
+                problems.append(
+                    f"{key}: {field} changed "
+                    f"{base[key][field]} -> {fresh[key][field]} "
+                    f"(simulated executions are deterministic; this is "
+                    f"a behaviour regression, not noise)"
+                )
+    return problems
+
+
+def drift_problems(
+    base: Dict[Tuple, dict],
+    fresh: Dict[Tuple, dict],
+    field: str,
+    tolerance: float,
+) -> List[str]:
+    """Throughput-regression problems: ``field`` must not fall more
+    than ``tolerance`` (fractional) below the committed baseline."""
+    problems: List[str] = []
+    for key in sorted(set(base) & set(fresh), key=repr):
+        committed = base[key][field]
+        measured = fresh[key][field]
+        if measured < committed * (1.0 - tolerance):
+            problems.append(
+                f"{key}: {field} regressed {committed} -> {measured} "
+                f"(more than {tolerance:.0%} below baseline)"
+            )
+    return problems
+
+
+def finish(problems: Iterable[str], ok_message: str) -> int:
+    """Print the verdict and return the process exit code."""
+    problems = list(problems)
+    if problems:
+        print(f"FAIL: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(ok_message)
+    return 0

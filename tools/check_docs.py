@@ -11,7 +11,8 @@ Checks every ``docs/*.md`` file plus ``README.md``:
 * intra-document anchors (``#anchor`` links, including the Contents
   sections) match a heading's GitHub-style slug.
 
-Exits non-zero listing every broken link.
+Exits non-zero listing every broken link (problem reporting shared with
+the other gates via ``tools/_gate.py``).
 """
 
 from __future__ import annotations
@@ -19,6 +20,8 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
+
+from _gate import finish
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
@@ -69,11 +72,10 @@ def main() -> int:
     for path in files:
         if path.exists():
             problems.extend(check_file(path, root))
-    if problems:
-        print("\n".join(problems))
-        return 1
-    print(f"docs ok: {len(files)} files, all links and anchors resolve")
-    return 0
+    return finish(
+        problems,
+        f"docs ok: {len(files)} files, all links and anchors resolve",
+    )
 
 
 if __name__ == "__main__":

@@ -20,15 +20,26 @@ Checks, against the committed ``BENCH_simcore.json`` baseline:
    more than ``--tolerance`` (default 0.30, i.e. 30%) below the
    committed baseline.
 
-Exits non-zero listing every violation.
+Shared gate mechanics (baseline loading, determinism/drift comparison,
+problem reporting) live in ``tools/_gate.py``.  Exits non-zero listing
+every violation.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-from pathlib import Path
+
+from _gate import (
+    determinism_problems,
+    drift_problems,
+    finish,
+    load_baseline,
+    load_fresh,
+    missing_case_keys,
+    missing_keys,
+    repo_root_on_path,
+)
 
 REQUIRED_TOP = ("name", "schema_version", "target", "cases", "speedups")
 REQUIRED_CASE = (
@@ -39,30 +50,22 @@ WAKEUPS = ("indexed", "scan")
 
 
 def check_schema(payload: dict, label: str) -> list:
-    problems = []
-    for key in REQUIRED_TOP:
-        if key not in payload:
-            problems.append(f"{label}: missing top-level key {key!r}")
+    problems = missing_keys(payload, REQUIRED_TOP, label)
     if problems:
         return problems
     if payload["name"] != "simcore":
         problems.append(f"{label}: name is {payload['name']!r}")
     seen = set()
     for case in payload["cases"]:
-        for key in REQUIRED_CASE:
-            if key not in case:
-                problems.append(f"{label}: case missing {key!r}: {case}")
-                break
-        else:
-            if case["wakeup"] not in WAKEUPS:
-                problems.append(
-                    f"{label}: unknown wakeup {case['wakeup']!r}"
-                )
-            if case["events"] <= 0 or case["events_per_sec"] <= 0:
-                problems.append(
-                    f"{label}: non-positive counters in {case}"
-                )
-            seen.add((case["workload"], case["n"], case["wakeup"]))
+        case_problems = missing_case_keys(case, REQUIRED_CASE, label)
+        problems += case_problems
+        if case_problems:
+            continue
+        if case["wakeup"] not in WAKEUPS:
+            problems.append(f"{label}: unknown wakeup {case['wakeup']!r}")
+        if case["events"] <= 0 or case["events_per_sec"] <= 0:
+            problems.append(f"{label}: non-positive counters in {case}")
+        seen.add((case["workload"], case["n"], case["wakeup"]))
     for workload, n, _ in list(seen):
         for wakeup in WAKEUPS:
             if (workload, n, wakeup) not in seen:
@@ -81,27 +84,6 @@ def case_index(payload: dict) -> dict:
     return {
         (c["workload"], c["n"], c["wakeup"]): c for c in payload["cases"]
     }
-
-
-def check_determinism(baseline: dict, fresh: dict) -> list:
-    problems = []
-    base, new = case_index(baseline), case_index(fresh)
-    if set(base) != set(new):
-        problems.append(
-            f"case grid changed: baseline {sorted(set(base) - set(new))} "
-            f"only / fresh {sorted(set(new) - set(base))} only"
-        )
-        return problems
-    for key, case in base.items():
-        for field in ("events", "blocked"):
-            if new[key][field] != case[field]:
-                problems.append(
-                    f"{key}: {field} changed "
-                    f"{case[field]} -> {new[key][field]} "
-                    f"(simulated executions are deterministic; this is "
-                    f"a behaviour regression, not noise)"
-                )
-    return problems
 
 
 def check_speedup(payload: dict, label: str) -> list:
@@ -124,21 +106,6 @@ def check_speedup(payload: dict, label: str) -> list:
     return []
 
 
-def check_drift(baseline: dict, fresh: dict, tolerance: float) -> list:
-    problems = []
-    base, new = case_index(baseline), case_index(fresh)
-    for key in sorted(set(base) & set(new), key=repr):
-        committed = base[key]["events_per_sec"]
-        measured = new[key]["events_per_sec"]
-        if measured < committed * (1.0 - tolerance):
-            problems.append(
-                f"{key}: events/sec regressed "
-                f"{committed} -> {measured} "
-                f"(more than {tolerance:.0%} below baseline)"
-            )
-    return problems
-
-
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -159,47 +126,44 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline_path = Path(args.baseline)
-    if not baseline_path.exists():
-        print(f"FAIL: baseline {baseline_path} does not exist")
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print(f"FAIL: baseline {args.baseline} does not exist")
         return 1
-    baseline = json.loads(baseline_path.read_text())
 
-    if args.fresh is not None:
-        fresh = json.loads(Path(args.fresh).read_text())
-    else:
-        # Running as `python tools/check_simcore.py` puts tools/ first
-        # on sys.path; the bench package lives at the repository root.
-        root = str(Path(__file__).resolve().parent.parent)
-        if root not in sys.path:
-            sys.path.insert(0, root)
+    def regenerate() -> dict:
+        repo_root_on_path(__file__)
         from benchmarks.bench_simcore import collect
 
-        fresh = collect()
+        return collect()
+
+    fresh = load_fresh(args.fresh, regenerate)
 
     problems = []
     problems += check_schema(baseline, "baseline")
     problems += check_schema(fresh, "fresh")
-    if not problems:
-        problems += check_determinism(baseline, fresh)
-        problems += check_speedup(baseline, "baseline")
-        problems += check_speedup(fresh, "fresh")
-        if not args.skip_drift:
-            problems += check_drift(baseline, fresh, args.tolerance)
-
     if problems:
-        print(f"FAIL: {len(problems)} problem(s)")
-        for problem in problems:
-            print(f"  - {problem}")
-        return 1
+        # Schema-invalid inputs: report, never touch the missing keys.
+        return finish(problems, "")
+    problems += determinism_problems(
+        case_index(baseline), case_index(fresh),
+        ("events", "blocked"),
+    )
+    problems += check_speedup(baseline, "baseline")
+    problems += check_speedup(fresh, "fresh")
+    if not args.skip_drift:
+        problems += drift_problems(
+            case_index(baseline), case_index(fresh),
+            "events_per_sec", args.tolerance,
+        )
     target = baseline["target"]
-    print(
+    return finish(
+        problems,
         f"ok: schema valid, executions deterministic, "
         f"{target['workload']} n={target['n']} speedup >= "
         f"{target['min_speedup']}x, events/sec within "
-        f"{args.tolerance:.0%} of baseline"
+        f"{args.tolerance:.0%} of baseline",
     )
-    return 0
 
 
 if __name__ == "__main__":

@@ -1,4 +1,4 @@
-"""Workload bench artifact checker: schema, determinism, soak budget.
+"""Workload bench artifact checker: schema, determinism, soak budgets.
 
 Run from the repository root (CI's soak-smoke job does)::
 
@@ -8,60 +8,83 @@ Checks, against the committed ``BENCH_workload.json`` baseline:
 
 1. **Schema** — the artifact (and the freshly regenerated one) carries
    the documented shape: name, schema_version, one case per
-   (n_keys, clients) grid point, a soak row, positive counters.
-2. **Determinism** — the regenerated run's ``operations``,
+   (n_keys, clients) grid point, a closed-loop soak row, a ``stream``
+   section of horizon-free rows, positive counters.
+2. **Determinism** — the regenerated grid/soak/stream ``operations``,
    ``completed`` and ``events`` counts match the committed baseline
    *exactly* (simulated executions are machine-independent, so any
-   difference is a real behaviour regression, not noise), and the soak
-   history is atomic with every register's per-key verdict checked.
-3. **Soak budget** — the fresh soak row completes ≥ 10k operations and
-   its event loop plus per-key atomicity check stay under
-   ``--budget`` wall seconds (default 60).
-4. **Throughput drift** — freshly measured ops/sec must not regress
+   difference is a real behaviour regression, not noise), the soak is
+   online-checked atomic on every register, and every stream row's
+   windowed verdict is atomic.
+3. **Budgets** — the fresh closed soak stays under ``--budget`` wall
+   seconds; the fresh stream rows stay under ``--stream-budget``
+   seconds each (scaled: a row's budget is proportional to its op
+   count, with the full budget at one million ops).
+4. **Memory** — the committed stream section proves sublinear memory:
+   the million-op row's peak RSS must be below ``--rss-ratio`` × the
+   100k row's (10× the ops, bounded extra resident memory), and below
+   ``--rss-cap`` KiB absolutely.  The windowed checker's retained-state
+   high-water mark must stay under 10k entries on every row.
+5. **Throughput drift** — freshly measured ops/sec must not regress
    more than ``--tolerance`` (default 0.40) below the committed
    baseline (skippable on heterogeneous hardware).
 
-Exits non-zero listing every violation.
+CI regenerates the grid, the soak and the 100k stream row; the
+million-op row is recorded by full local runs
+(``python -m benchmarks.bench_workload --full-stream``) and validated
+here from the committed artifact.  Exits non-zero listing every
+violation.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-from pathlib import Path
 
-REQUIRED_TOP = ("name", "schema_version", "cases", "soak")
+from _gate import (
+    determinism_problems,
+    drift_problems,
+    finish,
+    load_baseline,
+    load_fresh,
+    missing_case_keys,
+    missing_keys,
+    repo_root_on_path,
+)
+
+REQUIRED_TOP = ("name", "schema_version", "cases", "soak", "stream")
 REQUIRED_CASE = (
     "n_keys", "clients", "operations", "completed", "events", "wall_s",
     "ops_per_sec",
 )
-REQUIRED_SOAK = REQUIRED_CASE + ("check_s", "atomic", "keys_checked")
+REQUIRED_SOAK = REQUIRED_CASE + ("atomic", "keys_checked")
+REQUIRED_STREAM = REQUIRED_CASE + (
+    "max_ops", "atomic", "violations", "keys_checked",
+    "checker_max_retained", "peak_rss_kb",
+)
 
 MIN_SOAK_OPS = 10_000
+#: The acceptance row: a million-op horizon-free soak must be recorded.
+FULL_STREAM_OPS = 1_000_000
+#: Bounded online-checker state, whatever the op count.
+MAX_CHECKER_RETAINED = 10_000
 
 
-def check_schema(payload: dict, label: str) -> list:
-    problems = []
-    for key in REQUIRED_TOP:
-        if key not in payload:
-            problems.append(f"{label}: missing top-level key {key!r}")
+def check_schema(payload: dict, label: str, full_baseline: bool) -> list:
+    problems = missing_keys(payload, REQUIRED_TOP, label)
     if problems:
         return problems
     if payload["name"] != "workload":
         problems.append(f"{label}: name is {payload['name']!r}")
     for case in payload["cases"]:
-        for key in REQUIRED_CASE:
-            if key not in case:
-                problems.append(f"{label}: case missing {key!r}: {case}")
-                break
-        else:
-            if case["operations"] <= 0 or case["ops_per_sec"] <= 0:
-                problems.append(f"{label}: non-positive counters in {case}")
+        case_problems = missing_case_keys(case, REQUIRED_CASE, label)
+        problems += case_problems
+        if not case_problems and (
+            case["operations"] <= 0 or case["ops_per_sec"] <= 0
+        ):
+            problems.append(f"{label}: non-positive counters in {case}")
     soak = payload["soak"]
-    for key in REQUIRED_SOAK:
-        if key not in soak:
-            problems.append(f"{label}: soak missing {key!r}")
+    problems += missing_case_keys(soak, REQUIRED_SOAK, label)
     if not problems:
         if soak["operations"] < MIN_SOAK_OPS:
             problems.append(
@@ -75,6 +98,30 @@ def check_schema(payload: dict, label: str) -> list:
                 f"{label}: soak checked {soak['keys_checked']} of "
                 f"{soak['n_keys']} registers"
             )
+    for row in payload["stream"]:
+        row_problems = missing_case_keys(row, REQUIRED_STREAM, label)
+        problems += row_problems
+        if row_problems:
+            continue
+        if not row["atomic"] or row["violations"]:
+            problems.append(
+                f"{label}: stream row max_ops={row['max_ops']} is NOT "
+                f"atomic ({row['violations']} violations)"
+            )
+        if row["checker_max_retained"] > MAX_CHECKER_RETAINED:
+            problems.append(
+                f"{label}: stream row max_ops={row['max_ops']} retained "
+                f"{row['checker_max_retained']} checker entries "
+                f"(> {MAX_CHECKER_RETAINED}; the window is not bounded)"
+            )
+    if full_baseline:
+        sizes = {row["max_ops"] for row in payload["stream"]}
+        if FULL_STREAM_OPS not in sizes:
+            problems.append(
+                f"{label}: stream section lacks the {FULL_STREAM_OPS}-op "
+                f"acceptance row (record it with "
+                f"`python -m benchmarks.bench_workload --full-stream`)"
+            )
     return problems
 
 
@@ -82,51 +129,85 @@ def case_index(payload: dict) -> dict:
     return {(c["n_keys"], c["clients"]): c for c in payload["cases"]}
 
 
+def stream_index(payload: dict) -> dict:
+    return {("stream", r["max_ops"]): r for r in payload["stream"]}
+
+
 def check_determinism(baseline: dict, fresh: dict) -> list:
-    problems = []
-    base, new = case_index(baseline), case_index(fresh)
-    if set(base) != set(new):
-        problems.append(
-            f"case grid changed: baseline {sorted(set(base) - set(new))} "
-            f"only / fresh {sorted(set(new) - set(base))} only"
-        )
-        return problems
-    rows = [((key, base[key], new[key])) for key in sorted(base)]
-    rows.append((("soak",), baseline["soak"], fresh["soak"]))
-    for key, committed, measured in rows:
-        for field in ("operations", "completed", "events"):
-            if measured[field] != committed[field]:
-                problems.append(
-                    f"{key}: {field} changed "
-                    f"{committed[field]} -> {measured[field]} "
-                    f"(simulated executions are deterministic; this is "
-                    f"a behaviour regression, not noise)"
-                )
+    problems = determinism_problems(
+        case_index(baseline), case_index(fresh),
+        ("operations", "completed", "events"),
+    )
+    problems += determinism_problems(
+        {("soak",): baseline["soak"]}, {("soak",): fresh["soak"]},
+        ("operations", "completed", "events"),
+    )
+    # Stream rows compare only where both sides measured the same size
+    # (CI regenerates the small row; the million-op row is baseline-only).
+    base, new = stream_index(baseline), stream_index(fresh)
+    shared = set(base) & set(new)
+    problems += determinism_problems(
+        {k: base[k] for k in shared}, {k: new[k] for k in shared},
+        ("operations", "completed", "events"),
+    )
     return problems
 
 
-def check_budget(fresh: dict, budget: float) -> list:
-    soak = fresh["soak"]
-    spent = soak["wall_s"] + soak["check_s"]
-    if spent > budget:
-        return [
-            f"soak blew the wall-clock budget: {spent:.2f}s "
-            f"(execute {soak['wall_s']}s + check {soak['check_s']}s) "
-            f"> {budget}s"
-        ]
-    return []
-
-
-def check_drift(baseline: dict, fresh: dict, tolerance: float) -> list:
+def check_budgets(
+    fresh: dict, budget: float, stream_budget: float
+) -> list:
     problems = []
-    base, new = case_index(baseline), case_index(fresh)
-    for key in sorted(set(base) & set(new)):
-        committed = base[key]["ops_per_sec"]
-        measured = new[key]["ops_per_sec"]
-        if measured < committed * (1.0 - tolerance):
+    soak = fresh["soak"]
+    # The online checker runs inline, so wall_s is execute + check.
+    if soak["wall_s"] > budget:
+        problems.append(
+            f"soak blew the wall-clock budget: {soak['wall_s']:.2f}s "
+            f"> {budget}s"
+        )
+    for row in fresh["stream"]:
+        row_budget = stream_budget * row["max_ops"] / FULL_STREAM_OPS
+        if row["wall_s"] > row_budget:
             problems.append(
-                f"{key}: ops/sec regressed {committed} -> {measured} "
-                f"(more than {tolerance:.0%} below baseline)"
+                f"stream row max_ops={row['max_ops']} blew its budget: "
+                f"{row['wall_s']}s > {row_budget:.1f}s"
+            )
+    return problems
+
+
+def check_memory(
+    baseline: dict, fresh: dict, rss_ratio: float, rss_cap: int
+) -> list:
+    """Peak-RSS acceptance: absolute caps on committed *and freshly
+    measured* rows, sublinearity across the committed sizes, and no
+    regression of a fresh row beyond ``rss_ratio`` × its committed
+    counterpart — so CI catches a memory regression the moment the
+    regenerated 100k row balloons, not only at the next full run."""
+    base_rows = {row["max_ops"]: row for row in baseline["stream"]}
+    fresh_rows = {row["max_ops"]: row for row in fresh["stream"]}
+    problems = []
+    for label, rows in (("baseline", base_rows), ("fresh", fresh_rows)):
+        for row in rows.values():
+            if row["peak_rss_kb"] > rss_cap:
+                problems.append(
+                    f"{label} stream row max_ops={row['max_ops']} peaked "
+                    f"at {row['peak_rss_kb']} KiB RSS (> cap {rss_cap})"
+                )
+    small, big = base_rows.get(100_000), base_rows.get(FULL_STREAM_OPS)
+    if small and big:
+        allowed = small["peak_rss_kb"] * rss_ratio
+        if big["peak_rss_kb"] > allowed:
+            problems.append(
+                f"memory is not sublinear: {FULL_STREAM_OPS} ops peaked "
+                f"at {big['peak_rss_kb']} KiB vs {small['peak_rss_kb']} "
+                f"KiB at 100k ops (> ratio {rss_ratio})"
+            )
+    for size in sorted(set(base_rows) & set(fresh_rows)):
+        committed = base_rows[size]["peak_rss_kb"]
+        measured = fresh_rows[size]["peak_rss_kb"]
+        if measured > committed * rss_ratio:
+            problems.append(
+                f"stream row max_ops={size} peak RSS regressed: "
+                f"{committed} -> {measured} KiB (> ratio {rss_ratio})"
             )
     return problems
 
@@ -143,7 +224,21 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--budget", type=float, default=60.0,
-        help="soak wall-clock budget in seconds (default 60)",
+        help="closed-soak wall-clock budget in seconds (default 60)",
+    )
+    parser.add_argument(
+        "--stream-budget", type=float, default=300.0,
+        help="wall-clock budget for a million-op stream row, scaled "
+             "down proportionally for smaller rows (default 300)",
+    )
+    parser.add_argument(
+        "--rss-ratio", type=float, default=2.0,
+        help="max allowed peak-RSS ratio of the 1e6-op row over the "
+             "1e5-op row (default 2.0; sublinear memory)",
+    )
+    parser.add_argument(
+        "--rss-cap", type=int, default=262_144,
+        help="absolute peak-RSS cap per stream row in KiB (default 256Mi)",
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.40,
@@ -155,46 +250,46 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    baseline_path = Path(args.baseline)
-    if not baseline_path.exists():
-        print(f"FAIL: baseline {baseline_path} does not exist")
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print(f"FAIL: baseline {args.baseline} does not exist")
         return 1
-    baseline = json.loads(baseline_path.read_text())
 
-    if args.fresh is not None:
-        fresh = json.loads(Path(args.fresh).read_text())
-    else:
-        # Running as `python tools/check_workload.py` puts tools/ first
-        # on sys.path; the bench package lives at the repository root.
-        root = str(Path(__file__).resolve().parent.parent)
-        if root not in sys.path:
-            sys.path.insert(0, root)
+    def regenerate() -> dict:
+        repo_root_on_path(__file__)
         from benchmarks.bench_workload import collect
 
-        fresh = collect()
+        return collect()
+
+    fresh = load_fresh(args.fresh, regenerate)
 
     problems = []
-    problems += check_schema(baseline, "baseline")
-    problems += check_schema(fresh, "fresh")
-    if not problems:
-        problems += check_determinism(baseline, fresh)
-        problems += check_budget(fresh, args.budget)
-        if not args.skip_drift:
-            problems += check_drift(baseline, fresh, args.tolerance)
-
+    problems += check_schema(baseline, "baseline", full_baseline=True)
+    problems += check_schema(fresh, "fresh", full_baseline=False)
     if problems:
-        print(f"FAIL: {len(problems)} problem(s)")
-        for problem in problems:
-            print(f"  - {problem}")
-        return 1
+        # Schema-invalid inputs: report, never touch the missing keys.
+        return finish(problems, "")
+    problems += check_determinism(baseline, fresh)
+    problems += check_budgets(fresh, args.budget, args.stream_budget)
+    problems += check_memory(baseline, fresh, args.rss_ratio, args.rss_cap)
+    if not args.skip_drift:
+        problems += drift_problems(
+            case_index(baseline), case_index(fresh),
+            "ops_per_sec", args.tolerance,
+        )
     soak = fresh["soak"]
-    print(
-        f"ok: schema valid, executions deterministic, soak "
-        f"{soak['completed']} ops atomic across {soak['keys_checked']} "
-        f"registers in {soak['wall_s'] + soak['check_s']:.2f}s "
-        f"(budget {args.budget}s)"
+    stream_sizes = ", ".join(
+        str(row["max_ops"]) for row in fresh["stream"]
     )
-    return 0
+    return finish(
+        problems,
+        f"ok: schema valid, executions deterministic, soak "
+        f"{soak['completed']} ops online-atomic across "
+        f"{soak['keys_checked']} registers in "
+        f"{soak['wall_s']:.2f}s (budget "
+        f"{args.budget}s); stream rows [{stream_sizes}] atomic, "
+        f"memory sublinear",
+    )
 
 
 if __name__ == "__main__":
