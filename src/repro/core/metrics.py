@@ -5,11 +5,12 @@ as an open research direction; these metrics power the ablation bench
 (experiment E13 in the README index).
 
 * **Load** (:func:`system_load`): the minimum over access strategies of
-  the maximum access probability of any element.  We compute the exact
-  LP-free bound for threshold systems and a best-effort strategy for
-  explicit families (uniform over a minimum-cardinality cover is used as
-  the strategy; for the symmetric threshold systems this is optimal and
-  equals ``(n − i) / n`` for ``Q_i`` families).
+  the maximum access probability of any element — computed *exactly* by
+  the LP in :mod:`repro.core.strategy` (a :class:`~fractions.Fraction`
+  is returned).  For the symmetric threshold systems the optimum equals
+  ``(n − i)/n`` for ``Q_i`` families; for irregular explicit families it
+  can undercut the old candidate-strategy heuristic, which is kept as
+  :func:`heuristic_system_load` for the ablation comparison.
 * **Availability** (:func:`failure_probability`): the probability that no
   quorum is fully alive when each element fails independently with
   probability ``p`` — computed exactly by inclusion–exclusion for small
@@ -19,46 +20,48 @@ as an open research direction; these metrics power the ablation bench
 
 from __future__ import annotations
 
+from fractions import Fraction
 from itertools import combinations
 from typing import Dict, FrozenSet, Hashable, Sequence, Tuple
 
 from repro.core.adversary import as_subset
 from repro.core.rqs import RefinedQuorumSystem
+from repro.core.strategy import optimal_single_load
 
 Subset = FrozenSet[Hashable]
 
 
-def uniform_strategy(quorums: Sequence[Subset]) -> Dict[Subset, float]:
-    """The uniform access strategy over a quorum family."""
+def uniform_strategy(quorums: Sequence[Subset]) -> Dict[Subset, Fraction]:
+    """The uniform access strategy over a quorum family — exact
+    :class:`~fractions.Fraction` weights that sum to exactly 1."""
     if not quorums:
         raise ValueError("need at least one quorum")
-    weight = 1.0 / len(quorums)
+    weight = Fraction(1, len(quorums))
     return {q: weight for q in quorums}
 
 
-def strategy_load(
-    quorums: Sequence[Subset], strategy: Dict[Subset, float]
-) -> float:
+def strategy_load(quorums: Sequence[Subset], strategy: Dict[Subset, Fraction]):
     """The load induced by ``strategy``: max over elements of the summed
-    probability of quorums containing that element."""
+    probability of quorums containing that element.  Exact when the
+    weights are Fractions (sums stay in ℚ); floats pass through."""
     ground = set()
     for quorum in quorums:
         ground |= quorum
-    per_element = {e: 0.0 for e in ground}
+    per_element = {e: 0 for e in ground}
     for quorum, weight in strategy.items():
         for element in quorum:
             per_element[element] += weight
     return max(per_element.values())
 
 
-def system_load(rqs: RefinedQuorumSystem, cls: int = 3) -> float:
-    """Load of the class-``cls`` quorum family under the best of a small
-    set of candidate strategies.
+def heuristic_system_load(rqs: RefinedQuorumSystem, cls: int = 3):
+    """The pre-LP candidate-strategy bound (kept for regression cover).
 
-    For symmetric (threshold) families the minimum-cardinality-uniform
-    strategy is optimal: every minimal quorum has ``n − i`` elements and
-    the load is ``(n − i)/n``.  For irregular explicit families this is a
-    (reported) upper bound on the true LP optimum.
+    The best of two candidate strategies — uniform over the
+    minimum-cardinality quorums, uniform over the whole family.  For
+    symmetric (threshold) families this is optimal; for irregular
+    explicit families it is only an upper bound on the LP optimum, which
+    is why :func:`system_load` now delegates to the exact solver.
     """
     family = rqs.class_quorums(cls)
     if not family:
@@ -67,6 +70,20 @@ def system_load(rqs: RefinedQuorumSystem, cls: int = 3) -> float:
     minimal = [q for q in family if len(q) == minimal_size]
     candidates = [uniform_strategy(minimal), uniform_strategy(list(family))]
     return min(strategy_load(family, s) for s in candidates)
+
+
+def system_load(rqs: RefinedQuorumSystem, cls: int = 3) -> Fraction:
+    """The exact load of the class-``cls`` quorum family.
+
+    Solved as a linear program over exact rationals by
+    :func:`repro.core.strategy.optimal_single_load` — never higher than
+    :func:`heuristic_system_load`, and equal to ``(n − i)/n`` for the
+    threshold constructions.
+    """
+    family = rqs.class_quorums(cls)
+    if not family:
+        raise ValueError(f"class {cls} has no quorums")
+    return optimal_single_load(family)
 
 
 def failure_probability(

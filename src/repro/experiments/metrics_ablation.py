@@ -57,8 +57,9 @@ def _ablation_cell(point: Mapping) -> Mapping:
     rqs = default_rqs()
     p = point["p"]
     return {
-        "load_class1": system_load(rqs, cls=1),
-        "load_class3": system_load(rqs, cls=3),
+        # system_load returns an exact Fraction; cells carry floats.
+        "load_class1": float(system_load(rqs, cls=1)),
+        "load_class3": float(system_load(rqs, cls=3)),
         "avail_class1": availability(rqs, p, cls=1),
         "avail_class2": availability(rqs, p, cls=2),
         "avail_class3": availability(rqs, p, cls=3),

@@ -46,8 +46,18 @@ single-writer ``RandomMix`` workloads) the windowed online checker
 take over (``RunResult.online``), and the open-loop stopping rule
 (``ScenarioSpec.duration``/``max_ops``) generates ops lazily per
 client for horizon-free million-op soaks in O(clients + keys) memory.
+
+Quorum systems can be **expression-defined**: a planning-level
+:class:`~repro.core.algebra.QuorumSystem` (``a*b + c*d`` over
+capacitated :class:`~repro.core.algebra.Node` leaves) is a valid
+``ScenarioSpec.rqs`` value (lifted on resolution), and the
+``quorum_strategy`` knob (``"uniform"``/``"optimal"``/a
+:class:`~repro.core.strategy.Strategy`) makes storage clients draw each
+operation's quorum from a seeded distribution instead of broadcasting —
+see :mod:`repro.core.algebra` and :mod:`repro.core.strategy`.
 """
 
+from repro.core.strategy import Strategy
 from repro.scenarios.aggregate import (
     CellResult,
     SweepResult,
@@ -127,6 +137,7 @@ __all__ = [
     "Resync",
     "RunResult",
     "ScenarioSpec",
+    "Strategy",
     "SweepResult",
     "SweepSpec",
     "TraceLevel",

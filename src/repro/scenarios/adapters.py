@@ -18,8 +18,10 @@ matching the hand-driven schedules the experiment modules used to build.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, List, Tuple
+from fractions import Fraction
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
+from repro.core.strategy import Strategy, optimal_strategy, uniform_strategy
 from repro.errors import ScenarioError
 from repro.scenarios.faults import ACCEPTOR, PROPOSER, SERVER, ByzantineRole
 from repro.scenarios.registry import register_protocol
@@ -159,6 +161,63 @@ def _unsupported_roles(adapter: ProtocolAdapter, spec) -> None:
             f"protocol {adapter.protocol_id!r} does not support "
             f"Byzantine role assignments"
         )
+
+
+def _unsupported_strategy(adapter: ProtocolAdapter, spec) -> None:
+    if spec.quorum_strategy is not None:
+        raise ScenarioError(
+            f"protocol {adapter.protocol_id!r} does not support the "
+            f"quorum_strategy knob; only rqs-storage does"
+        )
+
+
+def _workload_read_fraction(spec) -> Fraction:
+    """The spec's read mix as an exact fraction (for ``"optimal"``).
+
+    Counts reads and writes across the workload literals; a workload
+    with no countable operations defaults to a balanced 1/2.
+    """
+    reads = writes = 0
+    for op in spec.workload:
+        if isinstance(op, RandomMix):
+            reads += op.reads
+            writes += op.writes
+        elif isinstance(op, Read):
+            reads += 1
+        elif isinstance(op, Write):
+            writes += 1
+    total = reads + writes
+    return Fraction(reads, total) if total else Fraction(1, 2)
+
+
+def _resolve_strategy(spec, rqs) -> Optional[Strategy]:
+    """Resolve ``spec.quorum_strategy`` against the resolved RQS.
+
+    The distributions range over the RQS's (single) quorum family —
+    read operations draw from the strategy's read distribution, write
+    operations from its write distribution.  Per-node capacities are
+    taken from the RQS when it carries them (the expression lift's
+    :class:`~repro.core.algebra.CapacitatedRqs`), else unit.
+    """
+    choice = spec.quorum_strategy
+    if choice is None:
+        return None
+    family = rqs.quorums
+    if isinstance(choice, Strategy):
+        stray = [q for q in choice.quorums() if q not in family]
+        if stray:
+            raise ScenarioError(
+                f"quorum_strategy puts weight on "
+                f"{sorted(stray[0], key=repr)}, which is not a quorum of "
+                f"the spec's RQS"
+            )
+        return choice
+    read_caps = getattr(rqs, "read_capacity", None) or None
+    write_caps = getattr(rqs, "write_capacity", None) or None
+    fr = _workload_read_fraction(spec)
+    build = uniform_strategy if choice == "uniform" else optimal_strategy
+    return build(family, family, read_fraction=fr,
+                 read_capacity=read_caps, write_capacity=write_caps)
 
 
 # -- storage ------------------------------------------------------------------
@@ -392,6 +451,12 @@ class RqsStorageAdapter(StorageAdapter):
         rqs = spec.resolved_rqs()
         if rqs is None:
             raise ScenarioError("rqs-storage requires a quorum system")
+        capacity_model = bool(spec.param("capacity_model", False))
+        if capacity_model and not getattr(rqs, "read_capacity", None):
+            raise ScenarioError(
+                "capacity_model requires an RQS with per-node capacities "
+                "(lift one from a quorum expression, e.g. rqs='grid-hetero')"
+            )
         factories = {
             role.process: _storage_server_factory(role)
             for role in spec.faults.byzantine_for(SERVER)
@@ -405,6 +470,9 @@ class RqsStorageAdapter(StorageAdapter):
             trace_level=spec.trace_level,
             n_writers=spec.n_writers,
             n_keys=spec.n_keys,
+            strategy=_resolve_strategy(spec, rqs),
+            strategy_seed=spec.seed,
+            capacity_model=capacity_model,
         )
         return cls(system)
 
@@ -425,6 +493,7 @@ class AbdAdapter(StorageAdapter):
         )
         adapter = cls(system)
         _unsupported_roles(adapter, spec)
+        _unsupported_strategy(adapter, spec)
         return adapter
 
 
@@ -446,6 +515,7 @@ class FastAbdAdapter(StorageAdapter):
         )
         adapter = cls(system)
         _unsupported_roles(adapter, spec)
+        _unsupported_strategy(adapter, spec)
         return adapter
 
 
@@ -466,6 +536,7 @@ class NaiveAdapter(StorageAdapter):
         )
         adapter = cls(system)
         _unsupported_roles(adapter, spec)
+        _unsupported_strategy(adapter, spec)
         return adapter
 
 
@@ -538,6 +609,7 @@ class RqsConsensusAdapter(ConsensusAdapter):
 
     @classmethod
     def build(cls, spec) -> "RqsConsensusAdapter":
+        _unsupported_strategy(cls, spec)
         rqs = spec.resolved_rqs()
         if rqs is None:
             raise ScenarioError("rqs-consensus requires a quorum system")
@@ -594,6 +666,7 @@ class PaxosAdapter(ConsensusAdapter):
         )
         adapter = cls(system)
         _unsupported_roles(adapter, spec)
+        _unsupported_strategy(adapter, spec)
         return adapter
 
 
@@ -612,6 +685,7 @@ class PbftAdapter(ConsensusAdapter):
         )
         adapter = cls(system)
         _unsupported_roles(adapter, spec)
+        _unsupported_strategy(adapter, spec)
         return adapter
 
     def _schedule_propose(self, op: Propose) -> None:

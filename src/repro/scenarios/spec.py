@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
+from repro.core.algebra import QuorumSystem, demo_grid_rqs
 from repro.core.constructions import (
     byzantine_quorum_system,
     example7_rqs,
@@ -25,12 +26,16 @@ from repro.core.constructions import (
     threshold_rqs,
 )
 from repro.core.rqs import RefinedQuorumSystem
+from repro.core.strategy import Strategy
 from repro.errors import ScenarioError, SimulationError
 from repro.scenarios.faults import FaultPlan
 from repro.scenarios.workloads import Workload, WorkloadOp
 from repro.sim.network import TraceLevel
 
-RqsSpec = Union[RefinedQuorumSystem, str, None]
+RqsSpec = Union[RefinedQuorumSystem, QuorumSystem, str, None]
+
+#: Legal string values of ``ScenarioSpec.quorum_strategy``.
+STRATEGY_NAMES = ("uniform", "optimal")
 
 # -- named quorum-system constructions ----------------------------------------
 
@@ -54,13 +59,20 @@ register_rqs("example6-broken-p3",
 register_rqs("example7", example7_rqs)
 register_rqs("figure3", figure3_rqs)
 register_rqs("section12", section12_rqs)
+# Expression-defined systems (the quorum algebra lift): the 2×3 grid
+# ``a*b*c + d*e*f`` with heterogeneous / homogeneous node capacities.
+register_rqs("grid-hetero", lambda: demo_grid_rqs(heterogeneous=True))
+register_rqs("grid-homog", lambda: demo_grid_rqs(heterogeneous=False))
 
 
 def resolve_rqs(spec: RqsSpec) -> Optional[RefinedQuorumSystem]:
     """Resolve a spec's ``rqs`` field to a concrete system.
 
-    Accepts an instance, ``None`` (for protocols that do not take an
-    RQS), a registered name, or a parameterized construction string:
+    Accepts an instance, a planning-level
+    :class:`~repro.core.algebra.QuorumSystem` (lifted via its
+    :meth:`~repro.core.algebra.QuorumSystem.to_rqs`), ``None`` (for
+    protocols that do not take an RQS), a registered name, or a
+    parameterized construction string:
 
     * ``"threshold:n,t,k,q,r"`` — Example 6 (append ``,novalidate`` to
       skip the property check, for lower-bound scenarios),
@@ -70,6 +82,8 @@ def resolve_rqs(spec: RqsSpec) -> Optional[RefinedQuorumSystem]:
     """
     if spec is None or isinstance(spec, RefinedQuorumSystem):
         return spec
+    if isinstance(spec, QuorumSystem):
+        return spec.to_rqs()
     if not isinstance(spec, str):
         raise ScenarioError(
             f"rqs must be a RefinedQuorumSystem, a name, or None; "
@@ -164,6 +178,20 @@ class ScenarioSpec:
         complete message log for verdicts and proof replays;
         ``METRICS`` keeps counters only, bounding memory on big
         sweeps/benchmarks (``messages_between`` then raises).
+    quorum_strategy:
+        How storage clients pick the quorum each operation contacts.
+        ``None`` (default) is the paper's model — broadcast to the
+        ground set and return on the first responding quorum; it is
+        bit-identical to all pre-strategy executions.  ``"uniform"``
+        draws uniformly over the RQS's quorums; ``"optimal"`` draws
+        from the load-optimal LP distribution of
+        :func:`repro.core.strategy.optimal_strategy` (the read fraction
+        is taken from the workload's mix, and per-node capacities from
+        the RQS when it carries them); a
+        :class:`~repro.core.strategy.Strategy` instance is used as
+        given.  Strategy draws consume a dedicated per-client RNG
+        stream, never the workload RNGs.  Only the ``rqs-storage``
+        protocol supports the knob.
     params:
         Protocol-specific extras (e.g. ``n``/``t`` for ABD-family
         baselines, ``f`` for PBFT, ``sync_delay`` or ``proposer_values``
@@ -186,10 +214,20 @@ class ScenarioSpec:
     max_ops: Optional[int] = None
     strict: bool = False
     trace_level: Union[TraceLevel, str] = TraceLevel.FULL
+    quorum_strategy: Union[None, str, Strategy] = None
     params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self):
         object.__setattr__(self, "workload", tuple(self.workload))
+        if self.quorum_strategy is not None and not (
+            isinstance(self.quorum_strategy, Strategy)
+            or self.quorum_strategy in STRATEGY_NAMES
+        ):
+            raise ScenarioError(
+                f"quorum_strategy must be None, one of "
+                f"{'/'.join(STRATEGY_NAMES)}, or a Strategy instance; "
+                f"got {self.quorum_strategy!r}"
+            )
         if self.n_writers < 1:
             raise ScenarioError(
                 f"n_writers must be >= 1, got {self.n_writers}"

@@ -52,11 +52,17 @@ class StorageReader(Process):
         rqs: RefinedQuorumSystem,
         trace: Optional[Trace] = None,
         delta: float = 1.0,
+        selector=None,
     ):
         super().__init__(pid)
         self.rqs = rqs
         self.trace = trace if trace is not None else Trace()
         self.timeout = 2.0 * delta
+        #: Optional :class:`~repro.core.strategy.QuorumSelector`.  When
+        #: set, each read draws one quorum from the strategy and sends
+        #: only to its members (all rounds and write-backs of that read
+        #: share the draw); ``None`` keeps the paper's broadcast model.
+        self.selector = selector
         self.read_no = 0
         self._state: Optional[ReadState] = None
         self._current_read_no = -1
@@ -82,6 +88,11 @@ class StorageReader(Process):
         Returns the operation's record; ``record.result`` is the value.
         """
         record = self.trace.begin("read", self.pid, self.sim.now, key=key)
+        # One strategy draw per operation: every round and write-back of
+        # this read targets the same drawn quorum.
+        target = self.selector.next_read() if self.selector else None
+        targets = sorted(target if target is not None
+                         else self.rqs.ground_set, key=repr)
         self.read_no += 1
         self._current_read_no = self.read_no
         self._wb = ConditionMap(AckSet, "wb key={} ts={} rnd={}")
@@ -98,7 +109,7 @@ class StorageReader(Process):
                 if read_rnd == 1
                 else None
             )
-            for server in sorted(self.rqs.ground_set, key=repr):
+            for server in targets:
                 self.send(server, RD(self.read_no, read_rnd, key))
 
             rnd = read_rnd
@@ -134,25 +145,25 @@ class StorageReader(Process):
             if x23:
                 # Line 42: the writer already stored csel at a full quorum;
                 # one round-2 write-back finishes the read in 2 rounds.
-                yield from self._writeback(2, csel, frozenset(), key)
+                yield from self._writeback(2, csel, frozenset(), key, targets)
                 self.trace.complete(record, self.sim.now, csel.val, rounds=2)
                 return record
             # Lines 43-47: round-1 write-back carrying the confirmed
             # class-2 quorum ids, with a 2Δ window to finish fast.
             wb_timer = self.sim.timer_at(self.sim.now + self.timeout)
-            yield from self._writeback(1, csel, frozenset(x1), key)
+            yield from self._writeback(1, csel, frozenset(x1), key, targets)
             yield WaitUntil(wb_timer, f"read#{self.read_no} writeback timer")
             acked = self._wb(key, csel.ts, 1)
             if any(q2 <= acked for q2 in x1):
                 self.trace.complete(record, self.sim.now, csel.val, rounds=2)
                 return record
-            yield from self._writeback(2, csel, frozenset(), key)
+            yield from self._writeback(2, csel, frozenset(), key, targets)
             self.trace.complete(record, self.sim.now, csel.val, rounds=3)
             return record
 
         # Line 49: full two-round write-back.
-        yield from self._writeback(1, csel, frozenset(), key)
-        yield from self._writeback(2, csel, frozenset(), key)
+        yield from self._writeback(1, csel, frozenset(), key, targets)
+        yield from self._writeback(2, csel, frozenset(), key, targets)
         self.trace.complete(
             record, self.sim.now, csel.val, rounds=read_rnd + 2
         )
@@ -164,10 +175,14 @@ class StorageReader(Process):
         c: Pair,
         qc2_ids: FrozenSet[QuorumId],
         key: Hashable = DEFAULT_KEY,
+        targets=None,
     ):
         """``writeback(round, c, Set)`` (lines 60-62): write ``c`` back to
-        all servers and await a quorum of acks."""
-        for server in sorted(self.rqs.ground_set, key=repr):
+        all servers (or the read's drawn quorum) and await a quorum of
+        acks."""
+        if targets is None:
+            targets = sorted(self.rqs.ground_set, key=repr)
+        for server in targets:
             self.send(server, WR(c.ts, c.val, qc2_ids, rnd, key))
         yield WaitUntil(
             self._wb(key, c.ts, rnd).includes_any(self.rqs.quorums),

@@ -88,6 +88,50 @@ class StorageServer(Process):
         )
 
 
+class RateLimitedServer(StorageServer):
+    """A benign server with finite service capacity.
+
+    The capacity model behind the E16 capacity grids: serving a write
+    costs ``write_cost`` simulated time units, a read ``read_cost``
+    (i.e. the reciprocals of the node's capacities), and requests queue
+    FIFO behind a single ``busy_until`` horizon — a message arriving
+    while the server is busy is handled when the backlog drains.  An
+    overloaded server therefore answers ever later, which is exactly
+    how per-node load shows up as lost end-to-end throughput.
+
+    Crashes still take effect at *service* time: a request queued
+    behind the backlog is dropped if the server has crashed by the time
+    it would be served.
+    """
+
+    def __init__(self, pid: Hashable, read_cost: float, write_cost: float):
+        super().__init__(pid)
+        if read_cost < 0 or write_cost < 0:
+            raise ValueError("service costs must be non-negative")
+        self.read_cost = float(read_cost)
+        self.write_cost = float(write_cost)
+        self.busy_until = 0.0
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if isinstance(payload, WR):
+            self._serve(message.src, payload, self.handle_write,
+                        self.write_cost)
+        elif isinstance(payload, RD):
+            self._serve(message.src, payload, self.handle_read,
+                        self.read_cost)
+
+    def _serve(self, client: Hashable, payload, handler, cost: float) -> None:
+        done = max(self.sim.now, self.busy_until) + cost
+        self.busy_until = done
+
+        def finish() -> None:
+            if not self.crashed:
+                handler(client, payload)
+
+        self.sim.call_at(done, finish)
+
+
 class SilentServer(StorageServer):
     """Byzantine: ignores every message."""
 

@@ -22,7 +22,7 @@ from repro.sim.simulator import Simulator
 from repro.sim.trace import OperationRecord, Trace
 from repro.storage.history import DEFAULT_KEY
 from repro.storage.reader import StorageReader
-from repro.storage.server import StorageServer
+from repro.storage.server import RateLimitedServer, StorageServer
 from repro.storage.stamping import writer_fleet
 from repro.storage.writer import StorageWriter
 
@@ -40,6 +40,13 @@ class StorageSystem:
     :mod:`repro.storage.writer`).  ``n_keys`` documents the intended
     keyspace width for workload expansion — server state is created
     lazily per key, so it does not bound the keys clients may address.
+
+    ``strategy`` (a :class:`~repro.core.strategy.Strategy`) makes every
+    client draw its per-operation quorum from the strategy's seeded
+    distribution and contact only its members; ``capacity_model=True``
+    deploys :class:`~repro.storage.server.RateLimitedServer` nodes whose
+    service costs are the reciprocals of the RQS's per-node capacities.
+    Both default off, leaving historical executions bit-identical.
     """
 
     def __init__(
@@ -53,10 +60,14 @@ class StorageSystem:
         trace_level: TraceLevel = TraceLevel.FULL,
         n_writers: int = 1,
         n_keys: int = 1,
+        strategy=None,
+        strategy_seed: int = 0,
+        capacity_model: bool = False,
     ):
         self.rqs = rqs
         self.delta = delta
         self.n_keys = n_keys
+        self.strategy = strategy
         self.sim = Simulator()
         self.network = Network(
             self.sim, delta=delta, rules=list(rules or []),
@@ -68,25 +79,54 @@ class StorageSystem:
 
         self.servers: Dict[Hashable, StorageServer] = {}
         factories = server_factories or {}
+        default_factory: ServerFactory = StorageServer
+        if capacity_model:
+            # Finite service capacity per node: serving costs the
+            # reciprocal of the node's (read/write) capacity.  Explicit
+            # per-role factories (Byzantine variants) take precedence.
+            read_caps = getattr(rqs, "read_capacity", None) or {}
+            write_caps = getattr(rqs, "write_capacity", None) or {}
+
+            def default_factory(sid, _r=read_caps, _w=write_caps):
+                return RateLimitedServer(
+                    sid,
+                    read_cost=1.0 / float(_r.get(sid, 1)),
+                    write_cost=1.0 / float(_w.get(sid, 1)),
+                )
+
         for sid in sorted(rqs.ground_set, key=repr):
-            factory = factories.get(sid, StorageServer)
+            factory = factories.get(sid, default_factory)
             server = factory(sid)
             server.bind(self.network)
             self.servers[sid] = server
         for sid, time in (crash_times or {}).items():
             self.servers[sid].schedule_crash(time)
 
+        def selector_for(pid):
+            """A per-client quorum selector (own seeded RNG stream), or
+            ``None`` when no strategy is configured — in which case no
+            strategy RNG exists at all and executions are bit-identical
+            to the historical broadcast behaviour."""
+            if strategy is None:
+                return None
+            from repro.core.strategy import QuorumSelector
+
+            return QuorumSelector(strategy, strategy_seed, pid)
+
         self.writers: List[StorageWriter] = writer_fleet(
             n_writers,
             lambda pid, writer_id: StorageWriter(
-                pid, rqs, self.trace, delta=delta, writer_id=writer_id
+                pid, rqs, self.trace, delta=delta, writer_id=writer_id,
+                selector=selector_for(pid),
             ).bind(self.network),
         )
         self.writer = self.writers[0]
         self.readers: List[StorageReader] = []
         for index in range(n_readers):
+            pid = f"reader{index + 1}"
             reader = StorageReader(
-                f"reader{index + 1}", rqs, self.trace, delta=delta
+                pid, rqs, self.trace, delta=delta,
+                selector=selector_for(pid),
             )
             reader.bind(self.network)
             self.readers.append(reader)

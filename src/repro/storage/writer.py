@@ -60,12 +60,18 @@ class StorageWriter(Process):
         trace: Optional[Trace] = None,
         delta: float = 1.0,
         writer_id: Optional[int] = None,
+        selector=None,
     ):
         super().__init__(pid)
         self.rqs = rqs
         self.trace = trace if trace is not None else Trace()
         self.timeout = 2.0 * delta
         self.stamps = StampIssuer(writer_id)
+        #: Optional :class:`~repro.core.strategy.QuorumSelector`.  When
+        #: set, each write draws one quorum from the strategy and sends
+        #: only to its members; when ``None`` (the default and the
+        #: paper's model) every round broadcasts to the ground set.
+        self.selector = selector
         self._acks = ConditionMap(AckSet, "wr key={} ts={} rnd={}")
         self._discovery = DiscoveryInbox("write ts-discovery#{}")
 
@@ -109,14 +115,17 @@ class StorageWriter(Process):
         """
         record = self.trace.begin("write", self.pid, self.sim.now, value,
                                   key=key)
+        # One strategy draw per operation: discovery and all rounds of
+        # this write target the same drawn quorum.
+        target = self.selector.next_write() if self.selector else None
         if not self.stamps.multi_writer:
             ts, extra_rounds = self.stamps.bare(key), 0
         else:
-            observed = yield from self._discover(key)
+            observed = yield from self._discover(key, target)
             ts, extra_rounds = self.stamps.stamped(key, observed), 1
 
         # Round 1 (Figure 5 lines 2-3).
-        yield from self._round(ts, value, frozenset(), 1, key)
+        yield from self._round(ts, value, frozenset(), 1, key, target)
         if self._acked_quorum(ts, 1, cls=1, key=key) is not None:
             self._retire(ts, key)
             self.trace.complete(record, self.sim.now, "OK",
@@ -130,7 +139,7 @@ class StorageWriter(Process):
         )
 
         # Round 2 (lines 6-7).
-        yield from self._round(ts, value, qc2_prime, 2, key)
+        yield from self._round(ts, value, qc2_prime, 2, key, target)
         round2 = self.acks(ts, 2, key)
         if any(q2 <= round2 for q2 in qc2_prime):
             self._retire(ts, key)
@@ -139,7 +148,7 @@ class StorageWriter(Process):
             return record
 
         # Round 3 (lines 8-9).
-        yield from self._round(ts, value, frozenset(), 3, key)
+        yield from self._round(ts, value, frozenset(), 3, key, target)
         self._retire(ts, key)
         self.trace.complete(record, self.sim.now, "OK",
                             rounds=3 + extra_rounds)
@@ -151,11 +160,17 @@ class StorageWriter(Process):
         for rnd in (1, 2, 3):
             self._acks.discard(key, ts, rnd)
 
-    def _discover(self, key: Hashable):
+    def _targets(self, target):
+        """The servers one round contacts: the drawn quorum under a
+        strategy, the full ground set otherwise."""
+        return sorted(target if target is not None else self.rqs.ground_set,
+                      key=repr)
+
+    def _discover(self, key: Hashable, target=None):
         """MW timestamp discovery: the highest stored timestamp for
         ``key`` at some responding quorum (the ``rnd = 0`` read round)."""
         number = self._discovery.open()
-        for server in sorted(self.rqs.ground_set, key=repr):
+        for server in self._targets(target):
             self.send(server, RD(number, 0, key))
         yield WaitUntil(
             self._discovery.responders(number).includes_any(
@@ -173,10 +188,12 @@ class StorageWriter(Process):
         qc2_prime: FrozenSet[QuorumId],
         rnd: int,
         key: Hashable,
+        target=None,
     ):
-        """``round(i)`` (Figure 5 lines 10-12): send to all servers, then
-        wait for a quorum of acks and (rounds 1-2) the 2Δ timer."""
-        for server in sorted(self.rqs.ground_set, key=repr):
+        """``round(i)`` (Figure 5 lines 10-12): send to all servers (or
+        the drawn quorum), then wait for a quorum of acks and (rounds
+        1-2) the 2Δ timer."""
+        for server in self._targets(target):
             self.send(server, WR(ts, value, qc2_prime, rnd, key))
         quorum_acked = self.acks(ts, rnd, key).includes_any(self.rqs.quorums)
         label = f"write ts={ts} round {rnd}"

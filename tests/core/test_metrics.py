@@ -1,6 +1,7 @@
 """Tests for quorum-system load and availability metrics."""
 
 import math
+from fractions import Fraction
 
 import pytest
 
@@ -33,6 +34,35 @@ class TestLoad:
         quorums = (frozenset({1, 2}), frozenset({2, 3}))
         strategy = metrics.uniform_strategy(list(quorums))
         assert metrics.strategy_load(quorums, strategy) == pytest.approx(1.0)
+
+    def test_uniform_strategy_weights_sum_exactly_one(self):
+        rqs = threshold_rqs(8, 3, 1, 1, 2)
+        weights = metrics.uniform_strategy(rqs.quorums)
+        assert sum(weights.values()) == Fraction(1)
+
+    def test_exact_load_never_above_heuristic(self):
+        # The LP optimum is over all strategies, the heuristic is the
+        # uniform one — the optimum can only be lower or equal.
+        for args in ((5, 1, 0, 0, 1), (8, 3, 1, 1, 2), (6, 2, 1, 0, 1)):
+            rqs = threshold_rqs(*args)
+            for cls in (1, 3):
+                assert metrics.system_load(
+                    rqs, cls=cls
+                ) <= metrics.heuristic_system_load(rqs, cls=cls)
+
+    def test_threshold_load_closed_form(self):
+        # Symmetric (n-i)-of-n families: the exact load is (n-i)/n.
+        cases = (
+            (threshold_rqs(5, 1, 0, 0, 1), 3, Fraction(4, 5)),
+            (threshold_rqs(8, 3, 1, 1, 2), 3, Fraction(5, 8)),
+            (threshold_rqs(8, 3, 1, 1, 2), 1, Fraction(7, 8)),
+        )
+        for rqs, cls, expected in cases:
+            assert metrics.system_load(rqs, cls=cls) == expected
+
+    def test_exact_load_is_fraction(self):
+        rqs = threshold_rqs(5, 1, 0, 0, 1)
+        assert isinstance(metrics.system_load(rqs, cls=3), Fraction)
 
 
 class TestAvailability:

@@ -1,0 +1,165 @@
+"""Scenario-level tests for the quorum_strategy knob.
+
+The RNG-ordering invariant is the load-bearing one: strategy draws
+live on a dedicated per-client stream, so turning the knob on must not
+shift a single workload arrival — and leaving it off must reproduce
+pre-strategy executions byte-for-byte (the golden-fingerprint suite
+covers the latter; here we pin the former).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.algebra import Node, QuorumSystem, demo_grid_rqs
+from repro.core.strategy import optimal_strategy, uniform_strategy
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    Propose,
+    RandomMix,
+    Read,
+    ScenarioSpec,
+    Write,
+    run,
+)
+
+
+def grid_spec(**overrides):
+    base = dict(
+        protocol="rqs-storage",
+        rqs="grid-hetero",
+        readers=2,
+        n_writers=2,
+        n_keys=2,
+        workload=(RandomMix(8, 8, horizon=30.0),),
+        seed=5,
+        horizon=60.0,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def schedule(result):
+    """The workload arrival schedule (what the strategy must not move)."""
+    return tuple(
+        (r.kind, r.process, r.invoked_at) for r in result.records
+    )
+
+
+class TestSpecValidation:
+    def test_rejects_unknown_strategy_name(self):
+        with pytest.raises(ScenarioError, match="quorum_strategy"):
+            grid_spec(quorum_strategy="fastest")
+
+    def test_accepts_names_and_instances(self):
+        strategy = uniform_strategy(demo_grid_rqs().quorums)
+        for value in (None, "uniform", "optimal", strategy):
+            assert grid_spec(quorum_strategy=value).quorum_strategy == value
+
+    def test_quorum_system_is_a_valid_rqs_value(self):
+        a, b, c, d = (Node(x) for x in "abcd")
+        spec = ScenarioSpec(
+            protocol="rqs-storage",
+            rqs=QuorumSystem(reads=a * b + c * d),
+            readers=1,
+            workload=(Write(0.0, "v"), Read(5.0)),
+        )
+        result = run(spec)
+        assert result.atomicity.atomic
+        assert result.read().result == "v"
+
+
+class TestStrategyRuns:
+    @pytest.mark.parametrize("strategy", ["uniform", "optimal"])
+    def test_named_strategies_run_atomic(self, strategy):
+        result = run(grid_spec(quorum_strategy=strategy))
+        assert result.ops_completed() == result.ops_begun()
+        assert result.atomicity.atomic
+
+    def test_strategy_instance_used_as_given(self):
+        rqs = demo_grid_rqs()
+        strategy = optimal_strategy(
+            rqs.quorums,
+            read_fraction=Fraction(1, 2),
+            read_capacity=rqs.read_capacity,
+            write_capacity=rqs.write_capacity,
+        )
+        result = run(grid_spec(quorum_strategy=strategy))
+        assert result.atomicity.atomic
+
+    def test_foreign_strategy_instance_rejected(self):
+        foreign = uniform_strategy(
+            (frozenset("xy"), frozenset("yz"), frozenset("xz"))
+        )
+        with pytest.raises(ScenarioError, match="not a quorum"):
+            run(grid_spec(quorum_strategy=foreign))
+
+    def test_strategy_draws_never_move_the_workload(self):
+        # Same seed, knob off vs on: identical arrival schedules.  A
+        # strategy that consumed workload RNG draws would shift them.
+        broadcast = run(grid_spec())
+        targeted = run(grid_spec(quorum_strategy="optimal"))
+        assert schedule(broadcast) == schedule(targeted)
+
+    def test_strategies_are_deterministic_per_seed(self):
+        first = run(grid_spec(quorum_strategy="uniform"))
+        second = run(grid_spec(quorum_strategy="uniform"))
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_targeting_sends_fewer_messages_than_broadcast(self):
+        broadcast = run(grid_spec())
+        targeted = run(grid_spec(quorum_strategy="optimal"))
+        assert (
+            targeted.adapter.network.sent_count
+            < broadcast.adapter.network.sent_count
+        )
+
+
+class TestProtocolSupport:
+    def test_abd_rejects_the_knob(self):
+        with pytest.raises(ScenarioError, match="only rqs-storage"):
+            run(ScenarioSpec(
+                protocol="abd",
+                readers=1,
+                workload=(Write(0.0, "v"), Read(5.0)),
+                quorum_strategy="uniform",
+            ))
+
+    def test_paxos_rejects_the_knob(self):
+        with pytest.raises(ScenarioError, match="only rqs-storage"):
+            run(ScenarioSpec(
+                protocol="paxos",
+                workload=(Propose(0.0, "v"),),
+                horizon=60.0,
+                quorum_strategy="uniform",
+            ))
+
+    def test_rqs_consensus_rejects_the_knob(self):
+        with pytest.raises(ScenarioError, match="only rqs-storage"):
+            run(ScenarioSpec(
+                protocol="rqs-consensus",
+                rqs="example6",
+                workload=(Propose(0.0, "v", proposer=0),),
+                horizon=120.0,
+                quorum_strategy="optimal",
+            ))
+
+
+class TestCapacityModel:
+    def test_capacity_model_needs_capacities(self):
+        with pytest.raises(ScenarioError, match="capacit"):
+            run(ScenarioSpec(
+                protocol="rqs-storage",
+                rqs="example6",
+                readers=1,
+                workload=(Write(0.0, "v"), Read(5.0)),
+                params={"capacity_model": True},
+            ))
+
+    def test_rate_limited_run_stays_atomic(self):
+        result = run(grid_spec(
+            quorum_strategy="optimal",
+            params={"capacity_model": True},
+        ))
+        assert result.atomicity.atomic
+        assert result.ops_completed() > 0

@@ -8,6 +8,7 @@ from repro.errors import ScenarioError
 from repro.scenarios import (
     Crash,
     FaultPlan,
+    RandomMix,
     Read,
     ScenarioSpec,
     SweepResult,
@@ -180,6 +181,39 @@ class TestExecutors:
             progress=lambda done, total, cell: seen.append((done, total)),
         )
         assert seen == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+
+#: Strategy-parameterized cells: the knob is a spec field, so the
+#: default builder sweeps it like any other axis.  Picklable end to
+#: end (Strategy is frozen and picklable) — the mp backend must agree
+#: byte-for-byte with serial despite the per-client strategy RNGs.
+STRATEGY_GRID = SweepSpec(
+    name="strategy-parity",
+    axes={
+        "rqs": ("grid-hetero", "grid-homog"),
+        "quorum_strategy": ("uniform", "optimal"),
+        "seed": (0, 1),
+    },
+    base=ScenarioSpec(
+        protocol="rqs-storage",
+        rqs="grid-hetero",
+        readers=2,
+        n_writers=2,
+        n_keys=2,
+        workload=(RandomMix(6, 6, horizon=25.0),),
+        horizon=50.0,
+    ),
+)
+
+
+class TestStrategySweeps:
+    def test_strategy_cells_serial_vs_mp_byte_identical(self):
+        serial = run_grid(STRATEGY_GRID)
+        parallel = run_grid(
+            STRATEGY_GRID, executor="multiprocessing", processes=2
+        )
+        assert serial.to_json() == parallel.to_json()
+        assert serial.verdict_counts() == {"atomic": 8}
 
 
 class TestFailureIsolation:

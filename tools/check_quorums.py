@@ -1,0 +1,225 @@
+"""Capacity bench artifact checker: schema, determinism, prediction sanity.
+
+Run from the repository root (CI's capacity-smoke job does)::
+
+    PYTHONPATH=src python tools/check_quorums.py
+
+Checks, against the committed ``BENCH_quorums.json`` baseline:
+
+1. **Schema** — the artifact (and the freshly regenerated one) carries
+   the documented shape: name, schema_version, one case per
+   (system, strategy, mix, faults, seed) grid point with counters,
+   exact simulated throughput and the strategy engine's prediction.
+2. **Determinism** — the regenerated ``operations``, ``completed``,
+   ``events``, ``messages``, ``sim_ops_per_sec``, ``predicted_load``
+   and ``predicted_capacity`` match the committed baseline *exactly*
+   (simulated time and exact-rational LP solutions are
+   machine-independent; any difference is a behaviour regression).
+3. **Atomicity** — every cell's history is atomic.
+4. **Acceptance** — on the heterogeneous-capacity system, the
+   load-optimal strategy's measured simulated throughput strictly beats
+   the uniform strategy's on at least one fault-free cell (the E16
+   headline result).
+5. **Prediction sanity** — wherever the engine predicts a clear
+   capacity advantage (ratio ≥ ``PREDICTION_MARGIN``) between two
+   strategies on the same fault-free cell, the measured throughput
+   must not contradict it (the favoured strategy measures at least as
+   high).
+6. **Wall-clock drift** — fresh per-cell wall seconds must not blow up
+   beyond ``--tolerance`` over the committed baseline (skippable on
+   heterogeneous hardware).
+
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from _gate import (
+    determinism_problems,
+    finish,
+    load_baseline,
+    load_fresh,
+    missing_case_keys,
+    missing_keys,
+    repo_root_on_path,
+)
+
+REQUIRED_TOP = ("name", "schema_version", "horizon", "cases")
+REQUIRED_CASE = (
+    "system", "strategy", "mix", "faults", "seed",
+    "operations", "completed", "events", "messages", "atomic",
+    "sim_ops_per_sec", "predicted_load", "predicted_capacity",
+    "read_fraction", "wall_s",
+)
+#: Exact-match fields (simulated executions + exact LP: zero noise).
+EXACT_FIELDS = (
+    "operations", "completed", "events", "messages",
+    "sim_ops_per_sec", "predicted_load", "predicted_capacity",
+)
+#: A predicted capacity ratio at least this large must not be
+#: contradicted by the measurement.
+PREDICTION_MARGIN = 1.2
+
+
+def case_key(case: dict) -> tuple:
+    return (
+        case["system"], case["strategy"], case["mix"],
+        case["faults"], case["seed"],
+    )
+
+
+def case_index(payload: dict) -> dict:
+    return {case_key(c): c for c in payload["cases"]}
+
+
+def check_schema(payload: dict, label: str) -> list:
+    problems = missing_keys(payload, REQUIRED_TOP, label)
+    if problems:
+        return problems
+    if payload["name"] != "quorums":
+        problems.append(f"{label}: name is {payload['name']!r}")
+    for case in payload["cases"]:
+        case_problems = missing_case_keys(case, REQUIRED_CASE, label)
+        problems += case_problems
+        if case_problems:
+            continue
+        if case["operations"] <= 0 or case["completed"] <= 0:
+            problems.append(f"{label}: non-positive counters in {case}")
+        if not case["atomic"]:
+            problems.append(
+                f"{label}: cell {case_key(case)} history is NOT atomic"
+            )
+    return problems
+
+
+def check_acceptance(payload: dict, label: str) -> list:
+    """The E16 headline: optimal strictly beats uniform somewhere on
+    the fault-free heterogeneous cells."""
+    cells = case_index(payload)
+    wins = []
+    for key, case in cells.items():
+        system, strategy, mix, faults, seed = key
+        if system != "grid-hetero" or strategy != "optimal":
+            continue
+        if faults != "none":
+            continue
+        twin = cells.get((system, "uniform", mix, faults, seed))
+        if twin and case["sim_ops_per_sec"] > twin["sim_ops_per_sec"]:
+            wins.append(mix)
+    if not wins:
+        return [
+            f"{label}: the load-optimal strategy never beats uniform on "
+            f"a fault-free heterogeneous-capacity cell (the E16 "
+            f"acceptance result)"
+        ]
+    return []
+
+
+def check_prediction_sanity(payload: dict, label: str) -> list:
+    """A clearly predicted advantage must not measure as a deficit."""
+    cells = case_index(payload)
+    problems = []
+    for key, case in cells.items():
+        system, strategy, mix, faults, seed = key
+        if strategy != "optimal" or faults != "none":
+            continue
+        twin = cells.get((system, "uniform", mix, faults, seed))
+        if twin is None:
+            continue
+        ratio = case["predicted_capacity"] / twin["predicted_capacity"]
+        if ratio >= PREDICTION_MARGIN and (
+            case["sim_ops_per_sec"] < twin["sim_ops_per_sec"]
+        ):
+            problems.append(
+                f"{label}: cell (system={system}, mix={mix}) predicts "
+                f"optimal/uniform capacity ratio {ratio:.2f} but "
+                f"measured {case['sim_ops_per_sec']} < "
+                f"{twin['sim_ops_per_sec']} ops/s — the prediction is "
+                f"contradicted"
+            )
+    return problems
+
+
+def check_drift(baseline: dict, fresh: dict, tolerance: float) -> list:
+    """Per-cell wall-clock blowup guard (the only noisy field)."""
+    base, new = case_index(baseline), case_index(fresh)
+    problems = []
+    for key in sorted(set(base) & set(new), key=repr):
+        committed, measured = base[key]["wall_s"], new[key]["wall_s"]
+        floor = 0.05  # ignore sub-50ms cells: pure scheduler noise
+        if measured > max(committed * (1.0 + tolerance), floor):
+            problems.append(
+                f"{key}: wall_s blew up {committed} -> {measured} "
+                f"(more than {tolerance:.0%} over baseline)"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline", default="BENCH_quorums.json",
+        help="committed artifact (default: BENCH_quorums.json)",
+    )
+    parser.add_argument(
+        "--fresh", default=None,
+        help="pre-generated fresh artifact; omitted = regenerate now",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=1.0,
+        help="allowed fractional wall-clock growth per cell (default 1.0)",
+    )
+    parser.add_argument(
+        "--skip-drift", action="store_true",
+        help="skip the wall-clock drift check (heterogeneous hardware)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print(f"FAIL: baseline {args.baseline} does not exist")
+        return 1
+
+    def regenerate() -> dict:
+        repo_root_on_path(__file__)
+        # ``repro`` lives under ``src/`` (unlike the root-level bench
+        # packages), so the gate works without PYTHONPATH=src too.
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        if src not in sys.path:
+            sys.path.insert(0, src)
+        from repro.experiments.capacity import collect
+
+        return collect()
+
+    fresh = load_fresh(args.fresh, regenerate)
+
+    problems = []
+    problems += check_schema(baseline, "baseline")
+    problems += check_schema(fresh, "fresh")
+    if problems:
+        # Schema-invalid inputs: report, never touch the missing keys.
+        return finish(problems, "")
+    problems += determinism_problems(
+        case_index(baseline), case_index(fresh), EXACT_FIELDS
+    )
+    problems += check_acceptance(baseline, "baseline")
+    problems += check_acceptance(fresh, "fresh")
+    problems += check_prediction_sanity(baseline, "baseline")
+    problems += check_prediction_sanity(fresh, "fresh")
+    if not args.skip_drift:
+        problems += check_drift(baseline, fresh, args.tolerance)
+    n = len(fresh["cases"])
+    return finish(
+        problems,
+        f"ok: schema valid, {n} cells deterministic and atomic, "
+        f"load-optimal beats uniform on heterogeneous capacities, "
+        f"predictions uncontradicted",
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())
