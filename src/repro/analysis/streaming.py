@@ -23,6 +23,18 @@ counterparts consumed as operations *complete*:
   window floor is the oldest in-flight invocation; anything older is
   folded into per-key monotone bounds, so retained state is
   O(clients + keys) regardless of run length.
+* :class:`MultiWriterOnlineChecker` — the multi-writer mode.  Write
+  values are globally unique but *not* time-ordered across writers, so
+  the SW value order is useless; instead the checker exploits the
+  protocols' totally-ordered stamps ``seq·2²⁰ + writer_id`` (surfaced
+  on ``record.meta["ts"]``) — a Gibbons–Korach-style polynomial check
+  over the total stamp order: per-key monotone stamp bounds replace the
+  value bounds, writes must stamp above everything completed before
+  their invocation, and reads obey fabrication / future-read /
+  stale-read / read-inversion over stamps.  A read returning a value
+  whose write is still in flight is *parked* on that value and judged
+  (claimed stamp vs. actual) when the write completes — the same window
+  floor guarantees the deferred bounds stay exact.
 
 The online checker is *sound within its window*: every violation it
 reports is a real violation of the SWMR register semantics, and any
@@ -199,6 +211,7 @@ class OnlineReport:
     max_retained: int  # high-water mark of retained per-key entries
     overrun_unchecked: int = 0
     windowed: bool = True
+    mode: str = "sw"  # "sw" (value-ordered) | "mw" (stamp-ordered)
 
     @property
     def atomic(self) -> bool:
@@ -222,7 +235,24 @@ class OnlineReport:
             "violations": self.violation_count,
             "keys_checked": len(self.keys),
             "checker_max_retained": self.max_retained,
+            "checker_mode": self.mode,
         }
+
+
+@dataclass(frozen=True)
+class OnlineRefusal:
+    """A structured reason why a run carries no online verdict.
+
+    The scenario runner attaches one wherever it declines to wire an
+    online checker, so ``RunResult.online is None`` always comes with a
+    machine-readable explanation instead of a bare refusal.
+    """
+
+    reason: str  # short token, e.g. "workload-shape"
+    detail: str  # human-readable explanation
+
+    def __str__(self) -> str:  # pragma: no cover - reporting aid
+        return f"online checker not wired ({self.reason}): {self.detail}"
 
 
 class _KeyState:
@@ -316,6 +346,9 @@ class OnlineChecker:
     #: Completions between global prune/measure sweeps (amortizes the
     #: O(keys) sweep to O(1) per completion).
     SWEEP_EVERY = 256
+    #: Report mode token; the MW subclass overrides both of these.
+    mode = "sw"
+    key_state_factory = _KeyState
 
     def __init__(self, max_reported: int = 20,
                  overrun_ops: int = OVERRUN_OPS):
@@ -373,7 +406,7 @@ class OnlineChecker:
             stuck = [op for op in self._pending if op < horizon]
             for op in stuck:
                 del self._pending[op]
-                self._overrun.add(op)
+                self._evict(op)
         self._floor = min(
             self._pending.values(), default=record.completed_at
         )
@@ -384,6 +417,10 @@ class OnlineChecker:
         self._since_sweep += 1
         if self._since_sweep >= self.SWEEP_EVERY:
             self._sweep()
+
+    def _evict(self, op_id: int) -> None:
+        """Move one stuck op out of the window (subclass hook)."""
+        self._overrun.add(op_id)
 
     def _sweep(self) -> None:
         self._since_sweep = 0
@@ -396,10 +433,10 @@ class OnlineChecker:
 
     # -- the rules ------------------------------------------------------------
 
-    def _state(self, key: Hashable) -> _KeyState:
+    def _state(self, key: Hashable):
         state = self._keys.get(key)
         if state is None:
-            state = self._keys[key] = _KeyState()
+            state = self._keys[key] = self.key_state_factory()
         return state
 
     def _complete_write(self, record) -> None:
@@ -509,4 +546,304 @@ class OnlineChecker:
             keys=tuple(sorted(self._keys, key=repr)),
             max_retained=self.max_retained,
             overrun_unchecked=self.overrun_unchecked,
+            mode=self.mode,
         )
+
+
+class _MwKeyState:
+    """Bounded per-register state for the multi-writer checker.
+
+    Mirrors :class:`_KeyState` with the total stamp order in place of
+    the single-writer value order: the window maps *stamps* to their
+    writes, the cummax series carry stamps, and reads whose write is
+    still in flight park on the (globally unique) value until the write
+    completes and reveals its actual stamp.
+    """
+
+    __slots__ = (
+        "window", "stamp_of", "inflight", "evicted", "parked",
+        "write_times", "write_stamps", "read_times", "read_stamps",
+        "base_write_bound", "base_read_bound",
+    )
+
+    def __init__(self):
+        # stamp -> (invoked_at, completed_at, value) for windowed writes.
+        self.window: Dict[int, Tuple[float, float, Any]] = {}
+        # value -> stamp for windowed writes (values are unique per key).
+        self.stamp_of: Dict[Any, int] = {}
+        # value -> invoked_at of begun-but-incomplete writes.
+        self.inflight: Dict[Any, float] = {}
+        # Values of writes evicted from the window while in flight:
+        # reads returning them are skipped (overrun), never misjudged.
+        self.evicted: set = set()
+        # value -> [(reader process, claimed stamp), ...] of reads that
+        # returned an in-flight write; resolved at write completion.
+        self.parked: Dict[Any, List[Tuple[Any, int]]] = {}
+        # Cummax series of completed write/read stamps, completion-
+        # ordered, bisected by the bound queries below.
+        self.write_times: List[float] = []
+        self.write_stamps: List[int] = []
+        self.read_times: List[float] = []
+        self.read_stamps: List[int] = []
+        self.base_write_bound: Optional[int] = None
+        self.base_read_bound: Optional[int] = None
+
+    def write_bound(self, before: float) -> Optional[int]:
+        """Highest stamp whose write completed strictly before ``before``."""
+        index = bisect_left(self.write_times, before)
+        if index:
+            return self.write_stamps[index - 1]
+        return self.base_write_bound
+
+    def read_bound(self, before: float) -> Optional[int]:
+        """Highest stamp returned by a read completed strictly before
+        ``before``."""
+        index = bisect_left(self.read_times, before)
+        if index:
+            return self.read_stamps[index - 1]
+        return self.base_read_bound
+
+    def prune(self, floor: float) -> None:
+        """Fold state older than the window ``floor`` into the bounds."""
+        index = bisect_left(self.write_times, floor)
+        if index:
+            self.base_write_bound = self.write_stamps[index - 1]
+            del self.write_times[:index]
+            del self.write_stamps[:index]
+        index = bisect_left(self.read_times, floor)
+        if index:
+            self.base_read_bound = self.read_stamps[index - 1]
+            del self.read_times[:index]
+            del self.read_stamps[:index]
+        if self.base_write_bound is not None and self.window:
+            bound = self.base_write_bound
+            stale = [
+                stamp
+                for stamp, (_, completed_at, _value) in self.window.items()
+                if completed_at < floor and stamp < bound
+            ]
+            for stamp in stale:
+                value = self.window.pop(stamp)[2]
+                if self.stamp_of.get(value) == stamp:
+                    del self.stamp_of[value]
+
+    def retained(self) -> int:
+        return (
+            len(self.window)
+            + len(self.inflight)
+            + len(self.evicted)
+            + sum(len(waiting) for waiting in self.parked.values())
+            + len(self.write_times)
+            + len(self.read_times)
+        )
+
+
+class MultiWriterOnlineChecker(OnlineChecker):
+    """Windowed online safety checking for *multi-writer* keyed histories.
+
+    The polynomial MW mode: all rules run over the protocols' totally
+    ordered stamps ``seq·2²⁰ + writer_id`` (see
+    :func:`repro.storage.history.make_stamp`), which every storage
+    protocol surfaces on ``record.meta["ts"]`` before completing an
+    operation.  Checked per key, as operations complete:
+
+    * **stamp-order** — a write's stamp must exceed the stamp of every
+      write that completed before it was invoked (quorum discovery
+      guarantees this for intersecting-quorum protocols);
+    * **stamp-reuse** — two completed writes must never share a stamp;
+    * **fabrication** — a read's returned (value, stamp) must match a
+      write of this register;
+    * **future-read** — a read must not return a write invoked only
+      after the read completed;
+    * **stale-read** — a read's stamp must not be below the highest
+      stamp whose write completed before the read was invoked (and ⊥
+      reads must not follow any completed write);
+    * **read-inversion** — a read's stamp must not be below the highest
+      stamp returned by a read that completed before this one started.
+
+    A read returning a value whose write is still in flight is legal
+    (the write may linearize before the read); the claimed-stamp match
+    is deferred until the write completes.  Soundness under windowing is
+    as in the SW checker: the floor is the oldest in-flight invocation,
+    so every bound consulted for a completing operation is exact.
+    """
+
+    mode = "mw"
+    key_state_factory = _MwKeyState
+
+    def __init__(self, max_reported: int = 20,
+                 overrun_ops: int = OnlineChecker.OVERRUN_OPS):
+        super().__init__(max_reported=max_reported, overrun_ops=overrun_ops)
+        # op_id -> (key, value) of in-flight writes, for eviction.
+        self._pending_writes: Dict[int, Tuple[Hashable, Any]] = {}
+
+    def on_begin(self, record) -> None:
+        if record.kind in ("write", "read"):
+            self._pending[record.op_id] = record.invoked_at
+            if record.op_id > self._max_op_id:
+                self._max_op_id = record.op_id
+            if record.kind == "write":
+                self._pending_writes[record.op_id] = (
+                    record.key, record.value
+                )
+                state = self._state(record.key)
+                state.inflight[record.value] = record.invoked_at
+
+    def _evict(self, op_id: int) -> None:
+        super()._evict(op_id)
+        entry = self._pending_writes.pop(op_id, None)
+        if entry is not None:
+            key, value = entry
+            state = self._state(key)
+            state.inflight.pop(value, None)
+            state.evicted.add(value)
+            waiting = state.parked.pop(value, None)
+            if waiting:
+                self.overrun_unchecked += len(waiting)
+
+    # -- the rules ------------------------------------------------------------
+
+    def _complete_write(self, record) -> None:
+        self.checked_writes += 1
+        self._pending_writes.pop(record.op_id, None)
+        state = self._state(record.key)
+        state.inflight.pop(record.value, None)
+        stamp = record.meta.get("ts")
+        if stamp is None:
+            self._flag(
+                "missing-stamp",
+                record.key,
+                f"write {record.value!r} completed without a protocol "
+                f"stamp in record.meta['ts']",
+            )
+            waiting = state.parked.pop(record.value, None)
+            if waiting:
+                self.overrun_unchecked += len(waiting)
+            return
+        bound = state.write_bound(record.invoked_at)
+        if stamp in state.window:
+            self._flag(
+                "stamp-reuse",
+                record.key,
+                f"write {record.value!r} completed with stamp {stamp}, "
+                f"already used by write "
+                f"{state.window[stamp][2]!r}",
+            )
+        elif bound is not None and stamp <= bound:
+            self._flag(
+                "stamp-order",
+                record.key,
+                f"write {record.value!r} got stamp {stamp} although a "
+                f"write with stamp {bound} completed before it was "
+                f"invoked (stamps must respect real-time order)",
+            )
+        state.window[stamp] = (
+            record.invoked_at, record.completed_at, record.value
+        )
+        state.stamp_of[record.value] = stamp
+        if not state.write_stamps or stamp > state.write_stamps[-1]:
+            state.write_times.append(record.completed_at)
+            state.write_stamps.append(stamp)
+        waiting = state.parked.pop(record.value, None)
+        if waiting:
+            for process, claimed in waiting:
+                if claimed != stamp:
+                    self._flag(
+                        "fabrication",
+                        record.key,
+                        f"read by {process} returned {record.value!r} "
+                        f"with stamp {claimed}, but its write carried "
+                        f"stamp {stamp}",
+                    )
+
+    def _complete_read(self, record) -> None:
+        self.checked_reads += 1
+        state = self._state(record.key)
+        value = record.result
+        write_bound = state.write_bound(record.invoked_at)
+        read_bound = state.read_bound(record.invoked_at)
+        if value is BOTTOM:
+            if write_bound is not None:
+                self._flag(
+                    "stale-read",
+                    record.key,
+                    f"read by {record.process} returned ⊥ although a "
+                    f"write with stamp {write_bound} completed before it "
+                    f"started",
+                )
+            elif read_bound is not None:
+                self._flag(
+                    "read-inversion",
+                    record.key,
+                    f"read by {record.process} returned ⊥ although a "
+                    f"preceding read returned stamp {read_bound}",
+                )
+            return
+        stamp = record.meta.get("ts")
+        if stamp is None:
+            self._flag(
+                "missing-stamp",
+                record.key,
+                f"read by {record.process} returned {value!r} without a "
+                f"protocol stamp in record.meta['ts']",
+            )
+            return
+        stale = write_bound is not None and stamp < write_bound
+        if stale:
+            self._flag(
+                "stale-read",
+                record.key,
+                f"read by {record.process} returned {value!r} with stamp "
+                f"{stamp} although a write with stamp {write_bound} "
+                f"completed before it started",
+            )
+        if read_bound is not None and stamp < read_bound:
+            self._flag(
+                "read-inversion",
+                record.key,
+                f"read by {record.process} returned {value!r} with stamp "
+                f"{stamp} although a preceding read returned stamp "
+                f"{read_bound}",
+            )
+        entry = state.window.get(stamp)
+        if entry is not None:
+            write_invoked, _, written_value = entry
+            if written_value != value:
+                self._flag(
+                    "fabrication",
+                    record.key,
+                    f"read by {record.process} returned {value!r} with "
+                    f"stamp {stamp}, but that stamp's write wrote "
+                    f"{written_value!r}",
+                )
+            elif write_invoked > record.completed_at:
+                self._flag(
+                    "future-read",
+                    record.key,
+                    f"read by {record.process} returned {value!r}, whose "
+                    f"write was invoked only after the read completed",
+                )
+        elif value in state.inflight:
+            # Legal: the write may linearize before this read.  Defer
+            # the claimed-stamp match to the write's completion.
+            state.parked.setdefault(value, []).append(
+                (record.process, stamp)
+            )
+        elif value in state.evicted:
+            # The write outlived the window; its stamp is unknowable
+            # now.  Skip, visibly, instead of misjudging.
+            self.overrun_unchecked += 1
+            return
+        elif not stale:
+            # Not a windowed write, not in flight, not superseded by a
+            # newer completed write (which would have been pruned-and-
+            # flagged above): nothing ever wrote this (value, stamp).
+            self._flag(
+                "fabrication",
+                record.key,
+                f"read by {record.process} returned {value!r} with stamp "
+                f"{stamp}, which no write of this register produced",
+            )
+        if not state.read_stamps or stamp > state.read_stamps[-1]:
+            state.read_times.append(record.completed_at)
+            state.read_stamps.append(stamp)

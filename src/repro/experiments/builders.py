@@ -12,7 +12,7 @@ open-loop stopping rule for horizon-free soaks.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 from repro.scenarios import RandomMix, ScenarioSpec
 
@@ -34,6 +34,7 @@ def keyed_mix_spec(
     duration: Optional[float] = None,
     max_ops: Optional[int] = None,
     rqs: str = DEFAULT_RQS,
+    params: Optional[Mapping[str, Any]] = None,
 ) -> ScenarioSpec:
     """One keyed-``RandomMix`` scenario on a storage protocol.
 
@@ -42,7 +43,8 @@ def keyed_mix_spec(
     ``float(writes + reads)`` time units (one op per unit on average —
     the workload-bench convention).  ``duration``/``max_ops`` pass
     through as the open-loop stopping rule, making the cell a
-    horizon-free streaming soak.
+    horizon-free streaming soak.  ``params`` carries protocol knobs
+    (e.g. ``{"bounded_history": True}`` for rqs-storage soaks).
     """
     mix = RandomMix(
         writes,
@@ -62,4 +64,5 @@ def keyed_mix_spec(
         trace_level=trace_level,
         duration=duration,
         max_ops=max_ops,
+        params=dict(params) if params else {},
     )

@@ -15,12 +15,16 @@ latency summaries, the online verdict and the checker's high-water
 retained-state mark — the exhibit is that the mark stays O(clients +
 keys) while op counts grow 100×.
 
-The protocol axis is the two bounded-state baselines (ABD and fast-ABD
-servers keep one/two pairs per key).  The paper's RQS protocol
-deliberately stores the *entire* per-key history server-side (a Section
-5 simplification), so its memory is O(writes) by design and it is
-excluded from this grid; bounding its server history is a named
-ROADMAP direction, and until then E15 measures the baselines only.
+The protocol axis spans the bounded-state baselines (ABD and fast-ABD
+servers keep one/two pairs per key) **and** the paper's RQS protocol
+with bounded server history: rqs-storage cells run with
+``params={"bounded_history": True}``, under which servers
+garbage-collect history cells superseded by quorum-acked newer state
+(see :class:`repro.storage.server.StorageServer`), so the server-side
+memory term is flat too — cells report the retained/GC'd cell counters
+alongside the checker's mark.  (Unbounded rqs-storage keeps the entire
+per-key history by design — the Section 5 simplification — which is
+exactly why it only joins the soak grid behind the knob.)
 
 Run directly (``python -m repro.experiments.soak``) for the default
 sub-grid (≤ 100k ops per cell); ``run_experiment(full=True)`` runs the
@@ -46,8 +50,9 @@ MILLION = 1_000_000
 
 
 def _soak_build(point: Mapping) -> ScenarioSpec:
+    protocol = point["protocol"]
     return keyed_mix_spec(
-        point["protocol"],
+        protocol,
         point["n_keys"],
         writes=MIX_WRITES,
         reads=MIX_READS,
@@ -56,6 +61,11 @@ def _soak_build(point: Mapping) -> ScenarioSpec:
         seed=point["seed"],
         trace_level="metrics",
         max_ops=point["max_ops"],
+        # RQS servers must GC superseded history cells, or the soak's
+        # server memory grows O(writes).
+        params=(
+            {"bounded_history": True} if protocol == "rqs-storage" else None
+        ),
     )
 
 
@@ -75,12 +85,24 @@ def _soak_measure(point: Mapping, result) -> Mapping:
         "read_p99": reads.p99_time,
         "write_p99": writes.p99_time,
         "wall_s": round(result.execute_seconds, 4),
+        "bounded_history": False,
+        "server_retained_cells": 0,
+        "server_max_retained_cells": 0,
+        "server_gc_removed_cells": 0,
     }
     if online is not None:
         online_metrics = online.as_metrics()
         online_metrics.pop("atomic")
         metrics["verdict"] = online.verdict
         metrics.update(online_metrics)
+    history = result.server_history
+    if history is not None:
+        metrics["bounded_history"] = history["bounded_history"]
+        metrics["server_retained_cells"] = history["retained_cells"]
+        metrics["server_max_retained_cells"] = (
+            history["max_retained_cells"]
+        )
+        metrics["server_gc_removed_cells"] = history["gc_removed_cells"]
     return metrics
 
 
@@ -88,7 +110,7 @@ def _soak_measure(point: Mapping, result) -> Mapping:
 GRID = SweepSpec(
     name="soak",
     axes={
-        "protocol": ("abd", "fastabd"),
+        "protocol": ("abd", "fastabd", "rqs-storage"),
         "n_keys": (4, 16),
         "max_ops": (10_000, 100_000, MILLION),
         "seed": (5,),
@@ -107,13 +129,17 @@ class SoakRow:
     ops_per_sec: float
     checker_max_retained: int
     read_p99: float
+    #: Summed server-side history-cell high-water mark (rqs-storage
+    #: bounded-history cells; 0 for the pair-state baselines).
+    server_max_retained: int = 0
 
     def row(self) -> str:
         return (
-            f"{self.protocol:>8} keys={self.n_keys:<3} "
+            f"{self.protocol:>11} keys={self.n_keys:<3} "
             f"ops={self.max_ops:<8} {self.verdict:<9} "
             f"{self.ops_per_sec:>9.0f} ops/s  "
             f"retained<={self.checker_max_retained:<4} "
+            f"server<={self.server_max_retained:<5} "
             f"read p99={self.read_p99}"
         )
 
@@ -143,6 +169,7 @@ def run_experiment(
                 ops_per_sec=round(metrics["completed"] / wall, 1),
                 checker_max_retained=metrics["checker_max_retained"],
                 read_p99=metrics["read_p99"],
+                server_max_retained=metrics["server_max_retained_cells"],
             )
         )
     return rows

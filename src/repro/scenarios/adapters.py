@@ -473,6 +473,7 @@ class RqsStorageAdapter(StorageAdapter):
             strategy=_resolve_strategy(spec, rqs),
             strategy_seed=spec.seed,
             capacity_model=capacity_model,
+            bounded_history=bool(spec.param("bounded_history", False)),
         )
         return cls(system)
 

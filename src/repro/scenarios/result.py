@@ -29,7 +29,7 @@ from repro.analysis.atomicity import (
 from repro.analysis.consensus_check import ConsensusReport, check_consensus
 from repro.analysis.latency import LatencySummary, summarize_rounds
 from repro.analysis.linearizability import is_linearizable
-from repro.analysis.streaming import OnlineReport
+from repro.analysis.streaming import OnlineRefusal, OnlineReport
 from repro.errors import CheckerError
 from repro.sim.trace import OperationRecord
 from repro.storage.history import DEFAULT_KEY
@@ -118,9 +118,28 @@ class RunResult:
     @property
     def online(self) -> Optional[OnlineReport]:
         """The windowed online checker's verdict, when one was wired
-        (streaming single-writer RandomMix storage runs); else None."""
+        (streaming RandomMix storage runs — SW or MW mode); else None,
+        with :attr:`online_refusal` naming the reason."""
         checker = getattr(self.adapter, "online_checker", None)
         return checker.report() if checker is not None else None
+
+    @property
+    def online_refusal(self) -> Optional[OnlineRefusal]:
+        """Why this run carries no online verdict (streamed runs the
+        runner declined to wire a checker to); None when a checker ran
+        or when records were retained for the post-hoc checkers."""
+        if getattr(self.adapter, "online_checker", None) is not None:
+            return None
+        return getattr(self.adapter, "online_refusal", None)
+
+    @property
+    def server_history(self) -> Optional[Dict[str, Any]]:
+        """Server-side history-matrix accounting (rqs-storage systems):
+        retained/GC'd cell counters and the ``bounded_history`` flag —
+        the flat-memory exhibit for bounded soaks.  None for protocols
+        without a history matrix."""
+        stats = getattr(self.adapter.system, "history_stats", None)
+        return stats() if callable(stats) else None
 
     def _require_records(self, what: str) -> None:
         if self.streamed and self.ops_begun() > len(self._retained()):
@@ -243,12 +262,16 @@ class RunResult:
         if online is not None:
             out["verdict"] = online.verdict
             out["verdict_source"] = "online-windowed"
+            out["checker_mode"] = online.mode
             out["keys_checked"] = len(online.keys)
             out["violations"] = online.violation_count
         elif not self.streamed:
             out["verdict_source"] = "post-hoc"
         else:
             out["verdict_source"] = "unchecked"
+            refusal = self.online_refusal
+            if refusal is not None:
+                out["online_refusal"] = refusal.reason
         return out
 
     @property

@@ -7,11 +7,14 @@ schedules the workload and runs to the spec's horizon (or completion).
 
 Streaming runs (``TraceLevel.METRICS``, where operation records are not
 retained) additionally get the **windowed online checker** subscribed to
-the trace before execution: single-writer ``RandomMix`` storage
-workloads are safety-checked as operations complete, so horizon-free
-soaks produce a real verdict without ever materializing the history —
-read it via ``RunResult.online``.  FULL runs keep the exact post-hoc
-checkers instead.
+the trace before execution: ``RandomMix`` storage workloads are
+safety-checked as operations complete — the value-ordered SW checker
+for single-writer specs, the stamp-ordered MW checker for multi-writer
+ones — so horizon-free soaks produce a real verdict without ever
+materializing the history; read it via ``RunResult.online``.  Where no
+checker applies, a structured :class:`~repro.analysis.streaming.
+OnlineRefusal` lands on ``RunResult.online_refusal`` instead of a bare
+``None``.  FULL runs keep the exact post-hoc checkers.
 
 The execute phase (the event loop proper, excluding wiring and RQS
 construction) is wall-timed onto ``RunResult.execute_seconds`` so perf
@@ -23,7 +26,11 @@ from __future__ import annotations
 
 import time
 
-from repro.analysis.streaming import OnlineChecker
+from repro.analysis.streaming import (
+    MultiWriterOnlineChecker,
+    OnlineChecker,
+    OnlineRefusal,
+)
 from repro.scenarios.registry import get_protocol
 from repro.scenarios.result import RunResult
 from repro.scenarios.spec import ScenarioSpec
@@ -34,23 +41,41 @@ def _wire_online_checker(adapter, spec) -> None:
     """Subscribe the windowed checker to streaming storage runs.
 
     Engaged only where its invariants are sound: records are being
-    streamed (not retained), the protocol is a storage protocol, the
-    register space is single-writer, and the workload is a *single*
-    ``RandomMix`` (sequential integer write values, totally ordered per
-    key — the ordering the windowed rules rely on; two mixes interleave
-    their value ranges in time, breaking monotonicity).
+    streamed (not retained), the protocol is a storage protocol, and
+    the workload is a *single* ``RandomMix`` (sequential integer write
+    values — unique per run, totally ordered per key for a single
+    writer; two mixes interleave their value ranges in time, breaking
+    both).  Single-writer specs get the value-ordered
+    :class:`OnlineChecker`, multi-writer specs the stamp-ordered
+    :class:`MultiWriterOnlineChecker`.  Streamed runs outside this
+    envelope get a structured :class:`OnlineRefusal` on the adapter so
+    ``RunResult`` can explain the missing verdict.
     """
     if adapter.trace.retain:
+        # FULL traces keep records: the exact post-hoc checkers apply,
+        # so there is nothing to refuse.
         return
     if getattr(adapter, "kind", "") != "storage":
-        return
-    if spec.n_writers != 1:
+        adapter.online_refusal = OnlineRefusal(
+            "not-storage",
+            f"protocol {spec.protocol!r} has no register semantics to "
+            f"check online; consensus verdicts need retained records",
+        )
         return
     if len(spec.workload) != 1 or not isinstance(
         spec.workload[0], RandomMix
     ):
+        adapter.online_refusal = OnlineRefusal(
+            "workload-shape",
+            "the online checker requires a single RandomMix workload: "
+            "scripted operations and multi-mix specs interleave value "
+            "ranges the windowed rules cannot order",
+        )
         return
-    checker = OnlineChecker()
+    if spec.n_writers == 1:
+        checker = OnlineChecker()
+    else:
+        checker = MultiWriterOnlineChecker()
     adapter.trace.subscribe(
         on_begin=checker.on_begin, on_complete=checker.on_complete
     )

@@ -139,6 +139,8 @@ class AbdWriter(Process):
             pairs = self._discovery.close(number)
             observed = max(p.ts for p in pairs.values())
             ts, rounds = self.stamps.stamped(key, observed), 2
+        # Surface the timestamp for the stamp-ordered online checker.
+        record.meta["ts"] = ts
         acks = self._acks(key, ts)
         for server in self.servers:
             self.send(server, AbdWrite(ts, value, key))
@@ -196,6 +198,7 @@ class AbdReader(Process):
             f"abd read#{number} collect",
         )
         best = max(self._pairs[number].values(), key=lambda p: p.ts)
+        record.meta["ts"] = best.ts
         # Write-back round (unconditional — the cost RQS avoids).
         previous = self._wb_ts.get(key)
         if previous is not None and previous != best.ts:

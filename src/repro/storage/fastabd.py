@@ -166,6 +166,8 @@ class FastAbdWriter(Process):
             acks = self._discovery.close(number)
             observed = max(max(a.pw.ts, a.w.ts) for a in acks.values())
             ts, extra_rounds = self.stamps.stamped(key, observed), 1
+        # Surface the timestamp for the stamp-ordered online checker.
+        record.meta["ts"] = ts
         pw_acks = self._acks(key, ts, "pw")
         for server in self.servers:
             self.send(server, FWrite(ts, value, "pw", key))
@@ -247,6 +249,7 @@ class FastAbdReader(Process):
         replies = self._acks[number]
         pairs = [a.pw for a in replies.values()] + [a.w for a in replies.values()]
         cmax = max(pairs, key=lambda p: p.ts)
+        record.meta["ts"] = cmax.ts
         pw_confirms = sum(1 for a in replies.values() if a.pw == cmax)
         w_confirms = sum(1 for a in replies.values() if a.w == cmax)
         if pw_confirms >= self.slow or w_confirms >= 1:

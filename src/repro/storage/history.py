@@ -4,7 +4,11 @@ Every server stores, for each timestamp ``ts`` and round slot
 ``rnd ∈ {1, 2, 3}``, an entry ``⟨pair, sets⟩`` where ``pair`` is a
 timestamp/value pair and ``sets`` is a set of class-2 quorum ids.  The
 paper's servers keep the entire history of the shared variable (a
-deliberate simplification it discusses in Section 5); we do the same.
+deliberate simplification it discusses in Section 5); we do the same by
+default, and optionally garbage-collect superseded cells
+(:meth:`History.gc_below`) once a server holds quorum-ack evidence for
+strictly newer state — see ``bounded_history`` in
+:class:`~repro.storage.server.StorageServer`.
 
 ``⊥`` (the initial storage value, outside the write domain) is the
 :data:`BOTTOM` singleton, and the initial pair is ``⟨0, ⊥⟩``.
@@ -95,23 +99,45 @@ class History:
     def get(self, ts: int, rnd: int) -> Entry:
         return self._cells.get((ts, rnd), INITIAL_ENTRY)
 
-    def store(self, ts: int, rnd: int, value: Any, sets: FrozenSet[QuorumId]) -> None:
+    def store(self, ts: int, rnd: int, value: Any, sets: FrozenSet[QuorumId]) -> int:
         """Apply a ``wr⟨ts, v, QC'2, rnd⟩`` message (Figure 6, lines 3-6).
 
         For every slot ``m ≤ rnd``: if the cell is untouched or already
         holds ``⟨ts, v⟩``, set its pair; additionally, at ``m = rnd``,
-        union in the received quorum-id set.
+        union in the received quorum-id set.  Returns the number of
+        newly materialized cells (for retained-cell accounting).
         """
         pair = Pair(ts, value)
+        created = 0
         for m in range(1, rnd + 1):
-            current = self.get(ts, m)
-            if current == INITIAL_ENTRY or current.pair == pair:
-                new_sets = current.sets
+            key = (ts, m)
+            current = self._cells.get(key)
+            if current is None:
+                new_sets = sets if m == rnd else frozenset()
+                self._cells[key] = Entry(pair, new_sets)
+                created += 1
+            elif current.pair == pair:
                 if m == rnd:
-                    new_sets = current.sets | sets
-                self._cells[(ts, m)] = Entry(pair, new_sets)
+                    self._cells[key] = Entry(pair, current.sets | sets)
         # Per Figure 6 a server acks regardless of whether the condition
         # in line 4 let it update; the caller sends the ack.
+        return created
+
+    def gc_below(self, stable_ts: int) -> int:
+        """Drop every cell with timestamp strictly below ``stable_ts``.
+
+        The caller must hold evidence that a full quorum acked state at
+        ``stable_ts`` (or newer): any cell older than that is superseded
+        — no future candidate selection can need it, because discovery
+        reads the *maximum* advertised timestamp from a quorum that
+        intersects the acked one, and reader predicates only confirm
+        candidates at or above what a quorum advertises.  Returns the
+        number of cells removed.
+        """
+        stale = [cell for cell in self._cells if cell[0] < stable_ts]
+        for cell in stale:
+            del self._cells[cell]
+        return len(stale)
 
     def snapshot(self) -> "HistoryView":
         return HistoryView(dict(self._cells))

@@ -137,6 +137,8 @@ class NaiveWriter(Process):
             pairs = self._discovery.close(number)
             observed = max(p.ts for p in pairs.values())
             ts, rounds = self.stamps.stamped(key, observed), 2
+        # Surface the timestamp for the stamp-ordered online checker.
+        record.meta["ts"] = ts
         acks = self._acks(key, ts)
         for server in self.servers:
             self.send(server, NWrite(ts, value, key))
@@ -182,6 +184,7 @@ class NaiveReader(Process):
             f"naive read#{number}",
         )
         best = max(self._acks[number].values(), key=lambda p: p.ts)
+        record.meta["ts"] = best.ts
         self._acks.pop(number, None)
         self._replies.discard(number)
         self.trace.complete(record, self.sim.now, best.val, rounds=1)

@@ -135,6 +135,9 @@ class StorageReader(Process):
 
         # -- part 2: BCD-orchestrated write-back (lines 40-49) --
         assert csel is not None
+        # Surface the selected timestamp for the stamp-ordered online
+        # checker (every completion path below returns csel.val).
+        record.meta["ts"] = csel.ts
         if read_rnd == 1 and any(state.bcd1(csel, r) for r in (1, 2, 3)):
             self.trace.complete(record, self.sim.now, csel.val, rounds=1)
             return record

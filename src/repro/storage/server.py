@@ -30,7 +30,7 @@ Byzantine variants used by tests and proof replays:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 from repro.sim.network import Message
 from repro.sim.process import Process
@@ -52,10 +52,36 @@ class StorageServer(Process):
     an alias for the default register's matrix, which is what the
     Byzantine forgery variants below roll back — forgeries target the
     default register, matching every scripted proof replay.
+
+    With ``bounded_history=True`` the server garbage-collects
+    superseded history cells.  Servers never see acks, so the evidence
+    that a quorum acked strictly newer state is inferred from the
+    messages a server *does* receive, exploiting that every client
+    round blocks on a quorum of acks before the next message leaves:
+
+    * a ``wr`` with ``rnd ≥ 2`` at ``ts`` proves round 1 at ``ts`` was
+      acked by a full quorum (the writer/reader only advances rounds
+      after ``quorum_acked``), and
+    * a ``wr`` from a source whose *previous* ``wr`` (per key) differed
+      proves the previous round was quorum-acked, since clients are
+      sequential and block on each round.
+
+    Cells strictly below the resulting stable timestamp are dropped;
+    ``max_timestamp`` and the reader predicates only ever confirm
+    candidates at or above what a quorum advertises, so FULL-trace runs
+    are bit-identical with the knob on or off (pinned by golden
+    fingerprints).  Counters (``history_cells``, ``max_history_cells``,
+    ``gc_removed``) feed ``StorageSystem.history_stats()``.
     """
 
-    def __init__(self, pid: Hashable):
+    def __init__(self, pid: Hashable, bounded_history: bool = False):
         super().__init__(pid)
+        self.bounded_history = bounded_history
+        self.history_cells = 0
+        self.max_history_cells = 0
+        self.gc_removed = 0
+        self._stable_ts: Dict[Hashable, int] = {}
+        self._last_wr: Dict[Tuple[Hashable, Hashable], Tuple[int, int]] = {}
         self.histories: Dict[Hashable, History] = {}
         self.history = self.history_for(DEFAULT_KEY)
 
@@ -77,8 +103,42 @@ class StorageServer(Process):
     # selectively override them.
 
     def handle_write(self, client: Hashable, wr: WR) -> None:
-        self.history_for(wr.key).store(wr.ts, wr.rnd, wr.value, wr.qc2_ids)
+        history = self.history_for(wr.key)
+        self.history_cells += history.store(wr.ts, wr.rnd, wr.value,
+                                            wr.qc2_ids)
+        if self.bounded_history:
+            self._collect(client, wr, history)
+        if self.history_cells > self.max_history_cells:
+            self.max_history_cells = self.history_cells
         self.send(client, WrAck(wr.ts, wr.rnd, wr.key))
+
+    def _collect(self, client: Hashable, wr: WR, history: History) -> None:
+        """Advance the per-key stable timestamp and GC below it.
+
+        See the class docstring for the quorum-ack evidence rules.  A
+        late-arriving ``wr`` below the stable mark is stored (the ack
+        must not depend on GC state) and collected again immediately,
+        so superseded cells never re-materialize.
+        """
+        key = wr.key
+        stable = self._stable_ts.get(key, 0)
+        advanced = stable
+        if wr.rnd >= 2 and wr.ts > advanced:
+            advanced = wr.ts
+        prev = self._last_wr.get((key, client))
+        if prev is not None and prev != (wr.ts, wr.rnd) and prev[0] > advanced:
+            advanced = prev[0]
+        self._last_wr[(key, client)] = (wr.ts, wr.rnd)
+        if advanced > stable:
+            self._stable_ts[key] = advanced
+            removed = history.gc_below(advanced)
+        elif wr.ts < stable:
+            removed = history.gc_below(stable)
+        else:
+            removed = 0
+        if removed:
+            self.gc_removed += removed
+            self.history_cells -= removed
 
     def handle_read(self, client: Hashable, rd: RD) -> None:
         self.send(
@@ -104,8 +164,9 @@ class RateLimitedServer(StorageServer):
     it would be served.
     """
 
-    def __init__(self, pid: Hashable, read_cost: float, write_cost: float):
-        super().__init__(pid)
+    def __init__(self, pid: Hashable, read_cost: float, write_cost: float,
+                 bounded_history: bool = False):
+        super().__init__(pid, bounded_history=bounded_history)
         if read_cost < 0 or write_cost < 0:
             raise ValueError("service costs must be non-negative")
         self.read_cost = float(read_cost)

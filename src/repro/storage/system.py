@@ -63,11 +63,13 @@ class StorageSystem:
         strategy=None,
         strategy_seed: int = 0,
         capacity_model: bool = False,
+        bounded_history: bool = False,
     ):
         self.rqs = rqs
         self.delta = delta
         self.n_keys = n_keys
         self.strategy = strategy
+        self.bounded_history = bounded_history
         self.sim = Simulator()
         self.network = Network(
             self.sim, delta=delta, rules=list(rules or []),
@@ -79,7 +81,10 @@ class StorageSystem:
 
         self.servers: Dict[Hashable, StorageServer] = {}
         factories = server_factories or {}
-        default_factory: ServerFactory = StorageServer
+
+        def default_factory(sid):
+            return StorageServer(sid, bounded_history=bounded_history)
+
         if capacity_model:
             # Finite service capacity per node: serving costs the
             # reciprocal of the node's (read/write) capacity.  Explicit
@@ -92,6 +97,7 @@ class StorageSystem:
                     sid,
                     read_cost=1.0 / float(_r.get(sid, 1)),
                     write_cost=1.0 / float(_w.get(sid, 1)),
+                    bounded_history=bounded_history,
                 )
 
         for sid in sorted(rqs.ground_set, key=repr):
@@ -235,6 +241,29 @@ class StorageSystem:
         return sequential_ops(self.sim, schedule)
 
     # -- reporting -----------------------------------------------------------------
+
+    def history_stats(self) -> Dict[str, Any]:
+        """Aggregate server-side history-matrix accounting.
+
+        ``retained_cells`` is the live cell count summed over benign
+        servers, ``max_retained_cells`` the sum of per-server high-water
+        marks (an upper bound on co-occurring retention — the flat-RSS
+        gate for bounded soaks), ``gc_removed_cells`` the total cells
+        garbage-collected.  Byzantine state forgeries mutate histories
+        behind the counters, so Byzantine runs report the benign
+        servers' view only.
+        """
+        retained = removed = high_water = 0
+        for server in self.servers.values():
+            retained += server.history_cells
+            removed += server.gc_removed
+            high_water += server.max_history_cells
+        return {
+            "bounded_history": self.bounded_history,
+            "retained_cells": retained,
+            "max_retained_cells": high_water,
+            "gc_removed_cells": removed,
+        }
 
     def operations(self) -> Tuple[OperationRecord, ...]:
         return self.trace.records

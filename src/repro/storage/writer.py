@@ -123,6 +123,9 @@ class StorageWriter(Process):
         else:
             observed = yield from self._discover(key, target)
             ts, extra_rounds = self.stamps.stamped(key, observed), 1
+        # Surface the timestamp for the stamp-ordered online checker
+        # (set before completion so trace observers see it).
+        record.meta["ts"] = ts
 
         # Round 1 (Figure 5 lines 2-3).
         yield from self._round(ts, value, frozenset(), 1, key, target)

@@ -1,0 +1,131 @@
+"""Differential harness: online checker vs. the record-backed checkers.
+
+Every cell below runs one randomized scenario **twice** — once at
+``TraceLevel.FULL`` (exact post-hoc checking over retained records) and
+once at ``TraceLevel.METRICS`` (the windowed online checker, records
+discarded as they complete).  The streaming pipeline executes the same
+schedule at both retention modes (``RandomMix.stream()`` consumes the
+RNG in historical order — pinned by tests/scenarios/test_streaming.py),
+so the two verdicts judge the *same* execution and must agree on every
+run: SW cells compare against the value-ordered SWMR rules, MW cells
+against the per-key Wing–Gong linearizability verdict.
+
+The generator is seeded, so the ≥500 histories are reproducible; it
+draws small specs (1–4 keys, 2–4 writers, a handful of ops) across
+every storage protocol and perturbs ~60% of them with in-tolerance
+faults — a single server crash, or a lossy window dropping messages to
+or from one server.
+
+Why ``naive`` only appears in SW cells: naive's multi-writer stamps
+come from a 3-of-5 discovery round that does **not** intersect its
+3-of-5 write quorums, so two naive writers can legally-by-its-own-rules
+produce stamps that violate real-time stamp order without the values
+ever exhibiting a read-level linearizability violation (and vice
+versa).  The stamp-ordered MW rules and the value-level Wing–Gong check
+then disagree *correctly* — about different properties.  The MW online
+checker is specified against protocols whose discovery quorums
+intersect their write quorums (rqs-storage, abd, fastabd); naive's
+greedy flaw is still covered by its SW cells and the E1 counterexample.
+"""
+
+import random
+
+import pytest
+
+from repro.scenarios import RandomMix, ScenarioSpec, run
+from repro.scenarios.faults import Crash, Drop, FaultPlan
+
+MASTER_SEED = "rqs-differential-v1"
+
+#: (protocol, checker mode) cells; RUNS_PER_CELL each.
+CELLS = (
+    ("rqs-storage", "sw"),
+    ("rqs-storage", "mw"),
+    ("abd", "sw"),
+    ("abd", "mw"),
+    ("fastabd", "sw"),
+    ("fastabd", "mw"),
+    ("naive", "sw"),  # MW excluded: see module docstring.
+)
+RUNS_PER_CELL = 75  # 7 cells x 75 = 525 histories >= 500.
+
+
+def _fault_plan(rng: random.Random, n_servers: int,
+                horizon: float) -> FaultPlan:
+    """Nothing (40%), one server crash (30%), or a lossy window (30%).
+
+    All draws stay inside every protocol's tolerance: each protocol
+    here survives any single server crash, and a bounded lossy window
+    against one server is strictly weaker than crashing it.
+    """
+    roll = rng.random()
+    if roll < 0.4:
+        return FaultPlan()
+    server = rng.randint(1, n_servers)
+    if roll < 0.7:
+        return FaultPlan(
+            crashes=(Crash(server, rng.uniform(0.0, horizon / 2)),)
+        )
+    after = rng.uniform(0.0, horizon / 2)
+    until = after + rng.uniform(2.0, horizon / 4)
+    if rng.random() < 0.5:
+        lossy = Drop(dst=(server,), after=after, until=until,
+                     label="lossy-to-server")
+    else:
+        lossy = Drop(src=(server,), after=after, until=until,
+                     label="lossy-from-server")
+    return FaultPlan(asynchrony=(lossy,))
+
+
+def _specs(protocol: str, mode: str, count: int):
+    rng = random.Random(f"{MASTER_SEED}:{protocol}:{mode}")
+    n_servers = 8 if protocol == "rqs-storage" else 5
+    specs = []
+    for _ in range(count):
+        horizon = rng.choice((40.0, 60.0, 80.0))
+        specs.append(ScenarioSpec(
+            protocol=protocol,
+            rqs="example6" if protocol == "rqs-storage" else None,
+            readers=rng.randint(2, 3),
+            n_keys=rng.randint(1, 4),
+            n_writers=1 if mode == "sw" else rng.randint(2, 4),
+            workload=(RandomMix(rng.randint(3, 8), rng.randint(3, 8),
+                                horizon=horizon),),
+            seed=rng.getrandbits(32),
+            faults=_fault_plan(rng, n_servers, horizon),
+        ))
+    return specs
+
+
+def test_cell_grid_meets_the_coverage_floor():
+    assert len(CELLS) * RUNS_PER_CELL >= 500
+
+
+@pytest.mark.parametrize("protocol,mode", CELLS,
+                         ids=[f"{p}-{m}" for p, m in CELLS])
+def test_online_verdict_agrees_with_record_backed_checker(protocol, mode):
+    disagreements = []
+    for spec in _specs(protocol, mode, RUNS_PER_CELL):
+        full = run(spec)
+        streamed = run(spec.with_(trace_level="metrics"))
+
+        # Same schedule at both retention modes.
+        assert streamed.ops_begun() == full.ops_begun()
+        assert streamed.ops_completed() == full.ops_completed()
+
+        online = streamed.online
+        assert online is not None, f"checker not wired for {spec!r}"
+        assert online.mode == mode
+        assert online.checked_ops == streamed.ops_completed()
+
+        post_hoc = full.atomicity.atomic
+        if online.atomic != post_hoc:
+            disagreements.append(
+                (spec, post_hoc, online.atomic, online.violations)
+            )
+    assert not disagreements, (
+        f"{len(disagreements)} verdict disagreement(s); first: "
+        f"post-hoc atomic={disagreements[0][1]} vs online "
+        f"atomic={disagreements[0][2]} on {disagreements[0][0]!r} "
+        f"(online violations: {disagreements[0][3]})"
+    )

@@ -132,24 +132,48 @@ class TestSoak:
         1e6 (the acceptance soak runs via the workload bench / CI)."""
         max_ops = dict(soak.GRID.axes)["max_ops"]
         assert max(max_ops) == 1_000_000
-        assert set(dict(soak.GRID.axes)["protocol"]) == {"abd", "fastabd"}
+        assert set(dict(soak.GRID.axes)["protocol"]) == {
+            "abd", "fastabd", "rqs-storage",
+        }
+
+    def test_rqs_cells_run_with_bounded_history(self):
+        spec = soak.GRID.build({
+            "protocol": "rqs-storage", "n_keys": 4,
+            "max_ops": 10_000, "seed": 5,
+        })
+        assert spec.param("bounded_history", False) is True
+        baseline = soak.GRID.build({
+            "protocol": "abd", "n_keys": 4, "max_ops": 10_000, "seed": 5,
+        })
+        assert baseline.param("bounded_history", False) is False
 
     def test_small_cells_stream_with_online_verdicts(self):
         from repro.scenarios import run_grid
 
         sweep = run_grid(soak.GRID.where(max_ops=10_000, n_keys=4))
-        assert sweep.verdict_counts() == {"atomic": 2}
+        assert sweep.verdict_counts() == {"atomic": 3}
         for cell in sweep.cells:
             assert cell.metrics["completed"] == 10_000
             assert cell.metrics["violations"] == 0
             # Bounded retained state — the streaming-pipeline exhibit.
             assert cell.metrics["checker_max_retained"] < 100
+            if cell.point["protocol"] == "rqs-storage":
+                assert cell.metrics["bounded_history"] is True
+                assert cell.metrics["server_gc_removed_cells"] > 0
+                # Flat server memory: ~O(servers × keys), not O(writes).
+                assert cell.metrics["server_max_retained_cells"] < 2_000
+            else:
+                assert cell.metrics["server_max_retained_cells"] == 0
 
     def test_rows_fold_the_subgrid(self):
         rows = soak.run_experiment(sizes=(10_000,))
-        assert len(rows) == 4  # 2 protocols × 2 keyspaces
+        assert len(rows) == 6  # 3 protocols × 2 keyspaces
         assert all(row.verdict == "atomic" for row in rows)
         assert all(row.checker_max_retained < 100 for row in rows)
+        rqs_rows = [r for r in rows if r.protocol == "rqs-storage"]
+        assert rqs_rows and all(
+            0 < r.server_max_retained < 2_000 for r in rqs_rows
+        )
 
 
 class TestMetricsAblation:

@@ -167,17 +167,34 @@ class TestStreamedVerdicts:
         )
         result = run(spec)
         assert result.online is None
+        assert result.online_refusal.reason == "workload-shape"
+        assert result.summary()["online_refusal"] == "workload-shape"
         assert result.ops_completed() == 20
 
-    def test_multi_writer_streams_are_unchecked(self):
+    def test_multi_writer_streams_get_mw_online_verdict(self):
         spec = ScenarioSpec(
             protocol="abd", readers=2, n_writers=2, n_keys=2,
             workload=(RandomMix(6, 6, horizon=30.0),), seed=2,
             trace_level="metrics",
         )
         result = run(spec)
+        online = result.online
+        assert online is not None and online.atomic
+        assert online.mode == "mw"
+        assert online.checked_ops == result.ops_completed()
+        summary = result.summary()
+        assert summary["verdict_source"] == "online-windowed"
+        assert summary["checker_mode"] == "mw"
+
+    def test_consensus_streams_refuse_with_reason(self):
+        spec = ScenarioSpec(
+            protocol="paxos", workload=(Propose(0.0, "v"),),
+            horizon=60.0, trace_level="metrics",
+        )
+        result = run(spec)
         assert result.online is None
-        assert result.summary()["verdict_source"] == "unchecked"
+        assert result.online_refusal.reason == "not-storage"
+        assert "retained records" in str(result.online_refusal)
 
     def test_full_runs_keep_exact_post_hoc_checkers(self):
         spec = ScenarioSpec(

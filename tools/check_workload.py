@@ -15,22 +15,30 @@ Checks, against the committed ``BENCH_workload.json`` baseline:
    *exactly* (simulated executions are machine-independent, so any
    difference is a real behaviour regression, not noise), the soak is
    online-checked atomic on every register, and every stream row's
-   windowed verdict is atomic.
+   windowed verdict is atomic.  Stream rows are keyed by
+   ``(label, max_ops)`` — the labelled families are the ABD baseline
+   (``abd-sw``), bounded-history RQS (``rqs-bounded``) and multi-writer
+   ABD (``abd-mw``); each row must report the checker mode its writer
+   count demands (``sw`` vs ``mw``), and bounded-history rows must
+   report garbage collection actually happening with the server-side
+   retained-cell high-water mark under the flat-memory cap.
 3. **Budgets** — the fresh closed soak stays under ``--budget`` wall
    seconds; the fresh stream rows stay under ``--stream-budget``
    seconds each (scaled: a row's budget is proportional to its op
-   count, with the full budget at one million ops).
-4. **Memory** — the committed stream section proves sublinear memory:
-   the million-op row's peak RSS must be below ``--rss-ratio`` × the
-   100k row's (10× the ops, bounded extra resident memory), and below
-   ``--rss-cap`` KiB absolutely.  The windowed checker's retained-state
-   high-water mark must stay under 10k entries on every row.
+   count — full budget at one million ops — times its family's
+   relative cost; RQS predicate evaluation is ~4× ABD).
+4. **Memory** — the committed stream section proves sublinear memory
+   *per family*: each million-op row's peak RSS must be below
+   ``--rss-ratio`` × its family's 100k row (10× the ops, bounded extra
+   resident memory), and below ``--rss-cap`` KiB absolutely.  The
+   windowed checker's retained-state high-water mark must stay under
+   10k entries on every row.
 5. **Throughput drift** — freshly measured ops/sec must not regress
    more than ``--tolerance`` (default 0.40) below the committed
    baseline (skippable on heterogeneous hardware).
 
-CI regenerates the grid, the soak and the 100k stream row; the
-million-op row is recorded by full local runs
+CI regenerates the grid, the soak and the 100k stream rows; the
+million-op rows are recorded by full local runs
 (``python -m benchmarks.bench_workload --full-stream``) and validated
 here from the committed artifact.  Exits non-zero listing every
 violation.
@@ -59,15 +67,31 @@ REQUIRED_CASE = (
 )
 REQUIRED_SOAK = REQUIRED_CASE + ("atomic", "keys_checked")
 REQUIRED_STREAM = REQUIRED_CASE + (
+    "label", "protocol", "n_writers", "bounded_history", "checker_mode",
     "max_ops", "atomic", "violations", "keys_checked",
-    "checker_max_retained", "peak_rss_kb",
+    "checker_max_retained", "server_max_retained_cells",
+    "server_gc_removed_cells", "peak_rss_kb",
 )
 
 MIN_SOAK_OPS = 10_000
-#: The acceptance row: a million-op horizon-free soak must be recorded.
+#: The acceptance rows: million-op horizon-free soaks must be recorded.
 FULL_STREAM_OPS = 1_000_000
 #: Bounded online-checker state, whatever the op count.
 MAX_CHECKER_RETAINED = 10_000
+#: Bounded server-side history cells on bounded-history rows — the
+#: flat-memory claim is ~O(servers × keys × rounds), far below this.
+MAX_SERVER_RETAINED = 20_000
+
+#: The stream families the artifact must carry.  ``full_row`` marks
+#: families whose million-op acceptance row is required in the
+#: committed baseline; ``budget_scale`` is the family's wall-clock cost
+#: relative to the ABD baseline (RQS evaluates quorum predicates per
+#: round; MW writes add a discovery round).
+STREAM_LABELS = {
+    "abd-sw": {"full_row": True, "budget_scale": 1.0},
+    "rqs-bounded": {"full_row": True, "budget_scale": 4.0},
+    "abd-mw": {"full_row": False, "budget_scale": 2.0},
+}
 
 
 def check_schema(payload: dict, label: str, full_baseline: bool) -> list:
@@ -103,25 +127,59 @@ def check_schema(payload: dict, label: str, full_baseline: bool) -> list:
         problems += row_problems
         if row_problems:
             continue
+        where = f"stream row {row.get('label')}/{row['max_ops']}"
+        if row.get("label") not in STREAM_LABELS:
+            problems.append(
+                f"{label}: {where} has unknown label "
+                f"(expected one of {sorted(STREAM_LABELS)})"
+            )
+            continue
         if not row["atomic"] or row["violations"]:
             problems.append(
-                f"{label}: stream row max_ops={row['max_ops']} is NOT "
+                f"{label}: {where} is NOT "
                 f"atomic ({row['violations']} violations)"
             )
         if row["checker_max_retained"] > MAX_CHECKER_RETAINED:
             problems.append(
-                f"{label}: stream row max_ops={row['max_ops']} retained "
+                f"{label}: {where} retained "
                 f"{row['checker_max_retained']} checker entries "
                 f"(> {MAX_CHECKER_RETAINED}; the window is not bounded)"
             )
-    if full_baseline:
-        sizes = {row["max_ops"] for row in payload["stream"]}
-        if FULL_STREAM_OPS not in sizes:
+        # The checker mode the writer count demands: multi-writer rows
+        # must carry the stamp-ordered MW verdict, single-writer rows
+        # the SW one — "mw" on a 1-writer row would mean the runner
+        # silently lost the cheaper checker.
+        expected_mode = "mw" if row["n_writers"] > 1 else "sw"
+        if row["checker_mode"] != expected_mode:
             problems.append(
-                f"{label}: stream section lacks the {FULL_STREAM_OPS}-op "
-                f"acceptance row (record it with "
-                f"`python -m benchmarks.bench_workload --full-stream`)"
+                f"{label}: {where} ran checker_mode="
+                f"{row['checker_mode']!r} with {row['n_writers']} "
+                f"writer(s) (expected {expected_mode!r})"
             )
+        if row["bounded_history"]:
+            if row["server_gc_removed_cells"] <= 0:
+                problems.append(
+                    f"{label}: {where} claims bounded_history but "
+                    f"GC'd 0 server cells (the knob is not wired)"
+                )
+            if row["server_max_retained_cells"] > MAX_SERVER_RETAINED:
+                problems.append(
+                    f"{label}: {where} retained "
+                    f"{row['server_max_retained_cells']} server history "
+                    f"cells (> {MAX_SERVER_RETAINED}; server memory is "
+                    f"not flat)"
+                )
+    if full_baseline:
+        seen = {
+            (row.get("label"), row["max_ops"]) for row in payload["stream"]
+        }
+        for family, meta in STREAM_LABELS.items():
+            if meta["full_row"] and (family, FULL_STREAM_OPS) not in seen:
+                problems.append(
+                    f"{label}: stream section lacks the {family} "
+                    f"{FULL_STREAM_OPS}-op acceptance row (record it with "
+                    f"`python -m benchmarks.bench_workload --full-stream`)"
+                )
     return problems
 
 
@@ -130,7 +188,7 @@ def case_index(payload: dict) -> dict:
 
 
 def stream_index(payload: dict) -> dict:
-    return {("stream", r["max_ops"]): r for r in payload["stream"]}
+    return {(r["label"], r["max_ops"]): r for r in payload["stream"]}
 
 
 def check_determinism(baseline: dict, fresh: dict) -> list:
@@ -165,11 +223,12 @@ def check_budgets(
             f"> {budget}s"
         )
     for row in fresh["stream"]:
-        row_budget = stream_budget * row["max_ops"] / FULL_STREAM_OPS
+        scale = STREAM_LABELS[row["label"]]["budget_scale"]
+        row_budget = stream_budget * scale * row["max_ops"] / FULL_STREAM_OPS
         if row["wall_s"] > row_budget:
             problems.append(
-                f"stream row max_ops={row['max_ops']} blew its budget: "
-                f"{row['wall_s']}s > {row_budget:.1f}s"
+                f"stream row {row['label']}/{row['max_ops']} blew its "
+                f"budget: {row['wall_s']}s > {row_budget:.1f}s"
             )
     return problems
 
@@ -178,35 +237,38 @@ def check_memory(
     baseline: dict, fresh: dict, rss_ratio: float, rss_cap: int
 ) -> list:
     """Peak-RSS acceptance: absolute caps on committed *and freshly
-    measured* rows, sublinearity across the committed sizes, and no
-    regression of a fresh row beyond ``rss_ratio`` × its committed
-    counterpart — so CI catches a memory regression the moment the
-    regenerated 100k row balloons, not only at the next full run."""
-    base_rows = {row["max_ops"]: row for row in baseline["stream"]}
-    fresh_rows = {row["max_ops"]: row for row in fresh["stream"]}
+    measured* rows, per-family sublinearity across the committed sizes,
+    and no regression of a fresh row beyond ``rss_ratio`` × its
+    committed counterpart — so CI catches a memory regression the
+    moment a regenerated 100k row balloons, not only at the next full
+    run."""
+    base_rows, fresh_rows = stream_index(baseline), stream_index(fresh)
     problems = []
     for label, rows in (("baseline", base_rows), ("fresh", fresh_rows)):
-        for row in rows.values():
+        for (family, size), row in rows.items():
             if row["peak_rss_kb"] > rss_cap:
                 problems.append(
-                    f"{label} stream row max_ops={row['max_ops']} peaked "
+                    f"{label} stream row {family}/{size} peaked "
                     f"at {row['peak_rss_kb']} KiB RSS (> cap {rss_cap})"
                 )
-    small, big = base_rows.get(100_000), base_rows.get(FULL_STREAM_OPS)
-    if small and big:
-        allowed = small["peak_rss_kb"] * rss_ratio
-        if big["peak_rss_kb"] > allowed:
-            problems.append(
-                f"memory is not sublinear: {FULL_STREAM_OPS} ops peaked "
-                f"at {big['peak_rss_kb']} KiB vs {small['peak_rss_kb']} "
-                f"KiB at 100k ops (> ratio {rss_ratio})"
-            )
-    for size in sorted(set(base_rows) & set(fresh_rows)):
-        committed = base_rows[size]["peak_rss_kb"]
-        measured = fresh_rows[size]["peak_rss_kb"]
+    for family in STREAM_LABELS:
+        small = base_rows.get((family, 100_000))
+        big = base_rows.get((family, FULL_STREAM_OPS))
+        if small and big:
+            allowed = small["peak_rss_kb"] * rss_ratio
+            if big["peak_rss_kb"] > allowed:
+                problems.append(
+                    f"{family} memory is not sublinear: {FULL_STREAM_OPS} "
+                    f"ops peaked at {big['peak_rss_kb']} KiB vs "
+                    f"{small['peak_rss_kb']} KiB at 100k ops "
+                    f"(> ratio {rss_ratio})"
+                )
+    for key in sorted(set(base_rows) & set(fresh_rows)):
+        committed = base_rows[key]["peak_rss_kb"]
+        measured = fresh_rows[key]["peak_rss_kb"]
         if measured > committed * rss_ratio:
             problems.append(
-                f"stream row max_ops={size} peak RSS regressed: "
+                f"stream row {key[0]}/{key[1]} peak RSS regressed: "
                 f"{committed} -> {measured} KiB (> ratio {rss_ratio})"
             )
     return problems
@@ -279,7 +341,7 @@ def main(argv=None) -> int:
         )
     soak = fresh["soak"]
     stream_sizes = ", ".join(
-        str(row["max_ops"]) for row in fresh["stream"]
+        f"{row['label']}/{row['max_ops']}" for row in fresh["stream"]
     )
     return finish(
         problems,
