@@ -20,9 +20,13 @@ exactly the cost the refactor removes:
 
 Both wake-up modes must process the *identical* execution — asserted on
 the deterministic event count — so the ratio is a pure scheduler
-measurement.  Emits ``BENCH_simcore.json`` (events/sec, wall seconds,
-speedups); schema + regression checks live in ``tools/check_simcore.py``
-and run in CI's perf-smoke job.
+measurement.  A third **micro** row tracks raw hot-path events/sec on a
+50-client keyed storage mix (no adversary, nothing parked) — the
+allocation cost of messages, operation records and per-op condition
+containers, which the ``__slots__``/pooling work targets.  Emits
+``BENCH_simcore.json`` (events/sec, wall seconds, speedups); schema +
+regression checks live in ``tools/check_simcore.py`` and run in CI's
+perf-smoke job.
 
 Run directly (``python -m benchmarks.bench_simcore``) to regenerate the
 artifact, or under pytest for the determinism smoke.
@@ -32,6 +36,7 @@ import json
 import time
 from pathlib import Path
 
+from repro.experiments import keyed_mix_spec
 from repro.scenarios import (
     Delay,
     FaultPlan,
@@ -44,7 +49,7 @@ from repro.scenarios import (
 )
 from repro.sim.simulator import wakeup_mode
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Scale axis: number of reader clients (storage) / learners (consensus).
 STORAGE_NS = (10, 50)
@@ -53,6 +58,13 @@ CONSENSUS_NS = (3, 50)
 #: The acceptance row: the n=50 storage run must show >= 5x events/sec.
 TARGET_STORAGE_N = 50
 TARGET_SPEEDUP = 5.0
+
+#: The micro row: a 50-client keyed storage mix with no adversary —
+#: pure hot-path allocation + dispatch throughput.
+MICRO_CLIENTS = 50
+MICRO_KEYS = 16
+MICRO_WRITES = 2_000
+MICRO_READS = 3_000
 
 SERVERS = range(1, 9)  # example6 is an 8-server RQS
 
@@ -96,6 +108,34 @@ def consensus_spec(n: int) -> ScenarioSpec:
         horizon=300.0,
         trace_level="metrics",
     )
+
+
+def micro_spec() -> ScenarioSpec:
+    """The allocation-lean hot-path exhibit: 50 reader clients on a
+    seeded 16-register ABD mix, fault-free, METRICS tracing — every
+    event is real protocol work, so events/sec moves with the cost of
+    a message/record/condition allocation and nothing else."""
+    return keyed_mix_spec(
+        "abd", MICRO_KEYS, writes=MICRO_WRITES, reads=MICRO_READS,
+        readers=MICRO_CLIENTS, seed=5, trace_level="metrics",
+    )
+
+
+def micro_row(rounds: int = 3) -> dict:
+    wall = float("inf")
+    for _ in range(rounds):
+        result = run(micro_spec())
+        wall = min(wall, result.execute_seconds)
+    events = result.adapter.sim.events_processed
+    return {
+        "workload": "storage-mix",
+        "clients": MICRO_CLIENTS,
+        "n_keys": MICRO_KEYS,
+        "operations": result.ops_begun(),
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(events / wall, 1),
+    }
 
 
 def run_case(spec: ScenarioSpec, wakeup: str, rounds: int = 3) -> dict:
@@ -152,6 +192,7 @@ def collect() -> dict:
         },
         "cases": cases,
         "speedups": speedups,
+        "micro": micro_row(),
     }
 
 
@@ -176,6 +217,14 @@ def test_simcore_modes_run_identical_executions():
     assert indexed["blocked"] == scan["blocked"]
 
 
+def test_micro_row_is_deterministic():
+    first, second = micro_row(rounds=1), micro_row(rounds=1)
+    assert first["events"] == second["events"] > 0
+    assert first["operations"] == second["operations"] == (
+        MICRO_WRITES + MICRO_READS
+    )
+
+
 if __name__ == "__main__":
     path = emit()
     payload = json.loads(path.read_text())
@@ -186,4 +235,10 @@ if __name__ == "__main__":
             f"{case['events_per_sec']} ev/s"
         )
     print("speedups:", json.dumps(payload["speedups"]))
+    micro = payload["micro"]
+    print(
+        f"micro: {micro['operations']} ops / {micro['events']} events "
+        f"across {micro['clients']} clients in {micro['wall_s']}s "
+        f"({micro['events_per_sec']} ev/s)"
+    )
     print(f"wrote {path}")

@@ -27,6 +27,8 @@ module                 exhibit
 ``metrics_ablation``   E13 — load/availability ablation
 ``contention``         E14 — keyed-register contention sweep (per-key verdicts)
 ``soak``               E15 — horizon-free streaming soaks (online verdicts)
+``capacity``           E16 — predicted vs measured strategy capacity
+``batched``            E17 — batched hot path: throughput vs batch size
 =====================  ========================================================
 
 Shared helpers: :func:`~repro.experiments.builders.keyed_mix_spec`

@@ -35,6 +35,7 @@ def keyed_mix_spec(
     max_ops: Optional[int] = None,
     rqs: str = DEFAULT_RQS,
     params: Optional[Mapping[str, Any]] = None,
+    batch_size: int = 1,
 ) -> ScenarioSpec:
     """One keyed-``RandomMix`` scenario on a storage protocol.
 
@@ -45,6 +46,8 @@ def keyed_mix_spec(
     through as the open-loop stopping rule, making the cell a
     horizon-free streaming soak.  ``params`` carries protocol knobs
     (e.g. ``{"bounded_history": True}`` for rqs-storage soaks).
+    ``batch_size > 1`` turns on cross-key operation batching (clients
+    coalesce up to that many ops per round-trip).
     """
     mix = RandomMix(
         writes,
@@ -52,6 +55,7 @@ def keyed_mix_spec(
         horizon=float(writes + reads) if horizon is None else horizon,
         distribution="uniform" if skew is None else "zipfian",
         skew=1.0 if skew is None else skew,
+        batch_size=batch_size,
     )
     return ScenarioSpec(
         protocol=protocol,

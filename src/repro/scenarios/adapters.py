@@ -35,7 +35,7 @@ from repro.scenarios.workloads import (
     expand_random_mix,
     open_loop_stream,
 )
-from repro.sim.tasks import sequential_ops
+from repro.sim.tasks import batched_ops, sequential_ops
 from repro.consensus.proposer import EquivocatingProposer
 from repro.consensus.system import ConsensusSystem
 from repro.consensus.paxos import PaxosSystem
@@ -302,6 +302,45 @@ class StorageAdapter(ProtocolAdapter):
         for at, key in ops:
             yield (at, read, (key,))
 
+    @staticmethod
+    def _write_batch_schedule(ops):
+        """``(at, value, key)`` triples -> ``(at, (value, key))`` batch
+        elements for :func:`batched_ops`."""
+        for at, value, key in ops:
+            yield (at, (value, key))
+
+    @staticmethod
+    def _read_batch_schedule(ops):
+        for at, key in ops:
+            yield (at, key)
+
+    def _spawn_writer(self, index, writer, mix, ops) -> None:
+        """One writer's driver task: unbatched sequential ops, or the
+        batched coalescing driver when ``mix.batch_size > 1``."""
+        name = (
+            "writer-workload" if index == 0 else f"{writer.pid}-workload"
+        )
+        if mix.batch_size > 1:
+            coro = batched_ops(
+                self.sim, self._write_batch_schedule(ops),
+                mix.batch_size, writer.write_batch,
+            )
+        else:
+            coro = self._sequential_ops(
+                self._write_schedule(ops, writer.write)
+            )
+        self.sim.spawn(coro, name)
+
+    def _spawn_reader(self, reader, mix, ops) -> None:
+        if mix.batch_size > 1:
+            coro = batched_ops(
+                self.sim, self._read_batch_schedule(ops),
+                mix.batch_size, reader.read_batch,
+            )
+        else:
+            coro = self._sequential_ops(self._read_schedule(ops, reader.read))
+        self.sim.spawn(coro, f"{reader.pid}-workload")
+
     def _schedule_stream(self, spec, mix: RandomMix) -> None:
         """Closed-loop streaming: per-client lazy views of the seeded
         draw — the same schedules ``expand_random_mix`` materializes,
@@ -316,25 +355,13 @@ class StorageAdapter(ProtocolAdapter):
             n_keys=spec.n_keys, n_writers=len(self.system.writers),
         )
         for index in stream.writers_with_ops:
-            writer = self.system.writers[index]
-            self.sim.spawn(
-                self._sequential_ops(
-                    self._write_schedule(
-                        stream.writer_ops(index), writer.write
-                    )
-                ),
-                "writer-workload" if index == 0
-                else f"{writer.pid}-workload",
+            self._spawn_writer(
+                index, self.system.writers[index], mix,
+                stream.writer_ops(index),
             )
         for index in stream.readers_with_ops:
-            reader = self.system.readers[index]
-            self.sim.spawn(
-                self._sequential_ops(
-                    self._read_schedule(
-                        stream.reader_ops(index), reader.read
-                    )
-                ),
-                f"{reader.pid}-workload",
+            self._spawn_reader(
+                self.system.readers[index], mix, stream.reader_ops(index)
             )
 
     def _schedule_open_loop(self, spec, mix: RandomMix) -> None:
@@ -355,22 +382,13 @@ class StorageAdapter(ProtocolAdapter):
                 mix, "writer", index, len(writers), spec.seed, budget,
                 spec.duration, n_keys=spec.n_keys,
             )
-            self.sim.spawn(
-                self._sequential_ops(
-                    self._write_schedule(ops, writer.write)
-                ),
-                "writer-workload" if index == 0
-                else f"{writer.pid}-workload",
-            )
+            self._spawn_writer(index, writer, mix, ops)
         for index, reader in enumerate(readers):
             ops = open_loop_stream(
                 mix, "reader", index, len(readers), spec.seed, budget,
                 spec.duration, n_keys=spec.n_keys,
             )
-            self.sim.spawn(
-                self._sequential_ops(self._read_schedule(ops, reader.read)),
-                f"{reader.pid}-workload",
-            )
+            self._spawn_reader(reader, mix, ops)
 
     def _schedule_expanded(self, spec) -> None:
         """The materializing path for workloads mixing explicit
@@ -394,6 +412,12 @@ class StorageAdapter(ProtocolAdapter):
             elif isinstance(op, Read):
                 per_reader.setdefault(op.reader, []).append((op.at, op.key))
             elif isinstance(op, RandomMix):
+                if op.batch_size > 1:
+                    raise ScenarioError(
+                        "batch_size > 1 requires a pure single-RandomMix "
+                        "workload (the streaming paths); it cannot ride "
+                        "along in a mixed-literal expansion"
+                    )
                 writes, reads = expand_random_mix(
                     op, len(self.system.readers), spec.seed,
                     first_value=next_value,
@@ -573,6 +597,12 @@ class ConsensusAdapter(ProtocolAdapter):
                 self._schedule_propose(op)
             elif isinstance(op, Resync):
                 self._schedule_resync(op)
+            elif isinstance(op, RandomMix) and op.batch_size > 1:
+                raise ScenarioError(
+                    f"protocol {self.protocol_id!r} does not support the "
+                    f"batch_size knob; operation batching is a storage "
+                    f"feature"
+                )
             else:
                 raise ScenarioError(
                     f"consensus protocol {self.protocol_id!r} cannot run "

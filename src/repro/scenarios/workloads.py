@@ -99,6 +99,14 @@ class RandomMix:
     draws key ``k`` with weight ``1 / (k + 1) ** skew`` (key 0 hottest —
     the standard contention skew).  Single-key expansions draw no keys
     at all, so historical seeds reproduce the exact same schedules.
+
+    ``batch_size`` makes storage clients coalesce up to that many
+    pending operations into one batched round-trip (stamps still issued
+    per batch element in the historical draw order); the default of 1
+    is today's one-op-per-round-trip behavior, bit-identical to every
+    existing seed.  Batching is a storage feature: consensus adapters
+    reject mixes carrying it, as does the materializing mixed-literal
+    expansion path.
     """
 
     writes: int
@@ -107,12 +115,18 @@ class RandomMix:
     start: float = 0.0
     distribution: str = "uniform"
     skew: float = 1.0
+    batch_size: int = 1
 
     def __post_init__(self):
         if self.distribution not in KEY_DISTRIBUTIONS:
             raise ScenarioError(
                 f"unknown RandomMix distribution {self.distribution!r}; "
                 f"valid: {', '.join(KEY_DISTRIBUTIONS)}"
+            )
+        if not isinstance(self.batch_size, int) or self.batch_size < 1:
+            raise ScenarioError(
+                f"RandomMix.batch_size must be an int >= 1, got "
+                f"{self.batch_size!r} (1 = unbatched round-trips)"
             )
         if self.skew < 0:
             raise ScenarioError(

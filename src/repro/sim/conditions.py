@@ -174,6 +174,15 @@ class Counter:
         self._derived.append(condition)
         return condition
 
+    def reset(self, label: str = "") -> None:
+        """Return the counter to its freshly-constructed state so a
+        :class:`ConditionMap` can recycle it for a new key.  Derived
+        conditions are orphaned — their waiters must all have resumed
+        before the owning key is discarded (the pooling contract)."""
+        self.label = label
+        self.value = 0
+        self._derived.clear()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counter({self.label or ''}={self.value})"
 
@@ -186,6 +195,8 @@ class AckSet(set):
     unchanged.  Only :meth:`add` is instrumented; protocol responder
     sets are append-only.
     """
+
+    __slots__ = ("label", "_derived")
 
     def __init__(self, label: str = ""):
         super().__init__()
@@ -215,6 +226,14 @@ class AckSet(set):
         )
         self._derived.append(condition)
         return condition
+
+    def reset(self, label: str = "") -> None:
+        """Return the set to its freshly-constructed state so a
+        :class:`ConditionMap` can recycle it (see :meth:`Counter.reset`
+        for the pooling contract)."""
+        self.clear()
+        self.label = label
+        self._derived.clear()
 
 
 class SizeAtLeast(Condition):
@@ -258,20 +277,34 @@ class ConditionMap:
         self._acks = ConditionMap(AckSet, "wr ts={} rnd={}")
         ...
         self._acks(ts, rnd).add(src)
+
+    Discarded containers that expose a ``reset`` method (both built-in
+    factories do) are parked on a small free list and recycled by the
+    next :meth:`__call__`, so a streaming client allocates O(pool) ack
+    sets over a million-op run instead of one per operation.
     """
 
-    __slots__ = ("_factory", "_label", "_items")
+    __slots__ = ("_factory", "_label", "_items", "_pool")
+
+    #: Recycled containers retained per map; past this they are freed.
+    _POOL_LIMIT = 16
 
     def __init__(self, factory: Callable[[str], Any], label: str = ""):
         self._factory = factory
         self._label = label
         self._items: dict = {}
+        self._pool: List[Any] = []
 
     def __call__(self, *key: Hashable) -> Any:
         item = self._items.get(key)
         if item is None:
             label = self._label.format(*key) if self._label else ""
-            item = self._items[key] = self._factory(label)
+            if self._pool:
+                item = self._pool.pop()
+                item.reset(label)
+            else:
+                item = self._factory(label)
+            self._items[key] = item
         return item
 
     def peek(self, *key: Hashable) -> Optional[Any]:
@@ -289,9 +322,17 @@ class ConditionMap:
 
         Clients call this when an operation completes so per-op
         responder state stays O(in-flight operations), not O(history) —
-        the memory contract of horizon-free streaming runs.
+        the memory contract of horizon-free streaming runs.  The
+        container is recycled (see the class docstring); callers must
+        not retain references to it past the discard.
         """
-        self._items.pop(key, None)
+        item = self._items.pop(key, None)
+        if (
+            item is not None
+            and len(self._pool) < self._POOL_LIMIT
+            and hasattr(item, "reset")
+        ):
+            self._pool.append(item)
 
     def __len__(self) -> int:
         return len(self._items)

@@ -77,7 +77,7 @@ class TraceLevel(enum.IntEnum):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A message in flight (or delivered, or held)."""
 

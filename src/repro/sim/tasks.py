@@ -32,6 +32,7 @@ in :attr:`Task.result`.  Tasks can wait on each other via
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Any, Callable, Generator, Optional, Union
 
 from repro.sim.conditions import Condition
@@ -109,6 +110,28 @@ def sequential_ops(sim, schedule):
         if sim.now < start:
             yield WaitUntil(sim.timer_at(start), f"start@{start}")
         yield from factory(*args)
+
+
+def batched_ops(sim, schedule, size, run_batch):
+    """Driver coroutine: one client's operations, coalesced ``size`` at
+    a time into batched round-trips.
+
+    ``schedule`` yields ``(time, elem)`` pairs in the client's draw
+    order; each batch is the next up-to-``size`` pending elements and
+    starts no earlier than its *first* element's scheduled time (the
+    batching rule — later elements ride along, their own times are
+    subsumed) and no earlier than the previous batch's completion.
+    ``run_batch(elements)`` is the protocol's batched coroutine.
+    """
+    iterator = iter(schedule)
+    while True:
+        chunk = list(islice(iterator, size))
+        if not chunk:
+            return
+        start = chunk[0][0]
+        if sim.now < start:
+            yield WaitUntil(sim.timer_at(start), f"start@{start}")
+        yield from run_batch([elem for _, elem in chunk])
 
 
 class Task:

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class OperationRecord:
     """A single high-level operation (read / write / propose / learn)."""
 

@@ -29,30 +29,38 @@ from repro.sim.simulator import Simulator
 from repro.sim.network import Network, TraceLevel
 from repro.sim.tasks import WaitUntil
 from repro.sim.trace import OperationRecord, Trace
+from repro.storage.batching import (
+    BatchAck,
+    BatchAcks,
+    ReadBatch,
+    ReadBatchAck,
+    WriteBatch,
+    distinct_keys,
+)
 from repro.storage.history import BOTTOM, DEFAULT_KEY, Pair
 from repro.storage.stamping import DiscoveryInbox, StampIssuer, writer_fleet
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbdWrite:
     ts: int
     value: Any
     key: Hashable = DEFAULT_KEY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbdWriteAck:
     ts: int
     key: Hashable = DEFAULT_KEY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbdRead:
     read_no: int
     key: Hashable = DEFAULT_KEY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AbdReadAck:
     read_no: int
     pair: Pair
@@ -86,6 +94,21 @@ class AbdServer(Process):
                 AbdReadAck(payload.read_no, self.pair_for(payload.key),
                            payload.key),
             )
+        elif isinstance(payload, WriteBatch):
+            # Apply elements in batch (draw) order, one ack for all.
+            for ts, value, key in payload.ops:
+                if ts > self.pair_for(key).ts:
+                    self.pairs[key] = Pair(ts, value)
+            self.send(message.src, BatchAck(payload.batch_no, payload.rnd))
+        elif isinstance(payload, ReadBatch):
+            self.send(
+                message.src,
+                ReadBatchAck(
+                    payload.read_no,
+                    payload.rnd,
+                    tuple(self.pair_for(key) for key in payload.keys),
+                ),
+            )
 
 
 class AbdWriter(Process):
@@ -104,6 +127,7 @@ class AbdWriter(Process):
         self._acks = ConditionMap(AckSet, "abd wr key={} ts={}")
         # MW timestamp discovery (a majority collect round).
         self._discovery = DiscoveryInbox("abd ts-discovery#{}")
+        self._batches = BatchAcks("abd wr batch#{} rnd={}")
 
     @property
     def ts(self) -> int:
@@ -121,6 +145,12 @@ class AbdWriter(Process):
         elif isinstance(payload, AbdReadAck):
             self._discovery.record(payload.read_no, message.src,
                                    payload.pair)
+        elif isinstance(payload, BatchAck):
+            self._batches.record(payload.batch_no, payload.rnd, message.src)
+        elif isinstance(payload, ReadBatchAck):
+            # Batched MW discovery replies: the per-key pair tuple.
+            self._discovery.record(payload.read_no, message.src,
+                                   payload.replies)
 
     def write(self, value: Any, key: Hashable = DEFAULT_KEY):
         record = self.trace.begin("write", self.pid, self.sim.now, value,
@@ -152,6 +182,66 @@ class AbdWriter(Process):
         self.trace.complete(record, self.sim.now, "OK", rounds=rounds)
         return record
 
+    def write_batch(self, elems: List[Tuple[Any, Hashable]]):
+        """One batched round-trip for ``[(value, key), ...]``.
+
+        Stamps are issued per element in draw order; multi-writer
+        batches amortize one discovery collect over the batch's
+        distinct keys.  All elements complete together at batch end,
+        in element order (the online checkers' ordering contract).
+        """
+        now = self.sim.now
+        records = [
+            self.trace.begin("write", self.pid, now, value, key=key)
+            for value, key in elems
+        ]
+        if not self.stamps.multi_writer:
+            stamps = [self.stamps.bare(key) for _, key in elems]
+            rounds = 1
+        else:
+            keys = distinct_keys(elems)
+            number = self._discovery.open()
+            acks = self._discovery.responders(number)
+            collect = ReadBatch(number, 0, keys)
+            for server in self.servers:
+                self.send(server, collect)
+            yield WaitUntil(
+                acks.at_least(self.majority),
+                f"abd batch ts-discovery#{number}",
+            )
+            replies = self._discovery.close(number)
+            observed = {
+                key: max(pairs[i].ts for pairs in replies.values())
+                for i, key in enumerate(keys)
+            }
+            stamps = [
+                self.stamps.stamped(key, observed[key]) for _, key in elems
+            ]
+            rounds = 2
+        for record, ts in zip(records, stamps):
+            record.meta["ts"] = ts
+        number = self._batches.open()
+        batch_acks = self._batches.responders(number, 1)
+        message = WriteBatch(
+            number, 1, "",
+            tuple(
+                (ts, value, key)
+                for ts, (value, key) in zip(stamps, elems)
+            ),
+            frozenset(),
+        )
+        for server in self.servers:
+            self.send(server, message)
+        yield WaitUntil(
+            batch_acks.at_least(self.majority),
+            f"abd write batch#{number}",
+        )
+        self._batches.close(number, 1)
+        now = self.sim.now
+        for record in records:
+            self.trace.complete(record, now, "OK", rounds=rounds)
+        return records
+
 
 class AbdReader(Process):
     def __init__(self, pid: Hashable, servers: Tuple[Hashable, ...], trace: Trace):
@@ -170,6 +260,8 @@ class AbdReader(Process):
         # while keeping the historical repeat-write-back fast path
         # (same-timestamp write-backs reuse accumulated acks).
         self._wb_ts: Dict[Hashable, int] = {}
+        self._batches = BatchAcks("abd rd-wb batch#{} rnd={}")
+        self._batch_replies: Dict[int, Dict[Hashable, Tuple[Pair, ...]]] = {}
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
@@ -184,6 +276,13 @@ class AbdReader(Process):
             acks = self._wb.peek(payload.key, payload.ts)
             if acks is not None:
                 acks.add(message.src)
+        elif isinstance(payload, ReadBatchAck):
+            replies = self._batch_replies.get(payload.read_no)
+            if replies is not None and message.src not in replies:
+                replies[message.src] = payload.replies
+                self._replies(payload.read_no).add()
+        elif isinstance(payload, BatchAck):
+            self._batches.record(payload.batch_no, payload.rnd, message.src)
 
     def read(self, key: Hashable = DEFAULT_KEY):
         record = self.trace.begin("read", self.pid, self.sim.now, key=key)
@@ -215,6 +314,57 @@ class AbdReader(Process):
         self._replies.discard(number)
         self.trace.complete(record, self.sim.now, best.val, rounds=2)
         return record
+
+    def read_batch(self, keys: List[Hashable]):
+        """One batched collect + one batched write-back for ``keys``.
+
+        Every element's best pair is selected from the same majority's
+        replies and written back in a single :class:`WriteBatch`; all
+        elements complete together, in element order.
+        """
+        now = self.sim.now
+        records = [
+            self.trace.begin("read", self.pid, now, key=key) for key in keys
+        ]
+        self.read_no += 1
+        number = self.read_no
+        self._batch_replies[number] = {}
+        replies = self._replies(number)
+        collect = ReadBatch(number, 1, tuple(keys))
+        for server in self.servers:
+            self.send(server, collect)
+        yield WaitUntil(
+            replies.at_least(self.majority),
+            f"abd read batch#{number} collect",
+        )
+        data = self._batch_replies.pop(number)
+        self._replies.discard(number)
+        bests = [
+            max((pairs[i] for pairs in data.values()), key=lambda p: p.ts)
+            for i in range(len(keys))
+        ]
+        for record, best in zip(records, bests):
+            record.meta["ts"] = best.ts
+        wb_no = self._batches.open()
+        wb_acks = self._batches.responders(wb_no, 2)
+        writeback = WriteBatch(
+            wb_no, 2, "",
+            tuple(
+                (best.ts, best.val, key) for best, key in zip(bests, keys)
+            ),
+            frozenset(),
+        )
+        for server in self.servers:
+            self.send(server, writeback)
+        yield WaitUntil(
+            wb_acks.at_least(self.majority),
+            f"abd read batch#{number} writeback",
+        )
+        self._batches.close(wb_no, 2)
+        now = self.sim.now
+        for record, best in zip(records, bests):
+            self.trace.complete(record, now, best.val, rounds=2)
+        return records
 
 
 class AbdSystem:

@@ -1,0 +1,139 @@
+"""Batched wire messages shared by every storage protocol.
+
+Cross-key operation batching amortizes one quorum round-trip over up to
+``batch_size`` register operations: the client coalesces its next
+pending writes (or reads) into a single :class:`WriteBatch` /
+:class:`ReadBatch`, servers apply the elements **in batch order** and
+acknowledge the whole batch once, and the client blocks on one indexed
+``Condition`` per batch round instead of one per operation.
+
+Why this preserves the per-op quorum-intersection argument: a server
+processes a batch atomically and sends one ack, so every element's
+effective responder set *is* the batch's responder set.  Any quorum
+decision the client takes at batch granularity (majority reached,
+class-1 quorum responded, QC'2 subset acked) therefore holds for each
+element individually — a batched run is observationally a sequence of
+per-element protocol instances that happen to share identical responder
+sets and completion times.
+
+The message vocabulary is protocol-agnostic; each server class
+interprets the payloads its own way:
+
+* ABD / naive — ``ops`` elements are ``(ts, value, key)`` triples
+  applied under the ``ts >`` rule; read replies are per-key ``Pair``s.
+* fast-ABD — ``slot`` selects the pre-write/write slot; read replies
+  are per-key ``(pw, w)`` pair 2-tuples.
+* RQS — ``sets`` carries the batch's shared QC'2 quorum-id set and
+  ``rnd`` the Figure 5 round; read replies are per-key history
+  snapshots (``HistoryView``).
+
+Byzantine server subclasses override the *unbatched* handlers
+(``handle_write`` / ``handle_read``); batching targets the crash/lossy
+fault hot path and batched traffic bypasses those overrides — specs
+mixing Byzantine servers with ``batch_size > 1`` are outside the
+batched fast path's contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Hashable, Tuple
+
+from repro.sim.conditions import AckSet, ConditionMap
+
+__all__ = [
+    "WriteBatch",
+    "BatchAck",
+    "ReadBatch",
+    "ReadBatchAck",
+    "BatchAcks",
+    "distinct_keys",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class WriteBatch:
+    """Up to ``batch_size`` write applications in one message.
+
+    ``ops`` holds ``(ts, value, key)`` triples in the client's draw
+    order; ``rnd`` is the protocol round this batch message belongs to
+    (ABD/naive: 1, read write-backs: 2; fast-ABD: 1=pre-write, 2=write;
+    RQS: Figure 5 rounds 1–3) and ``slot`` the fast-ABD slot name
+    (``""`` elsewhere).  ``sets`` is the RQS batch's shared QC'2
+    quorum-id set (empty frozenset elsewhere).
+    """
+
+    batch_no: int
+    rnd: int
+    slot: str
+    ops: Tuple[Tuple[int, Any, Hashable], ...]
+    sets: FrozenSet
+
+
+@dataclass(frozen=True, slots=True)
+class BatchAck:
+    """One server's acknowledgement of a whole :class:`WriteBatch`."""
+
+    batch_no: int
+    rnd: int
+
+
+@dataclass(frozen=True, slots=True)
+class ReadBatch:
+    """One collect round-trip covering ``keys`` (in batch order).
+
+    ``rnd`` follows the unbatched convention: 0 is the multi-writer
+    timestamp-discovery collect, >= 1 a read round.
+    """
+
+    read_no: int
+    rnd: int
+    keys: Tuple[Hashable, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ReadBatchAck:
+    """Per-key replies, positionally aligned with the batch's keys."""
+
+    read_no: int
+    rnd: int
+    replies: Tuple[Any, ...]
+
+
+class BatchAcks:
+    """Per-client batch-ack bookkeeping: numbering plus one pooled
+    :class:`AckSet` per ``(batch_no, rnd)``.
+
+    ``record`` peeks rather than creates, so straggler acks for retired
+    batches are dropped without allocating; ``close`` discards every
+    round's set (the bounded-memory contract — also what feeds the
+    condition pool for reuse by the next batch).
+    """
+
+    __slots__ = ("_next", "_acks")
+
+    def __init__(self, label: str = "batch#{} rnd={}"):
+        self._next = 0
+        self._acks = ConditionMap(AckSet, label)
+
+    def open(self) -> int:
+        self._next += 1
+        return self._next
+
+    def responders(self, number: int, rnd: int) -> AckSet:
+        return self._acks(number, rnd)
+
+    def record(self, number: int, rnd: int, sender) -> None:
+        acks = self._acks.peek(number, rnd)
+        if acks is not None:
+            acks.add(sender)
+
+    def close(self, number: int, *rnds: int) -> None:
+        for rnd in rnds:
+            self._acks.discard(number, rnd)
+
+
+def distinct_keys(elems) -> Tuple[Hashable, ...]:
+    """The batch's distinct keys in first-appearance (draw) order —
+    the key set one batched discovery collect covers."""
+    return tuple(dict.fromkeys(key for _, key in elems))

@@ -35,11 +35,19 @@ from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 from repro.sim.tasks import WaitUntil
 from repro.sim.trace import OperationRecord, Trace
+from repro.storage.batching import (
+    BatchAck,
+    BatchAcks,
+    ReadBatch,
+    ReadBatchAck,
+    WriteBatch,
+    distinct_keys,
+)
 from repro.storage.history import BOTTOM, DEFAULT_KEY, Pair
 from repro.storage.stamping import DiscoveryInbox, StampIssuer, writer_fleet
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FWrite:
     """Write ``pair`` into ``slot`` (``"pw"`` or ``"w"``)."""
 
@@ -49,20 +57,20 @@ class FWrite:
     key: Hashable = DEFAULT_KEY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FWriteAck:
     ts: int
     slot: str
     key: Hashable = DEFAULT_KEY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FRead:
     read_no: int
     key: Hashable = DEFAULT_KEY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FReadAck:
     read_no: int
     pw: Pair
@@ -111,6 +119,23 @@ class FastAbdServer(Process):
                 FReadAck(payload.read_no, slots["pw"], slots["w"],
                          payload.key),
             )
+        elif isinstance(payload, WriteBatch):
+            # Batched slot writes: every element targets the batch's
+            # slot (pre-write round vs write round), one ack for all.
+            for ts, value, key in payload.ops:
+                slots = self._slots_for(key)
+                if ts > slots[payload.slot].ts:
+                    slots[payload.slot] = Pair(ts, value)
+            self.send(message.src, BatchAck(payload.batch_no, payload.rnd))
+        elif isinstance(payload, ReadBatch):
+            replies = []
+            for key in payload.keys:
+                slots = self._slots_for(key)
+                replies.append((slots["pw"], slots["w"]))
+            self.send(
+                message.src,
+                ReadBatchAck(payload.read_no, payload.rnd, tuple(replies)),
+            )
 
 
 class FastAbdWriter(Process):
@@ -133,6 +158,7 @@ class FastAbdWriter(Process):
         self.stamps = StampIssuer(writer_id)
         self._acks = ConditionMap(AckSet, "fast wr key={} ts={} {}")
         self._discovery = DiscoveryInbox("fast ts-discovery#{}")
+        self._batches = BatchAcks("fast wr batch#{} rnd={}")
 
     @property
     def ts(self) -> int:
@@ -148,6 +174,11 @@ class FastAbdWriter(Process):
                 acks.add(message.src)
         elif isinstance(payload, FReadAck):
             self._discovery.record(payload.read_no, message.src, payload)
+        elif isinstance(payload, BatchAck):
+            self._batches.record(payload.batch_no, payload.rnd, message.src)
+        elif isinstance(payload, ReadBatchAck):
+            self._discovery.record(payload.read_no, message.src,
+                                   payload.replies)
 
     def write(self, value: Any, key: Hashable = DEFAULT_KEY):
         record = self.trace.begin("write", self.pid, self.sim.now, value,
@@ -197,6 +228,75 @@ class FastAbdWriter(Process):
         for slot in ("pw", "w"):
             self._acks.discard(key, ts, slot)
 
+    def write_batch(self, elems: List[Tuple[Any, Hashable]]):
+        """One batched pre-write round (+ fast-path check) for
+        ``[(value, key), ...]``; the shared responder set makes the
+        4-ack fast decision hold per element exactly as unbatched."""
+        now = self.sim.now
+        records = [
+            self.trace.begin("write", self.pid, now, value, key=key)
+            for value, key in elems
+        ]
+        if not self.stamps.multi_writer:
+            stamps = [self.stamps.bare(key) for _, key in elems]
+            extra_rounds = 0
+        else:
+            keys = distinct_keys(elems)
+            number = self._discovery.open()
+            discovery_acks = self._discovery.responders(number)
+            collect = ReadBatch(number, 0, keys)
+            for server in self.servers:
+                self.send(server, collect)
+            yield WaitUntil(
+                discovery_acks.at_least(self.slow),
+                f"fast-write batch ts-discovery#{number}",
+            )
+            acks = self._discovery.close(number)
+            observed = {
+                key: max(
+                    max(replies[i][0].ts, replies[i][1].ts)
+                    for replies in acks.values()
+                )
+                for i, key in enumerate(keys)
+            }
+            stamps = [
+                self.stamps.stamped(key, observed[key]) for _, key in elems
+            ]
+            extra_rounds = 1
+        for record, ts in zip(records, stamps):
+            record.meta["ts"] = ts
+        ops = tuple(
+            (ts, value, key) for ts, (value, key) in zip(stamps, elems)
+        )
+        number = self._batches.open()
+        pw_acks = self._batches.responders(number, 1)
+        for server in self.servers:
+            self.send(server, WriteBatch(number, 1, "pw", ops, frozenset()))
+        timer = self.sim.timer_at(self.sim.now + self.timeout)
+        yield WaitUntil(
+            AllOf(timer, pw_acks.at_least(self.slow)),
+            f"fast-write batch#{number} round 1",
+        )
+        if len(pw_acks) >= self.fast:
+            self._batches.close(number, 1)
+            now = self.sim.now
+            for record in records:
+                self.trace.complete(record, now, "OK",
+                                    rounds=1 + extra_rounds)
+            return records
+        w_acks = self._batches.responders(number, 2)
+        for server in self.servers:
+            self.send(server, WriteBatch(number, 2, "w", ops, frozenset()))
+        yield WaitUntil(
+            w_acks.at_least(self.slow),
+            f"fast-write batch#{number} round 2",
+        )
+        self._batches.close(number, 1, 2)
+        now = self.sim.now
+        for record in records:
+            self.trace.complete(record, now, "OK", rounds=2 + extra_rounds)
+        return records
+
 
 class FastAbdReader(Process):
     def __init__(
@@ -220,6 +320,10 @@ class FastAbdReader(Process):
         # write-back timestamps are monotone per reader, so superseded
         # responder sets are pruned, same-timestamp ones reused).
         self._wb_ts: Dict[Hashable, int] = {}
+        self._batches = BatchAcks("fast rd-wb batch#{} rnd={}")
+        self._batch_replies: Dict[
+            int, Dict[Hashable, Tuple[Tuple[Pair, Pair], ...]]
+        ] = {}
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
@@ -232,6 +336,13 @@ class FastAbdReader(Process):
             acks = self._wb.peek(payload.key, payload.ts, payload.slot)
             if acks is not None:
                 acks.add(message.src)
+        elif isinstance(payload, ReadBatchAck):
+            replies = self._batch_replies.get(payload.read_no)
+            if replies is not None and message.src not in replies:
+                replies[message.src] = payload.replies
+                self._replies(payload.read_no).add()
+        elif isinstance(payload, BatchAck):
+            self._batches.record(payload.batch_no, payload.rnd, message.src)
 
     def read(self, key: Hashable = DEFAULT_KEY):
         record = self.trace.begin("read", self.pid, self.sim.now, key=key)
@@ -275,6 +386,68 @@ class FastAbdReader(Process):
     def _retire(self, number: int) -> None:
         self._acks.pop(number, None)
         self._replies.discard(number)
+
+    def read_batch(self, keys: List[Hashable]):
+        """One batched collect; per-element fast-return decisions from
+        the shared replies, and only the failing elements join one
+        batched pre-write write-back.  All elements complete together
+        at batch end, in element order."""
+        now = self.sim.now
+        records = [
+            self.trace.begin("read", self.pid, now, key=key) for key in keys
+        ]
+        self.read_no += 1
+        number = self.read_no
+        self._batch_replies[number] = {}
+        reply_count = self._replies(number)
+        collect = ReadBatch(number, 1, tuple(keys))
+        for server in self.servers:
+            self.send(server, collect)
+        timer = self.sim.timer_at(self.sim.now + self.timeout)
+        yield WaitUntil(
+            AllOf(timer, reply_count.at_least(self.slow)),
+            f"fast-read batch#{number} round 1",
+        )
+        data = self._batch_replies.pop(number)
+        self._replies.discard(number)
+        cmaxes: List[Pair] = []
+        fast_done: List[bool] = []
+        for i in range(len(keys)):
+            pairs = [replies[i][0] for replies in data.values()]
+            pairs += [replies[i][1] for replies in data.values()]
+            cmax = max(pairs, key=lambda p: p.ts)
+            pw_confirms = sum(
+                1 for replies in data.values() if replies[i][0] == cmax
+            )
+            w_confirms = sum(
+                1 for replies in data.values() if replies[i][1] == cmax
+            )
+            cmaxes.append(cmax)
+            fast_done.append(pw_confirms >= self.slow or w_confirms >= 1)
+        failing = [i for i, done in enumerate(fast_done) if not done]
+        if failing:
+            wb_no = self._batches.open()
+            wb_acks = self._batches.responders(wb_no, 2)
+            writeback = WriteBatch(
+                wb_no, 2, "pw",
+                tuple(
+                    (cmaxes[i].ts, cmaxes[i].val, keys[i]) for i in failing
+                ),
+                frozenset(),
+            )
+            for server in self.servers:
+                self.send(server, writeback)
+            yield WaitUntil(
+                wb_acks.at_least(self.slow),
+                f"fast-read batch#{number} writeback",
+            )
+            self._batches.close(wb_no, 2)
+        now = self.sim.now
+        for record, cmax, done in zip(records, cmaxes, fast_done):
+            record.meta["ts"] = cmax.ts
+            self.trace.complete(record, now, cmax.val,
+                                rounds=1 if done else 2)
+        return records
 
 
 class FastAbdSystem:

@@ -24,7 +24,7 @@ from repro.storage.history import DEFAULT_KEY, HistoryView
 QuorumId = FrozenSet[Hashable]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WR:
     """``wr⟨ts, v, QC'2, rnd⟩`` — write round ``rnd`` (Figure 5, line 10)."""
 
@@ -35,7 +35,7 @@ class WR:
     key: Hashable = DEFAULT_KEY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WrAck:
     """``wr_ack⟨ts, rnd⟩`` (Figure 6, line 7)."""
 
@@ -44,7 +44,7 @@ class WrAck:
     key: Hashable = DEFAULT_KEY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RD:
     """``rd⟨read_no, rnd⟩`` (Figure 7, line 25).
 
@@ -58,7 +58,7 @@ class RD:
     key: Hashable = DEFAULT_KEY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RdAck:
     """``rd_ack⟨read_no, rnd, history⟩`` (Figure 6, line 9).
 

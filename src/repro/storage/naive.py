@@ -31,30 +31,38 @@ from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 from repro.sim.tasks import WaitUntil
 from repro.sim.trace import OperationRecord, Trace
+from repro.storage.batching import (
+    BatchAck,
+    BatchAcks,
+    ReadBatch,
+    ReadBatchAck,
+    WriteBatch,
+    distinct_keys,
+)
 from repro.storage.history import BOTTOM, DEFAULT_KEY, Pair
 from repro.storage.stamping import DiscoveryInbox, StampIssuer, writer_fleet
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NWrite:
     ts: int
     value: Any
     key: Hashable = DEFAULT_KEY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NWriteAck:
     ts: int
     key: Hashable = DEFAULT_KEY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NRead:
     read_no: int
     key: Hashable = DEFAULT_KEY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NReadAck:
     read_no: int
     pair: Pair
@@ -85,6 +93,20 @@ class NaiveServer(Process):
                 NReadAck(payload.read_no, self.pair_for(payload.key),
                          payload.key),
             )
+        elif isinstance(payload, WriteBatch):
+            for ts, value, key in payload.ops:
+                if ts > self.pair_for(key).ts:
+                    self.pairs[key] = Pair(ts, value)
+            self.send(message.src, BatchAck(payload.batch_no, payload.rnd))
+        elif isinstance(payload, ReadBatch):
+            self.send(
+                message.src,
+                ReadBatchAck(
+                    payload.read_no,
+                    payload.rnd,
+                    tuple(self.pair_for(key) for key in payload.keys),
+                ),
+            )
 
 
 class NaiveWriter(Process):
@@ -103,6 +125,7 @@ class NaiveWriter(Process):
         self.stamps = StampIssuer(writer_id)
         self._acks = ConditionMap(AckSet, "naive wr key={} ts={}")
         self._discovery = DiscoveryInbox("naive ts-discovery#{}")
+        self._batches = BatchAcks("naive wr batch#{} rnd={}")
 
     @property
     def ts(self) -> int:
@@ -119,6 +142,11 @@ class NaiveWriter(Process):
         elif isinstance(payload, NReadAck):
             self._discovery.record(payload.read_no, message.src,
                                    payload.pair)
+        elif isinstance(payload, BatchAck):
+            self._batches.record(payload.batch_no, payload.rnd, message.src)
+        elif isinstance(payload, ReadBatchAck):
+            self._discovery.record(payload.read_no, message.src,
+                                   payload.replies)
 
     def write(self, value: Any, key: Hashable = DEFAULT_KEY):
         record = self.trace.begin("write", self.pid, self.sim.now, value,
@@ -150,6 +178,62 @@ class NaiveWriter(Process):
         self.trace.complete(record, self.sim.now, "OK", rounds=rounds)
         return record
 
+    def write_batch(self, elems: List[Tuple[Any, Hashable]]):
+        """One greedy batched round-trip for ``[(value, key), ...]``
+        (stamps per element in draw order; MW batches amortize one
+        discovery collect over the batch's distinct keys)."""
+        now = self.sim.now
+        records = [
+            self.trace.begin("write", self.pid, now, value, key=key)
+            for value, key in elems
+        ]
+        if not self.stamps.multi_writer:
+            stamps = [self.stamps.bare(key) for _, key in elems]
+            rounds = 1
+        else:
+            keys = distinct_keys(elems)
+            number = self._discovery.open()
+            discovery_acks = self._discovery.responders(number)
+            collect = ReadBatch(number, 0, keys)
+            for server in self.servers:
+                self.send(server, collect)
+            yield WaitUntil(
+                discovery_acks.at_least(self.quorum),
+                f"naive batch ts-discovery#{number}",
+            )
+            replies = self._discovery.close(number)
+            observed = {
+                key: max(pairs[i].ts for pairs in replies.values())
+                for i, key in enumerate(keys)
+            }
+            stamps = [
+                self.stamps.stamped(key, observed[key]) for _, key in elems
+            ]
+            rounds = 2
+        for record, ts in zip(records, stamps):
+            record.meta["ts"] = ts
+        number = self._batches.open()
+        batch_acks = self._batches.responders(number, 1)
+        message = WriteBatch(
+            number, 1, "",
+            tuple(
+                (ts, value, key)
+                for ts, (value, key) in zip(stamps, elems)
+            ),
+            frozenset(),
+        )
+        for server in self.servers:
+            self.send(server, message)
+        yield WaitUntil(
+            batch_acks.at_least(self.quorum),
+            f"naive write batch#{number}",
+        )
+        self._batches.close(number, 1)
+        now = self.sim.now
+        for record in records:
+            self.trace.complete(record, now, "OK", rounds=rounds)
+        return records
+
 
 class NaiveReader(Process):
     def __init__(
@@ -162,6 +246,7 @@ class NaiveReader(Process):
         self.read_no = 0
         self._acks: Dict[int, Dict[Hashable, Pair]] = {}
         self._replies = ConditionMap(Counter, "naive rd#{}")
+        self._batch_replies: Dict[int, Dict[Hashable, Tuple[Pair, ...]]] = {}
 
     def on_message(self, message: Message) -> None:
         payload = message.payload
@@ -169,6 +254,11 @@ class NaiveReader(Process):
             replies = self._acks.get(payload.read_no)
             if replies is not None and message.src not in replies:
                 replies[message.src] = payload.pair
+                self._replies(payload.read_no).add()
+        elif isinstance(payload, ReadBatchAck):
+            replies = self._batch_replies.get(payload.read_no)
+            if replies is not None and message.src not in replies:
+                replies[message.src] = payload.replies
                 self._replies(payload.read_no).add()
 
     def read(self, key: Hashable = DEFAULT_KEY):
@@ -189,6 +279,34 @@ class NaiveReader(Process):
         self._replies.discard(number)
         self.trace.complete(record, self.sim.now, best.val, rounds=1)
         return record
+
+    def read_batch(self, keys: List[Hashable]):
+        """One greedy batched collect for ``keys`` — like the unbatched
+        read, no write-back (the algorithm's deliberate flaw)."""
+        now = self.sim.now
+        records = [
+            self.trace.begin("read", self.pid, now, key=key) for key in keys
+        ]
+        self.read_no += 1
+        number = self.read_no
+        self._batch_replies[number] = {}
+        replies = self._replies(number)
+        collect = ReadBatch(number, 1, tuple(keys))
+        for server in self.servers:
+            self.send(server, collect)
+        yield WaitUntil(
+            replies.at_least(self.quorum),
+            f"naive read batch#{number}",
+        )
+        data = self._batch_replies.pop(number)
+        self._replies.discard(number)
+        now = self.sim.now
+        for i, (record, key) in enumerate(zip(records, keys)):
+            best = max((pairs[i] for pairs in data.values()),
+                       key=lambda p: p.ts)
+            record.meta["ts"] = best.ts
+            self.trace.complete(record, now, best.val, rounds=1)
+        return records
 
 
 class NaiveSystem:

@@ -23,7 +23,7 @@ A read has two parts:
 
 from __future__ import annotations
 
-from typing import FrozenSet, Hashable, Optional
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from repro.core.rqs import RefinedQuorumSystem
 from repro.sim.conditions import AckSet, ConditionMap
@@ -31,6 +31,13 @@ from repro.sim.network import Message
 from repro.sim.process import Process
 from repro.sim.tasks import WaitUntil
 from repro.sim.trace import Trace
+from repro.storage.batching import (
+    BatchAck,
+    BatchAcks,
+    ReadBatch,
+    ReadBatchAck,
+    WriteBatch,
+)
 from repro.storage.history import DEFAULT_KEY, Pair
 from repro.storage.messages import RD, RdAck, WR, WrAck
 from repro.storage.predicates import ReadState
@@ -68,6 +75,15 @@ class StorageReader(Process):
         self._current_read_no = -1
         #: Write-back responder sets, keyed (key, ts, rnd) (signalling).
         self._wb = ConditionMap(AckSet, "wb key={} ts={} rnd={}")
+        # Batched-read state: per-element ReadStates (fed positionally
+        # from each ReadBatchAck) plus one batch-level responder set per
+        # round, and batch write-back acks.
+        self._batch_states: Dict[int, Tuple[ReadState, ...]] = {}
+        self._batch_acks = ConditionMap(AckSet, "rd batch#{} rnd={}")
+        self._batches = BatchAcks("rd-wb batch#{} rnd={}")
+        # The broadcast target list is the same every round — cache the
+        # sorted ground set instead of re-sorting per op (hot path).
+        self._ground = tuple(sorted(rqs.ground_set, key=repr))
 
     # -- network ------------------------------------------------------------------
 
@@ -78,6 +94,18 @@ class StorageReader(Process):
                 self._state.record_ack(message.src, payload.rnd, payload.history)
         elif isinstance(payload, WrAck):
             self._wb(payload.key, payload.ts, payload.rnd).add(message.src)
+        elif isinstance(payload, ReadBatchAck):
+            states = self._batch_states.get(payload.read_no)
+            acks = self._batch_acks.peek(payload.read_no, payload.rnd)
+            if states is not None and acks is not None:
+                # Feed every element's state before signalling the
+                # batch-level condition, so a woken waiter sees all of
+                # this responder's snapshots.
+                for state, snapshot in zip(states, payload.replies):
+                    state.record_ack(message.src, payload.rnd, snapshot)
+                acks.add(message.src)
+        elif isinstance(payload, BatchAck):
+            self._batches.record(payload.batch_no, payload.rnd, message.src)
 
     # -- protocol -------------------------------------------------------------------
 
@@ -91,8 +119,7 @@ class StorageReader(Process):
         # One strategy draw per operation: every round and write-back of
         # this read targets the same drawn quorum.
         target = self.selector.next_read() if self.selector else None
-        targets = sorted(target if target is not None
-                         else self.rqs.ground_set, key=repr)
+        targets = self._targets(target)
         self.read_no += 1
         self._current_read_no = self.read_no
         self._wb = ConditionMap(AckSet, "wb key={} ts={} rnd={}")
@@ -184,10 +211,97 @@ class StorageReader(Process):
         all servers (or the read's drawn quorum) and await a quorum of
         acks."""
         if targets is None:
-            targets = sorted(self.rqs.ground_set, key=repr)
+            targets = self._ground
         for server in targets:
             self.send(server, WR(c.ts, c.val, qc2_ids, rnd, key))
         yield WaitUntil(
             self._wb(key, c.ts, rnd).includes_any(self.rqs.quorums),
             f"read#{self.read_no} writeback round {rnd}",
         )
+
+    def _targets(self, target):
+        """The servers one round contacts: the drawn quorum under a
+        strategy, the (cached) full ground set otherwise."""
+        if target is None:
+            return self._ground
+        return sorted(target, key=repr)
+
+    # -- batched protocol --------------------------------------------------------
+
+    def read_batch(self, keys: List[Hashable]):
+        """Up to ``batch_size`` reads through one Figure 7 regular part:
+        per-element :class:`ReadState`s fed positionally from shared
+        :class:`ReadBatchAck` replies, one batch-level responder set per
+        round, looping until *every* element has candidates.  The
+        atomicity part always takes the line 49 two-round write-back
+        (batched); the BCD fast paths are per-element race detections
+        and are skipped — always-safe, at worst two extra batch
+        round-trips that unbatched BCD would have avoided."""
+        now = self.sim.now
+        records = [
+            self.trace.begin("read", self.pid, now, key=key) for key in keys
+        ]
+        target = self.selector.next_read() if self.selector else None
+        targets = self._targets(target)
+        self.read_no += 1
+        number = self.read_no
+        states = tuple(ReadState(self.rqs) for _ in keys)
+        self._batch_states[number] = states
+
+        # -- part 1: regular read (lines 20-35, batch-wide rounds) --
+        read_rnd = 0
+        csels: List[Optional[Pair]] = []
+        while True:
+            read_rnd += 1
+            timer = (
+                self.sim.timer_at(self.sim.now + self.timeout)
+                if read_rnd == 1
+                else None
+            )
+            acks = self._batch_acks(number, read_rnd)
+            collect = ReadBatch(number, read_rnd, tuple(keys))
+            for server in targets:
+                self.send(server, collect)
+            yield WaitUntil(
+                acks.includes_any(self.rqs.quorums),
+                f"read batch#{number} round {read_rnd}",
+            )
+            if read_rnd == 1:
+                yield WaitUntil(timer, f"read batch#{number} round-1 timer")
+                for state in states:
+                    state.freeze_round1()
+            csels = []
+            for state in states:
+                candidates = state.candidates()
+                csels.append(
+                    max(candidates, key=lambda p: p.ts)
+                    if candidates else None
+                )
+            if all(c is not None for c in csels):
+                break
+        self._batch_states.pop(number, None)
+        for rnd in range(1, read_rnd + 1):
+            self._batch_acks.discard(number, rnd)
+        for record, csel in zip(records, csels):
+            record.meta["ts"] = csel.ts
+
+        # -- part 2: the always-safe write-back (line 49), batched --
+        ops = tuple(
+            (csel.ts, csel.val, key) for csel, key in zip(csels, keys)
+        )
+        wb_no = self._batches.open()
+        for rnd in (1, 2):
+            wb_acks = self._batches.responders(wb_no, rnd)
+            writeback = WriteBatch(wb_no, rnd, "", ops, frozenset())
+            for server in targets:
+                self.send(server, writeback)
+            yield WaitUntil(
+                wb_acks.includes_any(self.rqs.quorums),
+                f"read batch#{number} writeback round {rnd}",
+            )
+        self._batches.close(wb_no, 1, 2)
+        now = self.sim.now
+        for record, csel in zip(records, csels):
+            self.trace.complete(record, now, csel.val,
+                                rounds=read_rnd + 2)
+        return records

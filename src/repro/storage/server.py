@@ -41,6 +41,12 @@ from repro.storage.history import (
     HistoryView,
     Pair,
 )
+from repro.storage.batching import (
+    BatchAck,
+    ReadBatch,
+    ReadBatchAck,
+    WriteBatch,
+)
 from repro.storage.messages import RD, RdAck, WR, WrAck
 
 
@@ -98,9 +104,15 @@ class StorageServer(Process):
             self.handle_write(message.src, payload)
         elif isinstance(payload, RD):
             self.handle_read(message.src, payload)
+        elif isinstance(payload, WriteBatch):
+            self.handle_write_batch(message.src, payload)
+        elif isinstance(payload, ReadBatch):
+            self.handle_read_batch(message.src, payload)
 
     # Handlers are separate methods so Byzantine variants can reuse or
-    # selectively override them.
+    # selectively override them.  (The batched handlers below sit on
+    # the base class only: batching targets the crash/lossy fault hot
+    # path, and batched traffic bypasses the Byzantine overrides.)
 
     def handle_write(self, client: Hashable, wr: WR) -> None:
         history = self.history_for(wr.key)
@@ -147,6 +159,74 @@ class StorageServer(Process):
                   rd.key),
         )
 
+    def handle_write_batch(self, client: Hashable, wb: WriteBatch) -> None:
+        """Apply every batch element in order, acknowledge once.
+
+        Each element is stored exactly as its unbatched ``wr``
+        equivalent (same round, same shared QC'2 ids); the single
+        :class:`BatchAck` stands for per-element acks from the same
+        responder, which is what keeps batch-level quorum decisions
+        equal to per-element ones.
+        """
+        touched: Dict[Hashable, int] = {}
+        for ts, value, key in wb.ops:
+            history = self.history_for(key)
+            self.history_cells += history.store(ts, wb.rnd, value, wb.sets)
+            touched[key] = ts
+        if self.bounded_history:
+            for key, last_ts in touched.items():
+                self._collect_batch(client, key, last_ts, wb.rnd)
+        if self.history_cells > self.max_history_cells:
+            self.max_history_cells = self.history_cells
+        self.send(client, BatchAck(wb.batch_no, wb.rnd))
+
+    def _collect_batch(
+        self, client: Hashable, key: Hashable, last_ts: int, rnd: int
+    ) -> None:
+        """Bounded-history inference at *batch* granularity.
+
+        Elements of one batch are sent without the client blocking
+        between them, so timestamps within a batch are **not** ack
+        evidence for each other — only cross-message evidence counts:
+        a ``rnd >= 2`` batch proves every element's round 1 was
+        quorum-acked (the client blocked on a quorum of round-1 batch
+        acks), and a new batch whose per-key last ``(ts, rnd)`` differs
+        from the previous message's proves the previous round was
+        quorum-acked.  ``last_ts`` is the key's highest batch element
+        (per-key stamps are issued in increasing draw order).
+        """
+        history = self.history_for(key)
+        stable = self._stable_ts.get(key, 0)
+        advanced = stable
+        if rnd >= 2 and last_ts > advanced:
+            advanced = last_ts
+        prev = self._last_wr.get((key, client))
+        if prev is not None and prev != (last_ts, rnd) and prev[0] > advanced:
+            advanced = prev[0]
+        self._last_wr[(key, client)] = (last_ts, rnd)
+        if advanced > stable:
+            self._stable_ts[key] = advanced
+            removed = history.gc_below(advanced)
+        elif last_ts < stable:
+            removed = history.gc_below(stable)
+        else:
+            removed = 0
+        if removed:
+            self.gc_removed += removed
+            self.history_cells -= removed
+
+    def handle_read_batch(self, client: Hashable, rb: ReadBatch) -> None:
+        self.send(
+            client,
+            ReadBatchAck(
+                rb.read_no,
+                rb.rnd,
+                tuple(
+                    self.history_for(key).snapshot() for key in rb.keys
+                ),
+            ),
+        )
+
 
 class RateLimitedServer(StorageServer):
     """A benign server with finite service capacity.
@@ -181,6 +261,14 @@ class RateLimitedServer(StorageServer):
         elif isinstance(payload, RD):
             self._serve(message.src, payload, self.handle_read,
                         self.read_cost)
+        elif isinstance(payload, WriteBatch):
+            # A batch still costs one service unit per element — the
+            # capacity model charges work, not messages.
+            self._serve(message.src, payload, self.handle_write_batch,
+                        self.write_cost * len(payload.ops))
+        elif isinstance(payload, ReadBatch):
+            self._serve(message.src, payload, self.handle_read_batch,
+                        self.read_cost * len(payload.keys))
 
     def _serve(self, client: Hashable, payload, handler, cost: float) -> None:
         done = max(self.sim.now, self.busy_until) + cost

@@ -35,7 +35,7 @@ Writers come in two modes:
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Hashable, Optional
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from repro.core.rqs import RefinedQuorumSystem
 from repro.sim.conditions import AckSet, AllOf, ConditionMap
@@ -43,6 +43,14 @@ from repro.sim.network import Message
 from repro.sim.process import Process
 from repro.sim.tasks import WaitUntil
 from repro.sim.trace import Trace
+from repro.storage.batching import (
+    BatchAck,
+    BatchAcks,
+    ReadBatch,
+    ReadBatchAck,
+    WriteBatch,
+    distinct_keys,
+)
 from repro.storage.history import DEFAULT_KEY
 from repro.storage.messages import RD, RdAck, WR, WrAck
 from repro.storage.stamping import DiscoveryInbox, StampIssuer
@@ -74,6 +82,10 @@ class StorageWriter(Process):
         self.selector = selector
         self._acks = ConditionMap(AckSet, "wr key={} ts={} rnd={}")
         self._discovery = DiscoveryInbox("write ts-discovery#{}")
+        self._batches = BatchAcks("wr batch#{} rnd={}")
+        # The broadcast target list is the same every round — cache the
+        # sorted ground set instead of re-sorting per op (hot path).
+        self._ground = tuple(sorted(rqs.ground_set, key=repr))
 
     @property
     def writer_id(self) -> Optional[int]:
@@ -98,6 +110,11 @@ class StorageWriter(Process):
         elif isinstance(payload, RdAck) and payload.rnd == 0:
             self._discovery.record(payload.read_no, message.src,
                                    payload.history)
+        elif isinstance(payload, BatchAck):
+            self._batches.record(payload.batch_no, payload.rnd, message.src)
+        elif isinstance(payload, ReadBatchAck) and payload.rnd == 0:
+            self._discovery.record(payload.read_no, message.src,
+                                   payload.replies)
 
     def acks(self, ts: int, rnd: int, key: Hashable = DEFAULT_KEY) -> AckSet:
         """The responder set for one round (a signalling ``set``)."""
@@ -165,9 +182,10 @@ class StorageWriter(Process):
 
     def _targets(self, target):
         """The servers one round contacts: the drawn quorum under a
-        strategy, the full ground set otherwise."""
-        return sorted(target if target is not None else self.rqs.ground_set,
-                      key=repr)
+        strategy, the (cached) full ground set otherwise."""
+        if target is None:
+            return self._ground
+        return sorted(target, key=repr)
 
     def _discover(self, key: Hashable, target=None):
         """MW timestamp discovery: the highest stored timestamp for
@@ -211,3 +229,101 @@ class StorageWriter(Process):
     ):
         acked = self.acks(ts, rnd, key)
         return self.rqs.some_responding_quorum(acked, cls=cls)
+
+    # -- batched protocol --------------------------------------------------------
+
+    def write_batch(self, elems: List[Tuple[Any, Hashable]]):
+        """Up to ``batch_size`` writes through one Figure 5 round
+        structure: stamps per element in draw order, one
+        :class:`WriteBatch` broadcast per round, one responder set per
+        round.  Because every server applies all elements before its
+        single ack, the batch-level class-1 / QC'2 / round-2 decisions
+        coincide exactly with each element's unbatched decisions over
+        the same responder set.  Under a strategy, one quorum draw
+        covers the whole batch."""
+        now = self.sim.now
+        records = [
+            self.trace.begin("write", self.pid, now, value, key=key)
+            for value, key in elems
+        ]
+        target = self.selector.next_write() if self.selector else None
+        if not self.stamps.multi_writer:
+            stamps = [self.stamps.bare(key) for _, key in elems]
+            extra_rounds = 0
+        else:
+            observed = yield from self._discover_batch(
+                distinct_keys(elems), target
+            )
+            stamps = [
+                self.stamps.stamped(key, observed[key]) for _, key in elems
+            ]
+            extra_rounds = 1
+        for record, ts in zip(records, stamps):
+            record.meta["ts"] = ts
+        ops = tuple(
+            (ts, value, key) for ts, (value, key) in zip(stamps, elems)
+        )
+        number = self._batches.open()
+        targets = self._targets(target)
+
+        # Round 1 (Figure 5 lines 2-3, batch-wide).
+        yield from self._batch_round(number, ops, frozenset(), 1, targets)
+        round1 = self._batches.responders(number, 1)
+        if self.rqs.some_responding_quorum(round1, cls=1) is not None:
+            return self._finish_batch(number, records, 1 + extra_rounds)
+
+        # Lines 4-5: the class-2 quorums that fully acked round 1.
+        qc2_prime = frozenset(q2 for q2 in self.rqs.qc2 if q2 <= round1)
+
+        # Round 2 (lines 6-7).
+        yield from self._batch_round(number, ops, qc2_prime, 2, targets)
+        round2 = self._batches.responders(number, 2)
+        if any(q2 <= round2 for q2 in qc2_prime):
+            return self._finish_batch(number, records, 2 + extra_rounds)
+
+        # Round 3 (lines 8-9).
+        yield from self._batch_round(number, ops, frozenset(), 3, targets)
+        return self._finish_batch(number, records, 3 + extra_rounds)
+
+    def _finish_batch(self, number: int, records, rounds: int):
+        self._batches.close(number, 1, 2, 3)
+        now = self.sim.now
+        for record in records:
+            self.trace.complete(record, now, "OK", rounds=rounds)
+        return records
+
+    def _discover_batch(self, keys: Tuple[Hashable, ...], target=None):
+        """One MW discovery collect over the batch's distinct keys —
+        per-key highest stored timestamps at some responding quorum."""
+        number = self._discovery.open()
+        collect = ReadBatch(number, 0, keys)
+        for server in self._targets(target):
+            self.send(server, collect)
+        yield WaitUntil(
+            self._discovery.responders(number).includes_any(
+                self.rqs.quorums
+            ),
+            f"write batch ts-discovery#{number}",
+        )
+        views = self._discovery.close(number)
+        return {
+            key: max(
+                snapshots[i].max_timestamp()
+                for snapshots in views.values()
+            )
+            for i, key in enumerate(keys)
+        }
+
+    def _batch_round(self, number, ops, qc2_prime, rnd, targets):
+        message = WriteBatch(number, rnd, "", ops, qc2_prime)
+        for server in targets:
+            self.send(server, message)
+        quorum_acked = self._batches.responders(number, rnd).includes_any(
+            self.rqs.quorums
+        )
+        label = f"write batch#{number} round {rnd}"
+        if rnd < 3:
+            timer = self.sim.timer_at(self.sim.now + self.timeout)
+            yield WaitUntil(AllOf(timer, quorum_acked), label)
+        else:
+            yield WaitUntil(quorum_acked, label)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments import (
     baselines,
+    batched,
     bounds,
     consensus_latency,
     contention,
@@ -174,6 +175,35 @@ class TestSoak:
         assert rqs_rows and all(
             0 < r.server_max_retained < 2_000 for r in rqs_rows
         )
+
+
+class TestBatched:
+    def test_grid_shape(self):
+        """The E17 literal sweeps protocol × batch size × op budget on
+        the E15 16-key soak shape."""
+        axes = dict(batched.GRID.axes)
+        assert axes["batch_size"] == (1, 4, 16)
+        assert set(axes["protocol"]) == {"abd", "fastabd", "rqs-storage"}
+        spec = batched.GRID.build({
+            "protocol": "abd", "batch_size": 16,
+            "max_ops": 10_000, "seed": 5,
+        })
+        assert spec.workload[0].batch_size == 16
+        assert spec.n_keys == batched.SOAK_KEYS
+
+    def test_rows_fold_with_speedups(self):
+        rows = batched.run_experiment(sizes=(10_000,))
+        assert len(rows) == 9  # 3 protocols × 3 batch sizes
+        assert all(row.verdict == "atomic" for row in rows)
+        by_cell = {(r.protocol, r.batch_size): r for r in rows}
+        for protocol in ("abd", "fastabd", "rqs-storage"):
+            plain = by_cell[(protocol, 1)]
+            big = by_cell[(protocol, 16)]
+            assert plain.speedup == 1.0
+            # Events per op are deterministic — the machine-independent
+            # form of the ≥5× throughput claim gated in CI.
+            assert big.events_per_op * 5 <= plain.events_per_op
+            assert big.speedup > 1.0
 
 
 class TestMetricsAblation:

@@ -1,0 +1,153 @@
+"""Batched-vs-unbatched equivalence and the ``batch_size`` knob's guards.
+
+The batched hot path must be an *optimization*, not a semantic change:
+the same closed-loop spec run with ``batch_size=N`` must complete the
+same operations, reach the same per-key final state, and carry the same
+atomicity verdict as the ``batch_size=1`` run — across all four storage
+protocols, single- and multi-writer stamping, and crash/lossy fault
+plans.  (Message counts and latencies legitimately differ — that is the
+point of batching.)
+"""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import RandomMix, ScenarioSpec, run
+from repro.scenarios.faults import Crash, Drop, FaultPlan
+from repro.scenarios.workloads import Write
+
+STORAGE_PROTOCOLS = ("abd", "fastabd", "naive", "rqs-storage")
+
+FAULT_PLANS = {
+    "fault-free": FaultPlan(),
+    "crash": FaultPlan(crashes=(Crash(1, 5.0),)),
+    # Server 2's replies are lost until t=10 (a bounded lossy regime);
+    # quorums routed around it until then.
+    "lossy": FaultPlan(asynchrony=(
+        Drop(src=(2,), until=10.0, label="lossy server 2"),
+    )),
+}
+
+
+def _spec(protocol, *, batch_size=1, n_writers=1, faults=FaultPlan(),
+          seed=11):
+    return ScenarioSpec(
+        protocol=protocol,
+        rqs="example6" if protocol == "rqs-storage" else None,
+        readers=3,
+        n_writers=n_writers,
+        n_keys=4,
+        workload=(RandomMix(30, 40, horizon=70.0, batch_size=batch_size),),
+        seed=seed,
+        faults=faults,
+    )
+
+
+def _final_pairs(result):
+    """Per-key highest stored ``(ts, value)`` across all servers.
+
+    Batched runs may park *more* low-timestamp state (e.g. the RQS
+    batched read skips the BCD fast paths and always writes back), so
+    equivalence is on the winning pair per register, not on raw server
+    state.
+    """
+    servers = list(result.system.servers.values())
+    protocol = result.spec.protocol
+    if protocol in ("abd", "naive"):
+        keys = set().union(*(s.pairs for s in servers))
+        pairs_of = lambda s, k: (s.pair_for(k),)
+    elif protocol == "fastabd":
+        keys = set().union(*(s.slots for s in servers))
+        pairs_of = lambda s, k: tuple(s._slots_for(k).values())
+    else:  # rqs-storage
+        keys = set().union(*(s.histories for s in servers))
+        pairs_of = lambda s, k: tuple(
+            s.history_for(k).snapshot().pairs()
+        )
+    out = {}
+    for key in sorted(keys, key=repr):
+        best = max(
+            (p for s in servers for p in pairs_of(s, key)),
+            key=lambda p: p.ts,
+        )
+        out[key] = (best.ts, best.val)
+    return out
+
+
+@pytest.mark.parametrize("fault_label", sorted(FAULT_PLANS))
+@pytest.mark.parametrize("protocol", STORAGE_PROTOCOLS)
+def test_batched_equals_unbatched_sw(protocol, fault_label):
+    """Single-writer: bare per-key stamps are timing-independent, so
+    batching must not change the final state at all."""
+    faults = FAULT_PLANS[fault_label]
+    plain = run(_spec(protocol, batch_size=1, faults=faults))
+    batched = run(_spec(protocol, batch_size=8, faults=faults))
+
+    assert plain.summary()["operations"] == batched.summary()["operations"]
+    assert plain.summary()["completed"] == batched.summary()["completed"]
+    assert _final_pairs(plain) == _final_pairs(batched)
+    assert plain.atomicity.atomic == batched.atomicity.atomic
+
+
+@pytest.mark.parametrize("fault_label", sorted(FAULT_PLANS))
+@pytest.mark.parametrize("protocol", STORAGE_PROTOCOLS)
+def test_batched_equals_unbatched_mw(protocol, fault_label):
+    """Multi-writer: stamps come from timestamp discovery, so which of
+    two *concurrent* writes wins a key is interleaving-dependent and
+    batching legitimately changes the interleaving.  The MW contract is
+    therefore: same operation counts, same verdict, and a fully
+    deterministic batched execution (same spec → byte-identical run)."""
+    faults = FAULT_PLANS[fault_label]
+    plain = run(_spec(protocol, batch_size=1, n_writers=3, faults=faults))
+    batched = run(_spec(protocol, batch_size=8, n_writers=3, faults=faults))
+
+    assert plain.summary()["operations"] == batched.summary()["operations"]
+    assert plain.summary()["completed"] == batched.summary()["completed"]
+    assert plain.atomicity.atomic == batched.atomicity.atomic
+
+    again = run(_spec(protocol, batch_size=8, n_writers=3, faults=faults))
+    assert batched.fingerprint() == again.fingerprint()
+    assert _final_pairs(batched) == _final_pairs(again)
+
+
+def test_batch_size_one_is_byte_identical_to_default():
+    """``batch_size=1`` takes the exact unbatched code path — same
+    fingerprint as a spec that never mentions the knob."""
+    for protocol in STORAGE_PROTOCOLS:
+        default = run(_spec(protocol))
+        explicit = run(_spec(protocol, batch_size=1))
+        assert default.fingerprint() == explicit.fingerprint()
+
+
+def test_batch_size_must_be_positive_int():
+    with pytest.raises(ScenarioError, match="batch_size"):
+        RandomMix(5, 5, horizon=10.0, batch_size=0)
+    with pytest.raises(ScenarioError, match="batch_size"):
+        RandomMix(5, 5, horizon=10.0, batch_size=-3)
+    with pytest.raises(ScenarioError, match="batch_size"):
+        RandomMix(5, 5, horizon=10.0, batch_size="2")
+
+
+@pytest.mark.parametrize("protocol", ("paxos", "pbft", "rqs-consensus"))
+def test_consensus_adapters_reject_batching(protocol):
+    spec = ScenarioSpec(
+        protocol=protocol,
+        rqs="example6" if protocol == "rqs-consensus" else None,
+        workload=(RandomMix(3, 3, horizon=10.0, batch_size=4),),
+        seed=1,
+    )
+    with pytest.raises(ScenarioError, match="batch_size"):
+        run(spec)
+
+
+def test_mixed_literal_expansion_rejects_batching():
+    spec = ScenarioSpec(
+        protocol="abd",
+        workload=(
+            Write(1.0, "v"),
+            RandomMix(3, 3, horizon=10.0, batch_size=4),
+        ),
+        seed=1,
+    )
+    with pytest.raises(ScenarioError, match="batch_size"):
+        run(spec)

@@ -12,7 +12,9 @@ Checks, against the committed ``BENCH_simcore.json`` baseline:
 2. **Determinism** — the regenerated run's ``events`` and ``blocked``
    counts match the committed baseline *exactly*: simulated executions
    are machine-independent, so any difference is a real behaviour
-   regression, not noise.
+   regression, not noise.  The ``micro`` hot-path row (events/sec on
+   the 50-client keyed storage mix — the allocation-lean exhibit) is
+   held to the same event-count determinism and the drift tolerance.
 3. **Acceptance** — the target row (storage, n=50) shows at least the
    recorded ``min_speedup`` (5x) events/sec over the legacy scan loop,
    in the committed artifact and in the fresh run.
@@ -41,9 +43,15 @@ from _gate import (
     repo_root_on_path,
 )
 
-REQUIRED_TOP = ("name", "schema_version", "target", "cases", "speedups")
+REQUIRED_TOP = (
+    "name", "schema_version", "target", "cases", "speedups", "micro",
+)
 REQUIRED_CASE = (
     "workload", "n", "wakeup", "events", "blocked", "wall_s",
+    "events_per_sec",
+)
+REQUIRED_MICRO = (
+    "workload", "clients", "n_keys", "operations", "events", "wall_s",
     "events_per_sec",
 )
 WAKEUPS = ("indexed", "scan")
@@ -77,6 +85,13 @@ def check_schema(payload: dict, label: str) -> list:
     for key in ("workload", "n", "min_speedup"):
         if key not in target:
             problems.append(f"{label}: target missing {key!r}")
+    micro = payload["micro"]
+    micro_problems = missing_case_keys(micro, REQUIRED_MICRO, label)
+    problems += micro_problems
+    if not micro_problems and (
+        micro["events"] <= 0 or micro["events_per_sec"] <= 0
+    ):
+        problems.append(f"{label}: non-positive micro counters {micro}")
     return problems
 
 
@@ -149,11 +164,19 @@ def main(argv=None) -> int:
         case_index(baseline), case_index(fresh),
         ("events", "blocked"),
     )
+    problems += determinism_problems(
+        {("micro",): baseline["micro"]}, {("micro",): fresh["micro"]},
+        ("events", "operations"),
+    )
     problems += check_speedup(baseline, "baseline")
     problems += check_speedup(fresh, "fresh")
     if not args.skip_drift:
         problems += drift_problems(
             case_index(baseline), case_index(fresh),
+            "events_per_sec", args.tolerance,
+        )
+        problems += drift_problems(
+            {("micro",): baseline["micro"]}, {("micro",): fresh["micro"]},
             "events_per_sec", args.tolerance,
         )
     target = baseline["target"]

@@ -17,11 +17,19 @@ Checks, against the committed ``BENCH_workload.json`` baseline:
    online-checked atomic on every register, and every stream row's
    windowed verdict is atomic.  Stream rows are keyed by
    ``(label, max_ops)`` — the labelled families are the ABD baseline
-   (``abd-sw``), bounded-history RQS (``rqs-bounded``) and multi-writer
-   ABD (``abd-mw``); each row must report the checker mode its writer
-   count demands (``sw`` vs ``mw``), and bounded-history rows must
-   report garbage collection actually happening with the server-side
-   retained-cell high-water mark under the flat-memory cap.
+   (``abd-sw``), bounded-history RQS (``rqs-bounded``), multi-writer
+   ABD (``abd-mw``) and the batched hot path (``abd-sw-batched``,
+   ``batch_size=16``); each row must report the checker mode its writer
+   count demands (``sw`` vs ``mw``), carry its family's ``batch_size``,
+   and bounded-history rows must report garbage collection actually
+   happening with the server-side retained-cell high-water mark under
+   the flat-memory cap.  The **batch speedup gate** requires, at every
+   size both families record, the batched family to process ≥5× fewer
+   simulated events than ``abd-sw`` (deterministic, held strictly on
+   baseline and fresh) and its ops/sec (quoted on simulator-only
+   ``execute_seconds``) to beat the baseline's by ≥5× in the committed
+   artifact — the fresh run's wall-clock form of the ratio is derated
+   by ``--tolerance`` like every other single-shot timing here.
 3. **Budgets** — the fresh closed soak stays under ``--budget`` wall
    seconds; the fresh stream rows stay under ``--stream-budget``
    seconds each (scaled: a row's budget is proportional to its op
@@ -62,13 +70,13 @@ from _gate import (
 
 REQUIRED_TOP = ("name", "schema_version", "cases", "soak", "stream")
 REQUIRED_CASE = (
-    "n_keys", "clients", "operations", "completed", "events", "wall_s",
-    "ops_per_sec",
+    "n_keys", "clients", "operations", "completed", "events",
+    "execute_seconds", "wall_s", "ops_per_sec",
 )
 REQUIRED_SOAK = REQUIRED_CASE + ("atomic", "keys_checked")
 REQUIRED_STREAM = REQUIRED_CASE + (
-    "label", "protocol", "n_writers", "bounded_history", "checker_mode",
-    "max_ops", "atomic", "violations", "keys_checked",
+    "label", "protocol", "n_writers", "bounded_history", "batch_size",
+    "checker_mode", "max_ops", "atomic", "violations", "keys_checked",
     "checker_max_retained", "server_max_retained_cells",
     "server_gc_removed_cells", "peak_rss_kb",
 )
@@ -88,10 +96,19 @@ MAX_SERVER_RETAINED = 20_000
 #: relative to the ABD baseline (RQS evaluates quorum predicates per
 #: round; MW writes add a discovery round).
 STREAM_LABELS = {
-    "abd-sw": {"full_row": True, "budget_scale": 1.0},
-    "rqs-bounded": {"full_row": True, "budget_scale": 4.0},
-    "abd-mw": {"full_row": False, "budget_scale": 2.0},
+    "abd-sw": {"full_row": True, "budget_scale": 1.0, "batch_size": 1},
+    "rqs-bounded": {"full_row": True, "budget_scale": 4.0, "batch_size": 1},
+    "abd-mw": {"full_row": False, "budget_scale": 2.0, "batch_size": 1},
+    "abd-sw-batched": {
+        "full_row": True, "budget_scale": 1.0, "batch_size": 16,
+    },
 }
+
+#: The tentpole exhibit: the batched family must beat the unbatched
+#: abd-sw baseline by at least this ops/sec factor at equal sizes.
+MIN_BATCH_SPEEDUP = 5.0
+BATCHED_LABEL = "abd-sw-batched"
+UNBATCHED_LABEL = "abd-sw"
 
 
 def check_schema(payload: dict, label: str, full_baseline: bool) -> list:
@@ -156,6 +173,12 @@ def check_schema(payload: dict, label: str, full_baseline: bool) -> list:
                 f"{row['checker_mode']!r} with {row['n_writers']} "
                 f"writer(s) (expected {expected_mode!r})"
             )
+        expected_batch = STREAM_LABELS[row["label"]]["batch_size"]
+        if row["batch_size"] != expected_batch:
+            problems.append(
+                f"{label}: {where} ran batch_size={row['batch_size']} "
+                f"(family records {expected_batch})"
+            )
         if row["bounded_history"]:
             if row["server_gc_removed_cells"] <= 0:
                 problems.append(
@@ -208,6 +231,59 @@ def check_determinism(baseline: dict, fresh: dict) -> list:
         {k: base[k] for k in shared}, {k: new[k] for k in shared},
         ("operations", "completed", "events"),
     )
+    return problems
+
+
+def check_batch_speedup(
+    payload: dict, label: str, tolerance: float = 0.0
+) -> list:
+    """The tentpole gate, at every size both families recorded:
+
+    - the batched row must process ≥ :data:`MIN_BATCH_SPEEDUP` × fewer
+      simulated **events** than the unbatched baseline — the
+      machine-independent form of the claim (event counts are
+      deterministic), always held strictly;
+    - the batched row's **ops/sec** (quoted on simulator-only
+      ``execute_seconds``) must be ≥ :data:`MIN_BATCH_SPEEDUP` × the
+      unbatched baseline's, derated by ``tolerance`` — pass 0 for the
+      committed artifact (both rows recorded by one unloaded full run)
+      and the drift tolerance for the fresh regeneration, whose
+      single-shot wall clocks are noisy like every other wall-clock
+      check here.
+    """
+    rows = stream_index(payload)
+    problems = []
+    compared = 0
+    min_measured = MIN_BATCH_SPEEDUP * (1.0 - tolerance)
+    for (family, size), batched in rows.items():
+        if family != BATCHED_LABEL:
+            continue
+        plain = rows.get((UNBATCHED_LABEL, size))
+        if plain is None:
+            continue
+        compared += 1
+        event_ratio = plain["events"] / batched["events"]
+        if event_ratio < MIN_BATCH_SPEEDUP:
+            problems.append(
+                f"{label}: batched stream row {BATCHED_LABEL}/{size} "
+                f"processes only {event_ratio:.2f}x fewer events than "
+                f"{UNBATCHED_LABEL} ({batched['events']} vs "
+                f"{plain['events']}; need >= {MIN_BATCH_SPEEDUP}x)"
+            )
+        ratio = batched["ops_per_sec"] / plain["ops_per_sec"]
+        if ratio < min_measured:
+            problems.append(
+                f"{label}: batched stream row {BATCHED_LABEL}/{size} is "
+                f"only {ratio:.2f}x the {UNBATCHED_LABEL} baseline "
+                f"({batched['ops_per_sec']} vs {plain['ops_per_sec']} "
+                f"ops/s; need >= {min_measured:.2f}x)"
+            )
+    if compared == 0:
+        problems.append(
+            f"{label}: no size has both {BATCHED_LABEL} and "
+            f"{UNBATCHED_LABEL} stream rows — the batch speedup gate "
+            f"cannot run"
+        )
     return problems
 
 
@@ -332,6 +408,8 @@ def main(argv=None) -> int:
         # Schema-invalid inputs: report, never touch the missing keys.
         return finish(problems, "")
     problems += check_determinism(baseline, fresh)
+    problems += check_batch_speedup(baseline, "baseline")
+    problems += check_batch_speedup(fresh, "fresh", args.tolerance)
     problems += check_budgets(fresh, args.budget, args.stream_budget)
     problems += check_memory(baseline, fresh, args.rss_ratio, args.rss_cap)
     if not args.skip_drift:
