@@ -15,6 +15,14 @@ counterparts consumed as operations *complete*:
   stream (deterministically seeded).  Below capacity it holds every
   sample, so small-run quantiles are exact; above capacity it degrades
   to a classic reservoir estimate with O(capacity) memory.
+
+Both carry an **order-independent** ``merge`` classmethod: sharded
+soaks (:mod:`repro.scenarios.sharding`) fold per-shard accumulators
+into one aggregate whose value depends only on the multiset of inputs,
+never on nondeterministic shard completion order — counts and the
+rational time sum are commutative (merged means stay Fraction-exact),
+and reservoir merging canonical-sorts candidates before any
+deterministic subsampling.
 * :class:`OnlineChecker` — a *windowed* per-key safety checker for
   single-writer keyed histories: monotone writer order, no fabrication,
   no reading the future, no stale reads (read-your-writes against every
@@ -55,10 +63,11 @@ runner wires the checker to.
 from __future__ import annotations
 
 import random
+import zlib
 from bisect import bisect_left
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.storage.history import BOTTOM
 
@@ -119,6 +128,62 @@ class QuantileReservoir:
             self._sorted = sorted(self._samples)
         return nearest_rank(self._sorted, fraction)
 
+    @classmethod
+    def merge(
+        cls,
+        reservoirs: Iterable["QuantileReservoir"],
+        capacity: Optional[int] = None,
+        seed: int = 9973,
+    ) -> "QuantileReservoir":
+        """Merge independent reservoirs into one, **order-independently**.
+
+        The merged reservoir depends only on the *multiset* of input
+        reservoirs, never on their iteration order (shard completion
+        order is nondeterministic under multiprocessing).  Achieved by
+        canonicalizing before any randomness: all candidate samples are
+        sorted by ``(value, weight)``, and — only when they overflow
+        ``capacity`` — an Efraimidis–Spirakis weighted subsample (each
+        sample weighted by the share of its source stream it
+        represents, ``seen / len(samples)``) is drawn with an RNG
+        seeded purely from the merged totals.  Two candidates tied on
+        ``(value, weight)`` are interchangeable, so the selected sample
+        multiset is permutation-invariant.
+
+        While every input is still :attr:`exact` and the union fits,
+        the merge holds the exact union — merged quantiles then equal
+        the single-stream reservoir's.  Merged reservoirs are terminal
+        summaries: further :meth:`observe` calls would treat the
+        subsample as a plain prefix and are not supported.
+        """
+        parts = [r for r in reservoirs if r.seen]
+        if capacity is None:
+            if not parts:
+                raise ValueError("merge needs a capacity or a non-empty part")
+            capacity = parts[0].capacity
+        merged = cls(capacity, seed)
+        merged.seen = sum(part.seen for part in parts)
+        candidates: List[Tuple[float, float]] = []
+        for part in parts:
+            weight = part.seen / len(part._samples)
+            candidates.extend((value, weight) for value in part._samples)
+        candidates.sort()
+        if len(candidates) <= capacity:
+            merged._samples = [value for value, _ in candidates]
+            return merged
+        rng = random.Random(zlib.crc32(
+            f"reservoir-merge:{seed}:{merged.seen}:{len(candidates)}"
+            .encode()
+        ))
+        keyed = [
+            (rng.random() ** (1.0 / weight), index)
+            for index, (_, weight) in enumerate(candidates)
+        ]
+        keyed.sort(reverse=True)
+        merged._samples = sorted(
+            candidates[index][0] for _, index in keyed[:capacity]
+        )
+        return merged
+
 
 class LatencyAccumulator:
     """Online latency aggregation for one operation kind.
@@ -174,6 +239,53 @@ class LatencyAccumulator:
 
     def quantile(self, fraction: float) -> Optional[float]:
         return self.reservoir.quantile(fraction)
+
+    @classmethod
+    def merge(
+        cls,
+        accumulators: Iterable["LatencyAccumulator"],
+        kind: Optional[str] = None,
+    ) -> "LatencyAccumulator":
+        """Merge per-shard accumulators of one kind, order-independently.
+
+        Counts, round sums, min/max bounds and the exact rational time
+        sum are commutative, so the merged mean is Fraction-exact — the
+        union of shard streams yields the same ``mean_time`` to the
+        last bit as a single-process run over the same completions.
+        Quantiles delegate to :meth:`QuantileReservoir.merge` (exact
+        while every shard stayed below reservoir capacity).
+        """
+        parts = list(accumulators)
+        if not parts:
+            raise ValueError("merge needs at least one accumulator")
+        kinds = {part.kind for part in parts}
+        if kind is None:
+            if len(kinds) != 1:
+                raise ValueError(
+                    f"merge mixes operation kinds {sorted(kinds)}; "
+                    f"pass kind= explicitly"
+                )
+            kind = parts[0].kind
+        merged = cls(kind, parts[0].reservoir.capacity)
+        merged.count = sum(part.count for part in parts)
+        merged.rounds_sum = sum(part.rounds_sum for part in parts)
+        merged._time_sum = sum(
+            (part._time_sum for part in parts), Fraction(0)
+        )
+        for name, pick in (
+            ("min_rounds", min), ("max_rounds", max),
+            ("min_time", min), ("max_time", max),
+        ):
+            bounds = [
+                value for part in parts
+                if (value := getattr(part, name)) is not None
+            ]
+            setattr(merged, name, pick(bounds) if bounds else None)
+        merged.reservoir = QuantileReservoir.merge(
+            (part.reservoir for part in parts),
+            capacity=merged.reservoir.capacity,
+        )
+        return merged
 
 
 # -- the windowed online checker ----------------------------------------------

@@ -29,6 +29,7 @@ module                 exhibit
 ``soak``               E15 — horizon-free streaming soaks (online verdicts)
 ``capacity``           E16 — predicted vs measured strategy capacity
 ``batched``            E17 — batched hot path: throughput vs batch size
+``scaling``            E18 — sharded soak scaling: shards × op budget
 =====================  ========================================================
 
 Shared helpers: :func:`~repro.experiments.builders.keyed_mix_spec`

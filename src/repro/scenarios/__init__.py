@@ -47,6 +47,13 @@ take over (``RunResult.online``), and the open-loop stopping rule
 (``ScenarioSpec.duration``/``max_ops``) generates ops lazily per
 client for horizon-free million-op soaks in O(clients + keys) memory.
 
+The biggest soaks **shard**: ``ScenarioSpec.shards > 1`` partitions a
+keyed streaming soak across worker processes by the deterministic
+:func:`key_shard` rule (independent single-writer registers need no
+coordination) and merges per-shard counters, accumulators and online
+verdicts into one :class:`ShardedRunResult` — see
+:mod:`repro.scenarios.sharding`.
+
 Quorum systems can be **expression-defined**: a planning-level
 :class:`~repro.core.algebra.QuorumSystem` (``a*b + c*d`` over
 capacitated :class:`~repro.core.algebra.Node` leaves) is a valid
@@ -89,6 +96,7 @@ from repro.scenarios.registry import (
 )
 from repro.scenarios.result import RunResult
 from repro.scenarios.runner import run
+from repro.scenarios.sharding import ShardedRunResult, run_sharded
 from repro.scenarios.spec import (
     ScenarioSpec,
     named_rqs,
@@ -109,6 +117,7 @@ from repro.scenarios.workloads import (
     Read,
     Resync,
     Write,
+    key_shard,
 )
 from repro.sim.network import TraceLevel
 from repro.storage.history import DEFAULT_KEY
@@ -137,6 +146,7 @@ __all__ = [
     "Resync",
     "RunResult",
     "ScenarioSpec",
+    "ShardedRunResult",
     "Strategy",
     "SweepResult",
     "SweepSpec",
@@ -148,6 +158,7 @@ __all__ = [
     "derive_seed",
     "get_protocol",
     "jsonable",
+    "key_shard",
     "labeled",
     "lossy_until_gst",
     "named_rqs",
@@ -158,6 +169,7 @@ __all__ = [
     "resolve_rqs",
     "run",
     "run_grid",
+    "run_sharded",
     "summary_stats",
     "write_bench_json",
 ]

@@ -271,6 +271,16 @@ class StorageAdapter(ProtocolAdapter):
 
     kind = "storage"
 
+    @staticmethod
+    def _shard_of(spec) -> Optional[Tuple[int, int]]:
+        """The ``(index, count)`` shard view a per-shard worker spec
+        carries in its params (set by ``run_sharded``); None for
+        ordinary unsharded runs."""
+        count = spec.param("shard_count")
+        if count is None:
+            return None
+        return (int(spec.param("shard_index", 0)), int(count))
+
     def schedule(self, spec) -> None:
         workload = spec.workload
         if spec.duration is not None or spec.max_ops is not None:
@@ -353,6 +363,7 @@ class StorageAdapter(ProtocolAdapter):
         stream = mix.stream(
             len(self.system.readers), spec.seed,
             n_keys=spec.n_keys, n_writers=len(self.system.writers),
+            shard=self._shard_of(spec),
         )
         for index in stream.writers_with_ops:
             self._spawn_writer(
@@ -375,18 +386,19 @@ class StorageAdapter(ProtocolAdapter):
                 f"readers >= 1 (or reads=0)"
             )
         budget = OpBudget(spec.max_ops)
+        shard = self._shard_of(spec)
         writers = self.system.writers if mix.writes > 0 else []
         readers = self.system.readers if mix.reads > 0 else []
         for index, writer in enumerate(writers):
             ops = open_loop_stream(
                 mix, "writer", index, len(writers), spec.seed, budget,
-                spec.duration, n_keys=spec.n_keys,
+                spec.duration, n_keys=spec.n_keys, shard=shard,
             )
             self._spawn_writer(index, writer, mix, ops)
         for index, reader in enumerate(readers):
             ops = open_loop_stream(
                 mix, "reader", index, len(readers), spec.seed, budget,
-                spec.duration, n_keys=spec.n_keys,
+                spec.duration, n_keys=spec.n_keys, shard=shard,
             )
             self._spawn_reader(reader, mix, ops)
 

@@ -44,6 +44,10 @@ class RunResult:
         #: Wall seconds of the execute phase (set by the runner); the
         #: scheduler-throughput denominator used by ``bench_simcore``.
         self.execute_seconds: Optional[float] = None
+        #: CPU seconds of the execute phase (``time.process_time``) —
+        #: immune to timesharing, so the fair capacity denominator when
+        #: comparing against sharded runs on oversubscribed hosts.
+        self.execute_cpu_seconds: Optional[float] = None
 
     # -- raw execution access -------------------------------------------------
 
@@ -114,6 +118,17 @@ class RunResult:
         if kind is None:
             return trace.completed_total()
         return trace.completed_counts.get(kind, 0)
+
+    def op_kinds(self) -> Tuple[str, ...]:
+        """Operation kinds begun during this run, sorted — the
+        result-shape-independent way to enumerate kinds (mirrored by
+        ``ShardedRunResult``)."""
+        return tuple(sorted(self.adapter.trace.begun))
+
+    @property
+    def events_processed(self) -> int:
+        """Simulator events consumed by the execute phase."""
+        return self.adapter.sim.events_processed
 
     @property
     def online(self) -> Optional[OnlineReport]:

@@ -82,16 +82,30 @@ def _wire_online_checker(adapter, spec) -> None:
     adapter.online_checker = checker
 
 
-def run(spec: ScenarioSpec) -> RunResult:
-    """Execute one scenario and return its bundled result."""
+def run(spec: ScenarioSpec):
+    """Execute one scenario and return its bundled result.
+
+    Specs with ``shards > 1`` dispatch to the sharded executor
+    (:func:`repro.scenarios.sharding.run_sharded`), which partitions the
+    keyed draw across worker processes and returns the merged
+    :class:`~repro.scenarios.sharding.ShardedRunResult`; everything else
+    runs in-process and returns a plain :class:`RunResult`.
+    """
+    if spec.shards > 1:
+        from repro.scenarios.sharding import run_sharded
+
+        return run_sharded(spec)
     adapter_cls = get_protocol(spec.protocol)
     adapter = adapter_cls.build(spec)
     _wire_online_checker(adapter, spec)
     adapter.apply_faults(spec)
     adapter.schedule(spec)
     start = time.perf_counter()
+    cpu_start = time.process_time()
     adapter.execute(spec)
     elapsed = time.perf_counter() - start
+    cpu_elapsed = time.process_time() - cpu_start
     result = RunResult(spec, adapter)
     result.execute_seconds = elapsed
+    result.execute_cpu_seconds = cpu_elapsed
     return result

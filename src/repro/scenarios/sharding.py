@@ -1,0 +1,472 @@
+"""The sharded multi-process soak engine.
+
+Single-writer registers are independent by construction — the per-key
+verdict partitioning and the windowed online checkers already exploit
+this — so a streamed keyed ``RandomMix`` soak partitions across worker
+processes without coordination.  :func:`run_sharded` splits a spec with
+``shards > 1`` into per-key-shard sub-specs, runs each shard's
+simulator in its own process, and merges the per-shard streaming
+surfaces into one :class:`ShardedRunResult` shaped like a streamed
+:class:`~repro.scenarios.result.RunResult`.
+
+**The key→shard rule.**  :func:`~repro.scenarios.workloads.key_shard`
+maps ``key -> crc32(f"shard:{seed}:{key!r}") % shards``: deterministic,
+derived from the spec's seed, independent of the op stream.  Every
+shard's generators consume the *full* seeded draw (identical gaps,
+keys, and value serials as the unsharded run) and yield only in-shard
+operations, so the union of the shard schedules is a fixed partition of
+the unsharded schedule — the basis of the equivalence tests.
+
+**Collection.**  Workers pickle a :class:`ShardOutcome` — per-kind op
+counters, latency accumulators, the shard's online verdict, server
+history stats, CPU seconds, and peak RSS — into a per-shard
+shared-memory slot (:class:`~repro.scenarios.shm.SlotBlock`; one slot
+per shard, single writer, no locking).  Oversized outcomes fall back to
+the multiprocessing result pipe; nothing is truncated.
+
+**Merge semantics.**  Counters and Fraction-exact latency sums add;
+reservoirs merge order-independently
+(:meth:`~repro.analysis.streaming.QuantileReservoir.merge`); the merged
+online verdict sums checked/violation counts over the repr-sorted key
+union, and REFUSES — ``online is None`` with a structured
+``shard-refused`` :class:`~repro.analysis.streaming.OnlineRefusal` —
+if *any* shard ran unchecked.  A sharded soak never passes vacuously.
+
+**Throughput accounting.**  Each worker reports
+``time.process_time()`` CPU seconds, immune to timesharing, so
+:attr:`ShardedRunResult.capacity_ops_per_sec` (the sum over shards of
+``completed / cpu_seconds``) measures aggregate capacity even on hosts
+with fewer cores than shards; wall-clock ops/sec is reported alongside.
+
+Nested multiprocessing is detected (pool workers are daemonic and
+cannot fork): sharded specs inside ``run_grid`` workers fall back to
+serial in-process shard execution with identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import resource
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.latency import LatencySummary
+from repro.analysis.streaming import (
+    LatencyAccumulator,
+    OnlineRefusal,
+    OnlineReport,
+)
+from repro.errors import ScenarioError
+from repro.scenarios.registry import get_protocol
+from repro.scenarios.shm import SlotBlock
+from repro.scenarios.spec import ScenarioSpec
+
+#: Per-shard result slot: 1 MiB holds a ShardOutcome with full
+#: reservoirs (2 kinds x 2048 floats plus counters) with wide margin.
+SHARD_SLOT_BYTES = 1 << 20
+
+#: Capped violation examples carried through the merge, matching the
+#: online checkers' own ``max_reported``.
+MERGE_MAX_VIOLATIONS = 20
+
+
+def split_max_ops(max_ops: Optional[int], shards: int) -> List[Optional[int]]:
+    """Partition an op budget over shards (first shards absorb the
+    remainder); ``None`` (duration-bounded run) stays ``None``."""
+    if max_ops is None:
+        return [None] * shards
+    base, extra = divmod(max_ops, shards)
+    return [base + (1 if index < extra else 0) for index in range(shards)]
+
+
+def shard_spec(spec: ScenarioSpec, index: int) -> ScenarioSpec:
+    """The single-process sub-spec executing shard ``index``.
+
+    ``shards`` drops back to 1 (no re-dispatch) and the shard view
+    moves into params, where the storage adapter threads it into the
+    workload generators.
+    """
+    allotment = split_max_ops(spec.max_ops, spec.shards)
+    params = dict(spec.params)
+    params["shard_index"] = index
+    params["shard_count"] = spec.shards
+    return spec.with_(
+        shards=1, max_ops=allotment[index], params=params
+    )
+
+
+@dataclass
+class ShardOutcome:
+    """Everything one shard's worker sends home — the full streaming
+    surface of its :class:`RunResult`, flattened to plain picklable
+    data plus the live accumulators."""
+
+    index: int
+    begun: Dict[str, int]
+    completed: Dict[str, int]
+    blocked: Tuple[str, ...]
+    events: int
+    messages: int
+    accumulators: Dict[str, LatencyAccumulator]
+    online: Optional[OnlineReport]
+    online_refusal: Optional[OnlineRefusal]
+    server_history: Optional[Dict[str, Any]] = None
+    execute_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    peak_rss_kb: int = 0
+
+
+def _run_shard(spec: ScenarioSpec, index: int) -> ShardOutcome:
+    """Execute shard ``index`` of a sharded spec in this process."""
+    from repro.scenarios.runner import run
+
+    sub = shard_spec(spec, index)
+    result = run(sub)
+    trace = result.adapter.trace
+    accumulators = {
+        kind: acc for kind in trace.completed_counts
+        if (acc := trace.accumulator(kind)) is not None
+    }
+    return ShardOutcome(
+        index=index,
+        begun=dict(trace.begun),
+        completed=dict(trace.completed_counts),
+        blocked=result.blocked,
+        events=result.events_processed,
+        messages=result.adapter.network.sent_count,
+        accumulators=accumulators,
+        online=result.online,
+        online_refusal=result.online_refusal,
+        server_history=result.server_history,
+        execute_seconds=result.execute_seconds or 0.0,
+        cpu_seconds=result.execute_cpu_seconds or 0.0,
+        peak_rss_kb=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    )
+
+
+# -- worker-process plumbing --------------------------------------------------
+#
+# Fork-started workers inherit these globals (set by the parent before
+# the pool spawns); spawn-started workers rebuild them in the
+# initializer from the pickled payload and the shm name.
+
+_SHARD_SPEC: Optional[ScenarioSpec] = None
+_SHARD_SLOTS: Optional[SlotBlock] = None
+
+
+def _shard_initialize(payload: bytes, shm_name: Optional[str],
+                      slots: int, slot_size: int) -> None:
+    global _SHARD_SPEC, _SHARD_SLOTS
+    if _SHARD_SPEC is None:
+        _SHARD_SPEC = pickle.loads(payload)
+    if _SHARD_SLOTS is None and shm_name is not None:
+        _SHARD_SLOTS = SlotBlock.attach(shm_name, slots, slot_size)
+
+
+def _shard_worker(index: int) -> Tuple[int, Optional[ShardOutcome]]:
+    """Run one shard; land the outcome in its shm slot, falling back to
+    the result pipe when the pickle outgrows the slot."""
+    outcome = _run_shard(_SHARD_SPEC, index)
+    if _SHARD_SLOTS is not None:
+        data = pickle.dumps(outcome, pickle.HIGHEST_PROTOCOL)
+        if _SHARD_SLOTS.write(index, data):
+            return (index, None)
+    return (index, outcome)
+
+
+# -- merging ------------------------------------------------------------------
+
+
+def _merge_online(
+    outcomes: List[ShardOutcome],
+) -> Tuple[Optional[OnlineReport], Optional[OnlineRefusal]]:
+    """One aggregate verdict, or a structured refusal if any shard ran
+    unchecked — a sharded soak never passes vacuously."""
+    unchecked = [o for o in outcomes if o.online is None]
+    if unchecked:
+        details = "; ".join(
+            f"shard {o.index}: "
+            + (o.online_refusal.reason if o.online_refusal else "no-verdict")
+            for o in unchecked
+        )
+        return None, OnlineRefusal(
+            "shard-refused",
+            f"{len(unchecked)}/{len(outcomes)} shards carry no online "
+            f"verdict ({details}); the merged soak refuses rather than "
+            f"pass vacuously",
+        )
+    reports = [o.online for o in outcomes]
+    modes = {report.mode for report in reports}
+    if len(modes) != 1:
+        return None, OnlineRefusal(
+            "shard-refused",
+            f"shards disagree on checker mode {sorted(modes)}; merged "
+            f"counts would mix value-ordered and stamp-ordered checks",
+        )
+    violations: List[Any] = []
+    for report in reports:
+        violations.extend(report.violations)
+    keys = sorted(
+        {key for report in reports for key in report.keys}, key=repr
+    )
+    return OnlineReport(
+        checked_writes=sum(r.checked_writes for r in reports),
+        checked_reads=sum(r.checked_reads for r in reports),
+        violation_count=sum(r.violation_count for r in reports),
+        violations=tuple(violations[:MERGE_MAX_VIOLATIONS]),
+        keys=tuple(keys),
+        # Shards peak independently, so the sum is an upper bound on
+        # simultaneous retention — conservative for the flat-memory gate.
+        max_retained=sum(r.max_retained for r in reports),
+        overrun_unchecked=sum(r.overrun_unchecked for r in reports),
+        mode=modes.pop(),
+    ), None
+
+
+def _merge_server_history(
+    outcomes: List[ShardOutcome],
+) -> Optional[Dict[str, Any]]:
+    parts = [o.server_history for o in outcomes]
+    if any(part is None for part in parts):
+        return None
+    return {
+        "bounded_history": all(part["bounded_history"] for part in parts),
+        "retained_cells": sum(part["retained_cells"] for part in parts),
+        "max_retained_cells": sum(
+            part["max_retained_cells"] for part in parts
+        ),
+        "gc_removed_cells": sum(part["gc_removed_cells"] for part in parts),
+    }
+
+
+def _merge_accumulators(
+    outcomes: List[ShardOutcome],
+) -> Dict[str, LatencyAccumulator]:
+    kinds = sorted({kind for o in outcomes for kind in o.accumulators})
+    return {
+        kind: LatencyAccumulator.merge(
+            [o.accumulators[kind] for o in outcomes
+             if kind in o.accumulators]
+        )
+        for kind in kinds
+    }
+
+
+class ShardedRunResult:
+    """The merged result of a sharded soak — the streaming surface of
+    :class:`~repro.scenarios.result.RunResult` (op counters, online
+    verdict/refusal, accumulator-backed latency, server history,
+    :meth:`summary`) plus the sharded extras: per-shard outcomes,
+    CPU-time capacity, and per-shard peak RSS."""
+
+    def __init__(self, spec: ScenarioSpec, outcomes: List[ShardOutcome],
+                 worker_processes: int):
+        self.spec = spec
+        self.outcomes = sorted(outcomes, key=lambda o: o.index)
+        self.n_shards = len(self.outcomes)
+        #: Worker processes actually used (0 = serial in-process
+        #: fallback under nested multiprocessing).
+        self.worker_processes = worker_processes
+        #: Parent wall seconds for the whole sharded execute phase.
+        self.execute_seconds: Optional[float] = None
+        self._online, self._online_refusal = _merge_online(self.outcomes)
+        self._accumulators = _merge_accumulators(self.outcomes)
+
+    # -- streaming surface (mirrors RunResult) --------------------------------
+
+    @property
+    def streamed(self) -> bool:
+        return True
+
+    def op_kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted({k for o in self.outcomes for k in o.begun}))
+
+    def ops_begun(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return sum(sum(o.begun.values()) for o in self.outcomes)
+        return sum(o.begun.get(kind, 0) for o in self.outcomes)
+
+    def ops_completed(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return sum(sum(o.completed.values()) for o in self.outcomes)
+        return sum(o.completed.get(kind, 0) for o in self.outcomes)
+
+    @property
+    def online(self) -> Optional[OnlineReport]:
+        return self._online
+
+    @property
+    def online_refusal(self) -> Optional[OnlineRefusal]:
+        return self._online_refusal
+
+    @property
+    def server_history(self) -> Optional[Dict[str, Any]]:
+        return _merge_server_history(self.outcomes)
+
+    @property
+    def blocked(self) -> Tuple[str, ...]:
+        return tuple(
+            f"shard{o.index}:{name}"
+            for o in self.outcomes for name in o.blocked
+        )
+
+    @property
+    def events_processed(self) -> int:
+        return sum(o.events for o in self.outcomes)
+
+    @property
+    def messages(self) -> int:
+        return sum(o.messages for o in self.outcomes)
+
+    def latency(self, kind: str) -> LatencySummary:
+        return self.latency_streaming(kind)
+
+    def latency_streaming(self, kind: str) -> LatencySummary:
+        return LatencySummary.from_accumulator(
+            self._accumulators.get(kind), kind
+        )
+
+    # -- sharded extras -------------------------------------------------------
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Total worker CPU seconds across shards."""
+        return sum(o.cpu_seconds for o in self.outcomes)
+
+    @property
+    def capacity_ops_per_sec(self) -> float:
+        """Aggregate capacity: the sum over shards of that shard's
+        completed ops per CPU second.  CPU time is immune to
+        timesharing, so this measures what the shard fleet sustains
+        with a core per shard even when the host has fewer cores."""
+        return sum(
+            sum(o.completed.values()) / o.cpu_seconds
+            for o in self.outcomes if o.cpu_seconds > 0
+        )
+
+    @property
+    def shard_rss_kb(self) -> Tuple[int, ...]:
+        """Per-shard worker peak RSS (``ru_maxrss``, KiB on Linux)."""
+        return tuple(o.peak_rss_kb for o in self.outcomes)
+
+    @property
+    def max_shard_rss_kb(self) -> int:
+        return max(self.shard_rss_kb)
+
+    def summary(self) -> Dict[str, Any]:
+        """The portable digest, same shape as ``RunResult.summary()``
+        plus the ``shards`` block."""
+        out: Dict[str, Any] = {
+            "operations": self.ops_begun(),
+            "completed": self.ops_completed(),
+            "blocked": len(self.blocked),
+            "messages": self.messages,
+            "kinds": {
+                kind: {
+                    "begun": self.ops_begun(kind),
+                    "completed": self.ops_completed(kind),
+                    "latency": self.latency_streaming(kind),
+                }
+                for kind in self.op_kinds()
+            },
+            "shards": {
+                "count": self.n_shards,
+                "workers": self.worker_processes,
+                "cpu_seconds": round(self.cpu_seconds, 6),
+                "capacity_ops_per_sec": round(
+                    self.capacity_ops_per_sec, 2
+                ),
+                "max_shard_rss_kb": self.max_shard_rss_kb,
+            },
+        }
+        online = self.online
+        if online is not None:
+            out["verdict"] = online.verdict
+            out["verdict_source"] = "online-windowed"
+            out["checker_mode"] = online.mode
+            out["keys_checked"] = len(online.keys)
+            out["violations"] = online.violation_count
+        else:
+            out["verdict_source"] = "unchecked"
+            refusal = self.online_refusal
+            if refusal is not None:
+                out["online_refusal"] = refusal.reason
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedRunResult({self.spec.protocol!r}, "
+            f"{self.n_shards} shards, {self.ops_completed()} completed)"
+        )
+
+
+# -- the executor -------------------------------------------------------------
+
+
+def run_sharded(spec: ScenarioSpec,
+                processes: Optional[int] = None) -> ShardedRunResult:
+    """Execute a ``shards > 1`` spec across worker processes.
+
+    Each shard runs its own simulator over the full seeded draw,
+    filtered to its key shard; outcomes come home over shared-memory
+    slots and merge order-independently.  Inside a daemonic pool worker
+    (nested multiprocessing cannot fork) the shards run serially
+    in-process instead — same outcomes, same merge.
+    """
+    if spec.shards < 2:
+        raise ScenarioError(
+            f"run_sharded needs shards >= 2, got {spec.shards}; "
+            f"use run(spec) for single-process execution"
+        )
+    adapter_cls = get_protocol(spec.protocol)
+    if getattr(adapter_cls, "kind", "") != "storage":
+        raise ScenarioError(
+            f"sharded execution partitions independent registers; "
+            f"protocol {spec.protocol!r} is not a storage protocol"
+        )
+    start = time.perf_counter()
+    if multiprocessing.current_process().daemon:
+        outcomes = [_run_shard(spec, index) for index in range(spec.shards)]
+        result = ShardedRunResult(spec, outcomes, worker_processes=0)
+        result.execute_seconds = time.perf_counter() - start
+        return result
+
+    global _SHARD_SPEC, _SHARD_SLOTS
+    workers = min(processes or spec.shards, spec.shards)
+    block = SlotBlock.create(spec.shards, SHARD_SLOT_BYTES)
+    payload = pickle.dumps(spec, pickle.HIGHEST_PROTOCOL)
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = multiprocessing.get_context()
+    # Fork-started workers inherit these; the initializer covers spawn.
+    _SHARD_SPEC, _SHARD_SLOTS = spec, block
+    try:
+        with ctx.Pool(
+            processes=workers,
+            initializer=_shard_initialize,
+            initargs=(payload, block.shm.name, spec.shards,
+                      SHARD_SLOT_BYTES),
+        ) as pool:
+            collected: List[ShardOutcome] = []
+            for index, inline in pool.imap_unordered(
+                _shard_worker, range(spec.shards)
+            ):
+                if inline is not None:
+                    collected.append(inline)
+                    continue
+                data = block.read(index)
+                if data is None:  # pragma: no cover - worker died
+                    raise ScenarioError(
+                        f"shard {index} reported success but its result "
+                        f"slot is empty"
+                    )
+                collected.append(pickle.loads(data))
+    finally:
+        _SHARD_SPEC, _SHARD_SLOTS = None, None
+        block.destroy()
+    result = ShardedRunResult(spec, collected, worker_processes=workers)
+    result.execute_seconds = time.perf_counter() - start
+    return result

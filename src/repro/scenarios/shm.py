@@ -1,0 +1,127 @@
+"""Fixed-slot shared-memory result transport for worker processes.
+
+Multi-process executors (the sharded soak engine, ``run_grid``'s
+shared-memory collection path) need to move pickled results from worker
+processes back to the parent without funneling every byte through the
+``multiprocessing`` result pipe — on large grids and high-shard soaks
+the pipe serializes all results through one reader thread, while a
+:class:`SlotBlock` gives every worker its own pre-sized landing zone.
+
+The layout is deliberately boring: ``slots`` fixed-size slots of
+``slot_size`` bytes each, every slot prefixed by an 8-byte big-endian
+length.  A slot is *empty* while its length prefix is zero (the segment
+is zero-filled at creation), and *filled* exactly once by the worker
+that owns the index — workers never share a slot, so no locking is
+needed.  Payloads larger than the slot return ``False`` from
+:meth:`SlotBlock.write` and the caller falls back to the pipe; the
+transport degrades, it never truncates.
+
+CPython 3.9–3.12 registers *attached* segments with the resource
+tracker, which then unlinks them at worker exit and warns about leaks
+it caused itself (bpo-38119).  :meth:`SlotBlock.attach` unregisters the
+segment after attaching — the parent, which created the segment, is the
+sole owner and unlinks it in :meth:`SlotBlock.destroy`.  Fork-started
+workers avoid the attach path entirely: they inherit the parent's
+already-mapped :class:`SlotBlock` object through a module global set
+before the pool spawns.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import resource_tracker, shared_memory
+from typing import Optional
+
+#: 8-byte big-endian length prefix on every slot; zero means empty.
+HEADER = struct.Struct(">Q")
+
+
+class SlotBlock:
+    """A shared-memory segment divided into fixed, single-writer slots."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, slots: int,
+                 slot_size: int, owner: bool):
+        self.shm = shm
+        self.slots = slots
+        self.slot_size = slot_size
+        self.owner = owner
+
+    @classmethod
+    def create(cls, slots: int, slot_size: int) -> "SlotBlock":
+        """Allocate a zero-filled block for ``slots`` payloads of up to
+        ``slot_size`` bytes each (created by the parent, who owns the
+        unlink)."""
+        if slots < 1 or slot_size < 1:
+            raise ValueError(
+                f"SlotBlock needs slots >= 1 and slot_size >= 1, got "
+                f"{slots} x {slot_size}"
+            )
+        total = slots * (HEADER.size + slot_size)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        # Linux gives zero pages; be explicit so emptiness is an
+        # invariant, not a platform accident.
+        shm.buf[:total] = bytes(total)
+        return cls(shm, slots, slot_size, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, slots: int, slot_size: int) -> "SlotBlock":
+        """Map an existing block by name (spawn-started workers).
+
+        The resource tracker is told to forget the segment immediately:
+        attaching must not transfer unlink responsibility to the worker
+        (bpo-38119).
+        """
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker shape varies
+            pass
+        return cls(shm, slots, slot_size, owner=False)
+
+    def _offset(self, index: int) -> int:
+        if not 0 <= index < self.slots:
+            raise IndexError(
+                f"slot {index} out of range for {self.slots}-slot block"
+            )
+        return index * (HEADER.size + self.slot_size)
+
+    def write(self, index: int, data: bytes) -> bool:
+        """Fill slot ``index``; ``False`` (slot untouched) on overflow."""
+        if len(data) > self.slot_size:
+            return False
+        base = self._offset(index)
+        start = base + HEADER.size
+        self.shm.buf[start:start + len(data)] = data
+        # Length prefix last: a non-zero header means the payload bytes
+        # before it are fully in place.
+        self.shm.buf[base:base + HEADER.size] = HEADER.pack(len(data))
+        return True
+
+    def read(self, index: int) -> Optional[bytes]:
+        """The payload of slot ``index``, or ``None`` while empty."""
+        base = self._offset(index)
+        (length,) = HEADER.unpack_from(bytes(
+            self.shm.buf[base:base + HEADER.size]
+        ))
+        if length == 0:
+            return None
+        start = base + HEADER.size
+        return bytes(self.shm.buf[start:start + length])
+
+    def close(self) -> None:
+        self.shm.close()
+
+    def destroy(self) -> None:
+        """Unmap and (if owner) unlink the segment."""
+        self.shm.close()
+        if self.owner:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlotBlock({self.shm.name!r}, {self.slots} x "
+            f"{self.slot_size} bytes)"
+        )

@@ -29,7 +29,7 @@ from repro.core.rqs import RefinedQuorumSystem
 from repro.core.strategy import Strategy
 from repro.errors import ScenarioError, SimulationError
 from repro.scenarios.faults import FaultPlan
-from repro.scenarios.workloads import Workload, WorkloadOp
+from repro.scenarios.workloads import RandomMix, Workload, WorkloadOp
 from repro.sim.network import TraceLevel
 
 RqsSpec = Union[RefinedQuorumSystem, QuorumSystem, str, None]
@@ -196,6 +196,21 @@ class ScenarioSpec:
         Protocol-specific extras (e.g. ``n``/``t`` for ABD-family
         baselines, ``f`` for PBFT, ``sync_delay`` or ``proposer_values``
         for the RQS consensus).
+    shards:
+        Split the run over this many **key shards**, each simulated in
+        its own worker process (``1``, the default, is the historical
+        single-process execution).  Single-writer keys are independent
+        by construction, so a keyed streaming soak partitions cleanly:
+        every key of ``range(n_keys)`` is deterministically assigned to
+        one shard (a pure crc32 function of the spec's seed — see
+        :func:`repro.scenarios.workloads.key_shard`), each shard runs
+        the *same* workload draw filtered to its own keys, and
+        ``run(spec)`` dispatches to
+        :func:`repro.scenarios.sharding.run_sharded`, which merges the
+        per-shard streams into one aggregate
+        :class:`~repro.scenarios.sharding.ShardedRunResult`.  Requires
+        a storage protocol, a single-``RandomMix`` workload at
+        ``TraceLevel.METRICS``, and ``n_keys >= shards``.
     """
 
     protocol: str
@@ -216,6 +231,7 @@ class ScenarioSpec:
     trace_level: Union[TraceLevel, str] = TraceLevel.FULL
     quorum_strategy: Union[None, str, Strategy] = None
     params: Mapping[str, Any] = field(default_factory=dict)
+    shards: int = 1
 
     def __post_init__(self):
         object.__setattr__(self, "workload", tuple(self.workload))
@@ -254,6 +270,37 @@ class ScenarioSpec:
             )
         except SimulationError as exc:
             raise ScenarioError(str(exc)) from exc
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise ScenarioError(
+                f"shards must be an int >= 1, got {self.shards!r}"
+            )
+        if self.shards > 1:
+            if len(self.workload) != 1 or not isinstance(
+                self.workload[0], RandomMix
+            ):
+                raise ScenarioError(
+                    "sharded runs (shards > 1) take exactly one RandomMix "
+                    "workload literal — the keyed stream is what "
+                    f"partitions across shards; got {self.workload!r}"
+                )
+            if self.n_keys < self.shards:
+                raise ScenarioError(
+                    f"shards={self.shards} needs n_keys >= shards so every "
+                    f"shard owns at least one register; got "
+                    f"n_keys={self.n_keys}"
+                )
+            if self.trace_level is not TraceLevel.METRICS:
+                raise ScenarioError(
+                    "sharded runs stream: only counters, accumulators and "
+                    "online verdicts cross the process boundary, so "
+                    "shards > 1 requires trace_level='metrics'"
+                )
+            if self.max_ops is not None and self.max_ops < self.shards:
+                raise ScenarioError(
+                    f"max_ops={self.max_ops} cannot be split over "
+                    f"{self.shards} shards (each shard needs an op budget "
+                    f">= 1)"
+                )
         object.__setattr__(
             self, "params", MappingProxyType(dict(self.params))
         )

@@ -31,6 +31,13 @@ Horizon-free runs (``ScenarioSpec.duration`` / ``max_ops``) skip the
 closed-loop draw entirely: :func:`open_loop_stream` gives each client an
 independent seeded generator that draws inter-arrival gaps and keys one
 operation at a time — O(1) state per client, unbounded op counts.
+
+Sharded soaks (``ScenarioSpec.shards > 1``) filter at this level:
+:func:`key_shard` assigns every key to a shard deterministically from
+the spec's seed, and both stream paths accept a ``shard=(index,
+count)`` view that consumes the identical RNG stream while yielding
+only in-shard ops — the union of shard schedules is a fixed partition
+of the unsharded draw.
 """
 
 from __future__ import annotations
@@ -47,6 +54,21 @@ from repro.storage.history import DEFAULT_KEY
 
 #: Valid ``RandomMix.distribution`` names.
 KEY_DISTRIBUTIONS = ("uniform", "zipfian")
+
+
+def key_shard(key: Hashable, shards: int, seed: int = 0) -> int:
+    """Deterministic key → shard assignment for sharded soaks.
+
+    A pure crc32 function of the scenario seed and the key's ``repr``
+    (stable across Python versions and processes, like
+    :func:`client_seed`), so the union of per-shard schedules is a
+    fixed partition of the unsharded draw: every client generator
+    consumes the *full* RNG stream and yields exactly the ops whose key
+    lands in its shard.
+    """
+    if shards < 1:
+        raise ScenarioError(f"shards must be >= 1, got {shards}")
+    return zlib.crc32(f"shard:{seed}:{key!r}".encode()) % shards
 
 
 @dataclass(frozen=True)
@@ -142,13 +164,20 @@ class RandomMix:
         first_value: int = 1,
         n_keys: int = 1,
         n_writers: int = 1,
+        shard: Optional[Tuple[int, int]] = None,
     ) -> "OpStream":
         """Lazy per-client schedules, bit-identical to
         :func:`expand_random_mix` for the same arguments (same RNG
-        consumption order, same round-robin client assignment)."""
+        consumption order, same round-robin client assignment).
+
+        ``shard=(index, count)`` filters the *same* draw down to the
+        ops whose key lands in shard ``index`` under :func:`key_shard`
+        — times, values and keys are untouched, so shard streams union
+        back to the unsharded schedule exactly."""
         return OpStream(
             self, n_readers, seed,
             first_value=first_value, n_keys=n_keys, n_writers=n_writers,
+            shard=shard,
         )
 
 
@@ -269,6 +298,7 @@ class OpStream:
         first_value: int = 1,
         n_keys: int = 1,
         n_writers: int = 1,
+        shard: Optional[Tuple[int, int]] = None,
     ):
         if n_writers < 1:
             raise ScenarioError(f"n_writers must be >= 1, got {n_writers}")
@@ -278,7 +308,14 @@ class OpStream:
         self.first_value = first_value
         self.n_keys = n_keys
         self.n_writers = n_writers
+        self.shard = shard
         self._draw = None
+
+    def _in_shard(self, key: Hashable) -> bool:
+        if self.shard is None:
+            return True
+        index, count = self.shard
+        return key_shard(key, count, self.seed) == index
 
     def _schedule(self):
         if self._draw is None:
@@ -299,6 +336,8 @@ class OpStream:
     def writer_ops(self, writer: int) -> Iterator[Tuple[float, Any, Hashable]]:
         write_times, _, write_keys, _ = self._schedule()
         for index in range(writer, self.mix.writes, self.n_writers):
+            if not self._in_shard(write_keys[index]):
+                continue
             yield (
                 write_times[index],
                 self.first_value + index,
@@ -310,7 +349,7 @@ class OpStream:
         ops = [
             (time, read_keys[index])
             for index, (slot_reader, time) in enumerate(read_slots)
-            if slot_reader == reader
+            if slot_reader == reader and self._in_shard(read_keys[index])
         ]
         ops.sort(key=lambda item: item[0])
         return iter(ops)
@@ -388,6 +427,7 @@ def open_loop_stream(
     duration: Optional[float],
     n_keys: int = 1,
     first_value: int = 1,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> Iterator[Tuple]:
     """One client's unbounded lazy op sequence for a horizon-free run.
 
@@ -405,6 +445,14 @@ def open_loop_stream(
     ``(at, value, key)`` triples for writers and ``(at, key)`` pairs
     for readers — the same per-client shapes :class:`OpStream` hands
     out, so the adapter consumes both modes identically.
+
+    ``shard=(index, count)`` makes this client a shard-local view of
+    the *same* generator: the full gap/key RNG stream is consumed in
+    the identical order (times, values and keys match the unsharded
+    stream op for op, including the round-robin value serials of
+    filtered-out ops), but only ops whose key lands in the shard under
+    :func:`key_shard` are yielded — and only those draw from the
+    shard's op budget.
     """
     per_role_ops = mix.writes if role == "writer" else mix.reads
     if per_role_ops <= 0:
@@ -419,9 +467,17 @@ def open_loop_stream(
         at += rng.uniform(0.0, 2.0 * period)
         if duration is not None and at >= duration:
             return
-        if not budget.take():
-            return
-        key = keys.draw(rng)
+        if shard is None:
+            if not budget.take():
+                return
+            key = keys.draw(rng)
+        else:
+            key = keys.draw(rng)
+            if key_shard(key, shard[1], seed) != shard[0]:
+                serial += 1
+                continue
+            if not budget.take():
+                return
         if role == "writer":
             yield at, first_value + index + serial * count, key
         else:

@@ -48,6 +48,118 @@ class TestQuantileReservoir:
         assert nearest_rank([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
 
 
+class TestQuantileReservoirMerge:
+    def _parts(self, sizes, capacity=32, seed=1):
+        rng = random.Random(seed)
+        parts = []
+        for size in sizes:
+            reservoir = QuantileReservoir(capacity=capacity)
+            for _ in range(size):
+                reservoir.observe(rng.uniform(0.0, 100.0))
+            parts.append(reservoir)
+        return parts
+
+    def test_exact_below_combined_capacity(self):
+        parts = self._parts([5, 7, 4])
+        merged = QuantileReservoir.merge(parts)
+        assert merged.seen == 16
+        assert merged.exact
+        combined = sorted(
+            value for part in parts for value in part._samples
+        )
+        assert merged._samples == combined
+
+    def test_order_independent(self):
+        """Satellite: identical merged state for every part ordering —
+        shard completion order must never leak into the result."""
+        parts = self._parts([500, 90, 7, 260], capacity=64)
+        baseline = QuantileReservoir.merge(parts)
+        for _ in range(10):
+            shuffled = parts[:]
+            random.Random(_).shuffle(shuffled)
+            merged = QuantileReservoir.merge(shuffled)
+            assert merged._samples == baseline._samples
+            assert merged.seen == baseline.seen
+
+    def test_bounded_above_capacity(self):
+        parts = self._parts([300, 300], capacity=64)
+        merged = QuantileReservoir.merge(parts)
+        assert merged.seen == 600
+        assert len(merged._samples) == 64
+        assert 20.0 < merged.quantile(0.5) < 80.0
+
+    def test_empty_parts_need_capacity(self):
+        with pytest.raises(ValueError):
+            QuantileReservoir.merge([])
+        merged = QuantileReservoir.merge([], capacity=8)
+        assert merged.seen == 0
+
+
+class TestLatencyAccumulatorMerge:
+    def _split_streams(self, chunks, seed=5):
+        """One accumulator per chunk plus the whole-stream reference."""
+        rng = random.Random(seed)
+        whole = LatencyAccumulator("read")
+        parts = []
+        for size in chunks:
+            part = LatencyAccumulator("read")
+            for _ in range(size):
+                rounds = rng.randint(1, 4)
+                elapsed = rng.uniform(0.25, 8.0)
+                whole.observe(rounds, elapsed)
+                part.observe(rounds, elapsed)
+            parts.append(part)
+        return whole, parts
+
+    def test_merge_equals_whole_stream_exactly(self):
+        whole, parts = self._split_streams([40, 25, 35])
+        merged = LatencyAccumulator.merge(parts)
+        assert merged.count == whole.count
+        assert merged._time_sum == whole._time_sum  # Fraction-exact
+        assert merged.rounds_sum == whole.rounds_sum
+        assert merged.min_time == whole.min_time
+        assert merged.max_time == whole.max_time
+        assert (
+            LatencySummary.from_accumulator(merged)
+            == LatencySummary.from_accumulator(whole)
+        )
+
+    def test_order_independent(self):
+        _, parts = self._split_streams([90, 12, 300, 44])
+        baseline = LatencyAccumulator.merge(parts)
+        for attempt in range(10):
+            shuffled = parts[:]
+            random.Random(attempt).shuffle(shuffled)
+            merged = LatencyAccumulator.merge(shuffled)
+            assert merged._time_sum == baseline._time_sum
+            assert merged.reservoir._samples == baseline.reservoir._samples
+            assert (
+                LatencySummary.from_accumulator(merged)
+                == LatencySummary.from_accumulator(baseline)
+            )
+
+    def test_empty_parts_tolerated(self):
+        whole, parts = self._split_streams([20, 0, 15])
+        merged = LatencyAccumulator.merge(parts)
+        assert merged.count == whole.count
+        assert merged.min_rounds == whole.min_rounds
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="kinds"):
+            LatencyAccumulator.merge(
+                [LatencyAccumulator("read"), LatencyAccumulator("write")]
+            )
+        merged = LatencyAccumulator.merge(
+            [LatencyAccumulator("read"), LatencyAccumulator("write")],
+            kind="op",
+        )
+        assert merged.kind == "op"
+
+    def test_no_parts_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyAccumulator.merge([])
+
+
 class TestLatencyAccumulator:
     def test_matches_list_based_summary_exactly(self):
         trace = Trace()

@@ -11,6 +11,7 @@ from repro.experiments import (
     fig1,
     fig4,
     metrics_ablation,
+    scaling,
     soak,
     storage_latency,
     stress,
@@ -204,6 +205,37 @@ class TestBatched:
             # form of the ≥5× throughput claim gated in CI.
             assert big.events_per_op * 5 <= plain.events_per_op
             assert big.speedup > 1.0
+
+
+class TestScaling:
+    def test_grid_shape(self):
+        """The E18 literal sweeps shard fan-out × op budget on the E17
+        batched 16-key soak shape."""
+        axes = dict(scaling.GRID.axes)
+        assert axes["shards"] == (1, 2, 4, 8)
+        assert scaling.TEN_MILLION in axes["max_ops"]
+        spec = scaling.GRID.build({
+            "shards": 4, "max_ops": 100_000, "seed": 5,
+        })
+        assert spec.shards == 4
+        assert spec.workload[0].batch_size == scaling.BATCH
+        reference = scaling.GRID.build({
+            "shards": 1, "max_ops": 100_000, "seed": 5,
+        })
+        # The shards=1 column is the plain single-process soak, so
+        # every speedup is against the same-budget unsharded baseline.
+        assert reference == spec.with_(shards=1)
+
+    def test_rows_fold_with_capacity_ratios(self):
+        rows = scaling.run_experiment(sizes=(100_000,), shards=(1, 4))
+        assert len(rows) == 2
+        assert all(row.verdict == "atomic" for row in rows)
+        by_shards = {row.shards: row for row in rows}
+        assert by_shards[1].capacity_ratio == 1.0
+        # The CI bench gate requires ≥3×; assert a looser floor here —
+        # the claim under test is that capacity scales with shards.
+        assert by_shards[4].capacity_ratio >= 2.0
+        assert by_shards[4].max_shard_rss_kb > 0
 
 
 class TestMetricsAblation:

@@ -1,0 +1,394 @@
+"""Tests for the sharded multi-process soak engine.
+
+The load-bearing claims: the key→shard rule is a deterministic
+partition of the keyspace; every shard's schedule is a filtered view of
+the *same* seeded draw (so the union of shard schedules is exactly the
+unsharded schedule); the merged :class:`ShardedRunResult` equals the
+single-process run on everything the streaming surface reports — op
+counts, per-key verdicts, and (in the sparse open-loop regime, where
+client queueing never couples ops across shards) Fraction-exact
+latency means; and the aggregate verdict refuses rather than passing
+vacuously when any shard ran unchecked.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import (
+    RandomMix,
+    Read,
+    ScenarioSpec,
+    ShardedRunResult,
+    Write,
+    key_shard,
+    run,
+    run_sharded,
+)
+from repro.scenarios.sharding import (
+    ShardOutcome,
+    _merge_online,
+    _run_shard,
+    shard_spec,
+    split_max_ops,
+)
+from repro.scenarios.shm import SlotBlock
+from repro.scenarios.workloads import OpBudget, OpStream, open_loop_stream
+from repro.experiments.builders import keyed_mix_spec
+
+
+def sharded_soak_spec(**overrides):
+    """A small single-writer keyed streaming soak (closed-loop)."""
+    settings = dict(
+        protocol="abd", n_keys=12, writes=60, reads=90, readers=4,
+        trace_level="metrics", seed=7,
+    )
+    settings.update(overrides)
+    return keyed_mix_spec(**settings)
+
+
+def sparse_open_loop_spec(**overrides):
+    """Duration-bounded open loop with period >> op latency: no client
+    ever queues one shard's op behind another's, so sharded latency is
+    not just equivalent but *identical*."""
+    settings = dict(
+        protocol="abd", n_keys=12, writes=40, reads=60, readers=4,
+        horizon=10_000.0, duration=9_000.0,
+        trace_level="metrics", seed=11,
+    )
+    settings.update(overrides)
+    return keyed_mix_spec(**settings)
+
+
+class TestKeyShard:
+    def test_deterministic_and_in_range(self):
+        for key in range(64):
+            assignment = key_shard(key, 4, seed=3)
+            assert 0 <= assignment < 4
+            assert assignment == key_shard(key, 4, seed=3)
+
+    def test_every_shard_owns_keys(self):
+        owners = {key_shard(key, 4, seed=0) for key in range(64)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_seed_changes_assignment(self):
+        a = [key_shard(key, 4, seed=0) for key in range(64)]
+        b = [key_shard(key, 4, seed=1) for key in range(64)]
+        assert a != b
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ScenarioError):
+            key_shard(0, 0)
+
+
+class TestSpecValidation:
+    def test_shards_must_be_positive_int(self):
+        for bad in (0, -1, 1.5, "2"):
+            with pytest.raises(ScenarioError):
+                sharded_soak_spec().with_(shards=bad)
+
+    def test_sharded_needs_single_random_mix(self):
+        with pytest.raises(ScenarioError, match="RandomMix"):
+            ScenarioSpec(
+                protocol="abd", readers=1, shards=2, n_keys=4,
+                trace_level="metrics",
+                workload=(Write(0.0, "v"), Read(5.0)),
+            )
+
+    def test_sharded_needs_enough_keys(self):
+        with pytest.raises(ScenarioError, match="n_keys"):
+            sharded_soak_spec(n_keys=2).with_(shards=4)
+
+    def test_sharded_needs_metrics_trace(self):
+        with pytest.raises(ScenarioError, match="metrics"):
+            sharded_soak_spec(trace_level="full").with_(shards=2)
+
+    def test_sharded_needs_budget_per_shard(self):
+        with pytest.raises(ScenarioError, match="max_ops"):
+            sharded_soak_spec(max_ops=2).with_(shards=4)
+
+    def test_run_sharded_rejects_single_shard(self):
+        with pytest.raises(ScenarioError, match="shards >= 2"):
+            run_sharded(sharded_soak_spec())
+
+    def test_run_sharded_rejects_consensus(self):
+        spec = sharded_soak_spec().with_(shards=2)
+        object.__setattr__(spec, "protocol", "paxos")
+        with pytest.raises(ScenarioError, match="storage"):
+            run_sharded(spec)
+
+
+class TestSplitMaxOps:
+    def test_partitions_exactly(self):
+        assert split_max_ops(10, 4) == [3, 3, 2, 2]
+        assert sum(split_max_ops(1_000_003, 8)) == 1_000_003
+
+    def test_none_stays_none(self):
+        assert split_max_ops(None, 3) == [None, None, None]
+
+    def test_shard_spec_carries_allotment_and_view(self):
+        spec = sharded_soak_spec(max_ops=10).with_(shards=4)
+        subs = [shard_spec(spec, index) for index in range(4)]
+        assert [sub.max_ops for sub in subs] == [3, 3, 2, 2]
+        assert all(sub.shards == 1 for sub in subs)
+        assert [sub.param("shard_index") for sub in subs] == [0, 1, 2, 3]
+        assert all(sub.param("shard_count") == 4 for sub in subs)
+
+
+class TestSchedulePartition:
+    """The union of shard schedules is exactly the unsharded schedule."""
+
+    def test_closed_loop_stream_partitions(self):
+        mix = RandomMix(writes=50, reads=80, horizon=100.0)
+        readers, seed, n_keys, shards = 4, 13, 16, 4
+
+        def ops(shard):
+            stream = OpStream(
+                mix, readers, seed, n_keys=n_keys, shard=shard
+            )
+            out = []
+            for index in stream.writers_with_ops:
+                out.extend(
+                    ("w", index) + op for op in stream.writer_ops(index)
+                )
+            for index in stream.readers_with_ops:
+                out.extend(
+                    ("r", index) + op for op in stream.reader_ops(index)
+                )
+            return out
+
+        whole = ops(None)
+        parts = [ops((index, shards)) for index in range(shards)]
+        assert all(parts[index] for index in range(shards))
+        assert sorted(sum(parts, [])) == sorted(whole)
+        # disjoint: sizes add up exactly
+        assert sum(len(part) for part in parts) == len(whole)
+
+    def test_open_loop_stream_partitions(self):
+        mix = RandomMix(writes=200, reads=0, horizon=1000.0)
+        seed, shards = 5, 4
+
+        def ops(shard):
+            return list(open_loop_stream(
+                mix, "writer", 0, 1, seed, OpBudget(None), 900.0,
+                n_keys=16, shard=shard,
+            ))
+
+        whole = ops(None)
+        parts = [ops((index, shards)) for index in range(shards)]
+        assert sorted(sum(parts, [])) == sorted(whole)
+        # value serials match the unsharded encoding even after filtering
+        assert set(sum(parts, [])) <= set(whole)
+
+
+class TestEquivalence:
+    """Sharded-vs-unsharded: the streaming surface agrees."""
+
+    def test_closed_loop_counts_and_verdicts(self):
+        spec = sharded_soak_spec()
+        base = run(spec)
+        sharded = run(spec.with_(shards=4))
+        assert isinstance(sharded, ShardedRunResult)
+        assert sharded.op_kinds() == base.op_kinds()
+        for kind in (None, "write", "read"):
+            assert sharded.ops_begun(kind) == base.ops_begun(kind)
+            assert sharded.ops_completed(kind) == base.ops_completed(kind)
+        assert base.online is not None and sharded.online is not None
+        assert sharded.online.keys == base.online.keys
+        assert sharded.online.checked_writes == base.online.checked_writes
+        assert sharded.online.checked_reads == base.online.checked_reads
+        assert sharded.online.violation_count == 0
+        assert sharded.online.verdict == base.online.verdict == "atomic"
+        assert sharded.online.mode == base.online.mode == "sw"
+        assert not sharded.blocked
+
+    def test_sparse_open_loop_latency_is_fraction_exact(self):
+        spec = sparse_open_loop_spec()
+        base = run(spec)
+        sharded = run(spec.with_(shards=4))
+        for kind in ("write", "read"):
+            base_acc = base.adapter.trace.accumulator(kind)
+            merged_acc = sharded._accumulators[kind]
+            # Fraction-exact: the summed time numerators agree, not
+            # just their rounded float projections.
+            assert merged_acc._time_sum == base_acc._time_sum
+            assert merged_acc.count == base_acc.count
+            # Below reservoir capacity the quantiles are exact too, so
+            # the whole summary is equal, not merely close.
+            assert (
+                sharded.latency_streaming(kind)
+                == base.latency_streaming(kind)
+            )
+        assert sharded.ops_begun() == base.ops_begun()
+        assert sharded.online.keys == base.online.keys
+
+    def test_max_ops_budget_is_preserved(self):
+        spec = sharded_soak_spec(max_ops=500)
+        sharded = run(spec.with_(shards=4))
+        assert sharded.ops_begun() == 500
+        assert sharded.summary()["shards"]["count"] == 4
+
+    def test_serial_fallback_matches_pool_execution(self):
+        spec = sparse_open_loop_spec().with_(shards=2)
+        pooled = run_sharded(spec)
+        serial = ShardedRunResult(
+            spec, [_run_shard(spec, index) for index in range(2)],
+            worker_processes=0,
+        )
+        assert serial.ops_begun() == pooled.ops_begun()
+        assert serial.online == pooled.online
+        for kind in ("write", "read"):
+            assert (
+                serial.latency_streaming(kind)
+                == pooled.latency_streaming(kind)
+            )
+
+
+def _grid_cell_with_nested_shards(spec):
+    """Module-level so the pool can pickle it (fork)."""
+    result = run_sharded(spec)
+    return (result.worker_processes, result.ops_begun(),
+            result.online.verdict)
+
+
+class TestNestedMultiprocessing:
+    def test_daemonic_worker_falls_back_to_serial(self):
+        spec = sharded_soak_spec(writes=20, reads=30).with_(shards=2)
+        direct = run_sharded(spec)
+        context = multiprocessing.get_context("fork")
+        with context.Pool(1) as pool:
+            workers, begun, verdict = pool.apply(
+                _grid_cell_with_nested_shards, (spec,)
+            )
+        assert workers == 0  # serial in-process fallback
+        assert begun == direct.ops_begun()
+        assert verdict == direct.online.verdict
+
+
+class TestMergeOnline:
+    def _outcome(self, index, online, refusal=None):
+        return ShardOutcome(
+            index=index, begun={}, completed={}, blocked=(), events=0,
+            messages=0, accumulators={}, online=online,
+            online_refusal=refusal,
+        )
+
+    def test_refuses_when_any_shard_unchecked(self):
+        spec = sharded_soak_spec()
+        checked = _run_shard(spec.with_(shards=2), 0)
+        from repro.analysis.streaming import OnlineRefusal
+        unchecked = self._outcome(
+            1, None, OnlineRefusal("workload-shape", "test")
+        )
+        report, refusal = _merge_online([checked, unchecked])
+        assert report is None
+        assert refusal.reason == "shard-refused"
+        assert "workload-shape" in refusal.detail
+
+    def test_merged_report_sums_and_unions(self):
+        spec = sharded_soak_spec().with_(shards=4)
+        outcomes = [_run_shard(spec, index) for index in range(4)]
+        report, refusal = _merge_online(outcomes)
+        assert refusal is None
+        assert report.checked_ops == sum(
+            o.online.checked_ops for o in outcomes
+        )
+        assert set(report.keys) == {
+            key for o in outcomes for key in o.online.keys
+        }
+        assert report.mode == "sw"
+
+    def test_sharded_result_surfaces_refusal(self):
+        from repro.analysis.streaming import OnlineRefusal
+        spec = sharded_soak_spec().with_(shards=2)
+        good = _run_shard(spec, 0)
+        bad = self._outcome(1, None, OnlineRefusal("not-storage", "x"))
+        result = ShardedRunResult(spec, [good, bad], worker_processes=0)
+        assert result.online is None
+        assert result.online_refusal.reason == "shard-refused"
+        assert result.summary()["verdict_source"] == "unchecked"
+        assert result.summary()["online_refusal"] == "shard-refused"
+
+
+class TestShardedResultSurface:
+    def test_summary_shape_and_extras(self):
+        spec = sharded_soak_spec().with_(shards=4)
+        result = run(spec)
+        summary = result.summary()
+        assert summary["verdict"] == "atomic"
+        assert summary["verdict_source"] == "online-windowed"
+        assert set(summary["kinds"]) == {"write", "read"}
+        shards = summary["shards"]
+        assert shards["count"] == 4
+        assert shards["cpu_seconds"] > 0
+        assert shards["capacity_ops_per_sec"] > 0
+        assert len(result.shard_rss_kb) == 4
+        assert result.max_shard_rss_kb == max(result.shard_rss_kb)
+        assert result.streamed
+        assert result.events_processed > 0
+        assert result.messages > 0
+        assert result.execute_seconds > 0
+
+    def test_server_history_merges_for_rqs(self):
+        spec = sharded_soak_spec(
+            protocol="rqs-storage", writes=30, reads=40,
+        ).with_(shards=2)
+        result = run(spec)
+        history = result.server_history
+        assert history is not None
+        assert history["bounded_history"] in (True, False)
+        assert history["retained_cells"] >= 0
+
+
+class TestSlotBlock:
+    def test_roundtrip_and_empty(self):
+        block = SlotBlock.create(4, 64)
+        try:
+            assert block.read(0) is None
+            assert block.write(0, b"hello")
+            assert block.read(0) == b"hello"
+            assert block.read(1) is None
+        finally:
+            block.destroy()
+
+    def test_overflow_refuses_untruncated(self):
+        block = SlotBlock.create(1, 8)
+        try:
+            assert not block.write(0, b"x" * 9)
+            assert block.read(0) is None
+            assert block.write(0, b"x" * 8)
+            assert block.read(0) == b"x" * 8
+        finally:
+            block.destroy()
+
+    def test_attach_sees_parent_writes(self):
+        block = SlotBlock.create(2, 32)
+        try:
+            block.write(1, pickle.dumps({"a": 1}))
+            view = SlotBlock.attach(block.shm.name, 2, 32)
+            try:
+                assert pickle.loads(view.read(1)) == {"a": 1}
+                assert view.read(0) is None
+            finally:
+                view.close()
+                # attach() unregistered the segment (the spawn-worker
+                # workaround); re-register so the owner's unlink below
+                # finds the tracker entry it made at create time.
+                from multiprocessing import resource_tracker
+                resource_tracker.register(
+                    block.shm._name, "shared_memory"
+                )
+        finally:
+            block.destroy()
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SlotBlock.create(0, 64)
+        block = SlotBlock.create(1, 8)
+        try:
+            with pytest.raises(IndexError):
+                block.read(1)
+        finally:
+            block.destroy()

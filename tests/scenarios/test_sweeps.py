@@ -147,6 +147,50 @@ class TestExecutors:
         assert serial.to_csv() == parallel.to_csv()
         assert serial.verdict_counts() == {"atomic": 12}
 
+    def test_non_default_chunk_size_stays_byte_identical(self):
+        """Satellite: the chunk_size knob never touches results — a
+        1-cell chunk grid flattens back into the same JSON bytes."""
+        from dataclasses import replace
+
+        chunked = replace(ACCEPTANCE_GRID, chunk_size=1)
+        serial = run_grid(ACCEPTANCE_GRID)
+        parallel = run_grid(chunked, executor="multiprocessing",
+                            processes=2)
+        assert serial.to_json() == parallel.to_json()
+        # 12 cells at chunk_size=5 -> uneven tail chunk; still identical.
+        tail = replace(ACCEPTANCE_GRID, chunk_size=5)
+        assert (
+            run_grid(tail, executor="mp", processes=2).to_json()
+            == serial.to_json()
+        )
+
+    def test_chunk_size_drives_dispatch(self):
+        chunks = sweeps_module.dispatch_chunks(10, 2, chunk_size=4)
+        assert chunks == ((0, 1, 2, 3), (4, 5, 6, 7), (8, 9))
+        default = sweeps_module.dispatch_chunks(10, 2)
+        assert default == sweeps_module.dispatch_chunks(
+            10, 2, chunk_size=None
+        )
+
+    def test_chunk_size_validated(self):
+        for bad in (0, -3, 2.5):
+            with pytest.raises(ScenarioError, match="chunk_size"):
+                SweepSpec(name="bad", axes={"seed": (0,)},
+                          base=BASE, chunk_size=bad)
+
+    def test_sharedmem_collection_byte_identical(self):
+        serial = run_grid(ACCEPTANCE_GRID)
+        shared = run_grid(
+            ACCEPTANCE_GRID, executor="multiprocessing", processes=2,
+            collect="sharedmem",
+        )
+        assert serial.to_json() == shared.to_json()
+        assert sweeps_module._WORKER_SLOTS is None  # cleaned up
+
+    def test_unknown_collect_mode_rejected(self):
+        with pytest.raises(ScenarioError, match="collect"):
+            run_grid(ACCEPTANCE_GRID, executor="mp", collect="socket")
+
     def test_serial_keeps_live_result_handles(self):
         sweep = run_grid(ACCEPTANCE_GRID.where(seed=0))
         result = sweep.cells[0].unwrap()

@@ -44,6 +44,19 @@ Checks, against the committed ``BENCH_workload.json`` baseline:
 5. **Throughput drift** — freshly measured ops/sec must not regress
    more than ``--tolerance`` (default 0.40) below the committed
    baseline (skippable on heterogeneous hardware).
+6. **Sharded scaling** (schema v5) — the ``sharded`` section's rows
+   (the batched soak through the multi-process shard engine, keyed by
+   ``(shards, max_ops)``) must be online-atomic with exact
+   deterministic counters, every size recording both a ``shards=1``
+   reference and a ``shards>=4`` row must show the sharded row's
+   ``capacity_ops_per_sec`` (Σ per-shard completed/CPU-seconds —
+   timesharing-immune, so the gate holds on 1-core runners) at
+   ≥3× the reference (strict on the committed artifact, tolerance-
+   derated fresh), per-shard peak RSS must stay under the same
+   absolute cap and flat versus the shards=1 row, and the committed
+   baseline must include the 1e7-op acceptance rows at shards=1 and
+   shards≥4.  ``--sharded-only`` regenerates and gates just this
+   section (CI's shard-smoke job).
 
 CI regenerates the grid, the soak and the 100k stream rows; the
 million-op rows are recorded by full local runs
@@ -68,7 +81,7 @@ from _gate import (
     repo_root_on_path,
 )
 
-REQUIRED_TOP = ("name", "schema_version", "cases", "soak", "stream")
+REQUIRED_TOP = ("name", "schema_version", "cases", "soak", "stream", "sharded")
 REQUIRED_CASE = (
     "n_keys", "clients", "operations", "completed", "events",
     "execute_seconds", "wall_s", "ops_per_sec",
@@ -109,6 +122,25 @@ STREAM_LABELS = {
 MIN_BATCH_SPEEDUP = 5.0
 BATCHED_LABEL = "abd-sw-batched"
 UNBATCHED_LABEL = "abd-sw"
+
+REQUIRED_SHARDED = (
+    "shards", "max_ops", "protocol", "batch_size", "n_keys", "clients",
+    "workers", "operations", "completed", "events", "execute_seconds",
+    "cpu_seconds", "wall_s", "ops_per_sec", "capacity_ops_per_sec",
+    "atomic", "violations", "keys_checked", "checker_mode",
+    "shard_rss_kb", "max_shard_rss_kb",
+)
+
+#: The sharded acceptance rows: the committed baseline must record the
+#: ten-million-op soak both unsharded and through the shard fleet.
+FULL_SHARDED_OPS = 10_000_000
+#: The sharded-engine gate: at every size with both a shards=1 row and
+#: a shards>=4 row, the fleet's summed capacity (Σ completed /
+#: cpu_seconds — timesharing-immune, so the gate holds on 1-core
+#: runners) must be at least this multiple of the unsharded row's.
+MIN_SHARD_CAPACITY_SPEEDUP = 3.0
+#: Sharded rows ride the batched abd-sw family → same relative cost.
+SHARDED_BUDGET_SCALE = 1.0
 
 
 def check_schema(payload: dict, label: str, full_baseline: bool) -> list:
@@ -203,6 +235,84 @@ def check_schema(payload: dict, label: str, full_baseline: bool) -> list:
                     f"{FULL_STREAM_OPS}-op acceptance row (record it with "
                     f"`python -m benchmarks.bench_workload --full-stream`)"
                 )
+    problems += check_sharded_schema(
+        payload["sharded"], label, full_baseline
+    )
+    return problems
+
+
+def check_sharded_schema(
+    rows: list, label: str, full_baseline: bool
+) -> list:
+    """Shape + correctness invariants of the ``sharded`` section.
+
+    Every row — sharded or the shards=1 reference — ran the same
+    deterministic batched soak, so the online verdict must be atomic
+    with zero violations under the single-writer checker, the op
+    budget must be met exactly, and the per-shard RSS list must carry
+    one worker-measured peak per shard with ``max_shard_rss_kb`` its
+    maximum.  The committed baseline must additionally record the
+    :data:`FULL_SHARDED_OPS` acceptance rows at shards=1 and
+    shards>=4 (a full run's output, like the million-op stream rows).
+    """
+    problems = []
+    for row in rows:
+        row_problems = missing_case_keys(row, REQUIRED_SHARDED, label)
+        problems += row_problems
+        if row_problems:
+            continue
+        where = f"sharded row {row['shards']}x{row['max_ops']}"
+        if row["completed"] != row["max_ops"] or row["operations"] <= 0:
+            problems.append(
+                f"{label}: {where} completed {row['completed']} of "
+                f"{row['max_ops']} budgeted ops"
+            )
+        if not row["atomic"] or row["violations"]:
+            problems.append(
+                f"{label}: {where} is NOT atomic "
+                f"({row['violations']} violations)"
+            )
+        if row["checker_mode"] != "sw":
+            problems.append(
+                f"{label}: {where} ran checker_mode="
+                f"{row['checker_mode']!r} (single-writer soak "
+                f"expects 'sw')"
+            )
+        if row["keys_checked"] != row["n_keys"]:
+            problems.append(
+                f"{label}: {where} checked {row['keys_checked']} of "
+                f"{row['n_keys']} registers"
+            )
+        if len(row["shard_rss_kb"]) != row["shards"]:
+            problems.append(
+                f"{label}: {where} reports {len(row['shard_rss_kb'])} "
+                f"per-shard RSS peaks for {row['shards']} shard(s)"
+            )
+        elif row["max_shard_rss_kb"] != max(row["shard_rss_kb"]):
+            problems.append(
+                f"{label}: {where} max_shard_rss_kb="
+                f"{row['max_shard_rss_kb']} is not the max of "
+                f"shard_rss_kb={row['shard_rss_kb']}"
+            )
+        if row["capacity_ops_per_sec"] <= 0 or row["workers"] < 1:
+            problems.append(
+                f"{label}: {where} has non-positive capacity/workers"
+            )
+    if full_baseline:
+        seen_one = {
+            row["max_ops"] for row in rows
+            if "max_ops" in row and row.get("shards") == 1
+        }
+        seen_fleet = {
+            row["max_ops"] for row in rows
+            if "max_ops" in row and row.get("shards", 0) >= 4
+        }
+        if FULL_SHARDED_OPS not in (seen_one & seen_fleet):
+            problems.append(
+                f"{label}: sharded section lacks the {FULL_SHARDED_OPS}-op "
+                f"acceptance rows at shards=1 and shards>=4 (record them "
+                f"with `python -m benchmarks.bench_workload --full-stream`)"
+            )
     return problems
 
 
@@ -212,6 +322,10 @@ def case_index(payload: dict) -> dict:
 
 def stream_index(payload: dict) -> dict:
     return {(r["label"], r["max_ops"]): r for r in payload["stream"]}
+
+
+def sharded_index(rows: list) -> dict:
+    return {(r["shards"], r["max_ops"]): r for r in rows}
 
 
 def check_determinism(baseline: dict, fresh: dict) -> list:
@@ -231,6 +345,129 @@ def check_determinism(baseline: dict, fresh: dict) -> list:
         {k: base[k] for k in shared}, {k: new[k] for k in shared},
         ("operations", "completed", "events"),
     )
+    problems += check_sharded_determinism(
+        baseline["sharded"], fresh["sharded"]
+    )
+    return problems
+
+
+def check_sharded_determinism(base_rows: list, fresh_rows: list) -> list:
+    """Sharded counters are exact: the shard partition is a fixed
+    function of the spec seed, so op/event counts must reproduce bit
+    for bit on every (shards, max_ops) point both sides measured."""
+    base, new = sharded_index(base_rows), sharded_index(fresh_rows)
+    shared = set(base) & set(new)
+    return determinism_problems(
+        {k: base[k] for k in shared}, {k: new[k] for k in shared},
+        ("operations", "completed", "events"),
+    )
+
+
+def check_sharded_scaling(
+    rows: list, label: str, tolerance: float = 0.0
+) -> list:
+    """The sharded-engine gate: at every op budget recording both a
+    shards=1 reference and a shards>=4 fleet row, the fleet's
+    ``capacity_ops_per_sec`` must be at least
+    :data:`MIN_SHARD_CAPACITY_SPEEDUP` × the reference's — strict on
+    the committed artifact (recorded by one unloaded full run), derated
+    by ``tolerance`` on the fresh regeneration like every other
+    single-shot timing here."""
+    index = sharded_index(rows)
+    problems = []
+    compared = 0
+    need = MIN_SHARD_CAPACITY_SPEEDUP * (1.0 - tolerance)
+    for (shards, size), fleet in index.items():
+        if shards < 4:
+            continue
+        reference = index.get((1, size))
+        if reference is None:
+            continue
+        compared += 1
+        ratio = (
+            fleet["capacity_ops_per_sec"]
+            / reference["capacity_ops_per_sec"]
+        )
+        if ratio < need:
+            problems.append(
+                f"{label}: sharded row {shards}x{size} sustains only "
+                f"{ratio:.2f}x the shards=1 capacity "
+                f"({fleet['capacity_ops_per_sec']} vs "
+                f"{reference['capacity_ops_per_sec']} ops/s; "
+                f"need >= {need:.2f}x)"
+            )
+    if compared == 0:
+        problems.append(
+            f"{label}: no op budget has both shards=1 and shards>=4 "
+            f"rows — the shard capacity gate cannot run"
+        )
+    return problems
+
+
+def check_sharded_memory(
+    base_rows: list, fresh_rows: list, rss_ratio: float, rss_cap: int
+) -> list:
+    """Per-shard peak RSS acceptance: each worker simulates only its
+    key slice, so every shard's peak obeys the same absolute cap as a
+    stream row, a fleet row's per-shard peak stays within
+    ``rss_ratio`` × the same-size shards=1 reference, and (on the
+    committed sizes) within ``rss_ratio`` of the same fleet at 100×
+    fewer ops — flat per-shard memory in the op budget."""
+    base, fresh = sharded_index(base_rows), sharded_index(fresh_rows)
+    problems = []
+    for label, index in (("baseline", base), ("fresh", fresh)):
+        for (shards, size), row in index.items():
+            if row["max_shard_rss_kb"] > rss_cap:
+                problems.append(
+                    f"{label} sharded row {shards}x{size} peaked at "
+                    f"{row['max_shard_rss_kb']} KiB per shard "
+                    f"(> cap {rss_cap})"
+                )
+            reference = index.get((1, size))
+            if shards > 1 and reference is not None:
+                allowed = reference["max_shard_rss_kb"] * rss_ratio
+                if row["max_shard_rss_kb"] > allowed:
+                    problems.append(
+                        f"{label} sharded row {shards}x{size}: per-shard "
+                        f"peak {row['max_shard_rss_kb']} KiB exceeds "
+                        f"{rss_ratio} x the shards=1 row "
+                        f"({reference['max_shard_rss_kb']} KiB)"
+                    )
+    sizes = sorted({size for (_, size) in base})
+    if len(sizes) > 1:
+        small_size, big_size = sizes[0], sizes[-1]
+        for (shards, size), big in base.items():
+            if size != big_size or shards < 2:
+                continue
+            small = base.get((shards, small_size))
+            if small is None:
+                continue
+            allowed = small["max_shard_rss_kb"] * rss_ratio
+            if big["max_shard_rss_kb"] > allowed:
+                problems.append(
+                    f"sharded memory is not flat: {shards} shards at "
+                    f"{big_size} ops peaked at {big['max_shard_rss_kb']} "
+                    f"KiB/shard vs {small['max_shard_rss_kb']} KiB at "
+                    f"{small_size} ops (> ratio {rss_ratio})"
+                )
+    return problems
+
+
+def check_sharded_budgets(fresh_rows: list, stream_budget: float) -> list:
+    """Fresh sharded rows obey the stream-row wall-clock formula (the
+    batched family's scale, proportional to op count).  On a 1-core
+    host the fleet timeshares, so no extra headroom per shard."""
+    problems = []
+    for row in fresh_rows:
+        row_budget = (
+            stream_budget * SHARDED_BUDGET_SCALE
+            * row["max_ops"] / FULL_STREAM_OPS
+        )
+        if row["wall_s"] > row_budget:
+            problems.append(
+                f"sharded row {row['shards']}x{row['max_ops']} blew its "
+                f"budget: {row['wall_s']}s > {row_budget:.1f}s"
+            )
     return problems
 
 
@@ -386,12 +623,20 @@ def main(argv=None) -> int:
         "--skip-drift", action="store_true",
         help="skip the wall-clock drift check (heterogeneous hardware)",
     )
+    parser.add_argument(
+        "--sharded-only", action="store_true",
+        help="regenerate and gate only the sharded section (CI's "
+             "shard-smoke job); the baseline is still the full artifact",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_baseline(args.baseline)
     if baseline is None:
         print(f"FAIL: baseline {args.baseline} does not exist")
         return 1
+
+    if args.sharded_only:
+        return check_sharded_only(baseline, args)
 
     def regenerate() -> dict:
         repo_root_on_path(__file__)
@@ -410,8 +655,17 @@ def main(argv=None) -> int:
     problems += check_determinism(baseline, fresh)
     problems += check_batch_speedup(baseline, "baseline")
     problems += check_batch_speedup(fresh, "fresh", args.tolerance)
+    problems += check_sharded_scaling(baseline["sharded"], "baseline")
+    problems += check_sharded_scaling(
+        fresh["sharded"], "fresh", args.tolerance
+    )
     problems += check_budgets(fresh, args.budget, args.stream_budget)
+    problems += check_sharded_budgets(fresh["sharded"], args.stream_budget)
     problems += check_memory(baseline, fresh, args.rss_ratio, args.rss_cap)
+    problems += check_sharded_memory(
+        baseline["sharded"], fresh["sharded"],
+        args.rss_ratio, args.rss_cap,
+    )
     if not args.skip_drift:
         problems += drift_problems(
             case_index(baseline), case_index(fresh),
@@ -421,6 +675,9 @@ def main(argv=None) -> int:
     stream_sizes = ", ".join(
         f"{row['label']}/{row['max_ops']}" for row in fresh["stream"]
     )
+    sharded_sizes = ", ".join(
+        f"{row['shards']}x{row['max_ops']}" for row in fresh["sharded"]
+    )
     return finish(
         problems,
         f"ok: schema valid, executions deterministic, soak "
@@ -428,7 +685,47 @@ def main(argv=None) -> int:
         f"{soak['keys_checked']} registers in "
         f"{soak['wall_s']:.2f}s (budget "
         f"{args.budget}s); stream rows [{stream_sizes}] atomic, "
-        f"memory sublinear",
+        f"memory sublinear; sharded rows [{sharded_sizes}] atomic, "
+        f"capacity scaling >= {MIN_SHARD_CAPACITY_SPEEDUP}x",
+    )
+
+
+def check_sharded_only(baseline: dict, args) -> int:
+    """The shard-smoke path: regenerate just the sharded section and
+    gate it (schema, exact determinism against the committed rows, the
+    capacity-speedup gate, per-shard memory, wall budgets).  The full
+    committed artifact still validates — its sharded section is part
+    of ``check_schema`` — but nothing else is re-measured."""
+    def regenerate() -> dict:
+        repo_root_on_path(__file__)
+        from benchmarks.bench_workload import collect_sharded
+
+        return {"sharded": collect_sharded()}
+
+    fresh = load_fresh(args.fresh, regenerate)
+    fresh_rows = fresh["sharded"] if "sharded" in fresh else []
+
+    problems = check_sharded_schema(
+        baseline.get("sharded", []), "baseline", full_baseline=True
+    )
+    problems += check_sharded_schema(fresh_rows, "fresh", False)
+    if problems:
+        return finish(problems, "")
+    problems += check_sharded_determinism(baseline["sharded"], fresh_rows)
+    problems += check_sharded_scaling(baseline["sharded"], "baseline")
+    problems += check_sharded_scaling(fresh_rows, "fresh", args.tolerance)
+    problems += check_sharded_budgets(fresh_rows, args.stream_budget)
+    problems += check_sharded_memory(
+        baseline["sharded"], fresh_rows, args.rss_ratio, args.rss_cap
+    )
+    sizes = ", ".join(
+        f"{row['shards']}x{row['max_ops']}" for row in fresh_rows
+    )
+    return finish(
+        problems,
+        f"ok: sharded rows [{sizes}] atomic and deterministic, "
+        f"capacity scaling >= {MIN_SHARD_CAPACITY_SPEEDUP}x, per-shard "
+        f"memory flat",
     )
 
 
