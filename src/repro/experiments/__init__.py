@@ -30,6 +30,7 @@ module                 exhibit
 ``capacity``           E16 — predicted vs measured strategy capacity
 ``batched``            E17 — batched hot path: throughput vs batch size
 ``scaling``            E18 — sharded soak scaling: shards × op budget
+``skew_scaling``       E19 — skew-balanced sharding + batched tail latency
 =====================  ========================================================
 
 Shared helpers: :func:`~repro.experiments.builders.keyed_mix_spec`

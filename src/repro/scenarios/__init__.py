@@ -49,9 +49,12 @@ client for horizon-free million-op soaks in O(clients + keys) memory.
 
 The biggest soaks **shard**: ``ScenarioSpec.shards > 1`` partitions a
 keyed streaming soak across worker processes by the deterministic
-:func:`key_shard` rule (independent single-writer registers need no
-coordination) and merges per-shard counters, accumulators and online
-verdicts into one :class:`ShardedRunResult` — see
+load-weighted :func:`shard_assignment` rule (crc32 for uniform mixes,
+a greedy LPT bin-pack over the zipfian draw weights for skewed ones —
+independent single-writer registers need no coordination) and merges
+per-shard counters, accumulators and online verdicts into one
+:class:`ShardedRunResult`; :func:`recommend_shards` turns the observed
+per-shard CPU profile into a shard-count recommendation — see
 :mod:`repro.scenarios.sharding`.
 
 Quorum systems can be **expression-defined**: a planning-level
@@ -96,7 +99,11 @@ from repro.scenarios.registry import (
 )
 from repro.scenarios.result import RunResult
 from repro.scenarios.runner import run
-from repro.scenarios.sharding import ShardedRunResult, run_sharded
+from repro.scenarios.sharding import (
+    ShardedRunResult,
+    recommend_shards,
+    run_sharded,
+)
 from repro.scenarios.spec import (
     ScenarioSpec,
     named_rqs,
@@ -118,6 +125,7 @@ from repro.scenarios.workloads import (
     Resync,
     Write,
     key_shard,
+    shard_assignment,
 )
 from repro.sim.network import TraceLevel
 from repro.storage.history import DEFAULT_KEY
@@ -164,12 +172,14 @@ __all__ = [
     "named_rqs",
     "payload_is",
     "percentile",
+    "recommend_shards",
     "register_protocol",
     "register_rqs",
     "resolve_rqs",
     "run",
     "run_grid",
     "run_sharded",
+    "shard_assignment",
     "summary_stats",
     "write_bench_json",
 ]

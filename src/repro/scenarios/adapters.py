@@ -326,11 +326,12 @@ class StorageAdapter(ProtocolAdapter):
 
     def _spawn_writer(self, index, writer, mix, ops) -> None:
         """One writer's driver task: unbatched sequential ops, or the
-        batched coalescing driver when ``mix.batch_size > 1``."""
+        batched coalescing driver when ``mix.batch_size != 1`` (a fixed
+        window or the adaptive ``"auto"`` rule)."""
         name = (
             "writer-workload" if index == 0 else f"{writer.pid}-workload"
         )
-        if mix.batch_size > 1:
+        if mix.batch_size != 1:
             coro = batched_ops(
                 self.sim, self._write_batch_schedule(ops),
                 mix.batch_size, writer.write_batch,
@@ -342,7 +343,7 @@ class StorageAdapter(ProtocolAdapter):
         self.sim.spawn(coro, name)
 
     def _spawn_reader(self, reader, mix, ops) -> None:
-        if mix.batch_size > 1:
+        if mix.batch_size != 1:
             coro = batched_ops(
                 self.sim, self._read_batch_schedule(ops),
                 mix.batch_size, reader.read_batch,
@@ -424,11 +425,11 @@ class StorageAdapter(ProtocolAdapter):
             elif isinstance(op, Read):
                 per_reader.setdefault(op.reader, []).append((op.at, op.key))
             elif isinstance(op, RandomMix):
-                if op.batch_size > 1:
+                if op.batch_size != 1:
                     raise ScenarioError(
-                        "batch_size > 1 requires a pure single-RandomMix "
-                        "workload (the streaming paths); it cannot ride "
-                        "along in a mixed-literal expansion"
+                        f"batch_size={op.batch_size!r} requires a pure "
+                        "single-RandomMix workload (the streaming paths); "
+                        "it cannot ride along in a mixed-literal expansion"
                     )
                 writes, reads = expand_random_mix(
                     op, len(self.system.readers), spec.seed,
@@ -609,11 +610,12 @@ class ConsensusAdapter(ProtocolAdapter):
                 self._schedule_propose(op)
             elif isinstance(op, Resync):
                 self._schedule_resync(op)
-            elif isinstance(op, RandomMix) and op.batch_size > 1:
+            elif isinstance(op, RandomMix) and op.batch_size != 1:
                 raise ScenarioError(
-                    f"protocol {self.protocol_id!r} does not support the "
-                    f"batch_size knob; operation batching is a storage "
-                    f"feature"
+                    f"consensus protocol {self.protocol_id!r} does not "
+                    f"support the batch_size knob (got "
+                    f"batch_size={op.batch_size!r}); operation batching "
+                    f"is a storage feature"
                 )
             else:
                 raise ScenarioError(

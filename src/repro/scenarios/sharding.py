@@ -9,13 +9,22 @@ simulator in its own process, and merges the per-shard streaming
 surfaces into one :class:`ShardedRunResult` shaped like a streamed
 :class:`~repro.scenarios.result.RunResult`.
 
-**The key→shard rule.**  :func:`~repro.scenarios.workloads.key_shard`
-maps ``key -> crc32(f"shard:{seed}:{key!r}") % shards``: deterministic,
-derived from the spec's seed, independent of the op stream.  Every
-shard's generators consume the *full* seeded draw (identical gaps,
-keys, and value serials as the unsharded run) and yield only in-shard
-operations, so the union of the shard schedules is a fixed partition of
-the unsharded schedule — the basis of the equivalence tests.
+**The key→shard rule.**
+:func:`~repro.scenarios.workloads.shard_assignment` maps every key of
+``range(n_keys)`` to a shard as a pure function of ``(seed, n_keys,
+distribution, skew, shards)``, balancing *expected load* rather than
+key counts: uniform mixes keep the historical crc32 rule
+(``key -> crc32(f"shard:{seed}:{key!r}") % shards`` — bit-identical to
+every pre-weighted sharded run), while zipfian mixes spread the hot
+keys with a greedy LPT bin-pack over the exact Fraction draw weights
+``1/(k+1)**skew``, so a skewed soak keeps its shards near-evenly
+loaded (:attr:`ShardedRunResult.imbalance`).  Either way the rule is
+deterministic, derived from the spec, and independent of the op
+stream.  Every shard's generators consume the *full* seeded draw
+(identical gaps, keys, and value serials as the unsharded run) and
+yield only in-shard operations, so the union of the shard schedules is
+a fixed partition of the unsharded schedule — the basis of the
+equivalence tests.
 
 **Collection.**  Workers pickle a :class:`ShardOutcome` — per-kind op
 counters, latency accumulators, the shard's online verdict, server
@@ -347,6 +356,19 @@ class ShardedRunResult:
         )
 
     @property
+    def imbalance(self) -> float:
+        """Shard-load imbalance: ``max / mean`` of per-shard completed
+        ops.  ``1.0`` is perfectly balanced; ``shards`` is the
+        everything-on-one-shard worst case.  Duration-bounded zipfian
+        soaks surface the key→shard rule's quality here (budget-bounded
+        runs split ``max_ops`` evenly by construction)."""
+        counts = [sum(o.completed.values()) for o in self.outcomes]
+        mean = sum(counts) / len(counts)
+        if mean <= 0:
+            return 1.0
+        return max(counts) / mean
+
+    @property
     def shard_rss_kb(self) -> Tuple[int, ...]:
         """Per-shard worker peak RSS (``ru_maxrss``, KiB on Linux)."""
         return tuple(o.peak_rss_kb for o in self.outcomes)
@@ -378,6 +400,7 @@ class ShardedRunResult:
                 "capacity_ops_per_sec": round(
                     self.capacity_ops_per_sec, 2
                 ),
+                "imbalance": round(self.imbalance, 4),
                 "max_shard_rss_kb": self.max_shard_rss_kb,
             },
         }
@@ -400,6 +423,24 @@ class ShardedRunResult:
             f"ShardedRunResult({self.spec.protocol!r}, "
             f"{self.n_shards} shards, {self.ops_completed()} completed)"
         )
+
+
+def recommend_shards(result: ShardedRunResult) -> int:
+    """The shard count this workload's observed CPU profile supports.
+
+    The effective parallelism of the finished run — total worker CPU
+    seconds over the slowest shard's CPU seconds, rounded — is how many
+    evenly-loaded shards the same work would have kept busy.  A
+    balanced fleet returns ``n_shards`` (keep or grow the count); a
+    skewed one returns fewer (the slowest shard is the bottleneck, so
+    extra shards mostly idle).  Pure arithmetic over
+    :attr:`ShardOutcome.cpu_seconds` — no re-execution.
+    """
+    cpu = [o.cpu_seconds for o in result.outcomes]
+    slowest = max(cpu, default=0.0)
+    if slowest <= 0:
+        return max(1, result.n_shards)
+    return max(1, round(sum(cpu) / slowest))
 
 
 # -- the executor -------------------------------------------------------------

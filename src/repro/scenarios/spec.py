@@ -202,9 +202,12 @@ class ScenarioSpec:
         single-process execution).  Single-writer keys are independent
         by construction, so a keyed streaming soak partitions cleanly:
         every key of ``range(n_keys)`` is deterministically assigned to
-        one shard (a pure crc32 function of the spec's seed — see
-        :func:`repro.scenarios.workloads.key_shard`), each shard runs
-        the *same* workload draw filtered to its own keys, and
+        one shard by a pure function of the spec — the historical crc32
+        rule for uniform mixes, a load-weighted LPT bin-pack for
+        zipfian ones (see
+        :func:`repro.scenarios.workloads.shard_assignment`) — each
+        shard runs the *same* workload draw filtered to its own keys,
+        and
         ``run(spec)`` dispatches to
         :func:`repro.scenarios.sharding.run_sharded`, which merges the
         per-shard streams into one aggregate
@@ -260,9 +263,12 @@ class ScenarioSpec:
             )
         for op in self.workload:
             batch = getattr(op, "batch_size", 1)
-            if not isinstance(batch, int) or batch < 1:
+            if batch != "auto" and (
+                not isinstance(batch, int) or batch < 1
+            ):
                 raise ScenarioError(
-                    f"batch_size must be an int >= 1, got {batch!r}"
+                    f"batch_size must be an int >= 1 or 'auto', got "
+                    f"{batch!r}"
                 )
         try:
             object.__setattr__(

@@ -33,8 +33,11 @@ independent seeded generator that draws inter-arrival gaps and keys one
 operation at a time — O(1) state per client, unbounded op counts.
 
 Sharded soaks (``ScenarioSpec.shards > 1``) filter at this level:
-:func:`key_shard` assigns every key to a shard deterministically from
-the spec's seed, and both stream paths accept a ``shard=(index,
+:func:`shard_assignment` maps every key of ``range(n_keys)`` to a shard
+deterministically from the spec — uniform draws keep the historical
+crc32 rule (:func:`key_shard`), zipfian draws balance *expected load*
+with a greedy LPT bin-pack over exact Fraction weights so hot keys
+spread across shards — and both stream paths accept a ``shard=(index,
 count)`` view that consumes the identical RNG stream while yielding
 only in-shard ops — the union of shard schedules is a fixed partition
 of the unsharded draw.
@@ -46,6 +49,7 @@ import random
 import zlib
 from bisect import bisect_right
 from dataclasses import dataclass
+from fractions import Fraction
 from itertools import accumulate
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple, Union
 
@@ -69,6 +73,60 @@ def key_shard(key: Hashable, shards: int, seed: int = 0) -> int:
     if shards < 1:
         raise ScenarioError(f"shards must be >= 1, got {shards}")
     return zlib.crc32(f"shard:{seed}:{key!r}".encode()) % shards
+
+
+def shard_assignment(
+    n_keys: int,
+    shards: int,
+    seed: int = 0,
+    distribution: str = "uniform",
+    skew: float = 1.0,
+) -> Tuple[int, ...]:
+    """The deterministic key → shard table for a sharded soak.
+
+    A pure function of ``(seed, n_keys, distribution, skew, shards)``
+    that balances **expected load**, not key counts:
+
+    * ``uniform`` — every key is drawn equally often, so the historical
+      crc32 rule (:func:`key_shard`) already splits load evenly; the
+      table is exactly that rule, keeping all pre-weighted sharded
+      executions bit-identical.
+    * ``zipfian`` — key ``k`` is drawn with weight ``1/(k+1)**skew``
+      (the same base weights :class:`_KeyDrawer` samples from), so the
+      hot keys are spread by a greedy LPT bin-pack: keys in descending
+      weight order (crc32 tie-break, then key index) each go to the
+      least-loaded shard, with shard loads accumulated as exact
+      ``Fraction``s so the comparison never depends on float summation
+      order.
+
+    Either way the table only decides which shard *yields* an op —
+    generators still consume the full RNG stream, so the union of the
+    shard schedules stays a fixed partition of the unsharded draw.
+    """
+    if shards < 1:
+        raise ScenarioError(f"shards must be >= 1, got {shards}")
+    if n_keys < 1:
+        raise ScenarioError(f"n_keys must be >= 1, got {n_keys}")
+    if distribution != "zipfian" or n_keys == 1 or shards == 1:
+        return tuple(key_shard(key, shards, seed) for key in range(n_keys))
+    weights = [
+        Fraction(1.0 / (key + 1) ** skew) for key in range(n_keys)
+    ]
+    order = sorted(
+        range(n_keys),
+        key=lambda key: (
+            -weights[key],
+            zlib.crc32(f"shard:{seed}:{key!r}".encode()),
+            key,
+        ),
+    )
+    loads = [Fraction(0)] * shards
+    table = [0] * n_keys
+    for key in order:
+        target = min(range(shards), key=lambda s: (loads[s], s))
+        table[key] = target
+        loads[target] += weights[key]
+    return tuple(table)
 
 
 @dataclass(frozen=True)
@@ -126,9 +184,12 @@ class RandomMix:
     pending operations into one batched round-trip (stamps still issued
     per batch element in the historical draw order); the default of 1
     is today's one-op-per-round-trip behavior, bit-identical to every
-    existing seed.  Batching is a storage feature: consensus adapters
-    reject mixes carrying it, as does the materializing mixed-literal
-    expansion path.
+    existing seed.  ``batch_size="auto"`` sizes each client's window
+    adaptively from its observed pending-op queue between round-trips
+    (see :func:`repro.sim.tasks.batched_ops`) — a deterministic rule
+    over simulated state, so replays stay bit-identical.  Batching is a
+    storage feature: consensus adapters reject mixes carrying it, as
+    does the materializing mixed-literal expansion path.
     """
 
     writes: int
@@ -137,7 +198,7 @@ class RandomMix:
     start: float = 0.0
     distribution: str = "uniform"
     skew: float = 1.0
-    batch_size: int = 1
+    batch_size: Union[int, str] = 1
 
     def __post_init__(self):
         if self.distribution not in KEY_DISTRIBUTIONS:
@@ -145,9 +206,11 @@ class RandomMix:
                 f"unknown RandomMix distribution {self.distribution!r}; "
                 f"valid: {', '.join(KEY_DISTRIBUTIONS)}"
             )
-        if not isinstance(self.batch_size, int) or self.batch_size < 1:
+        if self.batch_size != "auto" and (
+            not isinstance(self.batch_size, int) or self.batch_size < 1
+        ):
             raise ScenarioError(
-                f"RandomMix.batch_size must be an int >= 1, got "
+                f"RandomMix.batch_size must be an int >= 1 or 'auto', got "
                 f"{self.batch_size!r} (1 = unbatched round-trips)"
             )
         if self.skew < 0:
@@ -310,11 +373,20 @@ class OpStream:
         self.n_writers = n_writers
         self.shard = shard
         self._draw = None
+        self._shard_table: Optional[Tuple[int, ...]] = None
 
     def _in_shard(self, key: Hashable) -> bool:
         if self.shard is None:
             return True
         index, count = self.shard
+        table = self._shard_table
+        if table is None:
+            table = self._shard_table = shard_assignment(
+                self.n_keys, count, self.seed,
+                self.mix.distribution, self.mix.skew,
+            )
+        if isinstance(key, int) and 0 <= key < len(table):
+            return table[key] == index
         return key_shard(key, count, self.seed) == index
 
     def _schedule(self):
@@ -451,14 +523,19 @@ def open_loop_stream(
     the identical order (times, values and keys match the unsharded
     stream op for op, including the round-robin value serials of
     filtered-out ops), but only ops whose key lands in the shard under
-    :func:`key_shard` are yielded — and only those draw from the
-    shard's op budget.
+    :func:`shard_assignment` are yielded — and only those draw from
+    the shard's op budget.
     """
     per_role_ops = mix.writes if role == "writer" else mix.reads
     if per_role_ops <= 0:
         return
     rng = random.Random(client_seed(seed, role, index))
     keys = _KeyDrawer(mix, n_keys)
+    table: Tuple[int, ...] = ()
+    if shard is not None:
+        table = shard_assignment(
+            n_keys, shard[1], seed, mix.distribution, mix.skew
+        )
     # Mean gap that reproduces the closed-loop op density per client.
     period = mix.horizon * count / per_role_ops
     at = mix.start
@@ -473,7 +550,12 @@ def open_loop_stream(
             key = keys.draw(rng)
         else:
             key = keys.draw(rng)
-            if key_shard(key, shard[1], seed) != shard[0]:
+            owner = (
+                table[key]
+                if isinstance(key, int) and 0 <= key < len(table)
+                else key_shard(key, shard[1], seed)
+            )
+            if owner != shard[0]:
                 serial += 1
                 continue
             if not budget.take():

@@ -112,6 +112,10 @@ def sequential_ops(sim, schedule):
         yield from factory(*args)
 
 
+#: Ceiling of the adaptive (``batch_size="auto"``) coalescing window.
+AUTO_BATCH_MAX = 32
+
+
 def batched_ops(sim, schedule, size, run_batch):
     """Driver coroutine: one client's operations, coalesced ``size`` at
     a time into batched round-trips.
@@ -122,8 +126,21 @@ def batched_ops(sim, schedule, size, run_batch):
     batching rule — later elements ride along, their own times are
     subsumed) and no earlier than the previous batch's completion.
     ``run_batch(elements)`` is the protocol's batched coroutine.
+
+    ``size="auto"`` sizes each window from the client's observed
+    pending queue instead of a fixed count: after waiting for the head
+    element's start time, the batch takes every element whose scheduled
+    time has already passed (capped at :data:`AUTO_BATCH_MAX`).  The
+    window therefore grows while round-trips run slow — lossy pre-GST
+    traffic backs operations up, and the backlog coalesces — and
+    shrinks back toward 1 when the client keeps up with its arrival
+    rate.  The rule reads only the simulated clock and the draw, so
+    replays of the same spec are bit-identical.
     """
     iterator = iter(schedule)
+    if size == "auto":
+        yield from _adaptive_batches(sim, iterator, run_batch)
+        return
     while True:
         chunk = list(islice(iterator, size))
         if not chunk:
@@ -132,6 +149,32 @@ def batched_ops(sim, schedule, size, run_batch):
         if sim.now < start:
             yield WaitUntil(sim.timer_at(start), f"start@{start}")
         yield from run_batch([elem for _, elem in chunk])
+
+
+def _adaptive_batches(sim, iterator, run_batch):
+    """The ``"auto"`` window rule of :func:`batched_ops`.
+
+    Keeps a one-element pushback buffer (``pending``): the first
+    element whose scheduled time is still in the future ends the
+    current window and becomes the next window's head.
+    """
+    pending = next(iterator, None)
+    while pending is not None:
+        start = pending[0]
+        if sim.now < start:
+            yield WaitUntil(sim.timer_at(start), f"start@{start}")
+        horizon = sim.now
+        chunk = [pending]
+        pending = None
+        for item in iterator:
+            if item[0] <= horizon and len(chunk) < AUTO_BATCH_MAX:
+                chunk.append(item)
+            else:
+                pending = item
+                break
+        yield from run_batch([elem for _, elem in chunk])
+        if pending is None:
+            pending = next(iterator, None)
 
 
 class Task:

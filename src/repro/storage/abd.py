@@ -319,8 +319,13 @@ class AbdReader(Process):
         """One batched collect + one batched write-back for ``keys``.
 
         Every element's best pair is selected from the same majority's
-        replies and written back in a single :class:`WriteBatch`; all
-        elements complete together, in element order.
+        replies and written back in a single :class:`WriteBatch`.  The
+        per-element completion contract (each element completes as soon
+        as its quorum fills) is degenerate here: acks are
+        batch-granular and ABD's atomicity needs the write-back before
+        *any* element returns, so every element's quorum fills at the
+        write-back ack instant — all elements complete there, in
+        element order.
         """
         now = self.sim.now
         records = [

@@ -14,7 +14,23 @@ decision the client takes at batch granularity (majority reached,
 class-1 quorum responded, QC'2 subset acked) therefore holds for each
 element individually — a batched run is observationally a sequence of
 per-element protocol instances that happen to share identical responder
-sets and completion times.
+sets.
+
+**Per-element completion contract.**  Batched *reads* complete
+element-wise: each element returns as soon as its own quorum decisions
+are in, never waiting on the batch's slowest element.  Where later
+protocol phases are already batch-granular (ABD's mandatory write-back,
+naive's single collect) the contract degenerates to the whole batch
+completing at one instant; where elements genuinely diverge it bites —
+fast-ABD's fast-path elements complete at the collect instant while
+only the failing elements wait out the pre-write write-back, and the
+RQS reader resolves elements in per-round *cohorts*, each launching its
+own batched line 49 write-back concurrently with further collect rounds
+(see each reader's ``read_batch``).  A lossy or contended quorum thus
+caps one element's tail latency, not the batch's.  Stamps are still
+issued per element in the client's draw order, and the checker feed
+(``trace.begin`` / ``trace.complete``) keeps element order within any
+one completion instant.
 
 The message vocabulary is protocol-agnostic; each server class
 interprets the payloads its own way:

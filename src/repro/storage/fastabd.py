@@ -390,8 +390,11 @@ class FastAbdReader(Process):
     def read_batch(self, keys: List[Hashable]):
         """One batched collect; per-element fast-return decisions from
         the shared replies, and only the failing elements join one
-        batched pre-write write-back.  All elements complete together
-        at batch end, in element order."""
+        batched pre-write write-back.  Completion is **per element**:
+        fast-path elements complete at the collect instant (their
+        quorum is full — waiting on the failing elements' write-back
+        would only inflate their tail), and the failing elements
+        complete when the write-back quorum-acks."""
         now = self.sim.now
         records = [
             self.trace.begin("read", self.pid, now, key=key) for key in keys
@@ -424,6 +427,11 @@ class FastAbdReader(Process):
             )
             cmaxes.append(cmax)
             fast_done.append(pw_confirms >= self.slow or w_confirms >= 1)
+        now = self.sim.now
+        for record, cmax, done in zip(records, cmaxes, fast_done):
+            record.meta["ts"] = cmax.ts
+            if done:
+                self.trace.complete(record, now, cmax.val, rounds=1)
         failing = [i for i, done in enumerate(fast_done) if not done]
         if failing:
             wb_no = self._batches.open()
@@ -442,11 +450,10 @@ class FastAbdReader(Process):
                 f"fast-read batch#{number} writeback",
             )
             self._batches.close(wb_no, 2)
-        now = self.sim.now
-        for record, cmax, done in zip(records, cmaxes, fast_done):
-            record.meta["ts"] = cmax.ts
-            self.trace.complete(record, now, cmax.val,
-                                rounds=1 if done else 2)
+            now = self.sim.now
+            for i in failing:
+                self.trace.complete(records[i], now, cmaxes[i].val,
+                                    rounds=2)
         return records
 
 

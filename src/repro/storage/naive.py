@@ -282,7 +282,10 @@ class NaiveReader(Process):
 
     def read_batch(self, keys: List[Hashable]):
         """One greedy batched collect for ``keys`` — like the unbatched
-        read, no write-back (the algorithm's deliberate flaw)."""
+        read, no write-back (the algorithm's deliberate flaw).  The
+        per-element completion contract is trivially satisfied: acks
+        are batch-granular, so every element's quorum fills at the one
+        collect instant and all elements complete there."""
         now = self.sim.now
         records = [
             self.trace.begin("read", self.pid, now, key=key) for key in keys

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from repro.core.rqs import RefinedQuorumSystem
-from repro.sim.conditions import AckSet, ConditionMap
+from repro.sim.conditions import AckSet, AllOf, AnyOf, ConditionMap
 from repro.sim.network import Message
 from repro.sim.process import Process
 from repro.sim.tasks import WaitUntil
@@ -232,11 +232,16 @@ class StorageReader(Process):
         """Up to ``batch_size`` reads through one Figure 7 regular part:
         per-element :class:`ReadState`s fed positionally from shared
         :class:`ReadBatchAck` replies, one batch-level responder set per
-        round, looping until *every* element has candidates.  The
-        atomicity part always takes the line 49 two-round write-back
-        (batched); the BCD fast paths are per-element race detections
-        and are skipped — always-safe, at worst two extra batch
-        round-trips that unbatched BCD would have avoided."""
+        round.  **Completion is per element**: the elements whose
+        candidate sets resolve in collect round ``r`` form a *cohort*
+        that immediately launches its own batched line 49 two-round
+        write-back — concurrently with further collect rounds for the
+        still-unresolved elements — and they complete when that
+        write-back quorum-acks.  A contended or lossy element therefore
+        caps its *own* tail latency, never the whole batch's.  The BCD
+        fast paths are per-element race detections and are skipped —
+        always-safe, at worst two extra batch round-trips that unbatched
+        BCD would have avoided."""
         now = self.sim.now
         records = [
             self.trace.begin("read", self.pid, now, key=key) for key in keys
@@ -248,60 +253,108 @@ class StorageReader(Process):
         states = tuple(ReadState(self.rqs) for _ in keys)
         self._batch_states[number] = states
 
-        # -- part 1: regular read (lines 20-35, batch-wide rounds) --
+        unresolved = set(range(len(keys)))
+        csels: List[Optional[Pair]] = [None] * len(keys)
+        resolved_rnd = [0] * len(keys)
+        cohorts: List[dict] = []
         read_rnd = 0
-        csels: List[Optional[Pair]] = []
-        while True:
-            read_rnd += 1
-            timer = (
-                self.sim.timer_at(self.sim.now + self.timeout)
-                if read_rnd == 1
-                else None
-            )
-            acks = self._batch_acks(number, read_rnd)
-            collect = ReadBatch(number, read_rnd, tuple(keys))
-            for server in targets:
-                self.send(server, collect)
+        collect_cond = None
+        while unresolved or cohorts:
+            if unresolved and collect_cond is None:
+                # -- regular part (lines 20-35): next batch-wide round.
+                # Every round keeps carrying the full key tuple so the
+                # positional on_message feed (and the servers' reply
+                # shape) never changes; only the harvest below is
+                # element-wise.
+                read_rnd += 1
+                acks = self._batch_acks(number, read_rnd)
+                collect = ReadBatch(number, read_rnd, tuple(keys))
+                for server in targets:
+                    self.send(server, collect)
+                quorum = acks.includes_any(self.rqs.quorums)
+                collect_cond = (
+                    AllOf(
+                        self.sim.timer_at(self.sim.now + self.timeout),
+                        quorum,
+                        label=f"read batch#{number} round-1 timer+quorum",
+                    )
+                    if read_rnd == 1
+                    else quorum
+                )
+            waits = [cohort["cond"] for cohort in cohorts]
+            if collect_cond is not None:
+                waits.append(collect_cond)
             yield WaitUntil(
-                acks.includes_any(self.rqs.quorums),
+                waits[0] if len(waits) == 1 else AnyOf(
+                    *waits, label=f"read batch#{number} progress"
+                ),
                 f"read batch#{number} round {read_rnd}",
             )
+            # -- advance the in-flight cohort write-backs --
+            advancing = cohorts
+            cohorts = []
+            for cohort in advancing:
+                if not cohort["cond"].holds():
+                    cohorts.append(cohort)
+                elif cohort["rnd"] == 1:
+                    cohort["rnd"] = 2
+                    cohort["cond"] = self._cohort_writeback(
+                        cohort, 2, targets
+                    )
+                    cohorts.append(cohort)
+                else:
+                    self._batches.close(cohort["no"], 1, 2)
+                    now = self.sim.now
+                    for i in cohort["members"]:
+                        self.trace.complete(
+                            records[i], now, csels[i].val,
+                            rounds=resolved_rnd[i] + 2,
+                        )
+            # -- harvest the collect round, if it resolved --
+            if collect_cond is None or not collect_cond.holds():
+                continue
+            collect_cond = None
             if read_rnd == 1:
-                yield WaitUntil(timer, f"read batch#{number} round-1 timer")
                 for state in states:
                     state.freeze_round1()
-            csels = []
-            for state in states:
-                candidates = state.candidates()
-                csels.append(
-                    max(candidates, key=lambda p: p.ts)
-                    if candidates else None
-                )
-            if all(c is not None for c in csels):
-                break
-        self._batch_states.pop(number, None)
-        for rnd in range(1, read_rnd + 1):
-            self._batch_acks.discard(number, rnd)
-        for record, csel in zip(records, csels):
-            record.meta["ts"] = csel.ts
-
-        # -- part 2: the always-safe write-back (line 49), batched --
-        ops = tuple(
-            (csel.ts, csel.val, key) for csel, key in zip(csels, keys)
-        )
-        wb_no = self._batches.open()
-        for rnd in (1, 2):
-            wb_acks = self._batches.responders(wb_no, rnd)
-            writeback = WriteBatch(wb_no, rnd, "", ops, frozenset())
-            for server in targets:
-                self.send(server, writeback)
-            yield WaitUntil(
-                wb_acks.includes_any(self.rqs.quorums),
-                f"read batch#{number} writeback round {rnd}",
-            )
-        self._batches.close(wb_no, 1, 2)
-        now = self.sim.now
-        for record, csel in zip(records, csels):
-            self.trace.complete(record, now, csel.val,
-                                rounds=read_rnd + 2)
+            members = []
+            for i in sorted(unresolved):
+                candidates = states[i].candidates()
+                if candidates:
+                    csels[i] = max(candidates, key=lambda p: p.ts)
+                    resolved_rnd[i] = read_rnd
+                    records[i].meta["ts"] = csels[i].ts
+                    members.append(i)
+            if not members:
+                continue
+            unresolved.difference_update(members)
+            if not unresolved:
+                # Regular part done for every element: straggler acks
+                # can no longer matter, release the batch state (the
+                # cohort write-backs track their own responder sets).
+                self._batch_states.pop(number, None)
+                for rnd in range(1, read_rnd + 1):
+                    self._batch_acks.discard(number, rnd)
+            # -- atomicity part for this cohort (line 49), launched now --
+            cohort = {
+                "no": self._batches.open(),
+                "rnd": 1,
+                "members": tuple(members),
+                "ops": tuple(
+                    (csels[i].ts, csels[i].val, keys[i]) for i in members
+                ),
+            }
+            cohort["cond"] = self._cohort_writeback(cohort, 1, targets)
+            cohorts.append(cohort)
         return records
+
+    def _cohort_writeback(self, cohort: dict, rnd: int, targets):
+        """Send one round of a cohort's batched line 49 write-back and
+        return the quorum condition its elements wait on."""
+        wb_acks = self._batches.responders(cohort["no"], rnd)
+        writeback = WriteBatch(
+            cohort["no"], rnd, "", cohort["ops"], frozenset()
+        )
+        for server in targets:
+            self.send(server, writeback)
+        return wb_acks.includes_any(self.rqs.quorums)

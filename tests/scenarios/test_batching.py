@@ -15,6 +15,7 @@ from repro.errors import ScenarioError
 from repro.scenarios import RandomMix, ScenarioSpec, run
 from repro.scenarios.faults import Crash, Drop, FaultPlan
 from repro.scenarios.workloads import Write
+from repro.sim.tasks import AUTO_BATCH_MAX, _adaptive_batches
 
 STORAGE_PROTOCOLS = ("abd", "fastabd", "naive", "rqs-storage")
 
@@ -119,6 +120,87 @@ def test_batch_size_one_is_byte_identical_to_default():
         assert default.fingerprint() == explicit.fingerprint()
 
 
+@pytest.mark.parametrize("fault_label", sorted(FAULT_PLANS))
+@pytest.mark.parametrize("protocol", STORAGE_PROTOCOLS)
+def test_adaptive_equals_unbatched_sw(protocol, fault_label):
+    """``batch_size="auto"`` is an optimization with the same contract
+    as a fixed batch: single-writer final state and verdict match the
+    unbatched run under every fault plan."""
+    faults = FAULT_PLANS[fault_label]
+    plain = run(_spec(protocol, batch_size=1, faults=faults))
+    adaptive = run(_spec(protocol, batch_size="auto", faults=faults))
+
+    assert plain.summary()["operations"] == adaptive.summary()["operations"]
+    assert plain.summary()["completed"] == adaptive.summary()["completed"]
+    assert _final_pairs(plain) == _final_pairs(adaptive)
+    assert plain.atomicity.atomic == adaptive.atomicity.atomic
+
+
+@pytest.mark.parametrize("fault_label", ("crash", "lossy"))
+@pytest.mark.parametrize("protocol", ("abd", "rqs-storage"))
+def test_adaptive_replay_is_deterministic(protocol, fault_label):
+    """The queue-depth feedback loop must be a pure function of the
+    spec: replaying the same adaptive spec under faults is
+    byte-identical."""
+    faults = FAULT_PLANS[fault_label]
+    first = run(_spec(protocol, batch_size="auto", n_writers=2,
+                      faults=faults))
+    again = run(_spec(protocol, batch_size="auto", n_writers=2,
+                      faults=faults))
+    assert first.fingerprint() == again.fingerprint()
+    assert _final_pairs(first) == _final_pairs(again)
+    assert first.atomicity.atomic == again.atomicity.atomic
+
+
+class _FakeSim:
+    """Just enough simulator surface to drive ``_adaptive_batches``."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def timer_at(self, time):
+        return ("timer", time)
+
+
+def _drain(gen, fake):
+    """Run the generator, advancing the fake clock at every wait."""
+    for waited in gen:
+        time = waited.predicate[1]
+        fake.now = max(fake.now, time)
+
+
+def test_adaptive_batches_respect_cap_and_clock():
+    # 80 ops already due: chunks of the cap, then the remainder.
+    sizes = []
+
+    def run_batch(elems):
+        sizes.append(len(elems))
+        return iter(())
+
+    fake = _FakeSim()
+    _drain(_adaptive_batches(
+        fake, iter([(0.0, i) for i in range(80)]), run_batch
+    ), fake)
+    assert sizes == [AUTO_BATCH_MAX, AUTO_BATCH_MAX, 80 - 2 * AUTO_BATCH_MAX]
+
+    # A sparse schedule never coalesces: one future op per batch.
+    sizes.clear()
+    fake = _FakeSim()
+    _drain(_adaptive_batches(
+        fake, iter([(10.0, "a"), (20.0, "b")]), run_batch
+    ), fake)
+    assert sizes == [1, 1]
+    assert fake.now == 20.0
+
+    # A backlog behind a due head drains together.
+    sizes.clear()
+    fake = _FakeSim(now=15.0)
+    _drain(_adaptive_batches(
+        fake, iter([(10.0, "a"), (12.0, "b"), (20.0, "c")]), run_batch
+    ), fake)
+    assert sizes == [2, 1]
+
+
 def test_batch_size_must_be_positive_int():
     with pytest.raises(ScenarioError, match="batch_size"):
         RandomMix(5, 5, horizon=10.0, batch_size=0)
@@ -130,13 +212,15 @@ def test_batch_size_must_be_positive_int():
 
 @pytest.mark.parametrize("protocol", ("paxos", "pbft", "rqs-consensus"))
 def test_consensus_adapters_reject_batching(protocol):
+    """The refusal names the offending protocol and the knob value, so
+    a sweep author can find the bad cell from the message alone."""
     spec = ScenarioSpec(
         protocol=protocol,
         rqs="example6" if protocol == "rqs-consensus" else None,
         workload=(RandomMix(3, 3, horizon=10.0, batch_size=4),),
         seed=1,
     )
-    with pytest.raises(ScenarioError, match="batch_size"):
+    with pytest.raises(ScenarioError, match=rf"{protocol}.*batch_size=4"):
         run(spec)
 
 
@@ -151,3 +235,63 @@ def test_mixed_literal_expansion_rejects_batching():
     )
     with pytest.raises(ScenarioError, match="batch_size"):
         run(spec)
+
+
+class TestPerElementCompletion:
+    """Batched reads complete element-wise, not at the batch's slowest
+    element (the contract in ``repro.storage.batching``)."""
+
+    def test_fastabd_fast_elements_skip_the_writeback(self):
+        """One element with a contended (partial) pre-write fails the
+        fast decision and waits out the write-back; the clean element
+        completes two time units earlier at the collect instant."""
+        from repro.storage.fastabd import FastAbdSystem
+        from repro.storage.history import Pair
+
+        system = FastAbdSystem(n_readers=1)
+        system.write("a0", key="a")
+        system.write("b0", key="b")
+        ts = system.writer.ts
+        # Stage a newer pre-write visible at only 2 servers (< slow=3).
+        for sid in list(system.servers)[:2]:
+            system.servers[sid]._slots_for("b")["pw"] = Pair(ts + 1, "b1")
+        task = system.sim.spawn(
+            system.readers[0].read_batch(["a", "b"]), "batch read"
+        )
+        system.sim.run_to_completion(strict=False)
+        clean, contended = task.result
+        assert (clean.result, clean.rounds) == ("a0", 1)
+        assert (contended.result, contended.rounds) == ("b1", 2)
+        assert clean.invoked_at == contended.invoked_at
+        assert clean.completed_at < contended.completed_at
+
+    def test_rqs_cohort_completes_under_degraded_quorums(self):
+        """Both elements of a batch resolved in the same collect round
+        form one cohort: they complete together at the cohort's
+        write-back instant with the unbatched values — here under a
+        partial write plus maximal crashes (the Theorem 9 degraded
+        class), where the old whole-batch path is at its worst."""
+        from repro.core.constructions import threshold_rqs
+        from repro.sim.network import hold_rule
+        from repro.storage.system import StorageSystem
+
+        rqs = threshold_rqs(8, 3, 1, 1, 2)
+        system = StorageSystem(
+            rqs, n_readers=1,
+            rules=[hold_rule(src={"writer"}, dst={1}, after=5.0)],
+        )
+        system.write("vb", key="b")
+        system.sim.run(until=5.0)
+        assert system.write("va", key="a").rounds == 1
+        for sid in (2, 3, 4):
+            system.servers[sid].crash()
+        task = system.sim.spawn(
+            system.readers[0].read_batch(["b", "a"]), "batch read"
+        )
+        system.sim.run_to_completion(strict=False)
+        first, second = task.result
+        assert (first.result, second.result) == ("vb", "va")
+        # One cohort: collect plus the two-round line 49 write-back.
+        assert first.rounds == second.rounds == 3
+        assert first.completed_at == second.completed_at
+        assert first.completed_at == first.invoked_at + 6.0

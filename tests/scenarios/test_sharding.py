@@ -24,8 +24,10 @@ from repro.scenarios import (
     ShardedRunResult,
     Write,
     key_shard,
+    recommend_shards,
     run,
     run_sharded,
+    shard_assignment,
 )
 from repro.scenarios.sharding import (
     ShardOutcome,
@@ -81,6 +83,58 @@ class TestKeyShard:
     def test_rejects_bad_shard_count(self):
         with pytest.raises(ScenarioError):
             key_shard(0, 0)
+
+
+def _expected_imbalance(table, n_keys, skew, shards):
+    """max/mean expected shard load under the zipfian draw weights."""
+    loads = [0.0] * shards
+    for key in range(n_keys):
+        loads[table[key]] += 1.0 / (key + 1) ** skew
+    mean = sum(loads) / shards
+    return max(loads) / mean
+
+
+class TestShardAssignment:
+    def test_uniform_matches_crc32_rule(self):
+        table = shard_assignment(64, 4, seed=3, distribution="uniform")
+        assert table == tuple(key_shard(key, 4, seed=3) for key in range(64))
+
+    def test_degenerate_zipfian_falls_back_to_crc32(self):
+        # One shard or one key: nothing to balance.
+        assert shard_assignment(
+            16, 1, seed=0, distribution="zipfian", skew=1.2
+        ) == tuple(key_shard(key, 1, seed=0) for key in range(16))
+        assert shard_assignment(
+            1, 4, seed=0, distribution="zipfian", skew=1.2
+        ) == (key_shard(0, 4, seed=0),)
+
+    def test_zipfian_deterministic_and_total(self):
+        a = shard_assignment(64, 4, seed=5, distribution="zipfian", skew=1.2)
+        b = shard_assignment(64, 4, seed=5, distribution="zipfian", skew=1.2)
+        assert a == b
+        assert len(a) == 64
+        assert set(a) == {0, 1, 2, 3}
+
+    @pytest.mark.parametrize("skew", (0.8, 1.2, 2.0))
+    def test_lpt_beats_crc32_on_expected_load(self, skew):
+        n_keys, shards = 64, 4
+        lpt = shard_assignment(
+            n_keys, shards, seed=5, distribution="zipfian", skew=skew
+        )
+        crc = shard_assignment(n_keys, shards, seed=5,
+                               distribution="uniform")
+        lpt_imbalance = _expected_imbalance(lpt, n_keys, skew, shards)
+        crc_imbalance = _expected_imbalance(crc, n_keys, skew, shards)
+        assert lpt_imbalance <= crc_imbalance
+        if skew <= 1.2:
+            # The soak-gate regime: balanced within the 1.3 budget.
+            assert lpt_imbalance <= 1.3
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ScenarioError):
+            shard_assignment(16, 0)
+        with pytest.raises(ScenarioError):
+            shard_assignment(0, 2)
 
 
 class TestSpecValidation:
@@ -166,6 +220,32 @@ class TestSchedulePartition:
         # disjoint: sizes add up exactly
         assert sum(len(part) for part in parts) == len(whole)
 
+    def test_zipfian_stream_partitions(self):
+        """The LPT table is still a fixed partition of one seeded draw."""
+        mix = RandomMix(writes=50, reads=80, horizon=100.0,
+                        distribution="zipfian", skew=1.2)
+        readers, seed, n_keys, shards = 4, 13, 16, 4
+
+        def ops(shard):
+            stream = OpStream(
+                mix, readers, seed, n_keys=n_keys, shard=shard
+            )
+            out = []
+            for index in stream.writers_with_ops:
+                out.extend(
+                    ("w", index) + op for op in stream.writer_ops(index)
+                )
+            for index in stream.readers_with_ops:
+                out.extend(
+                    ("r", index) + op for op in stream.reader_ops(index)
+                )
+            return out
+
+        whole = ops(None)
+        parts = [ops((index, shards)) for index in range(shards)]
+        assert sorted(sum(parts, [])) == sorted(whole)
+        assert sum(len(part) for part in parts) == len(whole)
+
     def test_open_loop_stream_partitions(self):
         mix = RandomMix(writes=200, reads=0, horizon=1000.0)
         seed, shards = 5, 4
@@ -223,6 +303,37 @@ class TestEquivalence:
             )
         assert sharded.ops_begun() == base.ops_begun()
         assert sharded.online.keys == base.online.keys
+
+    @pytest.mark.parametrize("skew", (0.8, 1.2, 2.0))
+    def test_skewed_counts_and_verdicts(self, skew):
+        """The LPT-sharded zipfian soak agrees with the unsharded run
+        at 2 and 4 shards: same per-kind counts, same per-key verdict
+        surface, atomic everywhere."""
+        spec = sharded_soak_spec(skew=skew)
+        base = run(spec)
+        for shards in (2, 4):
+            sharded = run(spec.with_(shards=shards))
+            assert isinstance(sharded, ShardedRunResult)
+            for kind in (None, "write", "read"):
+                assert sharded.ops_begun(kind) == base.ops_begun(kind)
+                assert (
+                    sharded.ops_completed(kind) == base.ops_completed(kind)
+                )
+            assert sharded.online.keys == base.online.keys
+            assert sharded.online.violation_count == 0
+            assert sharded.online.verdict == base.online.verdict == "atomic"
+            assert not sharded.blocked
+
+    def test_skewed_sparse_open_loop_latency_is_fraction_exact(self):
+        spec = sparse_open_loop_spec(skew=1.2)
+        base = run(spec)
+        sharded = run(spec.with_(shards=4))
+        for kind in ("write", "read"):
+            base_acc = base.adapter.trace.accumulator(kind)
+            merged_acc = sharded._accumulators[kind]
+            assert merged_acc._time_sum == base_acc._time_sum
+            assert merged_acc.count == base_acc.count
+        assert sharded.ops_begun() == base.ops_begun()
 
     def test_max_ops_budget_is_preserved(self):
         spec = sharded_soak_spec(max_ops=500)
@@ -310,6 +421,66 @@ class TestMergeOnline:
         assert result.online_refusal.reason == "shard-refused"
         assert result.summary()["verdict_source"] == "unchecked"
         assert result.summary()["online_refusal"] == "shard-refused"
+
+
+class TestImbalanceAndRecommendation:
+    def _outcome(self, index, completed, cpu_seconds=0.0):
+        return ShardOutcome(
+            index=index, begun={}, completed=completed, blocked=(),
+            events=0, messages=0, accumulators={}, online=None,
+            online_refusal=None, cpu_seconds=cpu_seconds,
+        )
+
+    def _result(self, outcomes):
+        spec = sharded_soak_spec().with_(shards=len(outcomes))
+        return ShardedRunResult(spec, outcomes, worker_processes=0)
+
+    def test_imbalance_is_max_over_mean(self):
+        result = self._result([
+            self._outcome(0, {"write": 20, "read": 40}),
+            self._outcome(1, {"write": 10, "read": 10}),
+        ])
+        # loads 60 and 20, mean 40 -> 1.5
+        assert result.imbalance == pytest.approx(1.5)
+
+    def test_imbalance_of_empty_run_is_one(self):
+        result = self._result([self._outcome(0, {}), self._outcome(1, {})])
+        assert result.imbalance == 1.0
+
+    def test_recommend_shards_keeps_balanced_fleet(self):
+        result = self._result([
+            self._outcome(index, {"read": 10}, cpu_seconds=2.0)
+            for index in range(4)
+        ])
+        assert recommend_shards(result) == 4
+
+    def test_recommend_shards_shrinks_straggling_fleet(self):
+        # One shard does all the work: the other three buy nothing.
+        result = self._result([
+            self._outcome(0, {"read": 40}, cpu_seconds=4.0),
+            self._outcome(1, {"read": 1}, cpu_seconds=0.1),
+            self._outcome(2, {"read": 1}, cpu_seconds=0.1),
+            self._outcome(3, {"read": 1}, cpu_seconds=0.1),
+        ])
+        assert recommend_shards(result) == 1
+
+    def test_recommend_shards_without_cpu_data(self):
+        result = self._result([
+            self._outcome(0, {}), self._outcome(1, {}),
+        ])
+        assert recommend_shards(result) == 2
+
+    def test_live_run_surface(self):
+        """A real sharded run reports imbalance and yields an in-range
+        recommendation (a 12-key crc32 split is lumpy, so shrinking to
+        1 is a legitimate answer for this tiny soak)."""
+        result = run(sharded_soak_spec().with_(shards=2))
+        assert 1 <= recommend_shards(result) <= 2
+        summary = result.summary()["shards"]
+        assert summary["imbalance"] == pytest.approx(
+            result.imbalance, abs=1e-4
+        )
+        assert result.imbalance >= 1.0
 
 
 class TestShardedResultSurface:

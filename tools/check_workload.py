@@ -57,6 +57,19 @@ Checks, against the committed ``BENCH_workload.json`` baseline:
    baseline must include the 1e7-op acceptance rows at shards=1 and
    shards≥4.  ``--sharded-only`` regenerates and gates just this
    section (CI's shard-smoke job).
+7. **Skew balance** (schema v6) — the ``sharded_zipf`` section's rows
+   (the batched soak under a zipfian ``skew=1.2`` draw, keyed by
+   ``(shards, duration)`` — duration-bounded, since an op budget is
+   split evenly across shards and would pin the balance figure at 1.0
+   by fiat) must be online-atomic with exact deterministic counters;
+   every ``shards>=2`` row must hold ``imbalance`` (max/mean completed
+   ops per shard, from the weighted LPT key partition) at
+   ≤ :data:`MAX_SHARD_IMBALANCE`, and every duration recording both a
+   ``shards=1`` reference and a ``shards>=4`` row must show capacity
+   ≥ :data:`MIN_ZIPF_CAPACITY_SPEEDUP` × the *zipfian* reference —
+   near-linear scaling surviving hot-key contention, not just the
+   uniform draw.  ``--sharded-only`` regenerates and gates this
+   section too.
 
 CI regenerates the grid, the soak and the 100k stream rows; the
 million-op rows are recorded by full local runs
@@ -81,7 +94,10 @@ from _gate import (
     repo_root_on_path,
 )
 
-REQUIRED_TOP = ("name", "schema_version", "cases", "soak", "stream", "sharded")
+REQUIRED_TOP = (
+    "name", "schema_version", "cases", "soak", "stream", "sharded",
+    "sharded_zipf",
+)
 REQUIRED_CASE = (
     "n_keys", "clients", "operations", "completed", "events",
     "execute_seconds", "wall_s", "ops_per_sec",
@@ -130,6 +146,26 @@ REQUIRED_SHARDED = (
     "atomic", "violations", "keys_checked", "checker_mode",
     "shard_rss_kb", "max_shard_rss_kb",
 )
+
+REQUIRED_ZIPF = (
+    "shards", "duration", "protocol", "distribution", "skew",
+    "batch_size", "n_keys", "clients", "workers", "operations",
+    "completed", "events", "execute_seconds", "cpu_seconds", "wall_s",
+    "ops_per_sec", "capacity_ops_per_sec", "imbalance", "atomic",
+    "violations", "keys_checked", "checker_mode", "shard_rss_kb",
+    "max_shard_rss_kb",
+)
+
+#: The skew-balance gate: a zipfian row's per-shard completed-ops
+#: imbalance (max/mean) may not exceed this — the weighted LPT key
+#: partition's balance budget at skew 1.2 (a crc32 partition of the
+#: same draw sits at ~1.8 expected load).
+MAX_SHARD_IMBALANCE = 1.3
+#: The zipfian capacity gate: the >=4-shard zipfian row must sustain at
+#: least this multiple of the zipfian shards=1 reference's capacity —
+#: lower than the uniform gate's 3.0 because the hot shard is the
+#: critical path even when balanced to <=1.3.
+MIN_ZIPF_CAPACITY_SPEEDUP = 2.5
 
 #: The sharded acceptance rows: the committed baseline must record the
 #: ten-million-op soak both unsharded and through the shard fleet.
@@ -238,6 +274,80 @@ def check_schema(payload: dict, label: str, full_baseline: bool) -> list:
     problems += check_sharded_schema(
         payload["sharded"], label, full_baseline
     )
+    problems += check_zipf_schema(payload["sharded_zipf"], label)
+    return problems
+
+
+def check_zipf_schema(rows: list, label: str) -> list:
+    """Shape + correctness invariants of the ``sharded_zipf`` section.
+
+    Beyond the sharded section's invariants (atomic, sw-checked, every
+    register checked, per-shard RSS accounted), every row must carry
+    the zipfian family fields, and the **skew-balance gate** holds:
+    a ``shards>=2`` row's ``imbalance`` stays at or under
+    :data:`MAX_SHARD_IMBALANCE` (the shards=1 reference is trivially
+    1.0).  Rows are duration-bounded, so ``completed`` is checked
+    positive rather than against an op budget.
+    """
+    problems = []
+    for row in rows:
+        row_problems = missing_case_keys(row, REQUIRED_ZIPF, label)
+        problems += row_problems
+        if row_problems:
+            continue
+        where = f"sharded_zipf row {row['shards']}x{row['duration']}"
+        if row["distribution"] != "zipfian" or row["skew"] <= 0:
+            problems.append(
+                f"{label}: {where} is not a zipfian cell "
+                f"(distribution={row['distribution']!r}, "
+                f"skew={row['skew']})"
+            )
+        if row["completed"] <= 0 or row["operations"] <= 0:
+            problems.append(
+                f"{label}: {where} completed no operations"
+            )
+        if not row["atomic"] or row["violations"]:
+            problems.append(
+                f"{label}: {where} is NOT atomic "
+                f"({row['violations']} violations)"
+            )
+        if row["checker_mode"] != "sw":
+            problems.append(
+                f"{label}: {where} ran checker_mode="
+                f"{row['checker_mode']!r} (single-writer soak "
+                f"expects 'sw')"
+            )
+        if row["keys_checked"] != row["n_keys"]:
+            problems.append(
+                f"{label}: {where} checked {row['keys_checked']} of "
+                f"{row['n_keys']} registers"
+            )
+        if len(row["shard_rss_kb"]) != row["shards"]:
+            problems.append(
+                f"{label}: {where} reports {len(row['shard_rss_kb'])} "
+                f"per-shard RSS peaks for {row['shards']} shard(s)"
+            )
+        elif row["max_shard_rss_kb"] != max(row["shard_rss_kb"]):
+            problems.append(
+                f"{label}: {where} max_shard_rss_kb="
+                f"{row['max_shard_rss_kb']} is not the max of "
+                f"shard_rss_kb={row['shard_rss_kb']}"
+            )
+        if row["capacity_ops_per_sec"] <= 0 or row["workers"] < 1:
+            problems.append(
+                f"{label}: {where} has non-positive capacity/workers"
+            )
+        if row["imbalance"] < 1.0:
+            problems.append(
+                f"{label}: {where} reports imbalance="
+                f"{row['imbalance']} (max/mean cannot be < 1)"
+            )
+        if row["shards"] >= 2 and row["imbalance"] > MAX_SHARD_IMBALANCE:
+            problems.append(
+                f"{label}: {where} holds imbalance={row['imbalance']} "
+                f"(> {MAX_SHARD_IMBALANCE}; the weighted partition is "
+                f"not balancing the zipfian draw)"
+            )
     return problems
 
 
@@ -328,6 +438,10 @@ def sharded_index(rows: list) -> dict:
     return {(r["shards"], r["max_ops"]): r for r in rows}
 
 
+def zipf_index(rows: list) -> dict:
+    return {(r["shards"], r["duration"]): r for r in rows}
+
+
 def check_determinism(baseline: dict, fresh: dict) -> list:
     problems = determinism_problems(
         case_index(baseline), case_index(fresh),
@@ -348,6 +462,9 @@ def check_determinism(baseline: dict, fresh: dict) -> list:
     problems += check_sharded_determinism(
         baseline["sharded"], fresh["sharded"]
     )
+    problems += check_zipf_determinism(
+        baseline["sharded_zipf"], fresh["sharded_zipf"]
+    )
     return problems
 
 
@@ -361,6 +478,96 @@ def check_sharded_determinism(base_rows: list, fresh_rows: list) -> list:
         {k: base[k] for k in shared}, {k: new[k] for k in shared},
         ("operations", "completed", "events"),
     )
+
+
+def check_zipf_determinism(base_rows: list, fresh_rows: list) -> list:
+    """Zipfian counters are exact too: duration-bounding cuts the same
+    seeded schedule at the same simulated instant everywhere, and the
+    imbalance figure is a pure function of the per-shard counts."""
+    base, new = zipf_index(base_rows), zipf_index(fresh_rows)
+    shared = set(base) & set(new)
+    return determinism_problems(
+        {k: base[k] for k in shared}, {k: new[k] for k in shared},
+        ("operations", "completed", "events", "imbalance"),
+    )
+
+
+def check_zipf_scaling(
+    rows: list, label: str, tolerance: float = 0.0
+) -> list:
+    """The zipfian capacity gate: at every duration recording both a
+    shards=1 reference and a shards>=4 fleet row, the fleet's
+    ``capacity_ops_per_sec`` must be at least
+    :data:`MIN_ZIPF_CAPACITY_SPEEDUP` × the zipfian reference's —
+    the near-linear-scaling claim held under hot-key contention, not
+    just the uniform draw."""
+    index = zipf_index(rows)
+    problems = []
+    compared = 0
+    need = MIN_ZIPF_CAPACITY_SPEEDUP * (1.0 - tolerance)
+    for (shards, duration), fleet in index.items():
+        if shards < 4:
+            continue
+        reference = index.get((1, duration))
+        if reference is None:
+            continue
+        compared += 1
+        ratio = (
+            fleet["capacity_ops_per_sec"]
+            / reference["capacity_ops_per_sec"]
+        )
+        if ratio < need:
+            problems.append(
+                f"{label}: sharded_zipf row {shards}x{duration} sustains "
+                f"only {ratio:.2f}x the shards=1 zipfian capacity "
+                f"({fleet['capacity_ops_per_sec']} vs "
+                f"{reference['capacity_ops_per_sec']} ops/s; "
+                f"need >= {need:.2f}x)"
+            )
+    if compared == 0:
+        problems.append(
+            f"{label}: no duration has both shards=1 and shards>=4 "
+            f"sharded_zipf rows — the zipf capacity gate cannot run"
+        )
+    return problems
+
+
+def check_zipf_budgets(fresh_rows: list, stream_budget: float) -> list:
+    """Fresh zipfian rows obey the stream-row wall-clock formula,
+    scaled by *completed* ops (duration-bounded rows carry no op
+    budget; the deterministic completed count is the same size
+    figure)."""
+    problems = []
+    for row in fresh_rows:
+        row_budget = (
+            stream_budget * SHARDED_BUDGET_SCALE
+            * row["completed"] / FULL_STREAM_OPS
+        )
+        if row["wall_s"] > row_budget:
+            problems.append(
+                f"sharded_zipf row {row['shards']}x{row['duration']} "
+                f"blew its budget: {row['wall_s']}s > {row_budget:.1f}s"
+            )
+    return problems
+
+
+def check_zipf_memory(
+    base_rows: list, fresh_rows: list, rss_cap: int
+) -> list:
+    """Every zipfian row's per-shard peak obeys the same absolute cap
+    as a stream row (both committed and fresh; there is only one
+    recorded duration, so no cross-size flatness check here)."""
+    problems = []
+    for label, rows in (("baseline", base_rows), ("fresh", fresh_rows)):
+        for row in rows:
+            if row["max_shard_rss_kb"] > rss_cap:
+                problems.append(
+                    f"{label} sharded_zipf row "
+                    f"{row['shards']}x{row['duration']} peaked at "
+                    f"{row['max_shard_rss_kb']} KiB per shard "
+                    f"(> cap {rss_cap})"
+                )
+    return problems
 
 
 def check_sharded_scaling(
@@ -659,12 +866,22 @@ def main(argv=None) -> int:
     problems += check_sharded_scaling(
         fresh["sharded"], "fresh", args.tolerance
     )
+    problems += check_zipf_scaling(baseline["sharded_zipf"], "baseline")
+    problems += check_zipf_scaling(
+        fresh["sharded_zipf"], "fresh", args.tolerance
+    )
     problems += check_budgets(fresh, args.budget, args.stream_budget)
     problems += check_sharded_budgets(fresh["sharded"], args.stream_budget)
+    problems += check_zipf_budgets(
+        fresh["sharded_zipf"], args.stream_budget
+    )
     problems += check_memory(baseline, fresh, args.rss_ratio, args.rss_cap)
     problems += check_sharded_memory(
         baseline["sharded"], fresh["sharded"],
         args.rss_ratio, args.rss_cap,
+    )
+    problems += check_zipf_memory(
+        baseline["sharded_zipf"], fresh["sharded_zipf"], args.rss_cap
     )
     if not args.skip_drift:
         problems += drift_problems(
@@ -678,6 +895,10 @@ def main(argv=None) -> int:
     sharded_sizes = ", ".join(
         f"{row['shards']}x{row['max_ops']}" for row in fresh["sharded"]
     )
+    zipf_sizes = ", ".join(
+        f"{row['shards']}x{row['duration']}"
+        for row in fresh["sharded_zipf"]
+    )
     return finish(
         problems,
         f"ok: schema valid, executions deterministic, soak "
@@ -686,46 +907,75 @@ def main(argv=None) -> int:
         f"{soak['wall_s']:.2f}s (budget "
         f"{args.budget}s); stream rows [{stream_sizes}] atomic, "
         f"memory sublinear; sharded rows [{sharded_sizes}] atomic, "
-        f"capacity scaling >= {MIN_SHARD_CAPACITY_SPEEDUP}x",
+        f"capacity scaling >= {MIN_SHARD_CAPACITY_SPEEDUP}x; "
+        f"sharded_zipf rows [{zipf_sizes}] atomic, imbalance <= "
+        f"{MAX_SHARD_IMBALANCE}, capacity scaling >= "
+        f"{MIN_ZIPF_CAPACITY_SPEEDUP}x",
     )
 
 
 def check_sharded_only(baseline: dict, args) -> int:
-    """The shard-smoke path: regenerate just the sharded section and
-    gate it (schema, exact determinism against the committed rows, the
-    capacity-speedup gate, per-shard memory, wall budgets).  The full
-    committed artifact still validates — its sharded section is part
-    of ``check_schema`` — but nothing else is re-measured."""
+    """The shard-smoke path: regenerate just the sharded and
+    sharded_zipf sections and gate them (schema, exact determinism
+    against the committed rows, the capacity-speedup and skew-balance
+    gates, per-shard memory, wall budgets).  The full committed
+    artifact still validates — both sections are part of
+    ``check_schema`` — but nothing else is re-measured."""
     def regenerate() -> dict:
         repo_root_on_path(__file__)
-        from benchmarks.bench_workload import collect_sharded
+        from benchmarks.bench_workload import (
+            collect_sharded,
+            collect_sharded_zipf,
+        )
 
-        return {"sharded": collect_sharded()}
+        return {
+            "sharded": collect_sharded(),
+            "sharded_zipf": collect_sharded_zipf(),
+        }
 
     fresh = load_fresh(args.fresh, regenerate)
     fresh_rows = fresh["sharded"] if "sharded" in fresh else []
+    fresh_zipf = fresh.get("sharded_zipf", [])
 
     problems = check_sharded_schema(
         baseline.get("sharded", []), "baseline", full_baseline=True
     )
     problems += check_sharded_schema(fresh_rows, "fresh", False)
+    problems += check_zipf_schema(
+        baseline.get("sharded_zipf", []), "baseline"
+    )
+    problems += check_zipf_schema(fresh_zipf, "fresh")
     if problems:
         return finish(problems, "")
     problems += check_sharded_determinism(baseline["sharded"], fresh_rows)
+    problems += check_zipf_determinism(
+        baseline["sharded_zipf"], fresh_zipf
+    )
     problems += check_sharded_scaling(baseline["sharded"], "baseline")
     problems += check_sharded_scaling(fresh_rows, "fresh", args.tolerance)
+    problems += check_zipf_scaling(baseline["sharded_zipf"], "baseline")
+    problems += check_zipf_scaling(fresh_zipf, "fresh", args.tolerance)
     problems += check_sharded_budgets(fresh_rows, args.stream_budget)
+    problems += check_zipf_budgets(fresh_zipf, args.stream_budget)
     problems += check_sharded_memory(
         baseline["sharded"], fresh_rows, args.rss_ratio, args.rss_cap
     )
+    problems += check_zipf_memory(
+        baseline["sharded_zipf"], fresh_zipf, args.rss_cap
+    )
     sizes = ", ".join(
         f"{row['shards']}x{row['max_ops']}" for row in fresh_rows
+    )
+    zipf_sizes = ", ".join(
+        f"{row['shards']}x{row['duration']}" for row in fresh_zipf
     )
     return finish(
         problems,
         f"ok: sharded rows [{sizes}] atomic and deterministic, "
         f"capacity scaling >= {MIN_SHARD_CAPACITY_SPEEDUP}x, per-shard "
-        f"memory flat",
+        f"memory flat; sharded_zipf rows [{zipf_sizes}] atomic, "
+        f"imbalance <= {MAX_SHARD_IMBALANCE}, capacity scaling >= "
+        f"{MIN_ZIPF_CAPACITY_SPEEDUP}x",
     )
 
 
